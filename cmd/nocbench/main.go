@@ -1,0 +1,62 @@
+// Command nocbench regenerates the paper's tables and figures plus the
+// reproduction's ablation experiments.
+//
+// Usage:
+//
+//	nocbench -list              list all experiments
+//	nocbench -run fig9          run one experiment
+//	nocbench -run table4,fig10  run several
+//	nocbench                    run everything
+//	nocbench -out results.txt   also write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	out := flag.String("out", "", "also write output to this file")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %-55s [%s]\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *run == "" {
+		if err := experiments.RunAll(w); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, id := range strings.Split(*run, ",") {
+		if err := experiments.RunOne(w, strings.TrimSpace(id)); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocbench:", err)
+	os.Exit(1)
+}

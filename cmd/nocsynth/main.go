@@ -1,0 +1,61 @@
+// Command nocsynth prints the synthesis model's results: Table 4, the
+// per-block area report of each router, and the lane design sweep.
+//
+// Usage:
+//
+//	nocsynth                    print Table 4
+//	nocsynth -design circuit    per-block report of one router
+//	nocsynth -sweep             lane count/width sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/stdcell"
+	"repro/internal/synth"
+)
+
+func main() {
+	design := flag.String("design", "", "report one design: circuit, packet, aethereal")
+	sweep := flag.Bool("sweep", false, "print the lane count/width sweep")
+	corner := flag.String("corner", "nominal", "library corner: nominal (LVT) or hvt (low leakage)")
+	flag.Parse()
+
+	var lib stdcell.Lib
+	switch *corner {
+	case "nominal":
+		lib = experiments.Lib()
+	case "hvt":
+		lib = stdcell.HighVT013()
+	default:
+		fmt.Fprintf(os.Stderr, "nocsynth: unknown corner %q\n", *corner)
+		os.Exit(1)
+	}
+	fmt.Printf("library: %s\n\n", lib.Name)
+	switch {
+	case *design != "":
+		d, err := synth.Design(*design, lib)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocsynth:", err)
+			os.Exit(1)
+		}
+		fmt.Print(d.Report(lib))
+		fmt.Printf("  leakage: %.1f uW, clock energy: %.1f pJ/cycle\n",
+			d.LeakageUW(lib), d.ClockEnergyPerCycle(lib)/1e3)
+	case *sweep:
+		pts := synth.LaneSweep(lib, []int{2, 4, 6, 8}, []int{2, 4, 8})
+		fmt.Printf("%-6s %-6s %12s %10s %14s\n", "lanes", "width", "area [mm2]", "fmax", "link bw")
+		for _, p := range pts {
+			fmt.Printf("%-6d %-6d %12.4f %6.0f MHz %9.1f Gb/s\n",
+				p.Lanes, p.Width, p.AreaMM2, p.MaxFreqMHz, p.LinkGbps)
+		}
+	default:
+		if err := synth.Render(os.Stdout, synth.Table4(lib)); err != nil {
+			fmt.Fprintln(os.Stderr, "nocsynth:", err)
+			os.Exit(1)
+		}
+	}
+}

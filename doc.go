@@ -1,0 +1,16 @@
+// Package repro is a from-scratch reproduction of Wolkotte, Smit, Rauwerda
+// and Smit, "An Energy-Efficient Reconfigurable Circuit-Switched
+// Network-on-Chip" (IPDPS 2005): a cycle-accurate, bit-accurate Go model of
+// the proposed lane-division circuit-switched router, its packet-switched
+// virtual-channel baseline and an Æthereal-style TDM comparator, together
+// with the 0.13 µm standard-cell area/timing/power substrate, a mesh NoC
+// with a Central Coordination Node, the best-effort configuration network
+// and the three wireless applications (HiperLAN/2, UMTS, DRM) that motivate
+// the design.
+//
+// The benchmark file in this directory regenerates every table and figure
+// of the paper's evaluation; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results. The cmd/nocbench,
+// cmd/nocsynth and cmd/nocmesh tools drive the same experiments from the
+// command line, and the examples directory walks through the public API.
+package repro

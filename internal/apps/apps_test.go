@@ -1,0 +1,148 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kpn"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// Table 1 must fall out of the OFDM standard parameters exactly.
+	h := DefaultHiperLAN()
+	approx(t, "sample rate", h.SampleRateMsps(), 20)
+	approx(t, "S/P -> prefix removal", h.InputMbps(), 640)
+	approx(t, "prefix removal -> FFT", h.AfterPrefixMbps(), 512)
+	approx(t, "FFT -> channel eq", h.AfterFFTMbps(), 416)
+	approx(t, "channel eq -> demap", h.AfterEqualizerMbps(), 384)
+	approx(t, "hard bits BPSK", h.HardBitsMbps(Modulation{Name: "BPSK", BitsPerCarrier: 1}), 12)
+	approx(t, "hard bits QAM-64", h.HardBitsMbps(Modulation{Name: "QAM-64", BitsPerCarrier: 6}), 72)
+	for _, row := range Table1(h) {
+		if math.Abs(row.Mbps-row.PaperMbps) > 1e-9 {
+			t.Errorf("Table 1 row %q: computed %.2f, paper %.2f", row.Stream, row.Mbps, row.PaperMbps)
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	u := DefaultUMTS()
+	approx(t, "chips per finger", u.ChipsPerFingerMbps(), 61.44)
+	approx(t, "scrambling code", u.ScramblingMbps(), 7.68)
+	approx(t, "MRC coefficient", u.MRCCoefficientMbps(), 61.44/4)
+	approx(t, "received bits QPSK", u.ReceivedBitsMbps(), 7.68/4)
+	qam := u
+	qam.BitsPerSymbol = 4
+	approx(t, "received bits QAM-16", qam.ReceivedBitsMbps(), 15.36/4)
+	for _, row := range Table2(u) {
+		if math.Abs(row.Mbps-row.PaperMbps) > 1e-9 {
+			t.Errorf("Table 2 row %q: computed %.3f, paper %.3f", row.Stream, row.Mbps, row.PaperMbps)
+		}
+	}
+}
+
+func TestUMTSTotalMatchesPaperExample(t *testing.T) {
+	// "the total communication bandwidth for processing 4 RAKE fingers
+	// with a spreading factor (SF) of 4 is ~320 Mbit/s"
+	u := DefaultUMTS()
+	total := u.TotalMbps()
+	if total < 310 || total < 300 || total > 330 {
+		t.Fatalf("UMTS total = %.1f Mbit/s, paper says ~320", total)
+	}
+}
+
+func TestHiperLANGraphValid(t *testing.T) {
+	g := HiperLANGraph(DefaultHiperLAN(), HiperLANModulations()[3])
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The heaviest channel is the 640 Mbit/s front end.
+	if g.MaxChannelMbps() != 640 {
+		t.Fatalf("max channel = %v, want 640", g.MaxChannelMbps())
+	}
+	// BE traffic is a small minority (< 5%, Section 3.3).
+	if f := g.BEFraction(); f <= 0 || f >= 0.05 {
+		t.Fatalf("BE fraction = %v, want (0, 0.05)", f)
+	}
+}
+
+func TestUMTSGraphValid(t *testing.T) {
+	u := DefaultUMTS()
+	g := UMTSGraph(u)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One finger process per configured finger.
+	fingers := 0
+	for _, p := range g.Processes {
+		if len(p.Name) >= 6 && p.Name[:6] == "Finger" {
+			fingers++
+		}
+	}
+	if fingers != u.Fingers {
+		t.Fatalf("graph has %d fingers, want %d", fingers, u.Fingers)
+	}
+	// Streaming class dominates.
+	if g.TotalBandwidthMbps(kpn.GT) < 300 {
+		t.Fatalf("GT bandwidth = %v, want > 300", g.TotalBandwidthMbps(kpn.GT))
+	}
+}
+
+func TestUMTSGraphScalesWithFingers(t *testing.T) {
+	small, big := DefaultUMTS(), DefaultUMTS()
+	big.Fingers = 8
+	gs, gb := UMTSGraph(small), UMTSGraph(big)
+	if gb.TotalBandwidthMbps(kpn.GT) <= gs.TotalBandwidthMbps(kpn.GT) {
+		t.Fatal("more fingers must need more bandwidth")
+	}
+}
+
+func TestDRMIsThousandTimesLess(t *testing.T) {
+	h := HiperLANGraph(DefaultHiperLAN(), HiperLANModulations()[3])
+	d := DRMGraph()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := h.TotalBandwidthMbps(kpn.GT) / d.TotalBandwidthMbps(kpn.GT)
+	if math.Abs(ratio-DRMScale) > 1e-6 {
+		t.Fatalf("HiperLAN/DRM bandwidth ratio = %v, want %v", ratio, float64(DRMScale))
+	}
+	// DRM fits in a fraction of one lane even at low clocks.
+	if d.MaxChannelMbps() > 1 {
+		t.Fatalf("DRM max channel = %v Mbit/s, expected sub-Mbit/s", d.MaxChannelMbps())
+	}
+}
+
+func TestUMTSValidateRejects(t *testing.T) {
+	bad := []UMTSParams{
+		{ChipRateMcps: 0, Oversampling: 2, ChipBits: 8, Fingers: 1, SF: 4, BitsPerSymbol: 2},
+		{ChipRateMcps: 3.84, Oversampling: 0, ChipBits: 8, Fingers: 1, SF: 4, BitsPerSymbol: 2},
+		{ChipRateMcps: 3.84, Oversampling: 2, ChipBits: 0, Fingers: 1, SF: 4, BitsPerSymbol: 2},
+		{ChipRateMcps: 3.84, Oversampling: 2, ChipBits: 8, Fingers: 0, SF: 4, BitsPerSymbol: 2},
+		{ChipRateMcps: 3.84, Oversampling: 2, ChipBits: 8, Fingers: 1, SF: 0, BitsPerSymbol: 2},
+		{ChipRateMcps: 3.84, Oversampling: 2, ChipBits: 8, Fingers: 1, SF: 4, BitsPerSymbol: 0},
+	}
+	for i, u := range bad {
+		if u.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestModulationLadder(t *testing.T) {
+	mods := HiperLANModulations()
+	if len(mods) != 4 {
+		t.Fatalf("modulations = %d", len(mods))
+	}
+	for i := 1; i < len(mods); i++ {
+		if mods[i].BitsPerCarrier <= mods[i-1].BitsPerCarrier {
+			t.Fatal("modulation ladder not increasing")
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package apps models the three wireless applications whose communication
+// requirements drive the paper's NoC design (Section 3): the HiperLAN/2
+// baseband receiver (Fig. 2 / Table 1), the UMTS W-CDMA rake receiver
+// (Fig. 3 / Table 2) and Digital Radio Mondiale (DRM), whose block diagram
+// is similar to HiperLAN/2 at a factor 1000 lower bandwidth.
+//
+// All bandwidths are derived from the standards' parameters, not
+// hard-coded, so Tables 1 and 2 are *computed* by the reproduction and can
+// be checked against the paper.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/kpn"
+)
+
+// HiperLANParams are the OFDM parameters of the HiperLAN/2 physical layer
+// (ETSI TS 101 475) behind Table 1.
+type HiperLANParams struct {
+	// SymbolPeriodUS is the OFDM symbol period in µs (4 µs: 80 samples at
+	// 20 Msample/s).
+	SymbolPeriodUS float64
+	// SamplesPerSymbol is the OFDM symbol length including the cyclic
+	// prefix (80).
+	SamplesPerSymbol int
+	// FFTSize is the FFT length (64); prefix removal keeps FFTSize of the
+	// SamplesPerSymbol samples.
+	FFTSize int
+	// UsedCarriers is the number of occupied sub-carriers (52).
+	UsedCarriers int
+	// DataCarriers is the number of data sub-carriers (48; the other 4
+	// are pilots).
+	DataCarriers int
+	// SampleBits is the quantization per complex sample: 16-bit I plus
+	// 16-bit Q ("based on 16 bits quantization").
+	SampleBits int
+}
+
+// DefaultHiperLAN returns the standard's parameters.
+func DefaultHiperLAN() HiperLANParams {
+	return HiperLANParams{
+		SymbolPeriodUS:   4,
+		SamplesPerSymbol: 80,
+		FFTSize:          64,
+		UsedCarriers:     52,
+		DataCarriers:     48,
+		SampleBits:       32,
+	}
+}
+
+// Modulation is an OFDM sub-carrier modulation.
+type Modulation struct {
+	// Name is the scheme (BPSK ... QAM-64).
+	Name string
+	// BitsPerCarrier is the bits carried per sub-carrier per symbol.
+	BitsPerCarrier int
+}
+
+// HiperLANModulations returns the schemes of Table 1's hard-bits row:
+// BPSK (12 Mbit/s) up to QAM-64 (72 Mbit/s).
+func HiperLANModulations() []Modulation {
+	return []Modulation{
+		{Name: "BPSK", BitsPerCarrier: 1},
+		{Name: "QPSK", BitsPerCarrier: 2},
+		{Name: "QAM-16", BitsPerCarrier: 4},
+		{Name: "QAM-64", BitsPerCarrier: 6},
+	}
+}
+
+// SampleRateMsps returns the front-end sample rate in Msample/s
+// (80 samples / 4 µs = 20 Msample/s).
+func (h HiperLANParams) SampleRateMsps() float64 {
+	return float64(h.SamplesPerSymbol) / h.SymbolPeriodUS
+}
+
+// InputMbps returns the serial-to-parallel input bandwidth: sample rate ×
+// complex sample width (Table 1: 640 Mbit/s).
+func (h HiperLANParams) InputMbps() float64 {
+	return h.SampleRateMsps() * float64(h.SampleBits)
+}
+
+// AfterPrefixMbps returns the bandwidth after cyclic-prefix removal: only
+// FFTSize of SamplesPerSymbol samples continue (Table 1: 512 Mbit/s).
+func (h HiperLANParams) AfterPrefixMbps() float64 {
+	return h.InputMbps() * float64(h.FFTSize) / float64(h.SamplesPerSymbol)
+}
+
+// AfterFFTMbps returns the bandwidth after the FFT, which discards unused
+// carriers: UsedCarriers of FFTSize (Table 1: 416 Mbit/s).
+func (h HiperLANParams) AfterFFTMbps() float64 {
+	return h.AfterPrefixMbps() * float64(h.UsedCarriers) / float64(h.FFTSize)
+}
+
+// AfterEqualizerMbps returns the bandwidth into the demapper: data
+// carriers only (Table 1: 384 Mbit/s).
+func (h HiperLANParams) AfterEqualizerMbps() float64 {
+	return h.AfterFFTMbps() * float64(h.DataCarriers) / float64(h.UsedCarriers)
+}
+
+// HardBitsMbps returns the demapped bit rate for a modulation (Table 1:
+// 12 Mbit/s BPSK up to 72 Mbit/s QAM-64).
+func (h HiperLANParams) HardBitsMbps(m Modulation) float64 {
+	return float64(h.DataCarriers*m.BitsPerCarrier) / h.SymbolPeriodUS
+}
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	// Edges is the paper's edge-group label.
+	Edges string
+	// Stream describes the producing and consuming blocks.
+	Stream string
+	// Mbps is the required bandwidth.
+	Mbps float64
+	// PaperMbps is the value printed in the paper.
+	PaperMbps float64
+}
+
+// Table1 computes the paper's Table 1 from the standard's parameters,
+// using QAM-64 for the hard-bits row's upper bound.
+func Table1(h HiperLANParams) []Table1Row {
+	return []Table1Row{
+		{Edges: "1-2", Stream: "S/P -> Pre-fix removal", Mbps: h.InputMbps(), PaperMbps: 640},
+		{Edges: "3-4", Stream: "Pre-fix removal -> FFT", Mbps: h.AfterPrefixMbps(), PaperMbps: 512},
+		{Edges: "5-6", Stream: "FFT -> Channel eq.", Mbps: h.AfterFFTMbps(), PaperMbps: 416},
+		{Edges: "7", Stream: "Channel eq. -> De-map", Mbps: h.AfterEqualizerMbps(), PaperMbps: 384},
+		{Edges: "8 (BPSK)", Stream: "Hard bits", Mbps: h.HardBitsMbps(HiperLANModulations()[0]), PaperMbps: 12},
+		{Edges: "8 (QAM-64)", Stream: "Hard bits", Mbps: h.HardBitsMbps(HiperLANModulations()[3]), PaperMbps: 72},
+	}
+}
+
+// HiperLANGraph returns the Fig. 2 process network with Table 1's channel
+// bandwidths. The paper's per-edge numbering between the offset-correction
+// sub-blocks is ambiguous in the text, so channels connect the major
+// pipeline stages at the bandwidths of Table 1's rows; the sync-and-control
+// process attaches over best-effort channels.
+func HiperLANGraph(h HiperLANParams, m Modulation) *kpn.Graph {
+	g := &kpn.Graph{
+		Name: "HiperLAN/2 baseband",
+		Processes: []kpn.Process{
+			{Name: "S/P", Kind: "ASIC"},
+			{Name: "FreqOffset", Kind: "DSRH"},
+			{Name: "PrefixRemoval", Kind: "ASIC"},
+			{Name: "FFT", Kind: "DSRH"},
+			{Name: "PhaseOffset", Kind: "DSRH"},
+			{Name: "ChannelEq", Kind: "DSRH"},
+			{Name: "Demapping", Kind: "DSP"},
+			{Name: "Sync", Kind: "GPP"},
+		},
+		Channels: []kpn.Channel{
+			{Name: "1", From: "S/P", To: "FreqOffset", BandwidthMbps: h.InputMbps(), Class: kpn.GT, Block: true},
+			{Name: "2", From: "FreqOffset", To: "PrefixRemoval", BandwidthMbps: h.InputMbps(), Class: kpn.GT, Block: true},
+			{Name: "3", From: "PrefixRemoval", To: "FFT", BandwidthMbps: h.AfterPrefixMbps(), Class: kpn.GT, Block: true},
+			{Name: "4", From: "FFT", To: "PhaseOffset", BandwidthMbps: h.AfterFFTMbps(), Class: kpn.GT, Block: true},
+			{Name: "5", From: "PhaseOffset", To: "ChannelEq", BandwidthMbps: h.AfterFFTMbps(), Class: kpn.GT, Block: true},
+			{Name: "7", From: "ChannelEq", To: "Demapping", BandwidthMbps: h.AfterEqualizerMbps(), Class: kpn.GT, Block: true},
+			{Name: "8", From: "Demapping", To: "Sync", BandwidthMbps: h.HardBitsMbps(m), Class: kpn.GT, Block: true},
+			{Name: "ctl", From: "Sync", To: "FreqOffset", BandwidthMbps: 1, Class: kpn.BE},
+		},
+	}
+	return g
+}
+
+// DRMScale is the bandwidth ratio between HiperLAN/2 and DRM (Section 3:
+// "the communication requirements are a factor 1000 less").
+const DRMScale = 1000
+
+// DRMGraph returns the Digital Radio Mondiale process network: the
+// HiperLAN/2 topology with all bandwidths scaled down by DRMScale.
+func DRMGraph() *kpn.Graph {
+	h := DefaultHiperLAN()
+	g := HiperLANGraph(h, Modulation{Name: "QAM-64", BitsPerCarrier: 6})
+	g.Name = "DRM receiver"
+	for i := range g.Channels {
+		g.Channels[i].BandwidthMbps /= DRMScale
+		if g.Channels[i].BandwidthMbps <= 0 {
+			panic(fmt.Sprintf("apps: DRM channel %q scaled to zero", g.Channels[i].Name))
+		}
+	}
+	return g
+}

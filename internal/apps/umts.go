@@ -1,0 +1,161 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/kpn"
+)
+
+// UMTSParams are the W-CDMA parameters of the paper's rake receiver
+// (Fig. 3 / Table 2).
+type UMTSParams struct {
+	// ChipRateMcps is the W-CDMA chip rate in Mchip/s (3.84).
+	ChipRateMcps float64
+	// Oversampling is the front-end oversampling factor (2: Table 2's
+	// 61.44 Mbit/s per finger = 3.84 M × 2 × 8 bits).
+	Oversampling int
+	// ChipBits is the quantization per chip or coefficient ("every chip
+	// or coefficient is represented by 8 bits").
+	ChipBits int
+	// Fingers is the number of rake fingers (N).
+	Fingers int
+	// SF is the spreading factor.
+	SF int
+	// BitsPerSymbol is the downlink modulation (2 for QPSK, 4 for QAM-16).
+	BitsPerSymbol int
+}
+
+// DefaultUMTS returns the paper's example configuration: 4 rake fingers at
+// spreading factor 4 with QPSK (~320 Mbit/s total).
+func DefaultUMTS() UMTSParams {
+	return UMTSParams{
+		ChipRateMcps: 3.84, Oversampling: 2, ChipBits: 8,
+		Fingers: 4, SF: 4, BitsPerSymbol: 2,
+	}
+}
+
+// Validate checks the parameters.
+func (u UMTSParams) Validate() error {
+	switch {
+	case u.ChipRateMcps <= 0:
+		return fmt.Errorf("apps: non-positive chip rate")
+	case u.Oversampling < 1:
+		return fmt.Errorf("apps: oversampling < 1")
+	case u.ChipBits < 1:
+		return fmt.Errorf("apps: chip quantization < 1 bit")
+	case u.Fingers < 1:
+		return fmt.Errorf("apps: need at least one rake finger")
+	case u.SF < 1:
+		return fmt.Errorf("apps: spreading factor < 1")
+	case u.BitsPerSymbol < 1:
+		return fmt.Errorf("apps: bits per symbol < 1")
+	}
+	return nil
+}
+
+// ChipsPerFingerMbps returns the oversampled chip stream into one finger
+// (Table 2 edge 2: 61.44 Mbit/s).
+func (u UMTSParams) ChipsPerFingerMbps() float64 {
+	return u.ChipRateMcps * float64(u.Oversampling) * float64(u.ChipBits)
+}
+
+// ScramblingMbps returns the scrambling-code stream (Table 2 edge 3:
+// 7.68 Mbit/s — complex ±1 chips, 2 bits per chip).
+func (u UMTSParams) ScramblingMbps() float64 {
+	return u.ChipRateMcps * 2
+}
+
+// MRCCoefficientMbps returns the maximal-ratio-combining coefficient
+// stream per finger (Table 2 edge 4: 61.44/SF Mbit/s).
+func (u UMTSParams) MRCCoefficientMbps() float64 {
+	return u.ChipsPerFingerMbps() / float64(u.SF)
+}
+
+// ReceivedBitsMbps returns the demapped bit stream: symbol rate
+// (ChipRate/SF) × bits per symbol (Table 2 edge 5: 7.68/SF for QPSK,
+// 15.36/SF for QAM-16).
+func (u UMTSParams) ReceivedBitsMbps() float64 {
+	return u.ChipRateMcps / float64(u.SF) * float64(u.BitsPerSymbol)
+}
+
+// TotalMbps returns the aggregate bandwidth of the receiver's streams: the
+// paper's "total communication bandwidth for processing 4 RAKE fingers
+// with a spreading factor of 4 is ~320 Mbit/s".
+func (u UMTSParams) TotalMbps() float64 {
+	return float64(u.Fingers)*u.ChipsPerFingerMbps() +
+		u.ScramblingMbps() +
+		float64(u.Fingers)*u.MRCCoefficientMbps() +
+		u.ReceivedBitsMbps()
+}
+
+// Table2Row is one row of the paper's Table 2.
+type Table2Row struct {
+	// Stream names the edge.
+	Stream string
+	// Edge is the paper's edge number.
+	Edge int
+	// Mbps is the computed bandwidth.
+	Mbps float64
+	// PaperMbps is the paper's printed value (for SF=4 rows the paper
+	// prints the formula; we evaluate it).
+	PaperMbps float64
+}
+
+// Table2 computes the paper's Table 2 from the W-CDMA parameters.
+func Table2(u UMTSParams) []Table2Row {
+	return []Table2Row{
+		{Stream: "Chips (per finger)", Edge: 2, Mbps: u.ChipsPerFingerMbps(), PaperMbps: 61.44},
+		{Stream: "Scrambling code", Edge: 3, Mbps: u.ScramblingMbps(), PaperMbps: 7.68},
+		{Stream: "MRC coefficient (per finger)", Edge: 4, Mbps: u.MRCCoefficientMbps(), PaperMbps: 61.44 / float64(u.SF)},
+		{Stream: "Received bits", Edge: 5, Mbps: u.ReceivedBitsMbps(), PaperMbps: 3.84 * float64(u.BitsPerSymbol) / float64(u.SF)},
+	}
+}
+
+// UMTSGraph returns the Fig. 3 process network: pulse shaping feeding N
+// de-scrambling/de-spreading fingers, the scrambling-code generator, the
+// channel estimation producing MRC coefficients, maximal ratio combining
+// and de-mapping. Communication is streaming (sample by sample), the
+// paper's second traffic style.
+func UMTSGraph(u UMTSParams) *kpn.Graph {
+	if err := u.Validate(); err != nil {
+		panic(err)
+	}
+	g := &kpn.Graph{
+		Name: "UMTS W-CDMA rake receiver",
+		Processes: []kpn.Process{
+			{Name: "PulseShaping", Kind: "ASIC"},
+			{Name: "Scrambling", Kind: "ASIC"},
+			{Name: "ChannelEst", Kind: "DSP"},
+			{Name: "MRC", Kind: "DSRH"},
+			{Name: "Demapping", Kind: "DSP"},
+			{Name: "Control", Kind: "GPP"},
+		},
+	}
+	for f := 1; f <= u.Fingers; f++ {
+		name := fmt.Sprintf("Finger%d", f)
+		g.Processes = append(g.Processes, kpn.Process{Name: name, Kind: "DSRH"})
+		g.Channels = append(g.Channels,
+			kpn.Channel{
+				Name: fmt.Sprintf("chips-%d", f), From: "PulseShaping", To: name,
+				BandwidthMbps: u.ChipsPerFingerMbps(), Class: kpn.GT,
+			},
+			kpn.Channel{
+				Name: fmt.Sprintf("mrc-%d", f), From: "ChannelEst", To: name,
+				BandwidthMbps: u.MRCCoefficientMbps(), Class: kpn.GT,
+			},
+			kpn.Channel{
+				Name: fmt.Sprintf("comb-%d", f), From: name, To: "MRC",
+				BandwidthMbps: u.ChipsPerFingerMbps() / float64(u.SF), Class: kpn.GT,
+			},
+		)
+	}
+	g.Channels = append(g.Channels,
+		kpn.Channel{Name: "scramble", From: "Scrambling", To: "PulseShaping",
+			BandwidthMbps: u.ScramblingMbps(), Class: kpn.GT},
+		kpn.Channel{Name: "bits", From: "MRC", To: "Demapping",
+			BandwidthMbps: u.ReceivedBitsMbps(), Class: kpn.GT},
+		kpn.Channel{Name: "ctl", From: "Control", To: "ChannelEst",
+			BandwidthMbps: 0.5, Class: kpn.BE},
+	)
+	return g
+}

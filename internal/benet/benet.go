@@ -1,0 +1,224 @@
+// Package benet implements the paper's best-effort (BE) network: a
+// packet-switched mesh (reusing the virtual-channel router of
+// internal/packetsw with XY routing) that carries the low-rate traffic the
+// paper excludes from the circuit-switched data network — control,
+// interrupts and, most importantly, the 10-bit crossbar configuration
+// commands the CCN sends to the routers (Section 5.1: "The configuration
+// interface is connected to the separate BE network").
+package benet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/packetsw"
+	"repro/internal/sim"
+)
+
+// HeadDataXY encodes a mesh destination in a head flit: X in bits 0–3,
+// Y in bits 4–7.
+func HeadDataXY(c mesh.Coord) uint16 {
+	if c.X < 0 || c.X > 15 || c.Y < 0 || c.Y > 15 {
+		panic(fmt.Sprintf("benet: coordinate %v exceeds the 4-bit address fields", c))
+	}
+	return uint16(c.X) | uint16(c.Y)<<4
+}
+
+// DecodeXY is the inverse of HeadDataXY.
+func DecodeXY(d uint16) mesh.Coord {
+	return mesh.Coord{X: int(d & 0xF), Y: int(d >> 4 & 0xF)}
+}
+
+// RouteXY returns the dimension-ordered routing function for a router at
+// the given coordinate: first correct X (East/West), then Y (South/North),
+// then eject at the tile port.
+func RouteXY(here mesh.Coord) packetsw.RouteFunc {
+	return func(head uint16) core.Port {
+		dst := DecodeXY(head)
+		switch {
+		case dst.X > here.X:
+			return core.East
+		case dst.X < here.X:
+			return core.West
+		case dst.Y > here.Y:
+			return core.South
+		case dst.Y < here.Y:
+			return core.North
+		default:
+			return core.Tile
+		}
+	}
+}
+
+// Message is one BE payload delivered between tiles.
+type Message struct {
+	// Src and Dst are the endpoints.
+	Src, Dst mesh.Coord
+	// Payload are the 16-bit data words.
+	Payload []uint16
+	// SentCycle and RecvCycle time-stamp the transfer.
+	SentCycle, RecvCycle uint64
+}
+
+// Network is a W×H best-effort mesh.
+type Network struct {
+	// W and H are the grid dimensions.
+	W, H int
+	// P are the router parameters.
+	P packetsw.Params
+
+	routers []*packetsw.Router
+	world   *sim.World
+	cycle   uint64
+
+	sendQ    [][]packetsw.Flit // per node, flits waiting for injection
+	inflight map[uint16][]Message
+	recv     []Message
+}
+
+// New builds a W×H best-effort mesh with XY routing.
+func New(w, h int, p packetsw.Params) *Network {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("benet: invalid size %dx%d", w, h))
+	}
+	n := &Network{
+		W: w, H: h, P: p,
+		world:    sim.NewWorld(),
+		sendQ:    make([][]packetsw.Flit, w*h),
+		inflight: make(map[uint16][]Message),
+	}
+	n.routers = make([]*packetsw.Router, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			n.routers[y*w+x] = packetsw.NewRouter(p, RouteXY(mesh.Coord{X: x, Y: y}))
+			n.world.Add(n.routers[y*w+x])
+		}
+	}
+	// Wire links and credit returns in both directions.
+	wire := func(a *packetsw.Router, aPort core.Port, b *packetsw.Router, bPort core.Port) {
+		b.ConnectIn(bPort, &a.Out[aPort])
+		for v := 0; v < p.VCs; v++ {
+			a.ConnectCreditIn(aPort, v, &b.CreditOut[bPort][v])
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := n.router(mesh.Coord{X: x, Y: y})
+			if x+1 < w {
+				e := n.router(mesh.Coord{X: x + 1, Y: y})
+				wire(r, core.East, e, core.West)
+				wire(e, core.West, r, core.East)
+			}
+			if y+1 < h {
+				s := n.router(mesh.Coord{X: x, Y: y + 1})
+				wire(r, core.South, s, core.North)
+				wire(s, core.North, r, core.South)
+			}
+		}
+	}
+	// Injection and ejection glue per node.
+	for i := range n.routers {
+		idx := i
+		n.world.Add(&sim.Func{OnEval: func() { n.pump(idx) }})
+	}
+	return n
+}
+
+func (n *Network) router(c mesh.Coord) *packetsw.Router { return n.routers[c.Y*n.W+c.X] }
+
+// Router exposes the BE router at a coordinate (e.g. to bind power meters).
+func (n *Network) Router(c mesh.Coord) *packetsw.Router {
+	if c.X < 0 || c.X >= n.W || c.Y < 0 || c.Y >= n.H {
+		panic(fmt.Sprintf("benet: %v outside %dx%d", c, n.W, n.H))
+	}
+	return n.router(c)
+}
+
+// World returns the network's simulation world so callers can co-simulate
+// stimulus.
+func (n *Network) World() *sim.World { return n.world }
+
+// Send queues a message for delivery; it is segmented into a wormhole
+// packet (head flit with the XY address, one flit per payload word). VC 0
+// carries all BE traffic in this model.
+func (n *Network) Send(msg Message) {
+	if len(msg.Payload) == 0 {
+		panic("benet: empty message")
+	}
+	msg.SentCycle = n.cycle
+	src := msg.Src.Y*n.W + msg.Src.X
+	flits := packetsw.MakePacket(0, HeadDataXY(msg.Dst), msg.Payload)
+	// Messages are matched to arrivals in send order per destination.
+	key := HeadDataXY(msg.Dst)
+	n.inflight[key] = append(n.inflight[key], msg)
+	for i := range flits {
+		flits[i].InjectCycle = n.cycle
+	}
+	n.sendQ[src] = append(n.sendQ[src], flits...)
+}
+
+// pump injects queued flits and collects ejected packets at node idx.
+func (n *Network) pump(idx int) {
+	r := n.routers[idx]
+	for len(n.sendQ[idx]) > 0 && r.Inject(n.sendQ[idx][0]) {
+		n.sendQ[idx] = n.sendQ[idx][1:]
+	}
+	here := mesh.Coord{X: idx % n.W, Y: idx / n.W}
+	for _, f := range r.Drain() {
+		if f.Kind.Closes() {
+			n.complete(here)
+		}
+	}
+}
+
+// complete matches a finished packet at dst to the oldest in-flight
+// message addressed there and records its delivery.
+func (n *Network) complete(dst mesh.Coord) {
+	key := HeadDataXY(dst)
+	msgs := n.inflight[key]
+	if len(msgs) == 0 {
+		return
+	}
+	m := msgs[0]
+	n.inflight[key] = msgs[1:]
+	m.RecvCycle = n.cycle
+	n.recv = append(n.recv, m)
+}
+
+// Step advances the network one cycle.
+func (n *Network) Step() {
+	n.world.Step()
+	n.cycle++
+}
+
+// Run advances the network n cycles.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Cycle returns the elapsed cycles.
+func (n *Network) Cycle() uint64 { return n.cycle }
+
+// Delivered returns and clears the messages delivered so far.
+func (n *Network) Delivered() []Message {
+	d := n.recv
+	n.recv = nil
+	return d
+}
+
+// Pending returns the number of messages not yet delivered.
+func (n *Network) Pending() int {
+	p := 0
+	for _, msgs := range n.inflight {
+		p += len(msgs)
+	}
+	for _, q := range n.sendQ {
+		if len(q) > 0 {
+			p++ // at least one message still queued at this node
+		}
+	}
+	return p
+}

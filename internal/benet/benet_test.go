@@ -1,0 +1,145 @@
+package benet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/packetsw"
+)
+
+func TestHeadDataXYRoundTrip(t *testing.T) {
+	f := func(x, y uint8) bool {
+		c := mesh.Coord{X: int(x % 16), Y: int(y % 16)}
+		return DecodeXY(HeadDataXY(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized coordinate accepted")
+		}
+	}()
+	HeadDataXY(mesh.Coord{X: 16, Y: 0})
+}
+
+func TestRouteXY(t *testing.T) {
+	r := RouteXY(mesh.Coord{X: 2, Y: 2})
+	cases := map[mesh.Coord]core.Port{
+		{X: 4, Y: 2}: core.East,
+		{X: 0, Y: 7}: core.West, // X corrected first
+		{X: 2, Y: 5}: core.South,
+		{X: 2, Y: 0}: core.North,
+		{X: 2, Y: 2}: core.Tile,
+	}
+	for dst, want := range cases {
+		if got := r(HeadDataXY(dst)); got != want {
+			t.Errorf("route to %v = %v, want %v", dst, got, want)
+		}
+	}
+}
+
+func TestSingleMessageDelivery(t *testing.T) {
+	n := New(4, 4, packetsw.DefaultParams())
+	n.Send(Message{
+		Src: mesh.Coord{X: 0, Y: 0}, Dst: mesh.Coord{X: 3, Y: 2},
+		Payload: []uint16{0x3FF},
+	})
+	for i := 0; i < 200 && n.Pending() > 0; i++ {
+		n.Step()
+	}
+	d := n.Delivered()
+	if len(d) != 1 {
+		t.Fatalf("delivered %d messages", len(d))
+	}
+	if d[0].RecvCycle <= d[0].SentCycle {
+		t.Fatal("latency not recorded")
+	}
+	// 5 hops, wormhole: latency is a handful of cycles per hop.
+	if lat := d[0].RecvCycle - d[0].SentCycle; lat > 60 {
+		t.Fatalf("latency %d cycles for 5 hops, too slow", lat)
+	}
+}
+
+func TestManyMessagesAllArrive(t *testing.T) {
+	n := New(4, 4, packetsw.DefaultParams())
+	const msgs = 40
+	for i := 0; i < msgs; i++ {
+		n.Send(Message{
+			Src:     mesh.Coord{X: i % 4, Y: (i / 4) % 4},
+			Dst:     mesh.Coord{X: 3 - i%4, Y: 3 - (i/4)%4},
+			Payload: []uint16{uint16(i), uint16(i + 1)},
+		})
+	}
+	for i := 0; i < 5000 && n.Pending() > 0; i++ {
+		n.Step()
+	}
+	if got := len(n.Delivered()); got != msgs {
+		t.Fatalf("delivered %d/%d", got, msgs)
+	}
+	// No router dropped anything (credits intact).
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if d := n.Router(mesh.Coord{X: x, Y: y}).Dropped(); d != 0 {
+				t.Fatalf("router (%d,%d) dropped %d flits", x, y, d)
+			}
+		}
+	}
+}
+
+func TestSamePairOrderPreserved(t *testing.T) {
+	// Wormhole routing on one VC preserves order between a fixed pair.
+	n := New(3, 1, packetsw.DefaultParams())
+	for i := 0; i < 10; i++ {
+		n.Send(Message{
+			Src: mesh.Coord{X: 0, Y: 0}, Dst: mesh.Coord{X: 2, Y: 0},
+			Payload: []uint16{uint16(100 + i)},
+		})
+	}
+	for i := 0; i < 2000 && n.Pending() > 0; i++ {
+		n.Step()
+	}
+	d := n.Delivered()
+	if len(d) != 10 {
+		t.Fatalf("delivered %d/10", len(d))
+	}
+	for i := 1; i < len(d); i++ {
+		if d[i].SentCycle < d[i-1].SentCycle {
+			t.Fatal("delivery order violates send order")
+		}
+	}
+}
+
+func TestSendPanicsOnEmptyPayload(t *testing.T) {
+	n := New(2, 2, packetsw.DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty message accepted")
+		}
+	}()
+	n.Send(Message{Src: mesh.Coord{}, Dst: mesh.Coord{X: 1}, Payload: nil})
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 2, packetsw.DefaultParams())
+}
+
+func TestRouterAccessorBounds(t *testing.T) {
+	n := New(2, 2, packetsw.DefaultParams())
+	if n.Router(mesh.Coord{X: 1, Y: 1}) == nil {
+		t.Fatal("router missing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Router(mesh.Coord{X: 2, Y: 0})
+}

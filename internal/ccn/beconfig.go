@@ -1,0 +1,169 @@
+package ccn
+
+import (
+	"fmt"
+
+	"repro/internal/benet"
+	"repro/internal/core"
+	"repro/internal/mesh"
+)
+
+// BEConfigurator delivers configuration commands over the best-effort
+// network instead of applying them instantly, reproducing the paper's
+// reconfiguration timing: 10 bits per lane, sent by the CCN, with a budget
+// of 1 ms per lane and 20 ms for a full router (Section 5.1).
+type BEConfigurator struct {
+	// Net is the best-effort mesh carrying the commands.
+	Net *benet.Network
+	// Mesh is the circuit-switched data mesh being configured.
+	Mesh *mesh.Mesh
+	// CCNNode is the coordinate of the Central Coordination Node.
+	CCNNode mesh.Coord
+}
+
+// ConfigureResult reports the timing of a configuration delivered over the
+// BE network.
+type ConfigureResult struct {
+	// Commands is the number of 10-bit commands sent.
+	Commands int
+	// Cycles is the total cycles from first send to last command applied.
+	Cycles uint64
+	// MaxCommandCycles is the worst single-command delivery latency.
+	MaxCommandCycles uint64
+}
+
+// TimeMS converts the total cycle count to milliseconds at the given BE
+// network clock.
+func (r ConfigureResult) TimeMS(freqMHz float64) float64 {
+	return float64(r.Cycles) / freqMHz / 1e3
+}
+
+// MaxCommandTimeMS converts the worst per-command latency to milliseconds.
+func (r ConfigureResult) MaxCommandTimeMS(freqMHz float64) float64 {
+	return float64(r.MaxCommandCycles) / freqMHz / 1e3
+}
+
+// Configure sends the connection's commands from the CCN node over the BE
+// network, co-simulating the BE mesh and the data mesh until every command
+// has been delivered and applied. Converter enables at the endpoints are
+// tile-local actions (the CCN instructs the tiles directly in the paper's
+// model) and take effect with the final command.
+func (b *BEConfigurator) Configure(c *Connection) (ConfigureResult, error) {
+	cmds, err := c.Cmds(b.Mesh.P)
+	if err != nil {
+		return ConfigureResult{}, err
+	}
+	if len(cmds) == 0 {
+		return ConfigureResult{}, fmt.Errorf("ccn: connection has no commands")
+	}
+
+	// One BE message per command: a single 16-bit word carrying the
+	// 10-bit configuration command.
+	pending := make(map[mesh.Coord][]core.ConfigCmd)
+	for _, rc := range cmds {
+		enc, err := rc.Cmd.Encode(b.Mesh.P)
+		if err != nil {
+			return ConfigureResult{}, err
+		}
+		b.Net.Send(benet.Message{
+			Src:     b.CCNNode,
+			Dst:     rc.Node,
+			Payload: []uint16{uint16(enc)},
+		})
+		pending[rc.Node] = append(pending[rc.Node], rc.Cmd)
+	}
+
+	var res ConfigureResult
+	res.Commands = len(cmds)
+	start := b.Net.Cycle()
+	applied := 0
+	// Generous bound: commands × mesh diameter × serialization factor.
+	maxCycles := len(cmds)*(b.Mesh.W+b.Mesh.H)*50 + 1000
+	for applied < len(cmds) {
+		if int(b.Net.Cycle()-start) > maxCycles {
+			return res, fmt.Errorf("ccn: BE configuration stalled after %d cycles (%d/%d applied)",
+				maxCycles, applied, len(cmds))
+		}
+		b.Net.Step()
+		b.Mesh.Step()
+		for _, msg := range b.Net.Delivered() {
+			q := pending[msg.Dst]
+			if len(q) == 0 {
+				return res, fmt.Errorf("ccn: unexpected delivery at %v", msg.Dst)
+			}
+			cmd := q[0]
+			pending[msg.Dst] = q[1:]
+			b.Mesh.At(msg.Dst).R.PushConfig(cmd)
+			applied++
+			if lat := msg.RecvCycle - msg.SentCycle; lat > res.MaxCommandCycles {
+				res.MaxCommandCycles = lat
+			}
+		}
+	}
+	// One more edge for the staged configuration writes to commit.
+	b.Net.Step()
+	b.Mesh.Step()
+	res.Cycles = b.Net.Cycle() - start
+
+	// Enable the endpoint converters (tile-local).
+	for _, lane := range c.Segments {
+		first, last := lane[0], lane[len(lane)-1]
+		if first.Circuit.In.Port == core.Tile {
+			b.Mesh.At(first.Node).Tx[first.Circuit.In.Lane].Enabled = true
+		}
+		if last.Circuit.Out.Port == core.Tile {
+			b.Mesh.At(last.Node).Rx[last.Circuit.Out.Lane].Enabled = true
+		}
+	}
+	return res, nil
+}
+
+// FullRouterReconfig measures reconfiguring every output lane of the
+// router at target: TotalLanes commands sent back to back — the paper's
+// "one single router can then be fully reconfigured within 20 ms" bound.
+func (b *BEConfigurator) FullRouterReconfig(target mesh.Coord) (ConfigureResult, error) {
+	p := b.Mesh.P
+	var res ConfigureResult
+	start := b.Net.Cycle()
+	type pendingCmd struct{ cmd core.ConfigCmd }
+	var queue []pendingCmd
+	for g := 0; g < p.TotalLanes(); g++ {
+		out := p.LaneOf(g)
+		inPort := core.North
+		if out.Port == core.North {
+			inPort = core.South
+		}
+		circ := core.Circuit{In: core.LaneID{Port: inPort, Lane: out.Lane}, Out: out}
+		cmd, err := circ.Cmd(p)
+		if err != nil {
+			return res, err
+		}
+		enc, err := cmd.Encode(p)
+		if err != nil {
+			return res, err
+		}
+		b.Net.Send(benet.Message{Src: b.CCNNode, Dst: target, Payload: []uint16{uint16(enc)}})
+		queue = append(queue, pendingCmd{cmd: cmd})
+		res.Commands++
+	}
+	applied := 0
+	maxCycles := res.Commands*(b.Mesh.W+b.Mesh.H)*50 + 1000
+	for applied < res.Commands {
+		if int(b.Net.Cycle()-start) > maxCycles {
+			return res, fmt.Errorf("ccn: full reconfiguration stalled")
+		}
+		b.Net.Step()
+		b.Mesh.Step()
+		for _, msg := range b.Net.Delivered() {
+			b.Mesh.At(msg.Dst).R.PushConfig(queue[applied].cmd)
+			applied++
+			if lat := msg.RecvCycle - msg.SentCycle; lat > res.MaxCommandCycles {
+				res.MaxCommandCycles = lat
+			}
+		}
+	}
+	b.Net.Step()
+	b.Mesh.Step()
+	res.Cycles = b.Net.Cycle() - start
+	return res, nil
+}

@@ -1,0 +1,134 @@
+package ccn
+
+import (
+	"testing"
+
+	"repro/internal/kpn"
+	"repro/internal/mesh"
+)
+
+// heteroGraph is a 3-stage pipeline with tile-type hints.
+func heteroGraph() *kpn.Graph {
+	return &kpn.Graph{
+		Name: "hetero pipe",
+		Processes: []kpn.Process{
+			{Name: "fe", Kind: "ASIC"},
+			{Name: "fft", Kind: "DSRH"},
+			{Name: "dec", Kind: "DSP"},
+		},
+		Channels: []kpn.Channel{
+			{Name: "a", From: "fe", To: "fft", BandwidthMbps: 100, Class: kpn.GT},
+			{Name: "b", From: "fft", To: "dec", BandwidthMbps: 100, Class: kpn.GT},
+		},
+	}
+}
+
+func TestHeterogeneousPlacementRespectsKinds(t *testing.T) {
+	g, _ := newMgr(3, 2, 100)
+	// One tile of each required kind plus spares.
+	g.SetTileKind(mesh.Coord{X: 0, Y: 0}, "ASIC")
+	g.SetTileKind(mesh.Coord{X: 1, Y: 0}, "DSRH")
+	g.SetTileKind(mesh.Coord{X: 2, Y: 0}, "DSP")
+	g.SetTileKind(mesh.Coord{X: 0, Y: 1}, "GPP")
+	g.SetTileKind(mesh.Coord{X: 1, Y: 1}, "GPP")
+	g.SetTileKind(mesh.Coord{X: 2, Y: 1}, "GPP")
+	mp, err := g.MapApplication(heteroGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]mesh.Coord{
+		"fe":  {X: 0, Y: 0},
+		"fft": {X: 1, Y: 0},
+		"dec": {X: 2, Y: 0},
+	}
+	for name, c := range want {
+		if mp.Placement[name] != c {
+			t.Errorf("process %s placed at %v, want %v (the only matching tile)",
+				name, mp.Placement[name], c)
+		}
+	}
+	if kind := g.TileKind(mesh.Coord{X: 1, Y: 0}); kind != "DSRH" {
+		t.Fatalf("TileKind = %q", kind)
+	}
+}
+
+func TestHeterogeneousInfeasibleWithoutMatchingTile(t *testing.T) {
+	g, _ := newMgr(2, 2, 100)
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			g.SetTileKind(mesh.Coord{X: x, Y: y}, "GPP")
+		}
+	}
+	if _, err := g.MapApplication(heteroGraph()); err == nil {
+		t.Fatal("mapping accepted with no ASIC/DSRH/DSP tiles")
+	}
+	// The rollback left the mesh clean: an unconstrained graph maps fine.
+	plain := heteroGraph()
+	for i := range plain.Processes {
+		plain.Processes[i].Kind = ""
+	}
+	if _, err := g.MapApplication(plain); err != nil {
+		t.Fatalf("mesh not clean after failed heterogeneous mapping: %v", err)
+	}
+}
+
+func TestHeterogeneousKindContention(t *testing.T) {
+	// Two applications competing for one DSRH tile: the second mapping
+	// must fail, and succeed again once the first releases it.
+	g, _ := newMgr(3, 3, 100)
+	g.SetTileKind(mesh.Coord{X: 1, Y: 1}, "DSRH")
+	// All other tiles GPP.
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			if (mesh.Coord{X: x, Y: y}) != (mesh.Coord{X: 1, Y: 1}) {
+				g.SetTileKind(mesh.Coord{X: x, Y: y}, "GPP")
+			}
+		}
+	}
+	appA := &kpn.Graph{
+		Name:      "a",
+		Processes: []kpn.Process{{Name: "x", Kind: "DSRH"}, {Name: "y"}},
+		Channels: []kpn.Channel{
+			{Name: "c", From: "x", To: "y", BandwidthMbps: 80, Class: kpn.GT},
+		},
+	}
+	appB := &kpn.Graph{
+		Name:      "b",
+		Processes: []kpn.Process{{Name: "p", Kind: "DSRH"}, {Name: "q"}},
+		Channels: []kpn.Channel{
+			{Name: "d", From: "p", To: "q", BandwidthMbps: 80, Class: kpn.GT},
+		},
+	}
+	mpA, err := g.MapApplication(appA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.MapApplication(appB); err == nil {
+		t.Fatal("second application won the only DSRH tile twice")
+	}
+	if err := g.UnmapApplication(mpA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.MapApplication(appB); err != nil {
+		t.Fatalf("DSRH tile not released: %v", err)
+	}
+}
+
+func TestUnconstrainedMeshIgnoresKinds(t *testing.T) {
+	// A mesh with no declared tile kinds accepts any process kind — the
+	// homogeneous default all other tests use.
+	g, _ := newMgr(2, 2, 100)
+	if _, err := g.MapApplication(heteroGraph()); err != nil {
+		t.Fatalf("unconstrained mesh rejected kinds: %v", err)
+	}
+}
+
+func TestSetTileKindBounds(t *testing.T) {
+	g, _ := newMgr(2, 2, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.SetTileKind(mesh.Coord{X: 5, Y: 5}, "DSP")
+}

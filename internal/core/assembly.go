@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stdcell"
+)
+
+// Assembly bundles one circuit-switched router with a full tile-interface
+// data converter (one transmit and one receive converter per tile-port
+// lane) and owns the per-cycle power accounting for the whole design. It is
+// the unit the single-router experiments (Figures 9 and 10) and the mesh
+// instantiate.
+type Assembly struct {
+	// R is the router.
+	R *Router
+	// Tx are the transmit converters, one per tile-port lane; Tx[i] feeds
+	// the router's tile input lane i.
+	Tx []*TxConverter
+	// Rx are the receive converters, one per tile-port lane; Rx[i] watches
+	// the router's tile output lane i.
+	Rx []*RxConverter
+
+	p      Params
+	meter  *power.Meter
+	lib    stdcell.Lib
+	gated  bool
+	design *netlist.Design
+}
+
+// AssemblyOptions configure an Assembly.
+type AssemblyOptions struct {
+	// Flow is the window-counter configuration of the converters.
+	Flow FlowParams
+	// RxBufCap is the destination buffer capacity in words.
+	RxBufCap int
+}
+
+// DefaultAssemblyOptions returns the options used by the paper-shaped
+// experiments: blocking flow control with WC=8, X=4, and a destination
+// buffer that exactly fits the window.
+func DefaultAssemblyOptions() AssemblyOptions {
+	f := DefaultFlow()
+	return AssemblyOptions{Flow: f, RxBufCap: f.WC}
+}
+
+// NewAssembly builds a router plus converters and wires the tile port.
+func NewAssembly(p Params, opt AssemblyOptions) *Assembly {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	a := &Assembly{R: NewRouter(p), p: p}
+	for l := 0; l < p.LanesPerPort; l++ {
+		tx := NewTxConverter(p, opt.Flow)
+		rx := NewRxConverter(p, opt.Flow, opt.RxBufCap)
+		g := p.Global(LaneID{Port: Tile, Lane: l})
+		a.R.ConnectIn(g, &tx.Out)
+		tx.ConnectAck(&a.R.AckOut[g])
+		rx.ConnectIn(&a.R.Out[g])
+		a.R.ConnectAckIn(g, &rx.AckOut)
+		a.Tx = append(a.Tx, tx)
+		a.Rx = append(a.Rx, rx)
+	}
+	return a
+}
+
+// Params returns the assembly's design parameters.
+func (a *Assembly) Params() Params { return a.p }
+
+// BindMeter attaches a power meter covering the router and its converters.
+// The design the meter was created with should be Netlist(p, lib) so that
+// the ungated clock energy matches the register census. With gated true the
+// assembly models the configuration-driven clock gating of Section 7.3.
+func (a *Assembly) BindMeter(m *power.Meter, lib stdcell.Lib, gated bool) {
+	a.meter = m
+	a.lib = lib
+	a.gated = gated
+	a.R.BindMeter(m, lib, gated)
+	for _, tx := range a.Tx {
+		tx.BindMeter(m)
+	}
+	for _, rx := range a.Rx {
+		rx.BindMeter(m)
+	}
+}
+
+// EstablishLocal configures a circuit through this router and enables the
+// converters it terminates at, if any. It is the single-router counterpart
+// of the CCN's path configuration.
+func (a *Assembly) EstablishLocal(c Circuit) error {
+	if err := a.R.Configure(c); err != nil {
+		return err
+	}
+	if c.In.Port == Tile {
+		a.Tx[c.In.Lane].Enabled = true
+	}
+	if c.Out.Port == Tile {
+		a.Rx[c.Out.Lane].Enabled = true
+	}
+	return nil
+}
+
+// Eval implements sim.Clocked.
+func (a *Assembly) Eval() {
+	a.R.Eval()
+	for _, tx := range a.Tx {
+		tx.Eval()
+	}
+	for _, rx := range a.Rx {
+		rx.Eval()
+	}
+}
+
+// Commit implements sim.Clocked. After all sub-components commit, the
+// assembly charges this cycle's clock energy to the meter: the full design
+// when ungated, or only the configuration memory, enabled lanes and enabled
+// converters when gated.
+func (a *Assembly) Commit() {
+	for _, tx := range a.Tx {
+		tx.Commit()
+	}
+	for _, rx := range a.Rx {
+		rx.Commit()
+	}
+	a.R.Commit()
+	if a.meter == nil {
+		return
+	}
+	if !a.gated {
+		a.meter.Tick()
+		return
+	}
+	e := a.R.ClockFJ(a.lib, true)
+	for _, tx := range a.Tx {
+		e += tx.ClockFJ(a.lib, true)
+	}
+	for _, rx := range a.Rx {
+		e += rx.ClockFJ(a.lib, true)
+	}
+	a.meter.TickGated(e)
+}
+
+// VerifyClockCensus checks that the netlist design used for the meter
+// agrees with the behavioural register census — the consistency contract
+// between the area model and the power model. It returns an error
+// describing any mismatch.
+func VerifyClockCensus(p Params, lib stdcell.Lib) error {
+	d := Netlist(p, lib)
+	var behavioural float64 = power.ClockEnergyFor(lib, RouterRegBits(p)+ConverterRegBits(p), 0)
+	structural := d.ClockEnergyPerCycle(lib)
+	if diff := structural - behavioural; diff < 0 || diff > 0.2*behavioural {
+		return fmt.Errorf("core: structural clock energy %.1f fJ vs behavioural %.1f fJ",
+			structural, behavioural)
+	}
+	return nil
+}
+
+var _ sim.Clocked = (*Assembly)(nil)
+var _ sim.Clocked = (*Router)(nil)
+var _ sim.Clocked = (*TxConverter)(nil)
+var _ sim.Clocked = (*RxConverter)(nil)

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stdcell"
+)
+
+// pair builds two assemblies A→B connected East(A)↔West(B), with a circuit
+// from A's tile lane 0 to B's tile lane 0 — the smallest full network:
+// converter, router, link, router, converter.
+func pair(t *testing.T) (a, b *Assembly, w *sim.World) {
+	t.Helper()
+	p := DefaultParams()
+	opt := DefaultAssemblyOptions()
+	a, b = NewAssembly(p, opt), NewAssembly(p, opt)
+	// Wire all East(A) → West(B) lanes and the reverse acks, and the
+	// symmetric West(B) → East(A) direction.
+	for l := 0; l < p.LanesPerPort; l++ {
+		ae := p.Global(LaneID{Port: East, Lane: l})
+		bw := p.Global(LaneID{Port: West, Lane: l})
+		b.R.ConnectIn(bw, &a.R.Out[ae])
+		a.R.ConnectAckIn(ae, &b.R.AckOut[bw])
+		a.R.ConnectIn(ae, &b.R.Out[bw])
+		b.R.ConnectAckIn(bw, &a.R.AckOut[ae])
+	}
+	if err := a.EstablishLocal(Circuit{In: LaneID{Port: Tile, Lane: 0}, Out: LaneID{Port: East, Lane: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.EstablishLocal(Circuit{In: LaneID{Port: West, Lane: 0}, Out: LaneID{Port: Tile, Lane: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	w = sim.NewWorld()
+	w.Add(a, b)
+	w.Step() // configuration edge
+	return a, b, w
+}
+
+func TestEndToEndTileToTile(t *testing.T) {
+	a, b, w := pair(t)
+	const total = 50
+	var got []Word
+	pushed := 0
+	w.Add(&sim.Func{OnEval: func() {
+		if pushed < total && a.Tx[0].Ready() {
+			if a.Tx[0].Push(DataWord(uint16(pushed * 3))) {
+				pushed++
+			}
+		}
+		if wd, ok := b.Rx[0].Pop(); ok {
+			got = append(got, wd)
+		}
+	}})
+	if !w.RunUntil(func() bool { return len(got) == total }, 5000) {
+		t.Fatalf("received %d/%d words", len(got), total)
+	}
+	for i, wd := range got {
+		if wd.Data != uint16(i*3) {
+			t.Fatalf("word %d = %v, out of order", i, wd)
+		}
+	}
+	if b.Rx[0].Dropped() != 0 {
+		t.Fatalf("dropped %d", b.Rx[0].Dropped())
+	}
+	if a.Tx[0].WindowViolations() != 0 {
+		t.Fatal("window violations across two-router circuit")
+	}
+}
+
+func TestEndToEndFlowControlAcrossRouters(t *testing.T) {
+	// A slow consumer at B must throttle the source at A through the
+	// registered ack path across both routers, with zero drops.
+	a, b, w := pair(t)
+	pushed, consumed, cycle := 0, 0, 0
+	w.Add(&sim.Func{OnEval: func() {
+		if a.Tx[0].Ready() {
+			if a.Tx[0].Push(DataWord(uint16(pushed))) {
+				pushed++
+			}
+		}
+		if cycle%23 == 0 { // much slower than the 5-cycle line rate
+			if _, ok := b.Rx[0].Pop(); ok {
+				consumed++
+			}
+		}
+		cycle++
+	}})
+	w.Run(3000)
+	if b.Rx[0].Dropped() != 0 {
+		t.Fatalf("flow control failed: %d drops", b.Rx[0].Dropped())
+	}
+	if consumed < 100 {
+		t.Fatalf("consumer starved: %d words", consumed)
+	}
+	// The source must have been throttled well below line rate.
+	if a.Tx[0].Stalled() == 0 {
+		t.Fatal("source never stalled despite slow consumer")
+	}
+}
+
+func TestAssemblyPowerUngatedOffset(t *testing.T) {
+	// The paper's key power observation: without clock gating the dynamic
+	// power has a high offset — an idle router (Scenario I) consumes
+	// almost as much dynamic power as a loaded one.
+	p := DefaultParams()
+	lib := stdcell.Default013()
+	d := Netlist(p, lib)
+	run := func(load bool) power.Breakdown {
+		a := NewAssembly(p, DefaultAssemblyOptions())
+		m := power.NewMeter(d, lib, 25)
+		a.BindMeter(m, lib, false)
+		w := sim.NewWorld()
+		w.Add(a)
+		if load {
+			if err := a.EstablishLocal(Circuit{
+				In:  LaneID{Port: Tile, Lane: 0},
+				Out: LaneID{Port: East, Lane: 0},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			w.Add(&sim.Func{OnEval: func() {
+				if a.Tx[0].Ready() {
+					if a.Tx[0].Push(DataWord(uint16(n * 0x1111))) {
+						n++
+					}
+				}
+			}})
+		}
+		w.Run(2000)
+		return m.Report("x")
+	}
+	idle, loaded := run(false), run(true)
+	if loaded.DynamicUW() <= idle.DynamicUW() {
+		t.Fatal("load did not increase dynamic power at all")
+	}
+	// Offset domination: idle dynamic power is at least 60% of loaded.
+	if ratio := idle.DynamicUW() / loaded.DynamicUW(); ratio < 0.6 {
+		t.Fatalf("dynamic offset ratio %.2f, expected offset-dominated (>0.6)", ratio)
+	}
+}
+
+func TestAssemblyClockGatingRemovesOffset(t *testing.T) {
+	// With configuration-driven clock gating (the paper's future work),
+	// the idle router's dynamic power drops dramatically.
+	p := DefaultParams()
+	lib := stdcell.Default013()
+	d := Netlist(p, lib)
+	run := func(gated bool) power.Breakdown {
+		a := NewAssembly(p, DefaultAssemblyOptions())
+		m := power.NewMeter(d, lib, 25)
+		a.BindMeter(m, lib, gated)
+		w := sim.NewWorld()
+		w.Add(a)
+		w.Run(1000)
+		return m.Report("idle")
+	}
+	ungated, gated := run(false), run(true)
+	if gated.DynamicUW() >= ungated.DynamicUW()/3 {
+		t.Fatalf("gating saved too little: %.1f vs %.1f µW",
+			gated.DynamicUW(), ungated.DynamicUW())
+	}
+	if gated.StaticUW != ungated.StaticUW {
+		t.Fatal("gating must not change static power")
+	}
+}
+
+func TestAssemblyGatedTickNeverExceedsBudget(t *testing.T) {
+	// Even with every lane enabled, the gated clock energy must stay
+	// within the meter's ungated budget (TickGated panics otherwise).
+	p := DefaultParams()
+	lib := stdcell.Default013()
+	a := NewAssembly(p, DefaultAssemblyOptions())
+	m := power.NewMeter(Netlist(p, lib), lib, 25)
+	a.BindMeter(m, lib, true)
+	// Enable every output lane and every converter.
+	for g := 0; g < p.TotalLanes(); g++ {
+		out := p.LaneOf(g)
+		inPort := North
+		if out.Port == North {
+			inPort = South
+		}
+		if err := a.EstablishLocal(Circuit{
+			In:  LaneID{Port: inPort, Lane: out.Lane},
+			Out: out,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tx := range a.Tx {
+		tx.Enabled = true
+	}
+	for _, rx := range a.Rx {
+		rx.Enabled = true
+	}
+	w := sim.NewWorld()
+	w.Add(a)
+	w.Run(10) // panics if the census contract is broken
+	if m.Cycles() != 10 {
+		t.Fatalf("cycles = %d", m.Cycles())
+	}
+}
+
+func TestLinkBandwidthMatchesTable4(t *testing.T) {
+	p := DefaultParams()
+	// Table 4: 16 bit × 1075 MHz = 17.2 Gb/s per link direction.
+	if got := LinkBandwidthGbps(p, 1075); got < 17.1 || got > 17.3 {
+		t.Fatalf("link bandwidth at 1075 MHz = %.2f Gb/s, want 17.2", got)
+	}
+	// Section 7.2: 80 Mbit/s per stream at 25 MHz.
+	if got := LaneDataRateMbps(p, 25); got != 80 {
+		t.Fatalf("lane data rate at 25 MHz = %v Mbit/s, want 80", got)
+	}
+}
+
+func TestNetlistBlocksMatchTable4Rows(t *testing.T) {
+	p := DefaultParams()
+	lib := stdcell.Default013()
+	d := Netlist(p, lib)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{BlockCrossbar, BlockConfiguration, BlockDataConverter} {
+		if _, ok := d.Block(name); !ok {
+			t.Errorf("netlist missing Table 4 block %q", name)
+		}
+	}
+	// The paper's headline synthesis results: total ≈ 0.0506 mm² and
+	// fmax ≈ 1075 MHz. The calibrated model must land in the right
+	// neighbourhood (±25%).
+	area := d.AreaMM2(lib)
+	if area < 0.0506*0.75 || area > 0.0506*1.25 {
+		t.Errorf("CS router area = %.4f mm², paper 0.0506 (±25%%)", area)
+	}
+	f := d.MaxFreqMHz(lib)
+	if f < 1075*0.75 || f > 1075*1.25 {
+		t.Errorf("CS router fmax = %.0f MHz, paper 1075 (±25%%)", f)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import "fmt"
+
+// GangTx stripes one word stream across several transmit converters in
+// strict round-robin order, implementing the lane ganging the CCN uses for
+// channels whose bandwidth exceeds one lane's data rate (Section 5.1: "if
+// more streams are needed ... their number of lanes can be increased"; the
+// HiperLAN/2 front end needs 640 Mbit/s, eight lanes at 25 MHz).
+//
+// Striping is deterministic — word i travels on lane i mod k — so the
+// receiving GangRx can reassemble the original order without sequence
+// numbers, exactly as a hardware distributor would.
+type GangTx struct {
+	lanes []*TxConverter
+	next  int
+	sent  uint64
+}
+
+// NewGangTx gangs the given converters. They must all be enabled by the
+// caller (the CCN enables them when it configures the connection).
+func NewGangTx(lanes []*TxConverter) *GangTx {
+	if len(lanes) == 0 {
+		panic("core: gang with no lanes")
+	}
+	return &GangTx{lanes: lanes}
+}
+
+// Width returns the number of ganged lanes.
+func (g *GangTx) Width() int { return len(g.lanes) }
+
+// Ready reports whether the next word in stripe order can be pushed.
+func (g *GangTx) Ready() bool { return g.lanes[g.next].Ready() }
+
+// Push hands the next word to the gang; it returns false if the next lane
+// in stripe order cannot accept it (strict order is what keeps reassembly
+// trivial, so the gang never skips ahead).
+func (g *GangTx) Push(w Word) bool {
+	if !g.lanes[g.next].Push(w) {
+		return false
+	}
+	g.next = (g.next + 1) % len(g.lanes)
+	g.sent++
+	return true
+}
+
+// Sent returns the number of words accepted by the gang.
+func (g *GangTx) Sent() uint64 { return g.sent }
+
+// GangRx reassembles the striped stream: words are delivered in original
+// order by reading the lanes round-robin, matching GangTx's distribution.
+type GangRx struct {
+	lanes []*RxConverter
+	next  int
+	recv  uint64
+}
+
+// NewGangRx gangs the given receive converters.
+func NewGangRx(lanes []*RxConverter) *GangRx {
+	if len(lanes) == 0 {
+		panic("core: gang with no lanes")
+	}
+	return &GangRx{lanes: lanes}
+}
+
+// Width returns the number of ganged lanes.
+func (g *GangRx) Width() int { return len(g.lanes) }
+
+// Available reports whether the next word in stripe order has arrived.
+func (g *GangRx) Available() bool { return g.lanes[g.next].Available() > 0 }
+
+// Pop consumes the next word in original stream order; ok is false when it
+// has not arrived yet. Call during the Eval phase.
+func (g *GangRx) Pop() (Word, bool) {
+	w, ok := g.lanes[g.next].Pop()
+	if !ok {
+		return Word{}, false
+	}
+	g.next = (g.next + 1) % len(g.lanes)
+	g.recv++
+	return w, true
+}
+
+// Received returns the number of reassembled words.
+func (g *GangRx) Received() uint64 { return g.recv }
+
+// Dropped sums the destination overflow counts of all lanes.
+func (g *GangRx) Dropped() uint64 {
+	var d uint64
+	for _, l := range g.lanes {
+		d += l.Dropped()
+	}
+	return d
+}
+
+// GangFor builds the transmit and receive gangs for a multi-lane
+// connection given the assemblies at its two endpoints and the tile-lane
+// indices of each lane path (first hop In.Lane, last hop Out.Lane). It is
+// the glue the examples and the mesh traffic driver use on CCN-allocated
+// connections.
+func GangFor(src, dst *Assembly, txLanes, rxLanes []int) (*GangTx, *GangRx, error) {
+	if len(txLanes) != len(rxLanes) || len(txLanes) == 0 {
+		return nil, nil, fmt.Errorf("core: gang needs matching lane lists, got %d/%d",
+			len(txLanes), len(rxLanes))
+	}
+	txs := make([]*TxConverter, len(txLanes))
+	for i, l := range txLanes {
+		if l < 0 || l >= len(src.Tx) {
+			return nil, nil, fmt.Errorf("core: tx lane %d out of range", l)
+		}
+		txs[i] = src.Tx[l]
+	}
+	rxs := make([]*RxConverter, len(rxLanes))
+	for i, l := range rxLanes {
+		if l < 0 || l >= len(dst.Rx) {
+			return nil, nil, fmt.Errorf("core: rx lane %d out of range", l)
+		}
+		rxs[i] = dst.Rx[l]
+	}
+	return NewGangTx(txs), NewGangRx(rxs), nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/stdcell"
+)
+
+// Block names of the circuit-switched router design, matching Table 4's
+// area breakdown rows.
+const (
+	BlockCrossbar      = "crossbar"
+	BlockConfiguration = "configuration"
+	BlockDataConverter = "data converter"
+)
+
+// Netlist returns the structural netlist of the circuit-switched router,
+// the reproduction's stand-in for the paper's VHDL synthesis. The register
+// census of each block is shared with the behavioural model (RouterRegBits,
+// ConverterRegBits), so the power meter's clock-energy accounting and the
+// area roll-up describe the same hardware.
+func Netlist(p Params, lib stdcell.Lib) *netlist.Design {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	d := &netlist.Design{Name: "circuit-switched router"}
+
+	// Crossbar: per output lane a ForeignLanes:1 mux of LaneWidth bits with
+	// a registered output, plus the reverse acknowledgement muxing (1 bit
+	// per lane in the opposite direction) and its registers.
+	xbar := netlist.Crossbar(lib, BlockCrossbar, p.ForeignLanes(), p.TotalLanes(), p.LaneWidth)
+	ack := netlist.Crossbar(lib, "ack", p.ForeignLanes(), p.TotalLanes(), 1)
+	ack.Name = BlockCrossbar
+	d.AddBlock(xbar.Add(ack))
+
+	// Configuration: the SelBits+1 bits per output lane (5×20 = 100 bits in
+	// the paper) with their write decode.
+	d.AddBlock(netlist.ConfigMemory(BlockConfiguration, p.ConfigBits()))
+
+	// Data converter: per lane a transmit serializer and a receive
+	// deserializer; census shared with the behavioural model.
+	conv := netlist.Component{
+		Name: BlockDataConverter,
+		DFFs: ConverterRegBits(p),
+		// Nibble steering, header detection and handshake logic: about
+		// 3 GE per shifted bit plus 12 GE of control per converter.
+		CombGE: float64(p.LanesPerPort) * (3*float64(2*p.PacketBits()) + 2*12),
+	}
+	d.AddBlock(conv)
+
+	// Critical path: crossbar select decode, the ForeignLanes:1 multiplexer
+	// tree and the wire span across the crossbar — the paper's "maximum
+	// delay in a single router".
+	d.CriticalPathFO4 = netlist.MuxTreeDepthFO4(p.ForeignLanes()) + 2.0 + 4.7
+
+	return d
+}
+
+// LinkBandwidthGbps returns the raw bandwidth of one link direction at the
+// given clock: all lanes moving LaneWidth bits per cycle (Table 4's
+// "Bandwidth/link": 16 bit × 1075 MHz = 17.2 Gb/s).
+func LinkBandwidthGbps(p Params, freqMHz float64) float64 {
+	return float64(p.LanesPerPort*p.LaneWidth) * freqMHz * 1e6 / 1e9
+}
+
+// LaneDataRateMbps returns the usable data bandwidth of one lane at the
+// given clock: TileWidth data bits per PacketNibbles cycles (the paper's
+// 80 Mbit/s per stream at 25 MHz).
+func LaneDataRateMbps(p Params, freqMHz float64) float64 {
+	return float64(p.TileWidth) / float64(p.PacketNibbles()) * freqMHz
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Header is the 4-bit packet header of Fig. 6. The paper includes "a small
+// four bits header with every data-word" so the circuit-switched network
+// can carry synchronization information in-band; an idle lane drives zero,
+// so the VALID bit doubles as packet framing for the deserializer.
+type Header uint8
+
+// Header flag bits.
+const (
+	// HdrValid marks a real packet; an idle lane transmits all-zero
+	// nibbles, whose missing VALID bit keeps the deserializer idle.
+	HdrValid Header = 1 << iota
+	// HdrSOB marks the first word of a block (e.g. an OFDM symbol).
+	HdrSOB
+	// HdrEOB marks the last word of a block.
+	HdrEOB
+	// HdrCtl marks a control word interpreted by the tile interface
+	// rather than the processing tile.
+	HdrCtl
+
+	// HeaderBits is the header width in bits.
+	HeaderBits = 4
+)
+
+// String renders the header flags, e.g. "V|SOB".
+func (h Header) String() string {
+	if h == 0 {
+		return "idle"
+	}
+	s := ""
+	add := func(f Header, name string) {
+		if h&f != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += name
+		}
+	}
+	add(HdrValid, "V")
+	add(HdrSOB, "SOB")
+	add(HdrEOB, "EOB")
+	add(HdrCtl, "CTL")
+	return s
+}
+
+// Word is the unit the tile interface exchanges with the network: a 16-bit
+// data word plus the 4-bit header, together the 20-bit packet of Fig. 6.
+type Word struct {
+	// Hdr carries the synchronization flags.
+	Hdr Header
+	// Data is the 16-bit payload.
+	Data uint16
+}
+
+// Valid reports whether the word carries the VALID flag.
+func (w Word) Valid() bool { return w.Hdr&HdrValid != 0 }
+
+// String renders the word for debugging.
+func (w Word) String() string { return fmt.Sprintf("{%v %#04x}", w.Hdr, w.Data) }
+
+// Pack returns the 20-bit wire representation: header nibble in the most
+// significant position, then data nibbles D15–D12 … D3–D0 (Fig. 6).
+func (w Word) Pack() uint32 {
+	return uint32(w.Hdr&0xF)<<16 | uint32(w.Data)
+}
+
+// Unpack is the inverse of Pack.
+func Unpack(p uint32) Word {
+	return Word{Hdr: Header(p >> 16 & 0xF), Data: uint16(p)}
+}
+
+// Nibbles returns the packet as five 4-bit lane transfers, header first.
+func (w Word) Nibbles() []uint8 {
+	return bitvec.SplitNibblesMSB(w.Pack(), 5)
+}
+
+// FromNibbles reassembles a word from five lane transfers (header first).
+// It panics if the slice does not hold exactly five nibbles.
+func FromNibbles(nibs []uint8) Word {
+	if len(nibs) != 5 {
+		panic(fmt.Sprintf("core: packet needs 5 nibbles, got %d", len(nibs)))
+	}
+	return Unpack(bitvec.JoinNibblesMSB(nibs))
+}
+
+// DataWord returns a valid data word with no block flags.
+func DataWord(data uint16) Word { return Word{Hdr: HdrValid, Data: data} }

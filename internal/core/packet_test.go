@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWordPackLayout(t *testing.T) {
+	// Fig. 6: header nibble in the most significant position, then
+	// D15-D12 ... D3-D0.
+	w := Word{Hdr: HdrValid | HdrSOB, Data: 0xABCD}
+	if got := w.Pack(); got != 0x3ABCD {
+		t.Fatalf("Pack = %#x, want 0x3abcd", got)
+	}
+	nibs := w.Nibbles()
+	want := []uint8{0x3, 0xA, 0xB, 0xC, 0xD}
+	for i := range want {
+		if nibs[i] != want[i] {
+			t.Errorf("nibble %d = %#x, want %#x", i, nibs[i], want[i])
+		}
+	}
+}
+
+func TestWordRoundTripProperty(t *testing.T) {
+	f := func(hdr uint8, data uint16) bool {
+		w := Word{Hdr: Header(hdr & 0xF), Data: data}
+		if Unpack(w.Pack()) != w {
+			return false
+		}
+		return FromNibbles(w.Nibbles()) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromNibblesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromNibbles with 4 nibbles should panic")
+		}
+	}()
+	FromNibbles([]uint8{1, 2, 3, 4})
+}
+
+func TestHeaderFlags(t *testing.T) {
+	if !DataWord(7).Valid() {
+		t.Fatal("DataWord must carry the VALID flag")
+	}
+	if (Word{Data: 7}).Valid() {
+		t.Fatal("zero header must not be valid")
+	}
+	if HdrValid != 1 {
+		t.Fatal("VALID must be bit 0: idle lanes drive zero and the deserializer frames on it")
+	}
+}
+
+func TestHeaderString(t *testing.T) {
+	cases := map[Header]string{
+		0:                          "idle",
+		HdrValid:                   "V",
+		HdrValid | HdrSOB:          "V|SOB",
+		HdrValid | HdrEOB | HdrCtl: "V|EOB|CTL",
+	}
+	for h, want := range cases {
+		if h.String() != want {
+			t.Errorf("Header(%#x).String() = %q, want %q", uint8(h), h.String(), want)
+		}
+	}
+}
+
+func TestWordString(t *testing.T) {
+	if s := DataWord(0xBEEF).String(); s == "" {
+		t.Fatal("empty word rendering")
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/power"
+	"repro/internal/stdcell"
+)
+
+// Router is the cycle-accurate model of the reconfigurable circuit-switched
+// router (Fig. 4): a fully connected crossbar from the foreign input lanes
+// to the registered output lanes, a configuration memory, and the reverse
+// acknowledgement path. There is no buffering and no arbitration — an
+// established physical channel can always be used (Section 4).
+//
+// Wiring model: inputs are pointers into the *registered* output storage of
+// the upstream component (a neighbouring Router's Out array or a
+// TxConverter's output register). Because every output is registered and
+// all components commit together, reading through these pointers during
+// Eval observes pre-clock-edge values regardless of evaluation order.
+type Router struct {
+	// P are the design-time parameters.
+	P Params
+
+	// Out holds the registered output lane values (LaneWidth bits each),
+	// indexed by global lane. Downstream components point into it.
+	Out []uint8
+	// AckOut holds the registered reverse acknowledgements leaving the
+	// router towards the upstream source, indexed by global *input* lane.
+	AckOut []bool
+
+	// in[g] points at the data source of input lane g (upstream router
+	// output or local TxConverter register); nil reads as idle (0).
+	in []*uint8
+	// ackIn[g] points at the acknowledgement arriving alongside output
+	// lane g from downstream; nil reads as false.
+	ackIn []*bool
+
+	cfg *Config
+	// cfgPending holds configuration commands staged via the
+	// configuration interface, applied at the next clock edge.
+	cfgPending []ConfigCmd
+
+	// next-state (computed by Eval, made visible by Commit)
+	nextOut []uint8
+	nextAck []bool
+
+	// meter, when non-nil, receives this router's switching activity.
+	meter *power.Meter
+	lib   stdcell.Lib
+	// gated enables the configuration-driven clock gating of Section 7.3:
+	// output registers of disabled lanes draw no clock energy.
+	gated bool
+	// ownTick, when true, makes the router account clock energy for its
+	// own registers each cycle. Assemblies that share a meter across a
+	// router and its converters leave this on; the converters then only
+	// add their own register energy.
+	statsWords uint64
+}
+
+// NewRouter returns an unconfigured router with all lanes idle.
+func NewRouter(p Params) *Router {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	n := p.TotalLanes()
+	return &Router{
+		P:       p,
+		Out:     make([]uint8, n),
+		AckOut:  make([]bool, n),
+		in:      make([]*uint8, n),
+		ackIn:   make([]*bool, n),
+		cfg:     NewConfig(p),
+		nextOut: make([]uint8, n),
+		nextAck: make([]bool, n),
+	}
+}
+
+// ConnectIn wires input lane g to read data from src (a registered output
+// of the upstream component).
+func (r *Router) ConnectIn(g int, src *uint8) { r.in[g] = src }
+
+// ConnectAckIn wires the reverse acknowledgement of output lane g to read
+// from src (the upstream-facing ack register of the downstream component).
+func (r *Router) ConnectAckIn(g int, src *bool) { r.ackIn[g] = src }
+
+// Config returns the router's live configuration memory.
+func (r *Router) Config() *Config { return r.cfg }
+
+// Configure directly establishes a circuit (test and CCN fast path). The
+// change is staged like a hardware configuration write and takes effect at
+// the next clock edge.
+func (r *Router) Configure(c Circuit) error {
+	cmd, err := c.Cmd(r.P)
+	if err != nil {
+		return err
+	}
+	r.PushConfig(cmd)
+	return nil
+}
+
+// Deactivate stages the deactivation of an output lane.
+func (r *Router) Deactivate(out LaneID) {
+	r.PushConfig(ConfigCmd{Out: r.P.Global(out), Sel: LaneSel{}})
+}
+
+// PushConfig stages a configuration command, as the BE-network
+// configuration interface does; it takes effect at the next clock edge.
+func (r *Router) PushConfig(cmd ConfigCmd) {
+	if cmd.Out < 0 || cmd.Out >= r.P.TotalLanes() {
+		panic(fmt.Sprintf("core: config for lane %d out of range", cmd.Out))
+	}
+	r.cfgPending = append(r.cfgPending, cmd)
+}
+
+// BindMeter attaches a power meter. If gated is true the router models the
+// configuration-driven clock gating the paper proposes as future work;
+// otherwise every register draws clock energy every cycle, matching the
+// paper's measured implementation.
+func (r *Router) BindMeter(m *power.Meter, lib stdcell.Lib, gated bool) {
+	r.meter = m
+	r.lib = lib
+	r.gated = gated
+}
+
+// WordsRouted returns the number of valid header nibbles that crossed the
+// crossbar, a convenience traffic statistic.
+func (r *Router) WordsRouted() uint64 { return r.statsWords }
+
+// readIn returns the current value of input lane g (0 when unconnected).
+func (r *Router) readIn(g int) uint8 {
+	if r.in[g] == nil {
+		return 0
+	}
+	return *r.in[g] & r.laneMask()
+}
+
+func (r *Router) laneMask() uint8 { return uint8(1<<uint(r.P.LaneWidth) - 1) }
+
+// Eval implements sim.Clocked: it computes the crossbar outputs and the
+// reverse acknowledgement routing from the committed inputs.
+func (r *Router) Eval() {
+	n := r.P.TotalLanes()
+	for g := 0; g < n; g++ {
+		r.nextAck[g] = false
+	}
+	for g := 0; g < n; g++ {
+		in, ok := r.cfg.InputFor(g)
+		if !ok {
+			r.nextOut[g] = 0
+			continue
+		}
+		r.nextOut[g] = r.readIn(in)
+		// The acknowledgement arriving with output lane g is routed back
+		// to the circuit's input lane. With multicast (several outputs
+		// selecting one input) acknowledgements are ORed; the window
+		// counter mechanism is defined for unicast circuits.
+		if r.ackIn[g] != nil && *r.ackIn[g] {
+			r.nextAck[in] = true
+		}
+	}
+}
+
+// Commit implements sim.Clocked: it latches outputs, applies staged
+// configuration writes and accounts power.
+func (r *Router) Commit() {
+	n := r.P.TotalLanes()
+
+	if r.meter != nil {
+		r.accountPower()
+	}
+
+	for g := 0; g < n; g++ {
+		if r.nextOut[g]&uint8(HdrValid) != 0 {
+			// Counting header nibbles overcounts (data nibbles may have
+			// bit 0 set); the converter-level statistics are exact. This
+			// is only a coarse activity indicator.
+			r.statsWords++
+		}
+		r.Out[g] = r.nextOut[g]
+		r.AckOut[g] = r.nextAck[g]
+	}
+
+	if len(r.cfgPending) > 0 {
+		if r.meter != nil {
+			before := r.cfg.Bits()
+			for _, cmd := range r.cfgPending {
+				r.cfg.Apply(cmd)
+			}
+			r.meter.AddToggles(power.ToggleReg, before.Hamming(r.cfg.Bits()))
+		} else {
+			for _, cmd := range r.cfgPending {
+				r.cfg.Apply(cmd)
+			}
+		}
+		r.cfgPending = r.cfgPending[:0]
+	}
+}
+
+// accountPower records this cycle's switching activity: output register and
+// link toggles, crossbar multiplexer activity and acknowledgement wires.
+// Clock energy for the router's registers is recorded here too; converters
+// bound to the same meter account only their own registers.
+func (r *Router) accountPower() {
+	n := r.P.TotalLanes()
+	regFlips, linkFlips, gateFlips, ackFlips := 0, 0, 0, 0
+	for g := 0; g < n; g++ {
+		d := bitvec.Hamming16(uint16(r.Out[g]), uint16(r.nextOut[g]))
+		if d != 0 {
+			regFlips += d
+			// The output register drives the inter-router link; the tile
+			// port drives the short local connection to the converter.
+			if r.P.LaneOf(g).Port == Tile {
+				gateFlips += d
+			} else {
+				linkFlips += d
+			}
+			// Data toggles ripple through about two 2:1 stages of the
+			// output's multiplexer tree (the selected path; unselected
+			// subtrees are logically shielded).
+			gateFlips += 2 * d
+		}
+		if r.AckOut[g] != r.nextAck[g] {
+			ackFlips++
+		}
+	}
+	r.meter.AddToggles(power.ToggleReg, regFlips+ackFlips)
+	r.meter.AddToggles(power.ToggleLink, linkFlips+ackFlips)
+	r.meter.AddToggles(power.ToggleGate, gateFlips)
+	// Clock energy: the meter's Tick is driven by the assembly once per
+	// cycle; see Assembly.Commit and ClockFJ.
+}
+
+// RouterRegBits returns the router's sequential cell census (excluding
+// converters): per lane a LaneWidth-bit output register and a 1-bit
+// acknowledgement register, plus the configuration memory.
+func RouterRegBits(p Params) int {
+	return p.TotalLanes()*(p.LaneWidth+1) + p.ConfigBits()
+}
+
+// ClockFJ returns the clock energy the router's registers draw this cycle.
+// Ungated, every register is clocked. Gated, only the configuration memory
+// and the registers of enabled lanes (output register plus the circuit's
+// ack register) are clocked — the clock-gating scheme of Section 7.3 that
+// uses "the configuration information of the router to switch off the
+// unused lanes".
+func (r *Router) ClockFJ(lib stdcell.Lib, gated bool) float64 {
+	if !gated {
+		return power.ClockEnergyFor(lib, RouterRegBits(r.P), 0)
+	}
+	active := r.P.ConfigBits() // configuration memory is always live
+	for g := 0; g < r.P.TotalLanes(); g++ {
+		if _, ok := r.cfg.InputFor(g); ok {
+			active += r.P.LaneWidth + 1
+		}
+	}
+	return power.ClockEnergyFor(lib, active, 0)
+}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/benet"
+	"repro/internal/ccn"
+	"repro/internal/core"
+	"repro/internal/kpn"
+	"repro/internal/mesh"
+	"repro/internal/packetsw"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/traffic"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig9gated",
+		Title: "Clock gating ablation: Figure 9 with configuration-driven gating",
+		Paper: "Sections 7.3/8 (future work)",
+		Run:   runFig9Gated,
+	})
+	register(Experiment{
+		ID:    "setup",
+		Title: "Configuration latency over the BE network",
+		Paper: "Section 5.1 (1 ms/lane, 20 ms/router budgets)",
+		Run:   runSetup,
+	})
+	register(Experiment{
+		ID:    "lanes",
+		Title: "Lane count/width design sweep",
+		Paper: "Section 5.1 (adjustable parameters)",
+		Run:   runLanes,
+	})
+	register(Experiment{
+		ID:    "window",
+		Title: "Window-counter flow control sweep",
+		Paper: "Section 5.2",
+		Run:   runWindow,
+	})
+	register(Experiment{
+		ID:    "apps",
+		Title: "Run-time mapping of the three wireless applications",
+		Paper: "Sections 3 and 7.3",
+		Run:   runApps,
+	})
+	register(Experiment{
+		ID:    "crossover",
+		Title: "Load sweep: energy per transported bit, both routers",
+		Paper: "Discussion (Section 7.3)",
+		Run:   runCrossover,
+	})
+}
+
+func runFig9Gated(w io.Writer) error {
+	base := DefaultFig9Config()
+	base.Cycles = 3000
+	ungated, err := Fig9Data(base)
+	if err != nil {
+		return err
+	}
+	gcfg := base
+	gcfg.Gated = true
+	gated, err := Fig9Data(gcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "circuit-switched router, dynamic power [uW] at 25 MHz, random data:")
+	fmt.Fprintf(w, "%-9s %14s %14s %10s\n", "Scenario", "ungated", "clock gated", "saving")
+	for i, b := range ungated {
+		if b.Router != "circuit" {
+			continue
+		}
+		g := gated[i]
+		fmt.Fprintf(w, "%-9s %11.1f uW %11.1f uW %9.0f%%\n",
+			b.Scenario, b.Power.DynamicUW(), g.Power.DynamicUW(),
+			(1-g.Power.DynamicUW()/b.Power.DynamicUW())*100)
+	}
+	fmt.Fprintln(w, "\nwith gating the offset disappears and power follows the stream count,")
+	fmt.Fprintln(w, "confirming the paper's expectation (\"If clock gating is used, we expect")
+	fmt.Fprintln(w, "that this offset will decrease\")")
+	return nil
+}
+
+// SetupResult is the data behind the setup experiment.
+type SetupResult struct {
+	// PathCommands and PathCycles describe configuring one 2-lane
+	// connection across the mesh.
+	PathCommands int
+	PathCycles   uint64
+	// PerLaneMS is the worst per-command latency in ms at the BE clock.
+	PerLaneMS float64
+	// FullRouterMS is the full 20-lane reconfiguration time in ms.
+	FullRouterMS float64
+	// FreqMHz is the BE network clock.
+	FreqMHz float64
+}
+
+// SetupData measures configuration delivery over the BE network on a 4×4
+// mesh at the given clock.
+func SetupData(freqMHz float64) (SetupResult, error) {
+	m := mesh.New(4, 4, core.DefaultParams(), core.DefaultAssemblyOptions())
+	mgr := ccn.NewManager(m, freqMHz)
+	be := benet.New(4, 4, packetsw.DefaultParams())
+	bc := &ccn.BEConfigurator{Net: be, Mesh: m, CCNNode: mesh.Coord{X: 0, Y: 0}}
+	conn, err := mgr.Allocate(mesh.Coord{X: 0, Y: 3}, mesh.Coord{X: 3, Y: 0}, 160)
+	if err != nil {
+		return SetupResult{}, err
+	}
+	res, err := bc.Configure(conn)
+	if err != nil {
+		return SetupResult{}, err
+	}
+	full, err := bc.FullRouterReconfig(mesh.Coord{X: 2, Y: 2})
+	if err != nil {
+		return SetupResult{}, err
+	}
+	return SetupResult{
+		PathCommands: res.Commands,
+		PathCycles:   res.Cycles,
+		PerLaneMS:    res.MaxCommandTimeMS(freqMHz),
+		FullRouterMS: full.TimeMS(freqMHz),
+		FreqMHz:      freqMHz,
+	}, nil
+}
+
+func runSetup(w io.Writer) error {
+	for _, f := range []float64{25, 100} {
+		r, err := SetupData(f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "BE network at %.0f MHz (4x4 mesh, CCN at (0,0)):\n", f)
+		fmt.Fprintf(w, "  2-lane cross-mesh connection: %d commands in %d cycles (%.4f ms)\n",
+			r.PathCommands, r.PathCycles, float64(r.PathCycles)/f/1e3)
+		fmt.Fprintf(w, "  worst per-lane command latency: %.4f ms (paper budget: < 1 ms)\n",
+			r.PerLaneMS)
+		fmt.Fprintf(w, "  full 20-lane router reconfiguration: %.4f ms (paper budget: < 20 ms)\n",
+			r.FullRouterMS)
+	}
+	return nil
+}
+
+func runLanes(w io.Writer) error {
+	pts := synth.LaneSweep(lib, []int{2, 4, 6, 8}, []int{2, 4, 8})
+	fmt.Fprintf(w, "%-6s %-6s %12s %10s %14s %9s\n",
+		"lanes", "width", "area [mm2]", "fmax", "link bw", "streams")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-6d %-6d %12.4f %6.0f MHz %9.1f Gb/s %9d\n",
+			p.Lanes, p.Width, p.AreaMM2, p.MaxFreqMHz, p.LinkGbps, p.Streams)
+	}
+	fmt.Fprintln(w, "\nthe paper's 4x4-bit choice balances concurrent streams against area and")
+	fmt.Fprintln(w, "matches the packet-switched router's four virtual channels")
+	return nil
+}
+
+// WindowPoint is one sample of the window-counter sweep.
+type WindowPoint struct {
+	// WC and X are the flow parameters.
+	WC, X int
+	// ThroughputWordsPer100 is the delivered words per 100 cycles.
+	ThroughputWordsPer100 float64
+	// Stalls counts source stall cycles.
+	Stalls uint64
+}
+
+// WindowData sweeps the window counter across a two-router circuit with a
+// consumer that drains at line rate, showing the window size needed to
+// cover the round-trip.
+func WindowData() ([]WindowPoint, error) {
+	var out []WindowPoint
+	for _, wc := range []int{1, 2, 4, 8, 16} {
+		x := wc / 2
+		if x < 1 {
+			x = 1
+		}
+		p := core.DefaultParams()
+		flow := core.FlowParams{UseAck: true, WC: wc, X: x}
+		opt := core.AssemblyOptions{Flow: flow, RxBufCap: wc}
+		a := core.NewAssembly(p, opt)
+		b := core.NewAssembly(p, opt)
+		for l := 0; l < p.LanesPerPort; l++ {
+			ae := p.Global(core.LaneID{Port: core.East, Lane: l})
+			bw := p.Global(core.LaneID{Port: core.West, Lane: l})
+			b.R.ConnectIn(bw, &a.R.Out[ae])
+			a.R.ConnectAckIn(ae, &b.R.AckOut[bw])
+		}
+		if err := a.EstablishLocal(core.Circuit{
+			In: core.LaneID{Port: core.Tile, Lane: 0}, Out: core.LaneID{Port: core.East, Lane: 0},
+		}); err != nil {
+			return nil, err
+		}
+		if err := b.EstablishLocal(core.Circuit{
+			In: core.LaneID{Port: core.West, Lane: 0}, Out: core.LaneID{Port: core.Tile, Lane: 0},
+		}); err != nil {
+			return nil, err
+		}
+		world := sim.NewWorld()
+		world.Add(a, b)
+		n, recv := 0, 0
+		world.Add(&sim.Func{OnEval: func() {
+			if a.Tx[0].Ready() {
+				if a.Tx[0].Push(core.DataWord(uint16(n))) {
+					n++
+				}
+			}
+			if _, ok := b.Rx[0].Pop(); ok {
+				recv++
+			}
+		}})
+		const cycles = 3000
+		world.Run(cycles)
+		out = append(out, WindowPoint{
+			WC: wc, X: x,
+			ThroughputWordsPer100: float64(recv) / cycles * 100,
+			Stalls:                a.Tx[0].Stalled(),
+		})
+		if b.Rx[0].Dropped() != 0 {
+			return nil, fmt.Errorf("experiments: window WC=%d dropped words", wc)
+		}
+	}
+	return out, nil
+}
+
+func runWindow(w io.Writer) error {
+	pts, err := WindowData()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "two-router circuit, consumer at line rate, 3000 cycles:")
+	fmt.Fprintf(w, "%-5s %-5s %22s %10s\n", "WC", "X", "words per 100 cycles", "stalls")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-5d %-5d %22.1f %10d\n", p.WC, p.X, p.ThroughputWordsPer100, p.Stalls)
+	}
+	fmt.Fprintln(w, "\nline rate is 20 words per 100 cycles (one word per 5 cycles); small")
+	fmt.Fprintln(w, "windows cannot cover the ack round-trip and throttle the source, larger")
+	fmt.Fprintln(w, "windows reach line rate with zero destination overflow")
+	return nil
+}
+
+func runApps(w io.Writer) error {
+	type appCase struct {
+		name    string
+		graph   *kpn.Graph
+		freqMHz float64
+		w, h    int
+	}
+	cases := []appCase{
+		{"HiperLAN/2 (QAM-64)", apps.HiperLANGraph(apps.DefaultHiperLAN(), apps.HiperLANModulations()[3]), 200, 4, 3},
+		{"UMTS (4 fingers, SF4)", apps.UMTSGraph(apps.DefaultUMTS()), 100, 4, 3},
+		{"DRM", apps.DRMGraph(), 25, 4, 3},
+	}
+	for _, c := range cases {
+		m := mesh.New(c.w, c.h, core.DefaultParams(), core.DefaultAssemblyOptions())
+		mgr := ccn.NewManager(m, c.freqMHz)
+		mp, err := mgr.MapApplication(c.graph)
+		if err != nil {
+			return fmt.Errorf("mapping %s: %w", c.name, err)
+		}
+		var laneSum int
+		for _, conn := range mp.Connections {
+			laneSum += conn.Lanes
+		}
+		fmt.Fprintf(w, "%-24s %2d processes on %dx%d mesh at %3.0f MHz: "+
+			"%2d GT channels, %2d lane paths, %2d hops, util %.1f%%\n",
+			c.name, len(c.graph.Processes), c.w, c.h, c.freqMHz,
+			len(mp.Connections), laneSum, mp.TotalHops(), mgr.LinkUtilization()*100)
+		fmt.Fprintf(w, "%-24s   GT %.1f Mbit/s, BE share %.2f%% (< 5%% per Section 3.3), "+
+			"heaviest channel %.0f Mbit/s -> %d lane(s)\n",
+			"", c.graph.TotalBandwidthMbps(kpn.GT), c.graph.BEFraction()*100,
+			c.graph.MaxChannelMbps(), mgr.LanesFor(c.graph.MaxChannelMbps()))
+	}
+	fmt.Fprintln(w, "\nall three applications of Section 3 map onto the circuit-switched NoC")
+	fmt.Fprintln(w, "with guaranteed-throughput lanes (paper Section 7.3, second bullet)")
+	return nil
+}
+
+// CrossoverPoint is one sample of the load sweep.
+type CrossoverPoint struct {
+	// Load is the offered load fraction.
+	Load float64
+	// CircuitNJPerWord and PacketNJPerWord are total energy per
+	// delivered word in nanojoules.
+	CircuitNJPerWord float64
+	PacketNJPerWord  float64
+}
+
+// CrossoverData sweeps the offered load on Scenario III and reports the
+// energy per transported word for both routers — the efficiency view of
+// the paper's comparison.
+func CrossoverData() ([]CrossoverPoint, error) {
+	rc := traffic.RunConfig{Cycles: 4000, FreqMHz: 25, Lib: lib}
+	sc := traffic.Scenarios()[2]
+	var out []CrossoverPoint
+	for _, load := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		pat := traffic.Pattern{FlipProb: 0.5, Load: load}
+		cr, err := traffic.RunCircuit(sc, pat, rc)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := traffic.RunPacket(sc, pat, rc)
+		if err != nil {
+			return nil, err
+		}
+		t := float64(rc.Cycles) / rc.FreqMHz // µs
+		energyNJ := func(p float64) float64 { return p * t / 1e3 }
+		cp := CrossoverPoint{Load: load}
+		if cr.WordsSent > 0 {
+			cp.CircuitNJPerWord = energyNJ(cr.Power.TotalUW()) / float64(cr.WordsSent)
+		}
+		if pr.WordsSent > 0 {
+			cp.PacketNJPerWord = energyNJ(pr.Power.TotalUW()) / float64(pr.WordsSent)
+		}
+		out = append(out, cp)
+	}
+	return out, nil
+}
+
+func runCrossover(w io.Writer) error {
+	pts, err := CrossoverData()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Scenario III (streams 1+2), 25 MHz, random data; total energy per word:")
+	fmt.Fprintf(w, "%-8s %20s %20s %8s\n", "load", "circuit [nJ/word]", "packet [nJ/word]", "ratio")
+	var ratios stats.Series
+	for _, p := range pts {
+		r := p.PacketNJPerWord / p.CircuitNJPerWord
+		ratios.Add(r)
+		fmt.Fprintf(w, "%-8.2f %20.2f %20.2f %8.2f\n",
+			p.Load, p.CircuitNJPerWord, p.PacketNJPerWord, r)
+	}
+	fmt.Fprintf(w, "\nmean energy advantage %.2fx; at every load the circuit-switched router\n",
+		ratios.Mean())
+	fmt.Fprintln(w, "transports a word cheaper — there is no crossover, matching the paper's")
+	fmt.Fprintln(w, "conclusion for stream-dominated traffic")
+	return nil
+}

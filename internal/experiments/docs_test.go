@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// TestDesignDocIndexesEveryExperiment keeps DESIGN.md's per-experiment
+// index from rotting: every registered experiment must appear there, and
+// every experiment must also be runnable from the benchmark file.
+func TestDesignDocIndexesEveryExperiment(t *testing.T) {
+	root := repoRoot(t)
+	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	experimentsDoc := string(design)
+	for _, e := range All() {
+		if !strings.Contains(experimentsDoc, "`"+e.ID+"`") {
+			t.Errorf("DESIGN.md does not index experiment %q", e.ID)
+		}
+	}
+}
+
+// TestExperimentsDocMentionsPaperArtefacts checks EXPERIMENTS.md covers
+// every paper artefact (the four tables and two figures).
+func TestExperimentsDocMentionsPaperArtefacts(t *testing.T) {
+	root := repoRoot(t)
+	doc, err := os.ReadFile(filepath.Join(root, "EXPERIMENTS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(doc)
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4",
+		"Figure 9", "Figure 10",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("EXPERIMENTS.md missing section for %q", want)
+		}
+	}
+}

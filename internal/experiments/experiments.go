@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each experiment is
+// registered under the identifier used in DESIGN.md's per-experiment index
+// (table1..table4, fig9, fig10, fig9gated, setup, lanes, window, apps,
+// crossover) and renders its result as text, so
+//
+//	nocbench -run fig9
+//
+// prints the reproduction of Figure 9 next to the paper's reference
+// values. The data behind each rendering is available through exported
+// functions for the benchmark harness and the tests.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stdcell"
+)
+
+// Experiment is one reproducible artefact of the paper.
+type Experiment struct {
+	// ID is the identifier used by the CLI and DESIGN.md.
+	ID string
+	// Title describes the artefact.
+	Title string
+	// Paper cites the table/figure or section reproduced.
+	Paper string
+	// Run renders the experiment to w.
+	Run func(w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment; duplicate IDs are a programming error.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// RunAll renders every experiment to w, separated by headers.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if err := RunOne(w, e.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne renders a single experiment with its header.
+func RunOne(w io.Writer, id string) error {
+	e, ok := Lookup(id)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	fmt.Fprintf(w, "=== %s: %s (%s) ===\n", e.ID, e.Title, e.Paper)
+	if err := e.Run(w); err != nil {
+		return fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// lib is the shared technology library; all experiments price hardware
+// with the same calibration point.
+var lib = stdcell.Default013()
+
+// Lib exposes the library used by the experiments.
+func Lib() stdcell.Lib { return lib }

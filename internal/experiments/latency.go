@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/traffic"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "latency",
+		Title: "Word latency and jitter: circuit vs packet switching",
+		Paper: "Section 3.3 GT definition (guaranteed bandwidth, bounded latency)",
+		Run:   runLatency,
+	})
+}
+
+// LatencyRow compares delivery latency at one configuration.
+type LatencyRow struct {
+	// Case labels the configuration.
+	Case string
+	// MeanCycles and MaxCycles describe the distribution.
+	MeanCycles, MaxCycles float64
+	// Jitter is max - min.
+	Jitter float64
+}
+
+// LatencyData measures circuit latency (alone — a circuit cannot have
+// contention) and packet latency with and without a competing stream at
+// the shared ejection port.
+func LatencyData() ([]LatencyRow, error) {
+	const words = 300
+	var rows []LatencyRow
+	c, err := traffic.MeasureCircuitLatency(1.0, words)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, LatencyRow{
+		Case: "circuit, 100% load", MeanCycles: c.Cycles.Mean(),
+		MaxCycles: c.Cycles.Max(), Jitter: c.Jitter,
+	})
+	p1, err := traffic.MeasurePacketLatency(1.0, words, false)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, LatencyRow{
+		Case: "packet, no contention", MeanCycles: p1.Cycles.Mean(),
+		MaxCycles: p1.Cycles.Max(), Jitter: p1.Jitter,
+	})
+	p2, err := traffic.MeasurePacketLatency(1.0, words, true)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, LatencyRow{
+		Case: "packet, shared output", MeanCycles: p2.Cycles.Mean(),
+		MaxCycles: p2.Cycles.Max(), Jitter: p2.Jitter,
+	})
+	return rows, nil
+}
+
+func runLatency(w io.Writer) error {
+	rows, err := LatencyData()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "one router, words timestamped push-to-pop, cycles at the router clock:")
+	fmt.Fprintf(w, "%-24s %10s %10s %10s\n", "case", "mean", "max", "jitter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %10.1f %10.1f %10.1f\n", r.Case, r.MeanCycles, r.MaxCycles, r.Jitter)
+	}
+	fmt.Fprintln(w, "\nthe established circuit delivers every word with identical latency")
+	fmt.Fprintln(w, "(serialization + pipeline, zero jitter): the strongest form of the GT")
+	fmt.Fprintln(w, "class's \"bounded latency\". The packet-switched router stays bounded but")
+	fmt.Fprintln(w, "jitters as soon as another stream shares the output port")
+	return nil
+}

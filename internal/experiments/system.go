@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/aethereal"
+	"repro/internal/apps"
+	"repro/internal/bitvec"
+	"repro/internal/ccn"
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "meshpower",
+		Title: "Whole-NoC power for the UMTS mapping, with and without clock gating",
+		Paper: "system-level extension of Figures 9/10",
+		Run:   runMeshPower,
+	})
+	register(Experiment{
+		ID:    "schedule",
+		Title: "Scheduling effort: TDM slot tables vs lane allocation",
+		Paper: "Section 4 (SoCBUS/AEthereal discussion)",
+		Run:   runSchedule,
+	})
+}
+
+// MeshPowerResult compares NoC-level power for one scenario.
+type MeshPowerResult struct {
+	// Idle is the unconfigured mesh.
+	Idle power.Breakdown
+	// Loaded carries the UMTS mapping's heaviest streams.
+	Loaded power.Breakdown
+	// Gated repeats Loaded with configuration-driven clock gating.
+	Gated power.Breakdown
+	// Routers is the node count.
+	Routers int
+}
+
+// MeshPowerData maps UMTS onto a 4×3 mesh at 100 MHz and measures
+// aggregate NoC power in three configurations.
+func MeshPowerData(cycles int) (MeshPowerResult, error) {
+	var out MeshPowerResult
+	run := func(load, gated bool) (power.Breakdown, error) {
+		m := mesh.New(4, 3, core.DefaultParams(), core.DefaultAssemblyOptions())
+		dom := m.BindMeters(lib, 100, gated)
+		if load {
+			mgr := ccn.NewManager(m, 100)
+			mp, err := mgr.MapApplication(apps.UMTSGraph(apps.DefaultUMTS()))
+			if err != nil {
+				return power.Breakdown{}, err
+			}
+			// Drive the four chip streams (the heavy edges) at full rate.
+			rng := bitvec.NewXorShift64(7)
+			for f := 1; f <= 4; f++ {
+				conn := mp.Connections[fmt.Sprintf("chips-%d", f)]
+				src := m.At(conn.Src)
+				dst := m.At(conn.Dst)
+				txLane := conn.Segments[0][0].Circuit.In.Lane
+				rxLane := conn.Segments[0][len(conn.Segments[0])-1].Circuit.Out.Lane
+				m.World().Add(&sim.Func{OnEval: func() {
+					if src.Tx[txLane].Ready() {
+						src.Tx[txLane].Push(core.DataWord(rng.Uint16()))
+					}
+					dst.Rx[rxLane].Pop()
+				}})
+			}
+		}
+		m.Run(cycles)
+		return dom.Report("mesh"), nil
+	}
+	var err error
+	if out.Idle, err = run(false, false); err != nil {
+		return out, err
+	}
+	if out.Loaded, err = run(true, false); err != nil {
+		return out, err
+	}
+	if out.Gated, err = run(true, true); err != nil {
+		return out, err
+	}
+	out.Routers = 12
+	return out, nil
+}
+
+func runMeshPower(w io.Writer) error {
+	r, err := MeshPowerData(2000)
+	if err != nil {
+		return err
+	}
+	mw := func(b power.Breakdown) float64 { return b.TotalUW() / 1e3 }
+	fmt.Fprintf(w, "4x3 mesh (%d routers) at 100 MHz, UMTS chip streams at full rate:\n", r.Routers)
+	fmt.Fprintf(w, "  %-28s %8.3f mW  (%.1f uW/router)\n", "idle, ungated:", mw(r.Idle), r.Idle.TotalUW()/12)
+	fmt.Fprintf(w, "  %-28s %8.3f mW\n", "loaded, ungated:", mw(r.Loaded))
+	fmt.Fprintf(w, "  %-28s %8.3f mW  (%.0f%% below ungated)\n", "loaded, clock gated:",
+		mw(r.Gated), (1-r.Gated.TotalUW()/r.Loaded.TotalUW())*100)
+	fmt.Fprintln(w, "\nungated, an idle NoC already pays nearly the full dynamic bill — scaled")
+	fmt.Fprintln(w, "to a whole mesh, the clock-gating future work of Section 8 is what makes")
+	fmt.Fprintln(w, "\"unused tiles can be switched off\" (Section 1) apply to the network too")
+	return nil
+}
+
+// SchedulePoint compares allocation effort at one load level.
+type SchedulePoint struct {
+	// Requests is the number of connection requests offered.
+	Requests int
+	// TDMProbes and TDMRejected describe the slot-table scheduler.
+	TDMProbes, TDMRejected int
+	// LaneProbes and LaneRejected describe circuit-switched allocation.
+	LaneProbes, LaneRejected int
+}
+
+// ScheduleData offers growing random request sets to both allocators on
+// one router (5 ports; 32-slot table vs 4 lanes — both fair shares of the
+// same link).
+func ScheduleData() ([]SchedulePoint, error) {
+	p := aethereal.Params{Ports: 5, WordBits: 32, Slots: 32, BEDepth: 4}
+	rng := bitvec.NewXorShift64(99)
+	var out []SchedulePoint
+	for _, n := range []int{4, 8, 12, 16} {
+		var tdmReqs, laneReqs []aethereal.Request
+		for i := 0; i < n; i++ {
+			in := rng.Intn(5)
+			outP := rng.Intn(5)
+			for outP == in {
+				outP = rng.Intn(5)
+			}
+			lanes := rng.Intn(2) + 1     // 1-2 lanes
+			slots := lanes * p.Slots / 4 // same bandwidth share
+			tdmReqs = append(tdmReqs, aethereal.Request{In: in, Out: outP, Slots: slots})
+			laneReqs = append(laneReqs, aethereal.Request{In: in, Out: outP, Slots: lanes})
+		}
+		_, tdm, err := aethereal.ScheduleGreedy(p, tdmReqs)
+		if err != nil {
+			return nil, err
+		}
+		lane := aethereal.AllocateLanes(5, 4, laneReqs)
+		out = append(out, SchedulePoint{
+			Requests:  n,
+			TDMProbes: tdm.Probes, TDMRejected: tdm.Rejected,
+			LaneProbes: lane.Probes, LaneRejected: lane.Rejected,
+		})
+	}
+	return out, nil
+}
+
+func runSchedule(w io.Writer) error {
+	pts, err := ScheduleData()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "random connection requests on one router; equal bandwidth shares")
+	fmt.Fprintln(w, "(32-slot TDM table vs 4 lanes):")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n",
+		"requests", "TDM probes", "TDM reject", "lane probes", "lane reject")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10d %12d %12d %12d %12d\n",
+			p.Requests, p.TDMProbes, p.TDMRejected, p.LaneProbes, p.LaneRejected)
+	}
+	fmt.Fprintln(w, "\nthe slot-table scheduler probes an order of magnitude more state for the")
+	fmt.Fprintln(w, "same decisions: the paper's Section 4 point that lane-division scheduling")
+	fmt.Fprintln(w, "is easier because streams by definition cannot collide")
+	return nil
+}

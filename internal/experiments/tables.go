@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/synth"
+	"repro/internal/traffic"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Communication in HiperLAN/2",
+		Paper: "Table 1",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Communication in UMTS",
+		Paper: "Table 2",
+		Run:   runTable2,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Stream definitions",
+		Paper: "Table 3",
+		Run:   runTable3,
+	})
+	register(Experiment{
+		ID:    "table4",
+		Title: "Synthesis results of three routers",
+		Paper: "Table 4",
+		Run:   runTable4,
+	})
+}
+
+func runTable1(w io.Writer) error {
+	h := apps.DefaultHiperLAN()
+	fmt.Fprintf(w, "OFDM parameters: %d samples/symbol, %.0f us symbol, %d-pt FFT, "+
+		"%d used / %d data carriers, %d-bit complex samples\n",
+		h.SamplesPerSymbol, h.SymbolPeriodUS, h.FFTSize,
+		h.UsedCarriers, h.DataCarriers, h.SampleBits)
+	fmt.Fprintf(w, "%-28s %-10s %12s %12s\n", "Stream", "Edge(s)", "computed", "paper")
+	for _, row := range apps.Table1(h) {
+		fmt.Fprintf(w, "%-28s %-10s %9.0f Mb/s %9.0f Mb/s\n",
+			row.Stream, row.Edges, row.Mbps, row.PaperMbps)
+	}
+	return nil
+}
+
+func runTable2(w io.Writer) error {
+	u := apps.DefaultUMTS()
+	fmt.Fprintf(w, "W-CDMA parameters: %.2f Mchip/s, %dx oversampling, %d-bit chips, "+
+		"SF=%d, %d fingers\n",
+		u.ChipRateMcps, u.Oversampling, u.ChipBits, u.SF, u.Fingers)
+	fmt.Fprintf(w, "%-30s %-5s %12s %12s\n", "Stream", "Edge", "computed", "paper")
+	for _, row := range apps.Table2(u) {
+		fmt.Fprintf(w, "%-30s %-5d %9.2f Mb/s %9.2f Mb/s\n",
+			row.Stream, row.Edge, row.Mbps, row.PaperMbps)
+	}
+	fmt.Fprintf(w, "total for %d fingers at SF=%d: %.1f Mbit/s (paper: ~320)\n",
+		u.Fingers, u.SF, u.TotalMbps())
+	return nil
+}
+
+func runTable3(w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %-16s %-16s\n", "Stream", "Input port", "Output port")
+	for _, s := range traffic.PaperStreams() {
+		fmt.Fprintf(w, "%-8d %-16v %-16v\n", s.ID, s.In, s.Out)
+	}
+	fmt.Fprintln(w, "\nScenarios (Fig. 8): I = none, II = {1}, III = {1,2}, IV = {1,2,3}")
+	return nil
+}
+
+func runTable4(w io.Writer) error {
+	return synth.Render(w, synth.Table4(lib))
+}

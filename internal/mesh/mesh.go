@@ -1,0 +1,162 @@
+// Package mesh assembles circuit-switched routers into the paper's regular
+// two-dimensional mesh topology (Section 1.1): every router is connected to
+// its four neighbours by bidirectional point-to-point links (lane bundles in
+// each direction) and to one processing tile through the tile interface.
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Coord addresses a node in the mesh. X grows eastward, Y grows southward.
+type Coord struct {
+	X, Y int
+}
+
+// String renders the coordinate.
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Mesh is a W×H grid of circuit-switched router assemblies with all
+// neighbour links wired.
+type Mesh struct {
+	// W and H are the grid dimensions.
+	W, H int
+	// P are the router parameters shared by all nodes.
+	P core.Params
+
+	nodes []*core.Assembly
+	world *sim.World
+}
+
+// New builds a fully wired W×H mesh with the given per-node assembly
+// options.
+func New(w, h int, p core.Params, opt core.AssemblyOptions) *Mesh {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("mesh: invalid size %dx%d", w, h))
+	}
+	m := &Mesh{W: w, H: h, P: p, world: sim.NewWorld()}
+	m.nodes = make([]*core.Assembly, w*h)
+	for i := range m.nodes {
+		m.nodes[i] = core.NewAssembly(p, opt)
+		m.world.Add(m.nodes[i])
+	}
+	// Wire neighbour links: East↔West and South↔North, lane by lane, data
+	// forward and acknowledgement reverse.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				m.wire(Coord{x, y}, core.East, Coord{x + 1, y}, core.West)
+			}
+			if y+1 < h {
+				m.wire(Coord{x, y}, core.South, Coord{x, y + 1}, core.North)
+			}
+		}
+	}
+	return m
+}
+
+// wire connects a's aPort output lanes to b's bPort input lanes and vice
+// versa, including the reverse acknowledgement wires.
+func (m *Mesh) wire(ac Coord, aPort core.Port, bc Coord, bPort core.Port) {
+	a, b := m.At(ac), m.At(bc)
+	for l := 0; l < m.P.LanesPerPort; l++ {
+		ga := m.P.Global(core.LaneID{Port: aPort, Lane: l})
+		gb := m.P.Global(core.LaneID{Port: bPort, Lane: l})
+		// a -> b data; b -> a acknowledgement for that circuit direction.
+		b.R.ConnectIn(gb, &a.R.Out[ga])
+		a.R.ConnectAckIn(ga, &b.R.AckOut[gb])
+		// b -> a data; a -> b acknowledgement.
+		a.R.ConnectIn(ga, &b.R.Out[gb])
+		b.R.ConnectAckIn(gb, &a.R.AckOut[ga])
+	}
+}
+
+// At returns the assembly at the coordinate. It panics if out of range.
+func (m *Mesh) At(c Coord) *core.Assembly {
+	if !m.InBounds(c) {
+		panic(fmt.Sprintf("mesh: %v outside %dx%d", c, m.W, m.H))
+	}
+	return m.nodes[c.Y*m.W+c.X]
+}
+
+// InBounds reports whether the coordinate lies in the grid.
+func (m *Mesh) InBounds(c Coord) bool {
+	return c.X >= 0 && c.X < m.W && c.Y >= 0 && c.Y < m.H
+}
+
+// Nodes returns the number of nodes.
+func (m *Mesh) Nodes() int { return m.W * m.H }
+
+// World returns the simulation world so callers can add stimulus
+// components.
+func (m *Mesh) World() *sim.World { return m.world }
+
+// Step advances the whole mesh by one clock cycle.
+func (m *Mesh) Step() { m.world.Step() }
+
+// Run advances the mesh by n cycles.
+func (m *Mesh) Run(n int) { m.world.Run(n) }
+
+// Neighbour returns the coordinate adjacent to c through the given port
+// and whether it exists. The tile port has no neighbour.
+func (m *Mesh) Neighbour(c Coord, p core.Port) (Coord, bool) {
+	var n Coord
+	switch p {
+	case core.North:
+		n = Coord{c.X, c.Y - 1}
+	case core.South:
+		n = Coord{c.X, c.Y + 1}
+	case core.East:
+		n = Coord{c.X + 1, c.Y}
+	case core.West:
+		n = Coord{c.X - 1, c.Y}
+	default:
+		return Coord{}, false
+	}
+	return n, m.InBounds(n)
+}
+
+// PortTowards returns the port of a that faces b, which must be an
+// adjacent coordinate.
+func PortTowards(a, b Coord) (core.Port, error) {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	switch {
+	case dx == 1 && dy == 0:
+		return core.East, nil
+	case dx == -1 && dy == 0:
+		return core.West, nil
+	case dx == 0 && dy == 1:
+		return core.South, nil
+	case dx == 0 && dy == -1:
+		return core.North, nil
+	default:
+		return 0, fmt.Errorf("mesh: %v and %v are not adjacent", a, b)
+	}
+}
+
+// XYPath returns the dimension-ordered (X first, then Y) route between two
+// coordinates, inclusive of both endpoints.
+func XYPath(from, to Coord) []Coord {
+	path := []Coord{from}
+	c := from
+	for c.X != to.X {
+		if to.X > c.X {
+			c.X++
+		} else {
+			c.X--
+		}
+		path = append(path, c)
+	}
+	for c.Y != to.Y {
+		if to.Y > c.Y {
+			c.Y++
+		} else {
+			c.Y--
+		}
+		path = append(path, c)
+	}
+	return path
+}

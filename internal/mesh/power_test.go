@@ -1,0 +1,82 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stdcell"
+)
+
+func TestPowerDomainAggregation(t *testing.T) {
+	lib := stdcell.Default013()
+	m := newMesh(2, 2)
+	dom := m.BindMeters(lib, 25, false)
+	m.Run(100)
+	total := dom.Report("idle mesh")
+	one := dom.Node(Coord{0, 0}).Report("node")
+	// Four identical idle nodes: total is 4x one node.
+	if diff := total.TotalUW() - 4*one.TotalUW(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("aggregate %.3f != 4 x %.3f", total.TotalUW(), one.TotalUW())
+	}
+	per := dom.PerNode("n")
+	if len(per) != 4 {
+		t.Fatalf("per-node reports = %d", len(per))
+	}
+}
+
+func TestPowerDomainGatedIdleCheaper(t *testing.T) {
+	lib := stdcell.Default013()
+	run := func(gated bool) float64 {
+		m := newMesh(2, 2)
+		dom := m.BindMeters(lib, 25, gated)
+		m.Run(200)
+		return dom.Report("x").DynamicUW()
+	}
+	if g, u := run(true), run(false); g >= u/3 {
+		t.Fatalf("gated idle mesh %.1f uW vs ungated %.1f uW: gating too weak", g, u)
+	}
+}
+
+func TestPowerDomainLoadedNodeStandsOut(t *testing.T) {
+	lib := stdcell.Default013()
+	m := newMesh(2, 1)
+	dom := m.BindMeters(lib, 25, false)
+	src, dst := m.At(Coord{0, 0}), m.At(Coord{1, 0})
+	if err := src.EstablishLocal(core.Circuit{
+		In: core.LaneID{Port: core.Tile, Lane: 0}, Out: core.LaneID{Port: core.East, Lane: 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.EstablishLocal(core.Circuit{
+		In: core.LaneID{Port: core.West, Lane: 0}, Out: core.LaneID{Port: core.Tile, Lane: 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n := uint16(0)
+	m.World().Add(&sim.Func{OnEval: func() {
+		if src.Tx[0].Ready() {
+			src.Tx[0].Push(core.DataWord(n * 0x5555))
+			n++
+		}
+		dst.Rx[0].Pop()
+	}})
+	m.Run(1000)
+	a := dom.Node(Coord{0, 0}).Report("src")
+	b := dom.Node(Coord{1, 0}).Report("dst")
+	if a.SwitchingUW <= 0 || b.SwitchingUW <= 0 {
+		t.Fatal("loaded nodes show no switching activity")
+	}
+}
+
+func TestPowerDomainNodeBounds(t *testing.T) {
+	lib := stdcell.Default013()
+	m := newMesh(2, 2)
+	dom := m.BindMeters(lib, 25, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	dom.Node(Coord{5, 5})
+}

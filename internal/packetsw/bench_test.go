@@ -1,0 +1,56 @@
+package packetsw
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/stdcell"
+)
+
+// BenchmarkRouterStepSaturated measures the Eval/Commit rate with three
+// saturating virtual channels contending for one output.
+func BenchmarkRouterStepSaturated(b *testing.B) {
+	p := DefaultParams()
+	r := NewRouter(p, PortRoute)
+	var north, west, south Flit
+	r.ConnectIn(core.North, &north)
+	r.ConnectIn(core.West, &west)
+	r.ConnectIn(core.South, &south)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		north = Flit{Kind: HeadTail, VC: 0, Data: HeadData(core.East)}
+		west = Flit{Kind: HeadTail, VC: 1, Data: HeadData(core.East)}
+		south = Flit{Kind: HeadTail, VC: 2, Data: HeadData(core.East)}
+		r.Eval()
+		r.Commit()
+	}
+}
+
+// BenchmarkRouterStepMetered measures the same with power accounting.
+func BenchmarkRouterStepMetered(b *testing.B) {
+	p := DefaultParams()
+	lib := stdcell.Default013()
+	r := NewRouter(p, PortRoute)
+	r.BindMeter(power.NewMeter(Netlist(p, lib), lib, 25))
+	var north Flit
+	r.ConnectIn(core.North, &north)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		north = Flit{Kind: HeadTail, VC: 0, Data: HeadData(core.East)}
+		r.Eval()
+		r.Commit()
+	}
+}
+
+// BenchmarkNetlist measures building the structural design (area model).
+func BenchmarkNetlist(b *testing.B) {
+	p := DefaultParams()
+	lib := stdcell.Default013()
+	for i := 0; i < b.N; i++ {
+		d := Netlist(p, lib)
+		if d.AreaMM2(lib) <= 0 {
+			b.Fatal("empty design")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package packetsw
+
+import (
+	"math"
+
+	"repro/internal/netlist"
+	"repro/internal/stdcell"
+)
+
+// Block names of the packet-switched router design, matching Table 4's
+// area breakdown rows.
+const (
+	BlockCrossbar    = "crossbar"
+	BlockBuffering   = "buffering"
+	BlockArbitration = "arbitration"
+	BlockMisc        = "misc"
+)
+
+// flitBits returns the width of a buffered flit: the phit plus 2 sideband
+// type bits.
+func (p Params) flitBits() int { return p.PhitBits + 2 }
+
+// routeBits returns the bits of one route register.
+func (p Params) routeBits() int {
+	b := 0
+	for 1<<uint(b) < p.Ports {
+		b++
+	}
+	return b
+}
+
+// creditBits returns the width of one credit counter.
+func (p Params) creditBits() int {
+	return int(math.Ceil(math.Log2(float64(p.Depth)+1))) + 1
+}
+
+// fillBits returns the width of one FIFO fill counter, matching
+// netlist.ShiftFIFO.
+func (p Params) fillBits() int {
+	return int(math.Ceil(math.Log2(float64(p.Depth)+1))) + 1
+}
+
+// arbPtrBits returns the width of one switch-allocator pointer.
+func (p Params) arbPtrBits() int {
+	b := 0
+	for 1<<uint(b) < p.InputVCs() {
+		b++
+	}
+	return b
+}
+
+// ControlRegBits returns the discrete flip-flop census of the router
+// (everything except the FIFO storage): output registers, route and credit
+// state, FIFO fill counters, arbitration pointers and handshake misc. The
+// behavioural model and the structural netlist share this census so the
+// power meter's clock energy is consistent with the area roll-up.
+func ControlRegBits(p Params) int {
+	outRegs := p.Ports * (p.flitBits() + 2) // flit + VC id sideband
+	routeRegs := p.InputVCs() * p.routeBits()
+	creditRegs := p.InputVCs() * p.creditBits()
+	fillCtrs := p.InputVCs() * p.fillBits()
+	arb := p.Ports * p.arbPtrBits()
+	vcDemux := p.InputVCs() // per-VC busy/active bit
+	const misc = 30
+	return outRegs + routeRegs + creditRegs + fillCtrs + arb + vcDemux + misc
+}
+
+// BufferBits returns the FIFO storage census: Ports × VCs × Depth flits.
+func BufferBits(p Params) int {
+	return p.InputVCs() * p.Depth * p.flitBits()
+}
+
+// Netlist returns the structural netlist of the virtual-channel router,
+// organized into the same blocks as Table 4's breakdown for the
+// packet-switched router.
+func Netlist(p Params, lib stdcell.Lib) *netlist.Design {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	d := &netlist.Design{Name: "packet-switched router"}
+
+	// Buffering: one shift-style FIFO per input VC.
+	buf := netlist.Component{Name: BlockBuffering}
+	for i := 0; i < p.InputVCs(); i++ {
+		buf = buf.Add(netlist.ShiftFIFO("", p.flitBits(), p.Depth))
+	}
+	buf.Name = BlockBuffering
+	d.AddBlock(buf)
+
+	// Crossbar: the InputVCs:1 switch per output port plus the control
+	// state the paper's breakdown folds into this row — route registers,
+	// credit counters, VC input concentrators and output VC demux.
+	xbar := netlist.Crossbar(lib, BlockCrossbar, p.InputVCs(), p.Ports, p.flitBits()+2)
+	xbar.DFFs += p.InputVCs() * (p.routeBits() + p.creditBits() + 1)
+	// Input concentrators (VCs:1 per port) and credit/demux decode.
+	xbar.CombGE += netlist.MuxTreeGE(lib, p.VCs)*float64(p.Ports*p.flitBits()) +
+		float64(p.InputVCs())*35
+	d.AddBlock(xbar)
+
+	// Arbitration: one round-robin switch allocator per output port.
+	arb := netlist.Component{Name: BlockArbitration}
+	for o := 0; o < p.Ports; o++ {
+		arb = arb.Add(netlist.RoundRobinArbiter("", p.InputVCs()))
+	}
+	arb.Name = BlockArbitration
+	d.AddBlock(arb)
+
+	// Misc: handshake glue and the tile-interface logic.
+	d.AddBlock(netlist.Component{Name: BlockMisc, DFFs: 30, CombGE: 200})
+
+	// Critical path: route compute + VC concentrator, the switch
+	// allocation (priority arbitration over 20 requesters), the switch
+	// traversal and FIFO access — roughly twice the circuit-switched
+	// router's depth, matching the 507-vs-1075 MHz ratio of Table 4.
+	d.CriticalPathFO4 = 2.7 + // route / VC mux
+		2.5*math.Log2(float64(p.InputVCs())) + // switch allocation
+		netlist.MuxTreeDepthFO4(p.InputVCs()) + // switch traversal
+		4.0 + // FIFO access
+		4.3 // wiring
+
+	return d
+}
+
+// LinkBandwidthGbps returns the raw bandwidth of one link direction at the
+// given clock (Table 4: 16 bit × 507 MHz = 8.1 Gb/s).
+func LinkBandwidthGbps(p Params, freqMHz float64) float64 {
+	return float64(p.PhitBits) * freqMHz * 1e6 / 1e9
+}
+
+// ClockFJ returns the per-cycle clock energy of the router's sequential
+// cells — the whole census, every cycle: the paper's packet-switched
+// baseline has no clock gating.
+func ClockFJ(p Params, lib stdcell.Lib) float64 {
+	return float64(ControlRegBits(p))*lib.EClkDFF + float64(BufferBits(p))*lib.EClkBufBit
+}

@@ -1,0 +1,436 @@
+package packetsw
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+// Router is the cycle-accurate virtual-channel wormhole router. Unlike the
+// circuit-switched router it buffers flits per input VC, computes a route
+// per packet and arbitrates for the switch per flit, time multiplexing
+// concurrent streams onto shared output ports.
+type Router struct {
+	// P are the design parameters.
+	P Params
+
+	// Out holds the registered output flit per port; a downstream router
+	// or the tile sink reads it. An Invalid kind means no flit this cycle.
+	Out []Flit
+	// CreditOut holds the registered credit-return pulses towards the
+	// upstream router on each port, one per VC: true for one cycle per
+	// flit removed from the corresponding input FIFO.
+	CreditOut [][]bool
+
+	// Route decides the output port of a packet from its head-flit data.
+	Route RouteFunc
+
+	inSrc    []*Flit   // upstream output registers, per port
+	creditIn [][]*bool // downstream credit pulses, per output port per VC
+
+	fifos     [][][]Flit // [port][vc] input buffer
+	routed    [][]bool   // [port][vc] packet in progress
+	routeTo   [][]core.Port
+	credits   [][]int // [outPort][vc] downstream buffer slots available
+	rrPtr     []int   // per output port, round-robin position over input VCs
+	lastGrant []int   // per output port, last granted input VC (-1 none)
+	// outOwner locks an (output port, VC) pair to one input VC for the
+	// duration of a packet — the wormhole discipline that keeps flits of
+	// different packets from interleaving within one virtual channel.
+	outOwner [][]int
+
+	// next state
+	nextOut    []Flit
+	pops       []popOp
+	pushes     []pushOp
+	injStaged  []Flit
+	nextCredit [][]bool
+	poppedScr  []bool // scratch: input VCs popped this cycle
+
+	cycle uint64
+
+	// statistics
+	flitsRouted      uint64
+	packetsEjected   uint64
+	latencySum       uint64
+	dropped          uint64
+	creditViolations uint64
+	ejected          []Flit
+
+	// power
+	meter       *power.Meter
+	lastWritten [][]uint32 // last value written per FIFO, for write toggles
+	lastRead    [][]uint32 // last value read per FIFO, for read-path toggles
+}
+
+type popOp struct{ port, vc int }
+type pushOp struct {
+	port int
+	f    Flit
+}
+
+// NewRouter returns an idle router using the given routing function.
+func NewRouter(p Params, route RouteFunc) *Router {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if route == nil {
+		panic("packetsw: nil route function")
+	}
+	r := &Router{P: p, Route: route}
+	r.Out = make([]Flit, p.Ports)
+	r.nextOut = make([]Flit, p.Ports)
+	r.inSrc = make([]*Flit, p.Ports)
+	r.rrPtr = make([]int, p.Ports)
+	r.lastGrant = make([]int, p.Ports)
+	for o := range r.lastGrant {
+		r.lastGrant[o] = -1
+	}
+	dim2 := func() [][]bool {
+		m := make([][]bool, p.Ports)
+		for i := range m {
+			m[i] = make([]bool, p.VCs)
+		}
+		return m
+	}
+	r.CreditOut = dim2()
+	r.nextCredit = dim2()
+	r.routed = dim2()
+	r.outOwner = make([][]int, p.Ports)
+	for o := range r.outOwner {
+		r.outOwner[o] = make([]int, p.VCs)
+		for v := range r.outOwner[o] {
+			r.outOwner[o][v] = -1
+		}
+	}
+	r.creditIn = make([][]*bool, p.Ports)
+	r.fifos = make([][][]Flit, p.Ports)
+	r.routeTo = make([][]core.Port, p.Ports)
+	r.credits = make([][]int, p.Ports)
+	r.lastWritten = make([][]uint32, p.Ports)
+	r.lastRead = make([][]uint32, p.Ports)
+	for i := 0; i < p.Ports; i++ {
+		r.creditIn[i] = make([]*bool, p.VCs)
+		r.fifos[i] = make([][]Flit, p.VCs)
+		r.routeTo[i] = make([]core.Port, p.VCs)
+		r.credits[i] = make([]int, p.VCs)
+		r.lastWritten[i] = make([]uint32, p.VCs)
+		r.lastRead[i] = make([]uint32, p.VCs)
+		for v := 0; v < p.VCs; v++ {
+			r.credits[i][v] = p.Depth
+		}
+	}
+	return r
+}
+
+// ConnectIn wires input port p to read flits from the upstream output
+// register src.
+func (r *Router) ConnectIn(p core.Port, src *Flit) { r.inSrc[p] = src }
+
+// ConnectCreditIn wires the credit pulse of output port p, VC v to the
+// downstream router's CreditOut register.
+func (r *Router) ConnectCreditIn(p core.Port, vc int, src *bool) {
+	r.creditIn[p][vc] = src
+}
+
+// BindMeter attaches a power meter. The packet-switched router has no
+// clock gating: every register and buffer bit is clocked every cycle, the
+// source of its large dynamic offset.
+func (r *Router) BindMeter(m *power.Meter) { r.meter = m }
+
+// Inject stages a flit into the tile-port input FIFO of the flit's VC,
+// returning false if the FIFO has no room (the tile must retry). Call
+// during Eval.
+func (r *Router) Inject(f Flit) bool {
+	if !f.Valid() {
+		return false
+	}
+	if f.VC < 0 || f.VC >= r.P.VCs {
+		panic(fmt.Sprintf("packetsw: inject on VC %d", f.VC))
+	}
+	staged := 0
+	for _, s := range r.injStaged {
+		if s.VC == f.VC {
+			staged++
+		}
+	}
+	if len(r.fifos[core.Tile][f.VC])+staged >= r.P.Depth {
+		return false
+	}
+	f.InjectCycle = r.cycle
+	r.injStaged = append(r.injStaged, f)
+	return true
+}
+
+// InjectReady reports whether VC v of the tile port can accept a flit.
+func (r *Router) InjectReady(vc int) bool {
+	staged := 0
+	for _, s := range r.injStaged {
+		if s.VC == vc {
+			staged++
+		}
+	}
+	return len(r.fifos[core.Tile][vc])+staged < r.P.Depth
+}
+
+// Drain returns and clears the flits ejected at the tile port since the
+// last call.
+func (r *Router) Drain() []Flit {
+	e := r.ejected
+	r.ejected = nil
+	return e
+}
+
+// FlitsRouted returns the number of flits that traversed the switch.
+func (r *Router) FlitsRouted() uint64 { return r.flitsRouted }
+
+// PacketsEjected returns the number of packets delivered at the tile port.
+func (r *Router) PacketsEjected() uint64 { return r.packetsEjected }
+
+// AvgLatency returns the mean head-to-eject latency in cycles of ejected
+// packets, or 0 if none were delivered.
+func (r *Router) AvgLatency() float64 {
+	if r.packetsEjected == 0 {
+		return 0
+	}
+	return float64(r.latencySum) / float64(r.packetsEjected)
+}
+
+// Dropped returns flits lost to input-FIFO overflow — zero while the
+// credit protocol is intact.
+func (r *Router) Dropped() uint64 { return r.dropped }
+
+// CreditViolations returns credit returns beyond the FIFO depth — zero
+// while the protocol is intact.
+func (r *Router) CreditViolations() uint64 { return r.creditViolations }
+
+// Cycle returns the router's elapsed clock cycles.
+func (r *Router) Cycle() uint64 { return r.cycle }
+
+// headRoute returns the output port of the packet at the head of FIFO
+// (p,v), and whether one exists.
+func (r *Router) headRoute(p, v int) (core.Port, bool) {
+	q := r.fifos[p][v]
+	if len(q) == 0 {
+		return 0, false
+	}
+	if q[0].Kind.Opens() {
+		return r.Route(q[0].Data), true
+	}
+	if r.routed[p][v] {
+		return r.routeTo[p][v], true
+	}
+	// A body flit without an open packet is a protocol error.
+	panic(fmt.Sprintf("packetsw: body flit at head of idle VC %d.%d", p, v))
+}
+
+// Eval implements sim.Clocked: switch allocation, credit bookkeeping and
+// input sampling.
+func (r *Router) Eval() {
+	p := r.P
+	r.pops = r.pops[:0]
+	r.pushes = r.pushes[:0]
+
+	// Sample incoming flits from upstream output registers.
+	for port := 0; port < p.Ports; port++ {
+		if r.inSrc[port] == nil {
+			continue
+		}
+		if f := *r.inSrc[port]; f.Valid() {
+			r.pushes = append(r.pushes, pushOp{port: port, f: f})
+		}
+	}
+
+	// Switch allocation: per output port, round-robin over input VCs.
+	if r.poppedScr == nil {
+		r.poppedScr = make([]bool, p.InputVCs())
+	}
+	popped := r.poppedScr
+	for i := range popped {
+		popped[i] = false
+	}
+	for out := 0; out < p.Ports; out++ {
+		r.nextOut[out] = Flit{}
+		n := p.InputVCs()
+		granted := -1
+		for i := 1; i <= n; i++ {
+			idx := (r.rrPtr[out] + i) % n
+			port, vc := idx/p.VCs, idx%p.VCs
+			if port == out || popped[idx] {
+				continue
+			}
+			dst, ok := r.headRoute(port, vc)
+			if !ok || int(dst) != out {
+				continue
+			}
+			// Wormhole discipline: the output VC is owned by one packet
+			// until its tail passes; new packets may only claim a free
+			// output VC.
+			owner := r.outOwner[out][vc]
+			head := r.fifos[port][vc][0]
+			if head.Kind.Opens() {
+				if owner != -1 && owner != idx {
+					continue
+				}
+			} else if owner != idx {
+				continue
+			}
+			// Credit check: the tile output is an always-ready sink (the
+			// 16-bit tile interface consumes a flit per cycle), and an
+			// output with no credit wire attached is a testbench sink.
+			if core.Port(out) != core.Tile && r.creditIn[out][vc] != nil &&
+				r.credits[out][vc] <= 0 {
+				continue
+			}
+			granted = idx
+			break
+		}
+		if granted < 0 {
+			continue
+		}
+		port, vc := granted/p.VCs, granted%p.VCs
+		popped[granted] = true
+		r.nextOut[out] = r.fifos[port][vc][0]
+		r.pops = append(r.pops, popOp{port: port, vc: vc})
+		r.rrPtr[out] = granted
+		if r.meter != nil && granted != r.lastGrant[out] {
+			// Arbitration state and switch select lines switch — the
+			// extra control activity of time multiplexing the paper
+			// observes when streams collide at an output port.
+			r.meter.AddToggles(power.ToggleGate, 8)
+			r.meter.AddToggles(power.ToggleReg, 2)
+		}
+		r.lastGrant[out] = granted
+	}
+}
+
+// Commit implements sim.Clocked.
+func (r *Router) Commit() {
+	p := r.P
+
+	if r.meter != nil {
+		r.accountDatapath()
+	}
+
+	// Retire granted flits: pop FIFOs, update routes, emit credits.
+	for o := range r.nextCredit {
+		for v := range r.nextCredit[o] {
+			r.nextCredit[o][v] = false
+		}
+	}
+	for _, op := range r.pops {
+		q := r.fifos[op.port][op.vc]
+		f := q[0]
+		r.fifos[op.port][op.vc] = q[1:]
+		r.nextCredit[op.port][op.vc] = true
+		r.flitsRouted++
+		if f.Kind.Opens() {
+			r.routed[op.port][op.vc] = true
+			r.routeTo[op.port][op.vc] = r.Route(f.Data)
+		}
+		if f.Kind.Closes() {
+			r.routed[op.port][op.vc] = false
+		}
+		out := int(r.routeTo[op.port][op.vc])
+		if f.Kind.Opens() {
+			out = int(r.Route(f.Data))
+		}
+		// Wormhole ownership of the output VC for this packet.
+		switch {
+		case f.Kind == Head:
+			r.outOwner[out][f.VC] = op.port*p.VCs + op.vc
+		case f.Kind.Closes():
+			r.outOwner[out][f.VC] = -1
+		}
+		// Output credit consumption (not for the tile or testbench sinks).
+		if core.Port(out) != core.Tile && r.creditIn[out][f.VC] != nil {
+			r.credits[out][f.VC]--
+		}
+	}
+
+	// Credit returns from downstream.
+	for o := 0; o < p.Ports; o++ {
+		for v := 0; v < p.VCs; v++ {
+			if r.creditIn[o][v] != nil && *r.creditIn[o][v] {
+				if r.credits[o][v] >= p.Depth {
+					r.creditViolations++
+				} else {
+					r.credits[o][v]++
+				}
+				if r.meter != nil {
+					r.meter.AddToggles(power.ToggleReg, 1)
+				}
+			}
+		}
+	}
+
+	// Incoming flits enter the input FIFOs.
+	for _, op := range r.pushes {
+		r.pushFIFO(op.port, op.f)
+	}
+	for _, f := range r.injStaged {
+		r.pushFIFO(int(core.Tile), f)
+	}
+	r.injStaged = r.injStaged[:0]
+
+	// Latch outputs; deliver the tile ejection.
+	for o := 0; o < p.Ports; o++ {
+		r.Out[o] = r.nextOut[o]
+		for v := 0; v < p.VCs; v++ {
+			r.CreditOut[o][v] = r.nextCredit[o][v]
+		}
+	}
+	if f := r.Out[core.Tile]; f.Valid() {
+		r.ejected = append(r.ejected, f)
+		if f.Kind.Closes() {
+			r.packetsEjected++
+			r.latencySum += r.cycle - f.InjectCycle
+		}
+	}
+
+	if r.meter != nil {
+		r.meter.Tick()
+	}
+	r.cycle++
+}
+
+func (r *Router) pushFIFO(port int, f Flit) {
+	if len(r.fifos[port][f.VC]) >= r.P.Depth {
+		r.dropped++
+		return
+	}
+	if r.meter != nil {
+		w := f.wireBits()
+		r.meter.AddToggles(power.ToggleBufBit,
+			bitvec.Hamming32(w, r.lastWritten[port][f.VC]))
+		r.lastWritten[port][f.VC] = w
+	}
+	r.fifos[port][f.VC] = append(r.fifos[port][f.VC], f)
+}
+
+// accountDatapath records output register, link, switch-traversal and FIFO
+// read-path toggles for this cycle's flit movements.
+func (r *Router) accountDatapath() {
+	for o := 0; o < r.P.Ports; o++ {
+		d := bitvec.Hamming32(r.Out[o].wireBits(), r.nextOut[o].wireBits())
+		if d == 0 {
+			continue
+		}
+		r.meter.AddToggles(power.ToggleReg, d)
+		if core.Port(o) == core.Tile {
+			r.meter.AddToggles(power.ToggleGate, d)
+		} else {
+			r.meter.AddToggles(power.ToggleLink, d)
+		}
+		// Traversal of the switch multiplexer tree.
+		r.meter.AddToggles(power.ToggleGate, 2*d)
+	}
+	for _, op := range r.pops {
+		w := r.fifos[op.port][op.vc][0].wireBits()
+		r.meter.AddToggles(power.ToggleGate,
+			bitvec.Hamming32(w, r.lastRead[op.port][op.vc]))
+		r.lastRead[op.port][op.vc] = w
+	}
+}

@@ -1,0 +1,256 @@
+// Package power implements the activity-based power estimator that stands in
+// for the paper's Synopsys Power Compiler run. Like Power Compiler it splits
+// consumption into three buckets (Section 7.2 of the paper):
+//
+//   - static power: leakage, proportional to area, drawn whether or not the
+//     circuit is clocked;
+//   - dynamic internal-cell power: energy dissipated inside cells — the clock
+//     pins of every register each cycle (the paper's "relative high offset")
+//     plus the internal energy of cells whose outputs toggle;
+//   - dynamic switching power: the charging and discharging of net load
+//     capacitance at cell outputs, ½·C·V² per transition.
+//
+// A Meter is attached to a netlist.Design and fed by the cycle-accurate
+// router models: one Tick per clock cycle plus toggle counts per activity
+// class. At the end of a simulation Report converts accumulated energy into
+// the three power buckets at the simulated clock frequency.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/stdcell"
+)
+
+// ToggleKind classifies a signal transition by the kind of net it occurs on,
+// which determines its internal and switching energy cost.
+type ToggleKind int
+
+const (
+	// ToggleReg is a register output transition: flip-flop internal energy
+	// plus a short local net.
+	ToggleReg ToggleKind = iota
+	// ToggleGate is a combinational cell output transition on the datapath
+	// (multiplexer stages, decoders, arbiter logic).
+	ToggleGate
+	// ToggleLink is a transition on an inter-router link wire — a long
+	// top-metal net whose capacitance comes from the library's link length.
+	ToggleLink
+	// ToggleBufBit is a FIFO/register-file storage bit changing value on a
+	// write.
+	ToggleBufBit
+	numToggleKinds
+)
+
+// String returns the toggle kind's name.
+func (k ToggleKind) String() string {
+	switch k {
+	case ToggleReg:
+		return "register"
+	case ToggleGate:
+		return "gate"
+	case ToggleLink:
+		return "link"
+	case ToggleBufBit:
+		return "buffer-bit"
+	default:
+		return fmt.Sprintf("ToggleKind(%d)", int(k))
+	}
+}
+
+// Representative net load capacitances in fF for short on-router nets.
+const (
+	cRegOutFF  = 12.0 // register output: a few gate loads plus local wire
+	cGateOutFF = 6.0  // internal datapath net
+	cBufBitFF  = 4.0  // storage bit internal node
+)
+
+// toggleEnergy returns the (internal, switching) energy in fJ of one
+// transition of the given kind.
+func toggleEnergy(lib stdcell.Lib, k ToggleKind) (internal, switching float64) {
+	switch k {
+	case ToggleReg:
+		return lib.EIntDFFToggle, lib.ESwitch(cRegOutFF)
+	case ToggleGate:
+		return lib.EIntGateToggle, lib.ESwitch(cGateOutFF)
+	case ToggleLink:
+		// The driver's internal energy plus the long wire's load.
+		return lib.EIntGateToggle, lib.ESwitch(lib.CLink())
+	case ToggleBufBit:
+		return 0.6 * lib.EIntDFFToggle, lib.ESwitch(cBufBitFF)
+	default:
+		panic(fmt.Sprintf("power: unknown toggle kind %d", int(k)))
+	}
+}
+
+// Breakdown is the result of a power estimation at a given clock frequency.
+type Breakdown struct {
+	// Name labels the measured design/scenario combination.
+	Name string
+	// FreqMHz is the clock frequency the estimate applies to.
+	FreqMHz float64
+	// Cycles is the number of simulated clock cycles.
+	Cycles uint64
+	// StaticUW is the leakage power in µW.
+	StaticUW float64
+	// InternalUW is the dynamic internal-cell power in µW (clock network
+	// plus in-cell toggle energy).
+	InternalUW float64
+	// SwitchingUW is the dynamic switching (net charging) power in µW.
+	SwitchingUW float64
+}
+
+// DynamicUW returns internal plus switching power in µW.
+func (b Breakdown) DynamicUW() float64 { return b.InternalUW + b.SwitchingUW }
+
+// TotalUW returns total power in µW.
+func (b Breakdown) TotalUW() float64 { return b.StaticUW + b.DynamicUW() }
+
+// DynamicPerMHz returns the frequency-normalized dynamic power in µW/MHz,
+// the unit of the paper's Figure 10. Numerically it equals the average
+// dynamic energy per cycle in pJ.
+func (b Breakdown) DynamicPerMHz() float64 {
+	if b.FreqMHz == 0 {
+		return 0
+	}
+	return b.DynamicUW() / b.FreqMHz
+}
+
+// Meter accumulates activity for one design over a simulation.
+type Meter struct {
+	lib     stdcell.Lib
+	design  *netlist.Design
+	freqMHz float64
+
+	cycles      uint64
+	clockFJ     float64 // accumulated clock-network energy
+	internalFJ  float64 // accumulated non-clock internal energy
+	switchingFJ float64 // accumulated net switching energy
+	toggles     [numToggleKinds]uint64
+
+	fullClockFJ float64 // per-cycle clock energy when ungated
+}
+
+// NewMeter returns a meter for the design at the given clock frequency.
+func NewMeter(d *netlist.Design, lib stdcell.Lib, freqMHz float64) *Meter {
+	if freqMHz <= 0 {
+		panic("power: non-positive frequency")
+	}
+	return &Meter{
+		lib:         lib,
+		design:      d,
+		freqMHz:     freqMHz,
+		fullClockFJ: d.ClockEnergyPerCycle(lib),
+	}
+}
+
+// Tick records one clock cycle with the full (ungated) clock network active.
+func (m *Meter) Tick() {
+	m.cycles++
+	m.clockFJ += m.fullClockFJ
+}
+
+// TickGated records one clock cycle in which only clockFJ femtojoules of
+// clock energy were drawn (clock gating: idle lanes' registers are not
+// clocked). clockFJ must not exceed the ungated per-cycle energy.
+func (m *Meter) TickGated(clockFJ float64) {
+	if clockFJ < 0 || clockFJ > m.fullClockFJ*(1+1e-9) {
+		panic(fmt.Sprintf("power: gated clock energy %v outside [0,%v]", clockFJ, m.fullClockFJ))
+	}
+	m.cycles++
+	m.clockFJ += clockFJ
+}
+
+// AddToggles records n transitions of the given kind.
+func (m *Meter) AddToggles(k ToggleKind, n int) {
+	if n < 0 {
+		panic("power: negative toggle count")
+	}
+	if n == 0 {
+		return
+	}
+	in, sw := toggleEnergy(m.lib, k)
+	m.internalFJ += in * float64(n)
+	m.switchingFJ += sw * float64(n)
+	m.toggles[k] += uint64(n)
+}
+
+// Cycles returns the number of recorded clock cycles.
+func (m *Meter) Cycles() uint64 { return m.cycles }
+
+// Toggles returns the recorded transition count of the given kind.
+func (m *Meter) Toggles(k ToggleKind) uint64 { return m.toggles[k] }
+
+// FullClockEnergyPerCycle returns the design's ungated per-cycle clock
+// energy in fJ, the budget available to clock gating.
+func (m *Meter) FullClockEnergyPerCycle() float64 { return m.fullClockFJ }
+
+// SimTimeUS returns the simulated time in microseconds.
+func (m *Meter) SimTimeUS() float64 {
+	return float64(m.cycles) / m.freqMHz
+}
+
+// Report converts accumulated energy into the three power buckets. It
+// panics if no cycles were recorded (power is undefined for zero time).
+func (m *Meter) Report(name string) Breakdown {
+	if m.cycles == 0 {
+		panic("power: Report with zero simulated cycles")
+	}
+	t := m.SimTimeUS() // µs; fJ/µs = nW, so divide by 1e3 for µW
+	return Breakdown{
+		Name:        name,
+		FreqMHz:     m.freqMHz,
+		Cycles:      m.cycles,
+		StaticUW:    m.design.LeakageUW(m.lib),
+		InternalUW:  (m.clockFJ + m.internalFJ) / t / 1e3,
+		SwitchingUW: m.switchingFJ / t / 1e3,
+	}
+}
+
+// ClassUW returns the dynamic power in µW attributable to one toggle
+// class — the "where does the energy go" attribution that complements the
+// static/internal/switching split (e.g. link wires vs buffer writes).
+func (m *Meter) ClassUW(k ToggleKind) float64 {
+	if m.cycles == 0 {
+		return 0
+	}
+	in, sw := toggleEnergy(m.lib, k)
+	e := (in + sw) * float64(m.toggles[k])
+	return e / m.SimTimeUS() / 1e3
+}
+
+// Attribution returns the dynamic power per toggle class plus the clock
+// network, in µW, keyed by a stable name. The values sum to DynamicUW of
+// the corresponding Report.
+func (m *Meter) Attribution() map[string]float64 {
+	out := make(map[string]float64, int(numToggleKinds)+1)
+	for k := ToggleKind(0); k < numToggleKinds; k++ {
+		out[k.String()] = m.ClassUW(k)
+	}
+	if m.cycles > 0 {
+		out["clock"] = m.clockFJ / m.SimTimeUS() / 1e3
+	} else {
+		out["clock"] = 0
+	}
+	return out
+}
+
+// Reset clears accumulated activity, keeping the design binding.
+func (m *Meter) Reset() {
+	m.cycles = 0
+	m.clockFJ = 0
+	m.internalFJ = 0
+	m.switchingFJ = 0
+	m.toggles = [numToggleKinds]uint64{}
+}
+
+// ClockEnergyFor returns the per-cycle clock energy in fJ of a sub-block
+// with the given register census; the gated router models use it to compute
+// the active clock energy from their configuration.
+func ClockEnergyFor(lib stdcell.Lib, dffs, bufBits int) float64 {
+	if dffs < 0 || bufBits < 0 {
+		panic("power: negative register census")
+	}
+	return float64(dffs)*lib.EClkDFF + float64(bufBits)*lib.EClkBufBit
+}

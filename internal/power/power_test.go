@@ -1,0 +1,261 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+	"repro/internal/stdcell"
+)
+
+var lib = stdcell.Default013()
+
+func testDesign() *netlist.Design {
+	d := &netlist.Design{Name: "test", CriticalPathFO4: 10}
+	d.AddBlock(netlist.RegisterBank("regs", 100))
+	return d
+}
+
+func TestMeterStaticOnly(t *testing.T) {
+	d := testDesign()
+	m := NewMeter(d, lib, 25)
+	for i := 0; i < 1000; i++ {
+		m.Tick()
+	}
+	b := m.Report("idle")
+	if math.Abs(b.StaticUW-d.LeakageUW(lib)) > 1e-9 {
+		t.Fatalf("static = %v, want %v", b.StaticUW, d.LeakageUW(lib))
+	}
+	// Ungated clocking of 100 DFFs: 100 * EClkDFF fJ per cycle
+	// => µW/MHz = pJ/cycle.
+	wantPerMHz := 100 * lib.EClkDFF / 1e3
+	if math.Abs(b.DynamicPerMHz()-wantPerMHz) > 1e-9 {
+		t.Fatalf("dynamic/MHz = %v, want %v", b.DynamicPerMHz(), wantPerMHz)
+	}
+	if b.SwitchingUW != 0 {
+		t.Fatalf("switching with no toggles = %v", b.SwitchingUW)
+	}
+}
+
+func TestDynamicScalesWithFrequency(t *testing.T) {
+	d := testDesign()
+	run := func(freq float64) Breakdown {
+		m := NewMeter(d, lib, freq)
+		for i := 0; i < 100; i++ {
+			m.Tick()
+			m.AddToggles(ToggleReg, 10)
+		}
+		return m.Report("x")
+	}
+	b25, b100 := run(25), run(100)
+	if math.Abs(b100.DynamicUW()/b25.DynamicUW()-4) > 1e-9 {
+		t.Fatalf("dynamic power should scale linearly with f: %v vs %v",
+			b25.DynamicUW(), b100.DynamicUW())
+	}
+	// Static power is frequency independent.
+	if math.Abs(b100.StaticUW-b25.StaticUW) > 1e-12 {
+		t.Fatal("static power should not depend on frequency")
+	}
+	// µW/MHz is frequency invariant.
+	if math.Abs(b100.DynamicPerMHz()-b25.DynamicPerMHz()) > 1e-9 {
+		t.Fatal("µW/MHz should be frequency invariant")
+	}
+}
+
+func TestToggleEnergySplit(t *testing.T) {
+	d := testDesign()
+	m := NewMeter(d, lib, 25)
+	m.TickGated(0) // isolate toggle energy from clock energy
+	m.AddToggles(ToggleLink, 100)
+	b := m.Report("links")
+	// Switching on a link: 100 transitions of CLink load over 1 cycle
+	// at 25 MHz: E = 100 * ESwitch(CLink) fJ, t = 0.04 µs.
+	wantSw := 100 * lib.ESwitch(lib.CLink()) / 0.04 / 1e3
+	if math.Abs(b.SwitchingUW-wantSw) > 1e-6 {
+		t.Fatalf("switching = %v µW, want %v", b.SwitchingUW, wantSw)
+	}
+	wantInt := 100 * lib.EIntGateToggle / 0.04 / 1e3
+	if math.Abs(b.InternalUW-wantInt) > 1e-6 {
+		t.Fatalf("internal = %v µW, want %v", b.InternalUW, wantInt)
+	}
+}
+
+func TestGatingReducesInternal(t *testing.T) {
+	d := testDesign()
+	gated, ungated := NewMeter(d, lib, 25), NewMeter(d, lib, 25)
+	for i := 0; i < 500; i++ {
+		ungated.Tick()
+		gated.TickGated(ungated.FullClockEnergyPerCycle() * 0.25)
+	}
+	bu, bg := ungated.Report("u"), gated.Report("g")
+	if bg.InternalUW >= bu.InternalUW {
+		t.Fatal("gating did not reduce internal power")
+	}
+	if math.Abs(bg.InternalUW/bu.InternalUW-0.25) > 1e-9 {
+		t.Fatalf("gated ratio = %v, want 0.25", bg.InternalUW/bu.InternalUW)
+	}
+}
+
+func TestTickGatedBounds(t *testing.T) {
+	m := NewMeter(testDesign(), lib, 25)
+	for _, bad := range []float64{-1, m.FullClockEnergyPerCycle() * 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TickGated(%v) did not panic", bad)
+				}
+			}()
+			m.TickGated(bad)
+		}()
+	}
+}
+
+func TestMeterCounters(t *testing.T) {
+	m := NewMeter(testDesign(), lib, 50)
+	m.Tick()
+	m.Tick()
+	m.AddToggles(ToggleGate, 7)
+	m.AddToggles(ToggleGate, 3)
+	m.AddToggles(ToggleBufBit, 5)
+	if m.Cycles() != 2 {
+		t.Fatalf("Cycles = %d", m.Cycles())
+	}
+	if m.Toggles(ToggleGate) != 10 || m.Toggles(ToggleBufBit) != 5 {
+		t.Fatalf("toggle counters wrong: %d, %d",
+			m.Toggles(ToggleGate), m.Toggles(ToggleBufBit))
+	}
+	if math.Abs(m.SimTimeUS()-2.0/50) > 1e-12 {
+		t.Fatalf("SimTimeUS = %v", m.SimTimeUS())
+	}
+	m.Reset()
+	if m.Cycles() != 0 || m.Toggles(ToggleGate) != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestMeterPanics(t *testing.T) {
+	if err := func() (err error) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Report with zero cycles did not panic")
+			}
+		}()
+		NewMeter(testDesign(), lib, 25).Report("empty")
+		return nil
+	}(); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative toggles did not panic")
+			}
+		}()
+		m := NewMeter(testDesign(), lib, 25)
+		m.AddToggles(ToggleReg, -1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero frequency did not panic")
+			}
+		}()
+		NewMeter(testDesign(), lib, 0)
+	}()
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	b := Breakdown{StaticUW: 10, InternalUW: 20, SwitchingUW: 5, FreqMHz: 25}
+	if b.DynamicUW() != 25 || b.TotalUW() != 35 {
+		t.Fatalf("arithmetic wrong: dyn=%v tot=%v", b.DynamicUW(), b.TotalUW())
+	}
+	if b.DynamicPerMHz() != 1 {
+		t.Fatalf("per MHz = %v", b.DynamicPerMHz())
+	}
+	if (Breakdown{}).DynamicPerMHz() != 0 {
+		t.Fatal("zero-frequency breakdown should normalize to 0")
+	}
+}
+
+func TestToggleKindString(t *testing.T) {
+	names := map[ToggleKind]string{
+		ToggleReg: "register", ToggleGate: "gate",
+		ToggleLink: "link", ToggleBufBit: "buffer-bit",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if ToggleKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestClockEnergyFor(t *testing.T) {
+	got := ClockEnergyFor(lib, 10, 100)
+	want := 10*lib.EClkDFF + 100*lib.EClkBufBit
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ClockEnergyFor = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative census did not panic")
+		}
+	}()
+	ClockEnergyFor(lib, -1, 0)
+}
+
+func TestEnergyAdditivityProperty(t *testing.T) {
+	// Recording toggles in one call or split across calls is equivalent.
+	f := func(n uint8, k uint8) bool {
+		kind := ToggleKind(int(k) % int(numToggleKinds))
+		a := NewMeter(testDesign(), lib, 25)
+		b := NewMeter(testDesign(), lib, 25)
+		a.Tick()
+		b.Tick()
+		a.AddToggles(kind, int(n))
+		for i := 0; i < int(n); i++ {
+			b.AddToggles(kind, 1)
+		}
+		ra, rb := a.Report("a"), b.Report("b")
+		return math.Abs(ra.TotalUW()-rb.TotalUW()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	m := NewMeter(testDesign(), lib, 25)
+	m.Tick()
+	m.AddToggles(ToggleReg, 10)
+	m.AddToggles(ToggleLink, 5)
+	att := m.Attribution()
+	if att["register"] <= 0 || att["link"] <= 0 || att["clock"] <= 0 {
+		t.Fatalf("attribution incomplete: %v", att)
+	}
+	if att["gate"] != 0 || att["buffer-bit"] != 0 {
+		t.Fatalf("phantom attribution: %v", att)
+	}
+	// The attribution sums to the dynamic power of the report.
+	var sum float64
+	for _, v := range att {
+		sum += v
+	}
+	b := m.Report("x")
+	if math.Abs(sum-b.DynamicUW()) > 1e-9 {
+		t.Fatalf("attribution sums to %v, dynamic is %v", sum, b.DynamicUW())
+	}
+	// Before any cycle, attribution is all zeros, not a panic.
+	fresh := NewMeter(testDesign(), lib, 25)
+	for k, v := range fresh.Attribution() {
+		if v != 0 {
+			t.Fatalf("fresh meter attributes %v to %s", v, k)
+		}
+	}
+	if fresh.ClassUW(ToggleReg) != 0 {
+		t.Fatal("fresh ClassUW not zero")
+	}
+}

@@ -1,0 +1,49 @@
+package sim
+
+import "fmt"
+
+// Divided wraps a clocked component so it runs at the world clock divided
+// by N: its Eval/Commit fire on every Nth world cycle. This models the
+// paper's per-tile clock domains (Section 1, advantage h: "it is possible
+// to have individual clock domains per tile") in the simple rational-clock
+// form: a tile at f/N talking to a network at f. Because the
+// circuit-switched network separates data from control and the window
+// counter tolerates arbitrary consumer timing, rate mismatches surface
+// only as flow-control throttling, never as data corruption.
+type Divided struct {
+	inner   Clocked
+	divisor int
+	phase   int
+}
+
+// NewDivided wraps inner to run every divisor-th cycle.
+func NewDivided(inner Clocked, divisor int) *Divided {
+	if inner == nil {
+		panic("sim: nil component")
+	}
+	if divisor < 1 {
+		panic(fmt.Sprintf("sim: divisor %d < 1", divisor))
+	}
+	return &Divided{inner: inner, divisor: divisor}
+}
+
+// Divisor returns the clock ratio.
+func (d *Divided) Divisor() int { return d.divisor }
+
+// Eval implements Clocked.
+func (d *Divided) Eval() {
+	if d.phase == 0 {
+		d.inner.Eval()
+	}
+}
+
+// Commit implements Clocked.
+func (d *Divided) Commit() {
+	if d.phase == 0 {
+		d.inner.Commit()
+	}
+	d.phase++
+	if d.phase == d.divisor {
+		d.phase = 0
+	}
+}

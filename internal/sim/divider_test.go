@@ -1,0 +1,63 @@
+package sim
+
+import "testing"
+
+func TestDividedRate(t *testing.T) {
+	c := &counter{}
+	w := NewWorld()
+	w.Add(NewDivided(c, 3))
+	w.Run(30)
+	if c.cur != 10 {
+		t.Fatalf("divided-by-3 counter = %d after 30 cycles, want 10", c.cur)
+	}
+	if d := NewDivided(c, 3); d.Divisor() != 3 {
+		t.Fatal("Divisor accessor wrong")
+	}
+}
+
+func TestDividedByOneIsTransparent(t *testing.T) {
+	a, b := &counter{}, &counter{}
+	w := NewWorld()
+	w.Add(a, NewDivided(b, 1))
+	w.Run(17)
+	if a.cur != b.cur {
+		t.Fatalf("divide-by-1 diverged: %d vs %d", a.cur, b.cur)
+	}
+}
+
+func TestDividedPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil":      func() { NewDivided(nil, 2) },
+		"zero":     func() { NewDivided(&counter{}, 0) },
+		"negative": func() { NewDivided(&counter{}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDividedPhaseAlignment(t *testing.T) {
+	// The wrapped component fires on cycles 0, N, 2N, ... (first world
+	// cycle included), keeping domains deterministically aligned.
+	fires := []uint64{}
+	w := NewWorld()
+	probe := &Func{}
+	d := NewDivided(&Func{OnCommit: func() { fires = append(fires, w.Cycle()) }}, 4)
+	w.Add(probe, d)
+	w.Run(12)
+	want := []uint64{0, 4, 8}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package sim provides the synchronous, two-phase simulation kernel used by
+// all cycle-accurate NoC models.
+//
+// Hardware registers sample their inputs on the clock edge; a software model
+// must therefore separate "compute next state from current outputs" from
+// "commit next state". Every clocked component implements Clocked: during a
+// cycle the kernel first calls Eval on every component (all of them observe
+// the same pre-edge signal values) and then Commit on every component (all
+// outputs advance together). Because the paper's routers register their
+// outputs (Section 5.1: "The 20 output lanes of the crossbar are
+// registered"), there are no combinational paths between components, and
+// components may be evaluated in any order.
+package sim
+
+// Clocked is a synchronous hardware component.
+type Clocked interface {
+	// Eval computes the component's next state from the currently visible
+	// outputs of all components. It must not change any output visible to
+	// other components.
+	Eval()
+	// Commit makes the state computed by Eval visible, modelling the
+	// clock edge.
+	Commit()
+}
+
+// World is an ordered collection of clocked components driven by a common
+// clock, with an attached cycle counter.
+type World struct {
+	components []Clocked
+	cycle      uint64
+}
+
+// NewWorld returns an empty world.
+func NewWorld() *World { return &World{} }
+
+// Add registers components with the world's clock. Nil components are
+// rejected so wiring bugs fail fast.
+func (w *World) Add(cs ...Clocked) {
+	for _, c := range cs {
+		if c == nil {
+			panic("sim: adding nil component")
+		}
+		w.components = append(w.components, c)
+	}
+}
+
+// Components returns the number of registered components.
+func (w *World) Components() int { return len(w.components) }
+
+// Cycle returns the number of elapsed clock cycles.
+func (w *World) Cycle() uint64 { return w.cycle }
+
+// Step advances the world by one clock cycle: Eval on every component, then
+// Commit on every component.
+func (w *World) Step() {
+	for _, c := range w.components {
+		c.Eval()
+	}
+	for _, c := range w.components {
+		c.Commit()
+	}
+	w.cycle++
+}
+
+// Run advances the world by n cycles.
+func (w *World) Run(n int) {
+	for i := 0; i < n; i++ {
+		w.Step()
+	}
+}
+
+// RunUntil steps the world until the predicate returns true or maxCycles
+// elapse; it reports whether the predicate was satisfied. The predicate is
+// evaluated after each cycle.
+func (w *World) RunUntil(pred func() bool, maxCycles int) bool {
+	for i := 0; i < maxCycles; i++ {
+		w.Step()
+		if pred() {
+			return true
+		}
+	}
+	return pred()
+}
+
+// Func wraps an Eval/Commit function pair as a Clocked component; handy for
+// testbench stimulus and monitors.
+type Func struct {
+	// OnEval runs in the Eval phase; may be nil.
+	OnEval func()
+	// OnCommit runs in the Commit phase; may be nil.
+	OnCommit func()
+}
+
+// Eval implements Clocked.
+func (f *Func) Eval() {
+	if f.OnEval != nil {
+		f.OnEval()
+	}
+}
+
+// Commit implements Clocked.
+func (f *Func) Commit() {
+	if f.OnCommit != nil {
+		f.OnCommit()
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import "testing"
+
+// counter is a toy clocked component: a register that increments each cycle.
+type counter struct {
+	cur, next int
+}
+
+func (c *counter) Eval()   { c.next = c.cur + 1 }
+func (c *counter) Commit() { c.cur = c.next }
+
+// follower registers the value of another counter; with correct two-phase
+// semantics it lags by exactly one cycle.
+type follower struct {
+	src       *counter
+	cur, next int
+}
+
+func (f *follower) Eval()   { f.next = f.src.cur }
+func (f *follower) Commit() { f.cur = f.next }
+
+func TestTwoPhaseSemantics(t *testing.T) {
+	c := &counter{}
+	f := &follower{src: c}
+	// Deliberately add the follower first: order must not matter.
+	w := NewWorld()
+	w.Add(f, c)
+	for i := 1; i <= 10; i++ {
+		w.Step()
+		if c.cur != i {
+			t.Fatalf("cycle %d: counter = %d", i, c.cur)
+		}
+		if f.cur != i-1 {
+			t.Fatalf("cycle %d: follower = %d, want %d (one-cycle lag)", i, f.cur, i-1)
+		}
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	run := func(reversed bool) int {
+		c := &counter{}
+		f := &follower{src: c}
+		w := NewWorld()
+		if reversed {
+			w.Add(c, f)
+		} else {
+			w.Add(f, c)
+		}
+		w.Run(100)
+		return f.cur
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("registration order changed behaviour: %d vs %d", a, b)
+	}
+}
+
+func TestRunAndCycle(t *testing.T) {
+	w := NewWorld()
+	c := &counter{}
+	w.Add(c)
+	w.Run(42)
+	if w.Cycle() != 42 {
+		t.Fatalf("Cycle = %d", w.Cycle())
+	}
+	if c.cur != 42 {
+		t.Fatalf("counter = %d", c.cur)
+	}
+	if w.Components() != 1 {
+		t.Fatalf("Components = %d", w.Components())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	w := NewWorld()
+	c := &counter{}
+	w.Add(c)
+	if !w.RunUntil(func() bool { return c.cur >= 7 }, 100) {
+		t.Fatal("RunUntil did not satisfy predicate")
+	}
+	if c.cur != 7 {
+		t.Fatalf("stopped at %d, want 7", c.cur)
+	}
+	if w.RunUntil(func() bool { return c.cur >= 1000 }, 10) {
+		t.Fatal("RunUntil claimed success it cannot have had")
+	}
+}
+
+func TestAddNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil component")
+		}
+	}()
+	NewWorld().Add(nil)
+}
+
+func TestFuncComponent(t *testing.T) {
+	evals, commits := 0, 0
+	w := NewWorld()
+	w.Add(&Func{OnEval: func() { evals++ }, OnCommit: func() { commits++ }})
+	w.Add(&Func{}) // nil callbacks must be tolerated
+	w.Run(5)
+	if evals != 5 || commits != 5 {
+		t.Fatalf("evals=%d commits=%d, want 5/5", evals, commits)
+	}
+}
+
+func TestEvalSeesPreEdgeState(t *testing.T) {
+	// During Eval of any component, no other component has committed yet.
+	c := &counter{}
+	var observed []int
+	probe := &Func{OnEval: func() { observed = append(observed, c.cur) }}
+	w := NewWorld()
+	w.Add(c, probe)
+	w.Run(3)
+	want := []int{0, 1, 2}
+	for i := range want {
+		if observed[i] != want[i] {
+			t.Fatalf("probe saw %v, want %v", observed, want)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package stats provides the small measurement utilities the benchmark
+// harness uses: running means, min/max tracking, rate computation and
+// fixed-bucket histograms for latency distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series accumulates scalar observations.
+type Series struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records an observation.
+func (s *Series) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N returns the number of observations.
+func (s *Series) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Series) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min and Max return the extremes (0 with no observations).
+func (s *Series) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Series) Max() float64 { return s.max }
+
+// Variance returns the population variance.
+func (s *Series) Variance() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		return 0 // numerical noise
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (s *Series) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// CI95 returns the half width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s *Series) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// String summarizes the series.
+func (s *Series) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f (±%.3f) min=%.3f max=%.3f",
+		s.n, s.Mean(), s.CI95(), s.min, s.max)
+}
+
+// Hist is a histogram with caller-defined bucket upper bounds.
+type Hist struct {
+	bounds []float64
+	counts []int
+	over   int
+	n      int
+}
+
+// NewHist returns a histogram with the given ascending bucket upper
+// bounds; observations beyond the last bound land in an overflow bucket.
+func NewHist(bounds ...float64) *Hist {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("stats: histogram bounds must ascend")
+	}
+	return &Hist{bounds: bounds, counts: make([]int, len(bounds))}
+}
+
+// Add records an observation.
+func (h *Hist) Add(v float64) {
+	h.n++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.over++
+}
+
+// N returns the number of observations.
+func (h *Hist) N() int { return h.n }
+
+// Count returns the count in bucket i; i == len(bounds) is the overflow.
+func (h *Hist) Count(i int) int {
+	if i == len(h.counts) {
+		return h.over
+	}
+	return h.counts[i]
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) using
+// the bucket boundaries, or +Inf if it falls in the overflow bucket.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.n == 0 || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	target := int(math.Ceil(q * float64(h.n)))
+	acc := 0
+	for i, c := range h.counts {
+		acc += c
+		if acc >= target {
+			return h.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// String renders the histogram one bucket per line.
+func (h *Hist) String() string {
+	var b strings.Builder
+	for i, bound := range h.bounds {
+		fmt.Fprintf(&b, "<=%8.1f: %d\n", bound, h.counts[i])
+	}
+	fmt.Fprintf(&b, " overflow: %d\n", h.over)
+	return b.String()
+}
+
+// Rate converts a count over elapsed cycles at a clock into a Mbit/s
+// figure given bits per event.
+func Rate(events uint64, bitsPerEvent int, cycles uint64, freqMHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / (freqMHz * 1e6)
+	return float64(events*uint64(bitsPerEvent)) / seconds / 1e6
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("series stats wrong: %s", s.String())
+	}
+	if math.Abs(s.Variance()-2) > 1e-9 {
+		t.Fatalf("variance = %v, want 2", s.Variance())
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI should be positive for n>1")
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Fatal("empty series should be all zeros")
+	}
+}
+
+func TestSeriesMeanBoundsProperty(t *testing.T) {
+	f := func(vs []float64) bool {
+		var s Series
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip degenerate float inputs
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9 && s.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHist(t *testing.T) {
+	h := NewHist(10, 20, 30)
+	for _, v := range []float64{5, 15, 15, 25, 99} {
+		h.Add(v)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Count(0) != 1 || h.Count(1) != 2 || h.Count(2) != 1 || h.Count(3) != 1 {
+		t.Fatalf("bucket counts wrong: %s", h.String())
+	}
+	if q := h.Quantile(0.5); q != 20 {
+		t.Fatalf("median bound = %v, want 20", q)
+	}
+	if q := h.Quantile(1.0); !math.IsInf(q, 1) {
+		t.Fatalf("max quantile should hit overflow, got %v", q)
+	}
+	if !math.IsNaN(h.Quantile(0)) || !math.IsNaN(h.Quantile(1.5)) {
+		t.Fatal("invalid quantile arguments should be NaN")
+	}
+}
+
+func TestHistPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no bounds": func() { NewHist() },
+		"unsorted":  func() { NewHist(3, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRate(t *testing.T) {
+	// 400 words of 16 bits over 2000 cycles at 25 MHz: 80 Mbit/s — the
+	// paper's per-stream figure.
+	if got := Rate(400, 16, 2000, 25); math.Abs(got-80) > 1e-9 {
+		t.Fatalf("rate = %v, want 80", got)
+	}
+	if Rate(1, 16, 0, 25) != 0 {
+		t.Fatal("zero cycles should yield zero rate")
+	}
+}

@@ -1,0 +1,180 @@
+// Package stdcell models a 0.13 µm-class standard-cell library: the areas,
+// leakage, switching energies and delays that a synthesis flow such as the
+// paper's (Synopsys + TSMC TCB013LVHP) would take from the vendor library.
+//
+// This package is the single calibration point of the reproduction. Every
+// area, frequency and power number printed by the experiment harness derives
+// from the structural netlists in internal/netlist priced with the constants
+// below; no experiment fits its own constants. The values are representative
+// of published 0.13 µm low-k libraries (NAND2 ≈ 5 µm², FO4 ≈ 65 ps at
+// nominal VT, 1.2 V core supply) and were calibrated once against the
+// paper's Table 4 total for the circuit-switched router.
+package stdcell
+
+import "fmt"
+
+// Lib describes one technology/library corner.
+//
+// Energy convention: all energies are in femtojoules (fJ), areas in square
+// micrometres (µm²), capacitances in femtofarads (fF), delays in picoseconds
+// (ps) and power in microwatts (µW) unless noted otherwise.
+type Lib struct {
+	// Name identifies the library (process, threshold, corner).
+	Name string
+
+	// VDD is the core supply voltage in volts.
+	VDD float64
+
+	// FO4 is the fanout-of-4 inverter delay in picoseconds. Critical paths
+	// are expressed in FO4 units and converted to nanoseconds with this.
+	FO4 float64
+
+	// NAND2Area is the area of the 2-input NAND reference cell in µm².
+	// All combinational logic is sized in NAND2 gate-equivalents (GE).
+	NAND2Area float64
+
+	// DFFAreaGE is the area of a D flip-flop in gate equivalents.
+	DFFAreaGE float64
+
+	// Mux2AreaGE is the area of a 2:1 multiplexer in gate equivalents.
+	Mux2AreaGE float64
+
+	// BufBitAreaGE is the area of one register-file/FIFO storage bit in
+	// gate equivalents, including its share of the write-enable fanout and
+	// read multiplexing. Synthesized FIFO storage is denser in clock load
+	// but larger in area than a bare DFF.
+	BufBitAreaGE float64
+
+	// LeakagePerMM2 is the static (leakage) power density in µW per mm².
+	// TCB013LVHP is a low-voltage nominal-VT library, so leakage is modest.
+	LeakagePerMM2 float64
+
+	// EClkDFF is the internal energy in fJ drawn by one flip-flop's clock
+	// pin each clock cycle, including its amortized share of the local
+	// clock tree. This term produces the paper's "relative high offset in
+	// the dynamic power consumption" (Section 7.3): it is paid every cycle
+	// whether or not data moves, unless clock gating is applied.
+	EClkDFF float64
+
+	// EClkBufBit is the per-cycle clock energy of one FIFO storage bit.
+	// Register-file style storage with bank write enables presents less
+	// clock load per bit than a discrete flip-flop.
+	EClkBufBit float64
+
+	// EIntDFFToggle is the internal energy in fJ dissipated inside a
+	// flip-flop when its output toggles (in addition to clock energy).
+	EIntDFFToggle float64
+
+	// EIntGateToggle is the average internal energy in fJ per output
+	// toggle of a combinational cell on the datapath.
+	EIntGateToggle float64
+
+	// CGateIn is the average input capacitance of a gate in fF, used to
+	// compute switching energy of nets from their fanout.
+	CGateIn float64
+
+	// CWirePerMM is wire capacitance in fF per millimetre of routed metal.
+	CWirePerMM float64
+
+	// LinkLengthMM is the assumed physical length of an inter-router link
+	// in millimetres (tile pitch of the paper's multi-tile SoC).
+	LinkLengthMM float64
+
+	// SynthOverhead multiplies structural cell area to account for clock
+	// tree insertion, wire buffering and placement utilisation. Applied
+	// globally, never per block.
+	SynthOverhead float64
+
+	// RegOverheadFO4 is the sequential overhead (clock-to-Q + setup +
+	// skew margin) of a register-to-register path, in FO4 units.
+	RegOverheadFO4 float64
+}
+
+// Default013 returns the 0.13 µm-class library used throughout the
+// reproduction, standing in for the paper's TSMC TCB013LVHP (low voltage,
+// nominal VT, low-k) corner.
+func Default013() Lib {
+	return Lib{
+		Name:           "generic-0.13um-lvnvt (TCB013LVHP-class)",
+		VDD:            1.2,
+		FO4:            65,   // ps; ~500·L(nm) rule of thumb gives 65 ps at 130 nm
+		NAND2Area:      5.12, // µm²; 8 tracks × 0.4 µm pitch × 1.6 µm width
+		DFFAreaGE:      6.0,
+		Mux2AreaGE:     1.75,
+		BufBitAreaGE:   4.5, // latch-based storage bit incl. enable share
+		LeakagePerMM2:  800, // µW/mm²; nominal VT at 1.2 V, 25 °C
+		EClkDFF:        25,  // fJ/cycle incl. local clock tree share
+		EClkBufBit:     12,  // fJ/cycle; banked write enables shield the tree
+		EIntDFFToggle:  28,  // fJ per output transition
+		EIntGateToggle: 9,   // fJ per combinational output transition
+		CGateIn:        2.0, // fF
+		CWirePerMM:     200, // fF/mm
+		LinkLengthMM:   1.5, // mm; tile pitch of a ~0.13 µm multi-tile SoC
+		SynthOverhead:  1.55,
+		RegOverheadFO4: 4.0,
+	}
+}
+
+// HighVT013 returns a high-threshold (low-leakage) variant of the 0.13 µm
+// library: an order of magnitude less leakage bought with ~25% slower
+// gates — the corner a designer would pick for the mostly-idle ambient
+// systems the paper targets. Dynamic energies are unchanged (same
+// capacitances, same supply).
+func HighVT013() Lib {
+	l := Default013()
+	l.Name = "generic-0.13um-hvt (low leakage)"
+	l.LeakagePerMM2 = 80
+	l.FO4 = 81 // ~1.25x slower gates
+	return l
+}
+
+// GE converts a gate-equivalent count to area in µm² (before synthesis
+// overhead).
+func (l Lib) GE(n float64) float64 { return n * l.NAND2Area }
+
+// ESwitch returns the switching energy in fJ of one transition on a net
+// with load capacitance capFF (in fF): E = ½·C·V².
+func (l Lib) ESwitch(capFF float64) float64 {
+	return 0.5 * capFF * l.VDD * l.VDD
+}
+
+// CLink returns the capacitance in fF of one inter-router link wire.
+func (l Lib) CLink() float64 { return l.CWirePerMM * l.LinkLengthMM }
+
+// MaxFreqMHz converts a critical-path depth in FO4 units (combinational
+// logic only) to a maximum clock frequency in MHz, adding the sequential
+// overhead RegOverheadFO4.
+func (l Lib) MaxFreqMHz(pathFO4 float64) float64 {
+	if pathFO4 < 0 {
+		panic("stdcell: negative path depth")
+	}
+	periodPS := (pathFO4 + l.RegOverheadFO4) * l.FO4
+	return 1e6 / periodPS
+}
+
+// LeakageUW returns the static power in µW of a block of the given area
+// (in µm², after synthesis overhead).
+func (l Lib) LeakageUW(areaUM2 float64) float64 {
+	return areaUM2 / 1e6 * l.LeakagePerMM2
+}
+
+// Validate checks that the library constants are physically sensible.
+func (l Lib) Validate() error {
+	switch {
+	case l.VDD <= 0 || l.VDD > 5:
+		return fmt.Errorf("stdcell: implausible VDD %v V", l.VDD)
+	case l.FO4 <= 0:
+		return fmt.Errorf("stdcell: non-positive FO4 delay")
+	case l.NAND2Area <= 0:
+		return fmt.Errorf("stdcell: non-positive NAND2 area")
+	case l.SynthOverhead < 1:
+		return fmt.Errorf("stdcell: synthesis overhead %v < 1", l.SynthOverhead)
+	case l.LeakagePerMM2 < 0:
+		return fmt.Errorf("stdcell: negative leakage density")
+	case l.EClkDFF < 0 || l.EClkBufBit < 0 || l.EIntDFFToggle < 0 || l.EIntGateToggle < 0:
+		return fmt.Errorf("stdcell: negative energy constant")
+	case l.RegOverheadFO4 < 0:
+		return fmt.Errorf("stdcell: negative register overhead")
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package stdcell
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default013().Validate(); err != nil {
+		t.Fatalf("default library invalid: %v", err)
+	}
+}
+
+func TestGE(t *testing.T) {
+	l := Default013()
+	if got := l.GE(100); math.Abs(got-100*l.NAND2Area) > 1e-9 {
+		t.Fatalf("GE(100) = %v", got)
+	}
+}
+
+func TestESwitch(t *testing.T) {
+	l := Default013()
+	// ½·10 fF·(1.2 V)² = 7.2 fJ
+	if got := l.ESwitch(10); math.Abs(got-7.2) > 1e-9 {
+		t.Fatalf("ESwitch(10fF) = %v fJ, want 7.2", got)
+	}
+}
+
+func TestCLink(t *testing.T) {
+	l := Default013()
+	want := l.CWirePerMM * l.LinkLengthMM
+	if got := l.CLink(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CLink = %v, want %v", got, want)
+	}
+}
+
+func TestMaxFreqMonotone(t *testing.T) {
+	l := Default013()
+	if l.MaxFreqMHz(10) <= l.MaxFreqMHz(30) {
+		t.Fatal("frequency should decrease with path depth")
+	}
+	// A zero-logic path is bounded by the sequential overhead only.
+	f0 := l.MaxFreqMHz(0)
+	want := 1e6 / (l.RegOverheadFO4 * l.FO4)
+	if math.Abs(f0-want) > 1e-6 {
+		t.Fatalf("MaxFreqMHz(0) = %v, want %v", f0, want)
+	}
+}
+
+func TestMaxFreqPlausibleRange(t *testing.T) {
+	// The paper's routers run at 507-1075 MHz in this technology. A
+	// 9-to-27-FO4 pipeline must bracket that range.
+	l := Default013()
+	if f := l.MaxFreqMHz(9); f < 900 || f > 1400 {
+		t.Fatalf("9-FO4 pipeline = %.0f MHz, outside 0.13um plausibility", f)
+	}
+	if f := l.MaxFreqMHz(27); f < 400 || f > 700 {
+		t.Fatalf("27-FO4 pipeline = %.0f MHz, outside 0.13um plausibility", f)
+	}
+}
+
+func TestMaxFreqPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative path")
+		}
+	}()
+	Default013().MaxFreqMHz(-1)
+}
+
+func TestLeakage(t *testing.T) {
+	l := Default013()
+	// 0.05 mm² of a low-VT-free library leaks tens of µW.
+	got := l.LeakageUW(50_000)
+	if got < 10 || got > 100 {
+		t.Fatalf("leakage of 0.05 mm² = %v µW, implausible", got)
+	}
+}
+
+func TestValidateRejectsBrokenLibs(t *testing.T) {
+	base := Default013()
+	mutations := map[string]func(*Lib){
+		"vdd zero":      func(l *Lib) { l.VDD = 0 },
+		"vdd huge":      func(l *Lib) { l.VDD = 9 },
+		"fo4 zero":      func(l *Lib) { l.FO4 = 0 },
+		"nand2 zero":    func(l *Lib) { l.NAND2Area = 0 },
+		"overhead <1":   func(l *Lib) { l.SynthOverhead = 0.5 },
+		"neg leakage":   func(l *Lib) { l.LeakagePerMM2 = -1 },
+		"neg clk":       func(l *Lib) { l.EClkDFF = -1 },
+		"neg reg ovh":   func(l *Lib) { l.RegOverheadFO4 = -1 },
+		"neg gate tggl": func(l *Lib) { l.EIntGateToggle = -1 },
+	}
+	for name, mut := range mutations {
+		l := base
+		mut(&l)
+		if l.Validate() == nil {
+			t.Errorf("%s: Validate accepted broken library", name)
+		}
+	}
+}
+
+func TestESwitchProperties(t *testing.T) {
+	l := Default013()
+	f := func(c uint16) bool {
+		e := l.ESwitch(float64(c))
+		// Energy is non-negative and linear in capacitance.
+		return e >= 0 && math.Abs(l.ESwitch(2*float64(c))-2*e) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighVTCorner(t *testing.T) {
+	std, hvt := Default013(), HighVT013()
+	if err := hvt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if hvt.LeakagePerMM2 >= std.LeakagePerMM2/5 {
+		t.Fatal("HVT corner should cut leakage by an order of magnitude")
+	}
+	if hvt.MaxFreqMHz(10) >= std.MaxFreqMHz(10) {
+		t.Fatal("HVT gates must be slower")
+	}
+	// Dynamic energy constants are shared (same C, same VDD).
+	if hvt.ESwitch(10) != std.ESwitch(10) || hvt.EClkDFF != std.EClkDFF {
+		t.Fatal("HVT corner should not change dynamic energies")
+	}
+}

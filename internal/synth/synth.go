@@ -1,0 +1,244 @@
+// Package synth reproduces the paper's synthesis evaluation: it builds the
+// structural netlists of the three routers of Table 4 — the proposed
+// circuit-switched router, the packet-switched virtual-channel equivalent
+// and the Æthereal TDM router — prices them with the 0.13 µm library model
+// and renders the table (area breakdown, maximum frequency, bandwidth per
+// link).
+package synth
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/aethereal"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/packetsw"
+	"repro/internal/stdcell"
+)
+
+// Row is one column of Table 4 (one router).
+type Row struct {
+	// Name identifies the router.
+	Name string
+	// Ports and DataWidth echo the configuration.
+	Ports     int
+	DataWidth int
+	// Blocks maps Table 4 row names to areas in mm²; absent entries
+	// render as "-" (not applicable).
+	Blocks map[string]float64
+	// TotalMM2 is the total area in mm².
+	TotalMM2 float64
+	// MaxFreqMHz is the synthesis frequency estimate.
+	MaxFreqMHz float64
+	// BandwidthGbps is the per-direction link bandwidth at MaxFreqMHz.
+	BandwidthGbps float64
+}
+
+// BlockOrder is the presentation order of Table 4's area rows.
+var BlockOrder = []string{
+	"crossbar", "buffering", "arbitration", "configuration", "data converter", "misc",
+}
+
+// CircuitSwitchedRow builds the circuit-switched router's column.
+func CircuitSwitchedRow(p core.Params, lib stdcell.Lib) Row {
+	d := core.Netlist(p, lib)
+	return Row{
+		Name:      "circuit switched",
+		Ports:     p.Ports,
+		DataWidth: p.LanesPerPort * p.LaneWidth,
+		Blocks: map[string]float64{
+			"crossbar":       d.BlockAreaMM2(lib, core.BlockCrossbar),
+			"configuration":  d.BlockAreaMM2(lib, core.BlockConfiguration),
+			"data converter": d.BlockAreaMM2(lib, core.BlockDataConverter),
+		},
+		TotalMM2:      d.AreaMM2(lib),
+		MaxFreqMHz:    d.MaxFreqMHz(lib),
+		BandwidthGbps: core.LinkBandwidthGbps(p, d.MaxFreqMHz(lib)),
+	}
+}
+
+// PacketSwitchedRow builds the packet-switched router's column.
+func PacketSwitchedRow(p packetsw.Params, lib stdcell.Lib) Row {
+	d := packetsw.Netlist(p, lib)
+	return Row{
+		Name:      "packet switched",
+		Ports:     p.Ports,
+		DataWidth: p.PhitBits,
+		Blocks: map[string]float64{
+			"crossbar":    d.BlockAreaMM2(lib, packetsw.BlockCrossbar),
+			"buffering":   d.BlockAreaMM2(lib, packetsw.BlockBuffering),
+			"arbitration": d.BlockAreaMM2(lib, packetsw.BlockArbitration),
+			"misc":        d.BlockAreaMM2(lib, packetsw.BlockMisc),
+		},
+		TotalMM2:      d.AreaMM2(lib),
+		MaxFreqMHz:    d.MaxFreqMHz(lib),
+		BandwidthGbps: packetsw.LinkBandwidthGbps(p, d.MaxFreqMHz(lib)),
+	}
+}
+
+// AetherealRow builds the Æthereal column. The paper reports only its
+// total (the breakdown is "n.a."), so Blocks is empty.
+func AetherealRow(p aethereal.Params, lib stdcell.Lib) Row {
+	d := aethereal.Netlist(p, lib)
+	return Row{
+		Name:          "Aethereal",
+		Ports:         p.Ports,
+		DataWidth:     p.WordBits,
+		Blocks:        map[string]float64{},
+		TotalMM2:      d.AreaMM2(lib),
+		MaxFreqMHz:    d.MaxFreqMHz(lib),
+		BandwidthGbps: aethereal.LinkBandwidthGbps(p, d.MaxFreqMHz(lib)),
+	}
+}
+
+// Table4 returns the three rows with the paper's default configurations.
+func Table4(lib stdcell.Lib) []Row {
+	return []Row{
+		CircuitSwitchedRow(core.DefaultParams(), lib),
+		PacketSwitchedRow(packetsw.DefaultParams(), lib),
+		AetherealRow(aethereal.DefaultParams(), lib),
+	}
+}
+
+// PaperTable4 holds the published numbers for side-by-side comparison.
+var PaperTable4 = map[string]struct {
+	TotalMM2      float64
+	MaxFreqMHz    float64
+	BandwidthGbps float64
+}{
+	"circuit switched": {0.0506, 1075, 17.2},
+	"packet switched":  {0.1800, 507, 8.1},
+	"Aethereal":        {0.1750, 500, 16},
+}
+
+// Render writes the table in the paper's layout, with a trailing
+// paper-vs-measured comparison block.
+func Render(w io.Writer, rows []Row) error {
+	cell := func(s string) string { return fmt.Sprintf("%-18s", s) }
+	var b strings.Builder
+	b.WriteString(cell("Router"))
+	for _, r := range rows {
+		b.WriteString(cell(r.Name))
+	}
+	b.WriteString("\n")
+	b.WriteString(cell("Ports"))
+	for _, r := range rows {
+		b.WriteString(cell(fmt.Sprintf("%d", r.Ports)))
+	}
+	b.WriteString("\n")
+	b.WriteString(cell("Width of data"))
+	for _, r := range rows {
+		b.WriteString(cell(fmt.Sprintf("%d bit", r.DataWidth)))
+	}
+	b.WriteString("\n")
+	for _, blk := range BlockOrder {
+		any := false
+		for _, r := range rows {
+			if _, ok := r.Blocks[blk]; ok {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		b.WriteString(cell(strings.ToUpper(blk[:1]) + blk[1:]))
+		for _, r := range rows {
+			if a, ok := r.Blocks[blk]; ok {
+				b.WriteString(cell(fmt.Sprintf("%.4f mm2", a)))
+			} else if r.Name == "Aethereal" {
+				b.WriteString(cell("n.a."))
+			} else {
+				b.WriteString(cell("-"))
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(cell("Total"))
+	for _, r := range rows {
+		b.WriteString(cell(fmt.Sprintf("%.4f mm2", r.TotalMM2)))
+	}
+	b.WriteString("\n")
+	b.WriteString(cell("Max freq."))
+	for _, r := range rows {
+		b.WriteString(cell(fmt.Sprintf("%.0f MHz", r.MaxFreqMHz)))
+	}
+	b.WriteString("\n")
+	b.WriteString(cell("Bandwidth/link"))
+	for _, r := range rows {
+		b.WriteString(cell(fmt.Sprintf("%.1f Gb/s", r.BandwidthGbps)))
+	}
+	b.WriteString("\n\npaper vs measured:\n")
+	for _, r := range rows {
+		if ref, ok := PaperTable4[r.Name]; ok {
+			fmt.Fprintf(&b,
+				"  %-17s area %.4f vs %.4f mm2 (%+.0f%%)  fmax %.0f vs %.0f MHz (%+.0f%%)\n",
+				r.Name, r.TotalMM2, ref.TotalMM2, pct(r.TotalMM2, ref.TotalMM2),
+				r.MaxFreqMHz, ref.MaxFreqMHz, pct(r.MaxFreqMHz, ref.MaxFreqMHz))
+		}
+	}
+	// The headline claim: area ratio PS/CS ≈ 3.5.
+	if len(rows) >= 2 && rows[0].TotalMM2 > 0 {
+		fmt.Fprintf(&b, "  area ratio packet/circuit = %.2fx (paper: 3.5x)\n",
+			rows[1].TotalMM2/rows[0].TotalMM2)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pct(got, want float64) float64 { return (got/want - 1) * 100 }
+
+// LaneSweep is the design-space ablation the paper motivates in Section
+// 5.1 ("The width and number of lanes are adjustable parameters"): it
+// sweeps lane count and width and reports area, frequency and per-stream
+// bandwidth of the circuit-switched router.
+type LaneSweepPoint struct {
+	// Lanes and Width are the swept parameters.
+	Lanes, Width int
+	// AreaMM2 is the router area.
+	AreaMM2 float64
+	// MaxFreqMHz is the frequency estimate.
+	MaxFreqMHz float64
+	// LinkGbps is the per-direction link bandwidth at MaxFreqMHz.
+	LinkGbps float64
+	// Streams is the number of concurrent circuits per link direction.
+	Streams int
+}
+
+// LaneSweep evaluates the given lane-count and lane-width choices.
+func LaneSweep(lib stdcell.Lib, lanes, widths []int) []LaneSweepPoint {
+	var out []LaneSweepPoint
+	for _, n := range lanes {
+		for _, w := range widths {
+			p := core.Params{Ports: 5, LanesPerPort: n, LaneWidth: w, TileWidth: 16}
+			if p.Validate() != nil {
+				continue
+			}
+			d := core.Netlist(p, lib)
+			f := d.MaxFreqMHz(lib)
+			out = append(out, LaneSweepPoint{
+				Lanes: n, Width: w,
+				AreaMM2:    d.AreaMM2(lib),
+				MaxFreqMHz: f,
+				LinkGbps:   core.LinkBandwidthGbps(p, f),
+				Streams:    n,
+			})
+		}
+	}
+	return out
+}
+
+// Design exposes the netlists for callers that need the full designs.
+func Design(name string, lib stdcell.Lib) (*netlist.Design, error) {
+	switch name {
+	case "circuit", "cs", "circuit-switched":
+		return core.Netlist(core.DefaultParams(), lib), nil
+	case "packet", "ps", "packet-switched":
+		return packetsw.Netlist(packetsw.DefaultParams(), lib), nil
+	case "aethereal", "tdm":
+		return aethereal.Netlist(aethereal.DefaultParams(), lib), nil
+	default:
+		return nil, fmt.Errorf("synth: unknown design %q", name)
+	}
+}

@@ -1,0 +1,110 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stdcell"
+)
+
+var lib = stdcell.Default013()
+
+func TestTable4Shape(t *testing.T) {
+	rows := Table4(lib)
+	if len(rows) != 3 {
+		t.Fatalf("Table 4 has %d rows, want 3", len(rows))
+	}
+	cs, ps, ae := rows[0], rows[1], rows[2]
+	if cs.Ports != 5 || ps.Ports != 5 || ae.Ports != 6 {
+		t.Fatal("port counts wrong")
+	}
+	if cs.DataWidth != 16 || ps.DataWidth != 16 || ae.DataWidth != 32 {
+		t.Fatal("data widths wrong")
+	}
+	// Headline claims of the paper's conclusion: the circuit-switched
+	// router has lower area and higher throughput per direction.
+	if cs.TotalMM2 >= ps.TotalMM2 {
+		t.Fatal("CS router must be smaller than PS router")
+	}
+	if cs.MaxFreqMHz <= ps.MaxFreqMHz {
+		t.Fatal("CS router must be faster than PS router")
+	}
+	if cs.BandwidthGbps <= ps.BandwidthGbps {
+		t.Fatal("CS router must have higher link bandwidth")
+	}
+	// The ~3.5x area ratio, within ±20%.
+	ratio := ps.TotalMM2 / cs.TotalMM2
+	if ratio < 3.5*0.8 || ratio > 3.5*1.2 {
+		t.Errorf("area ratio %.2f, paper 3.5 (±20%%)", ratio)
+	}
+}
+
+func TestTable4AgainstPaperTotals(t *testing.T) {
+	for _, r := range Table4(lib) {
+		ref, ok := PaperTable4[r.Name]
+		if !ok {
+			t.Fatalf("no paper reference for %q", r.Name)
+		}
+		if r.TotalMM2 < ref.TotalMM2*0.75 || r.TotalMM2 > ref.TotalMM2*1.25 {
+			t.Errorf("%s: area %.4f vs paper %.4f (±25%%)", r.Name, r.TotalMM2, ref.TotalMM2)
+		}
+		if r.MaxFreqMHz < ref.MaxFreqMHz*0.8 || r.MaxFreqMHz > ref.MaxFreqMHz*1.2 {
+			t.Errorf("%s: fmax %.0f vs paper %.0f (±20%%)", r.Name, r.MaxFreqMHz, ref.MaxFreqMHz)
+		}
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Table4(lib)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"circuit switched", "packet switched", "Aethereal",
+		"Crossbar", "Buffering", "Configuration", "Data converter",
+		"Total", "Max freq.", "Bandwidth/link", "n.a.",
+		"area ratio packet/circuit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+func TestLaneSweepMonotonicity(t *testing.T) {
+	pts := LaneSweep(lib, []int{2, 4, 8}, []int{4})
+	if len(pts) != 3 {
+		t.Fatalf("sweep points = %d", len(pts))
+	}
+	// More lanes: more area, more concurrent streams, wider crossbar
+	// select -> not faster.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AreaMM2 <= pts[i-1].AreaMM2 {
+			t.Errorf("area not monotone in lanes: %+v", pts)
+		}
+		if pts[i].Streams <= pts[i-1].Streams {
+			t.Errorf("streams not monotone in lanes")
+		}
+		if pts[i].MaxFreqMHz > pts[i-1].MaxFreqMHz {
+			t.Errorf("frequency should not increase with lane count")
+		}
+	}
+	// Invalid width/lane combinations are skipped, not fatal.
+	if got := LaneSweep(lib, []int{4}, []int{5}); len(got) != 0 {
+		t.Errorf("invalid geometry not skipped: %+v", got)
+	}
+}
+
+func TestDesignLookup(t *testing.T) {
+	for _, name := range []string{"circuit", "cs", "packet", "ps", "aethereal", "tdm"} {
+		d, err := Design(name, lib)
+		if err != nil || d == nil {
+			t.Errorf("Design(%q): %v", name, err)
+		}
+	}
+	if _, err := Design("nope", lib); err == nil {
+		t.Error("unknown design accepted")
+	}
+}

@@ -1,0 +1,266 @@
+// Package trace records named signals of a cycle simulation and renders
+// them as ASCII timing diagrams or standard VCD (Value Change Dump) files
+// that any waveform viewer (GTKWave etc.) opens — the debugging companion
+// every RTL-level simulator needs.
+//
+// A Recorder is itself a sim.Clocked component: add it to the same world
+// as the design under test and it samples its probes at every clock edge,
+// after all other components commit (add it last).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Probe names one observed signal.
+type Probe struct {
+	// Name is the signal's display name (use '.'-separated hierarchy).
+	Name string
+	// Width is the signal width in bits (1..64).
+	Width int
+	// Sample reads the signal's current value.
+	Sample func() uint64
+}
+
+// Recorder samples probes each cycle.
+type Recorder struct {
+	probes  []Probe
+	samples [][]uint64 // per probe, per cycle
+	cycles  int
+	limit   int
+}
+
+// NewRecorder returns a recorder with a cycle-count safety limit (older
+// samples are never discarded; recording simply stops at the limit).
+func NewRecorder(limit int) *Recorder {
+	if limit < 1 {
+		panic("trace: non-positive cycle limit")
+	}
+	return &Recorder{limit: limit}
+}
+
+// Add registers probes. It panics on invalid probes or duplicate names.
+func (r *Recorder) Add(ps ...Probe) {
+	for _, p := range ps {
+		if p.Name == "" || p.Sample == nil {
+			panic("trace: probe needs a name and a sampler")
+		}
+		if p.Width < 1 || p.Width > 64 {
+			panic(fmt.Sprintf("trace: probe %q width %d out of 1..64", p.Name, p.Width))
+		}
+		for _, q := range r.probes {
+			if q.Name == p.Name {
+				panic(fmt.Sprintf("trace: duplicate probe %q", p.Name))
+			}
+		}
+		r.probes = append(r.probes, p)
+		r.samples = append(r.samples, nil)
+	}
+}
+
+// Bit is a convenience constructor for a 1-bit probe over a bool.
+func Bit(name string, src *bool) Probe {
+	return Probe{Name: name, Width: 1, Sample: func() uint64 {
+		if *src {
+			return 1
+		}
+		return 0
+	}}
+}
+
+// U8 probes a uint8 signal of the given width.
+func U8(name string, width int, src *uint8) Probe {
+	return Probe{Name: name, Width: width, Sample: func() uint64 { return uint64(*src) }}
+}
+
+// U16 probes a uint16 signal.
+func U16(name string, src *uint16) Probe {
+	return Probe{Name: name, Width: 16, Sample: func() uint64 { return uint64(*src) }}
+}
+
+// Eval implements sim.Clocked (sampling happens at Commit).
+func (r *Recorder) Eval() {}
+
+// Commit implements sim.Clocked: it samples every probe.
+func (r *Recorder) Commit() {
+	if r.cycles >= r.limit {
+		return
+	}
+	for i, p := range r.probes {
+		r.samples[i] = append(r.samples[i], p.Sample())
+	}
+	r.cycles++
+}
+
+// Cycles returns the number of recorded cycles.
+func (r *Recorder) Cycles() int { return r.cycles }
+
+// Value returns probe name's sample at the given cycle.
+func (r *Recorder) Value(name string, cycle int) (uint64, error) {
+	for i, p := range r.probes {
+		if p.Name == name {
+			if cycle < 0 || cycle >= r.cycles {
+				return 0, fmt.Errorf("trace: cycle %d outside 0..%d", cycle, r.cycles-1)
+			}
+			return r.samples[i][cycle], nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown probe %q", name)
+}
+
+// Changes returns the number of cycles in which the probe's value differs
+// from the previous cycle — a quick activity metric.
+func (r *Recorder) Changes(name string) (int, error) {
+	for i, p := range r.probes {
+		if p.Name != name {
+			continue
+		}
+		n := 0
+		for c := 1; c < r.cycles; c++ {
+			if r.samples[i][c] != r.samples[i][c-1] {
+				n++
+			}
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("trace: unknown probe %q", name)
+}
+
+// RenderASCII writes an ASCII waveform: 1-bit signals as ▁/▔ rails and
+// multi-bit signals as hex values at their change points.
+func (r *Recorder) RenderASCII(w io.Writer, from, to int) error {
+	if from < 0 || to > r.cycles || from >= to {
+		return fmt.Errorf("trace: window [%d,%d) outside 0..%d", from, to, r.cycles)
+	}
+	nameW := 0
+	for _, p := range r.probes {
+		if len(p.Name) > nameW {
+			nameW = len(p.Name)
+		}
+	}
+	for i, p := range r.probes {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-*s ", nameW, p.Name)
+		if p.Width == 1 {
+			for c := from; c < to; c++ {
+				if r.samples[i][c] != 0 {
+					b.WriteString("▔")
+				} else {
+					b.WriteString("▁")
+				}
+			}
+		} else {
+			hexw := (p.Width + 3) / 4
+			prev := ^uint64(0)
+			for c := from; c < to; c++ {
+				v := r.samples[i][c]
+				if v != prev {
+					cell := fmt.Sprintf("%0*x", hexw, v)
+					if len(cell) > hexw {
+						cell = cell[len(cell)-hexw:]
+					}
+					b.WriteString(cell)
+					b.WriteString("|")
+				} else {
+					b.WriteString(strings.Repeat(".", hexw) + "|")
+				}
+				prev = v
+			}
+		}
+		b.WriteString("\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteVCD emits the recording as a Value Change Dump with the given
+// timescale per cycle (e.g. "40ns" for a 25 MHz clock).
+func (r *Recorder) WriteVCD(w io.Writer, module, timescale string) error {
+	if module == "" {
+		module = "noc"
+	}
+	if timescale == "" {
+		timescale = "1ns"
+	}
+	var b strings.Builder
+	b.WriteString("$date\n  (generated)\n$end\n")
+	b.WriteString("$version\n  repro NoC simulator\n$end\n")
+	fmt.Fprintf(&b, "$timescale %s $end\n", timescale)
+	fmt.Fprintf(&b, "$scope module %s $end\n", module)
+	ids := make([]string, len(r.probes))
+	for i, p := range r.probes {
+		ids[i] = vcdID(i)
+		fmt.Fprintf(&b, "$var wire %d %s %s $end\n", p.Width, ids[i], vcdName(p.Name))
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+	// Initial values.
+	b.WriteString("#0\n")
+	prev := make([]uint64, len(r.probes))
+	for i := range r.probes {
+		if r.cycles == 0 {
+			break
+		}
+		prev[i] = r.samples[i][0]
+		b.WriteString(vcdValue(r.probes[i].Width, prev[i], ids[i]))
+	}
+	for c := 1; c < r.cycles; c++ {
+		emitted := false
+		for i := range r.probes {
+			if v := r.samples[i][c]; v != prev[i] {
+				if !emitted {
+					fmt.Fprintf(&b, "#%d\n", c)
+					emitted = true
+				}
+				b.WriteString(vcdValue(r.probes[i].Width, v, ids[i]))
+				prev[i] = v
+			}
+		}
+	}
+	fmt.Fprintf(&b, "#%d\n", r.cycles)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// vcdID produces the compact printable identifiers VCD uses.
+func vcdID(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if i < len(alphabet) {
+		return string(alphabet[i])
+	}
+	return string(alphabet[i%len(alphabet)]) + vcdID(i/len(alphabet)-1)
+}
+
+func vcdName(n string) string { return strings.ReplaceAll(n, " ", "_") }
+
+func vcdValue(width int, v uint64, id string) string {
+	if width == 1 {
+		return fmt.Sprintf("%d%s\n", v&1, id)
+	}
+	return fmt.Sprintf("b%b %s\n", v, id)
+}
+
+// Names returns the probe names in registration order.
+func (r *Recorder) Names() []string {
+	out := make([]string, len(r.probes))
+	for i, p := range r.probes {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// MostActive returns probe names sorted by descending change count — a
+// quick "where is the power going" view that mirrors the power meter.
+func (r *Recorder) MostActive() []string {
+	names := r.Names()
+	sort.SliceStable(names, func(a, b int) bool {
+		ca, _ := r.Changes(names[a])
+		cb, _ := r.Changes(names[b])
+		return ca > cb
+	})
+	return names
+}

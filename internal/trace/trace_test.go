@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestRecorderSamplesEachCycle(t *testing.T) {
+	v := uint16(0)
+	b := false
+	r := NewRecorder(100)
+	r.Add(U16("data", &v), Bit("valid", &b))
+	w := sim.NewWorld()
+	w.Add(&sim.Func{OnCommit: func() { v++; b = !b }})
+	w.Add(r) // added last: samples post-commit values
+	w.Run(10)
+	if r.Cycles() != 10 {
+		t.Fatalf("cycles = %d", r.Cycles())
+	}
+	got, err := r.Value("data", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 { // incremented before sampling each cycle
+		t.Fatalf("data[3] = %d, want 4", got)
+	}
+	ch, err := r.Changes("valid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != 9 {
+		t.Fatalf("valid changes = %d, want 9", ch)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	v := uint16(0)
+	r := NewRecorder(5)
+	r.Add(U16("x", &v))
+	w := sim.NewWorld()
+	w.Add(r)
+	w.Run(20)
+	if r.Cycles() != 5 {
+		t.Fatalf("recorded %d cycles past the limit", r.Cycles())
+	}
+}
+
+func TestRecorderErrors(t *testing.T) {
+	r := NewRecorder(10)
+	v := uint16(0)
+	r.Add(U16("x", &v))
+	if _, err := r.Value("nope", 0); err == nil {
+		t.Error("unknown probe accepted")
+	}
+	if _, err := r.Value("x", 0); err == nil {
+		t.Error("cycle beyond recording accepted")
+	}
+	if _, err := r.Changes("nope"); err == nil {
+		t.Error("unknown probe accepted by Changes")
+	}
+}
+
+func TestRecorderPanics(t *testing.T) {
+	v := uint8(0)
+	for name, f := range map[string]func(){
+		"zero limit": func() { NewRecorder(0) },
+		"no name":    func() { NewRecorder(1).Add(Probe{Width: 1, Sample: func() uint64 { return 0 }}) },
+		"no sampler": func() { NewRecorder(1).Add(Probe{Name: "x", Width: 1}) },
+		"bad width":  func() { NewRecorder(1).Add(U8("x", 0, &v)) },
+		"duplicate": func() {
+			r := NewRecorder(1)
+			r.Add(U8("x", 4, &v), U8("x", 4, &v))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestASCIIRender(t *testing.T) {
+	v := uint8(0)
+	b := false
+	r := NewRecorder(16)
+	r.Add(U8("lane", 4, &v), Bit("ack", &b))
+	w := sim.NewWorld()
+	n := 0
+	w.Add(&sim.Func{OnCommit: func() {
+		n++
+		v = uint8(n % 3)
+		b = n%2 == 0
+	}})
+	w.Add(r)
+	w.Run(8)
+	var buf bytes.Buffer
+	if err := r.RenderASCII(&buf, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "lane") || !strings.Contains(out, "ack") {
+		t.Fatalf("render missing signals:\n%s", out)
+	}
+	if !strings.Contains(out, "▔") || !strings.Contains(out, "▁") {
+		t.Fatalf("no rails rendered:\n%s", out)
+	}
+	if err := r.RenderASCII(&buf, 5, 3); err == nil {
+		t.Fatal("invalid window accepted")
+	}
+}
+
+func TestVCDOutputWellFormed(t *testing.T) {
+	v := uint16(0)
+	b := false
+	r := NewRecorder(32)
+	r.Add(U16("bus", &v), Bit("clk_en", &b))
+	w := sim.NewWorld()
+	w.Add(&sim.Func{OnCommit: func() { v += 3; b = !b }})
+	w.Add(r)
+	w.Run(6)
+	var buf bytes.Buffer
+	if err := r.WriteVCD(&buf, "router", "40ns"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 40ns $end",
+		"$scope module router $end",
+		"$var wire 16", "$var wire 1",
+		"$enddefinitions $end",
+		"#0", "#5",
+		"b", // multi-bit value lines
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Defaults fill in for empty module/timescale.
+	var buf2 bytes.Buffer
+	if err := r.WriteVCD(&buf2, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "$scope module noc $end") {
+		t.Error("default module name missing")
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceRealRouter(t *testing.T) {
+	// Probe an actual circuit-switched router's output lane and ack wire
+	// while a converter streams a word — the intended use.
+	p := core.DefaultParams()
+	a := core.NewAssembly(p, core.DefaultAssemblyOptions())
+	if err := a.EstablishLocal(core.Circuit{
+		In:  core.LaneID{Port: core.Tile, Lane: 0},
+		Out: core.LaneID{Port: core.East, Lane: 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	east := p.Global(core.LaneID{Port: core.East, Lane: 0})
+	r := NewRecorder(64)
+	r.Add(
+		U8("east0.data", p.LaneWidth, &a.R.Out[east]),
+		U8("tx0.out", p.LaneWidth, &a.Tx[0].Out),
+	)
+	w := sim.NewWorld()
+	w.Add(a)
+	w.Add(&sim.Func{OnEval: func() {
+		if a.Tx[0].Ready() {
+			a.Tx[0].Push(core.DataWord(0xA5C3))
+		}
+	}})
+	w.Add(r)
+	w.Run(30)
+	ch, err := r.Changes("east0.data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch == 0 {
+		t.Fatal("router output never changed while streaming")
+	}
+	names := r.MostActive()
+	if len(names) != 2 {
+		t.Fatalf("MostActive = %v", names)
+	}
+}

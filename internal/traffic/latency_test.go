@@ -1,0 +1,84 @@
+package traffic
+
+import "testing"
+
+func TestCircuitLatencyIsConstant(t *testing.T) {
+	// The established circuit's defining property: every word sees the
+	// identical latency — serialization (5 cycles in, 5 out) plus the
+	// registered crossbar stage. Zero jitter.
+	r, err := MeasureCircuitLatency(1.0, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Words != 150 {
+		t.Fatalf("measured %d words", r.Words)
+	}
+	if r.Jitter != 0 {
+		t.Fatalf("circuit jitter = %v cycles, want 0", r.Jitter)
+	}
+	// 5 serialize + 1 crossbar register + 5 deserialize + handshake
+	// stages: low tens of cycles, and exactly constant.
+	if r.Cycles.Mean() < 10 || r.Cycles.Mean() > 15 {
+		t.Fatalf("circuit latency %.1f cycles, implausible", r.Cycles.Mean())
+	}
+}
+
+func TestCircuitLatencyLoadIndependent(t *testing.T) {
+	// A circuit has no queueing and no arbitration. At sustained line
+	// rate the latency is exactly constant; below line rate the only
+	// variation is alignment of the push instant to the 5-cycle lane
+	// frame (a serializer property, bounded by one packet time) — never
+	// contention from other streams.
+	hi, err := MeasureCircuitLatency(1.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := MeasureCircuitLatency(0.3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Jitter != 0 {
+		t.Fatalf("line-rate jitter = %v, want 0", hi.Jitter)
+	}
+	framePenalty := float64(5 - 1) // worst-case alignment to the lane frame
+	if lo.Jitter > framePenalty {
+		t.Fatalf("sub-rate jitter %v exceeds the frame alignment bound %v",
+			lo.Jitter, framePenalty)
+	}
+	if diff := lo.Cycles.Mean() - hi.Cycles.Mean(); diff > framePenalty || diff < -framePenalty {
+		t.Fatalf("latency depends on load beyond frame alignment: %.1f vs %.1f",
+			lo.Cycles.Mean(), hi.Cycles.Mean())
+	}
+}
+
+func TestPacketLatencyContentionAddsJitter(t *testing.T) {
+	alone, err := MeasurePacketLatency(1.0, 150, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := MeasurePacketLatency(1.0, 150, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alone.Jitter != 0 {
+		t.Fatalf("uncontended packet jitter = %v", alone.Jitter)
+	}
+	if shared.Jitter == 0 {
+		t.Fatal("contention produced no jitter — time multiplexing has a cost")
+	}
+	if shared.Cycles.Mean() <= alone.Cycles.Mean() {
+		t.Fatal("contention did not increase mean latency")
+	}
+}
+
+func TestLatencyInputValidation(t *testing.T) {
+	if _, err := MeasureCircuitLatency(0, 10); err == nil {
+		t.Error("zero load accepted")
+	}
+	if _, err := MeasureCircuitLatency(1.5, 10); err == nil {
+		t.Error("overload accepted")
+	}
+	if _, err := MeasurePacketLatency(-1, 10, false); err == nil {
+		t.Error("negative load accepted")
+	}
+}

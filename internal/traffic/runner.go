@@ -1,0 +1,270 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/packetsw"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stdcell"
+)
+
+// RunConfig controls one scenario simulation.
+type RunConfig struct {
+	// Cycles is the simulated length. The paper simulates 200 µs at
+	// 25 MHz = 5000 cycles.
+	Cycles int
+	// FreqMHz is the clock frequency (25 MHz in Figures 9 and 10).
+	FreqMHz float64
+	// Lib is the technology library.
+	Lib stdcell.Lib
+	// Gated enables the circuit-switched router's configuration-driven
+	// clock gating (the paper's future-work ablation); ignored by the
+	// packet-switched router, which has no gating.
+	Gated bool
+}
+
+// DefaultRunConfig mirrors the paper's power-estimation setup: 5000 cycles
+// (200 µs at 25 MHz; 2 kB per 100%-loaded stream).
+func DefaultRunConfig(lib stdcell.Lib) RunConfig {
+	return RunConfig{Cycles: 5000, FreqMHz: 25, Lib: lib}
+}
+
+// Validate checks the configuration.
+func (c RunConfig) Validate() error {
+	if c.Cycles < 1 {
+		return fmt.Errorf("traffic: need at least 1 cycle")
+	}
+	if c.FreqMHz <= 0 {
+		return fmt.Errorf("traffic: non-positive frequency")
+	}
+	return nil
+}
+
+// Result is the outcome of one scenario simulation.
+type Result struct {
+	// Power is the three-bucket estimate.
+	Power power.Breakdown
+	// WordsSent is the total number of data words offered by all streams.
+	WordsSent uint64
+	// WordsDelivered counts words that completed their path (only streams
+	// terminating at the tile port are observable end to end).
+	WordsDelivered uint64
+}
+
+// RunCircuit simulates the circuit-switched assembly under the scenario.
+// Streams entering at the tile port use the local transmit converters;
+// streams entering at a neighbour port are driven by feeder converters
+// that stand in for the upstream router's registered lane outputs (their
+// activity is charged to that upstream router, not to the meter). Each
+// stream occupies lane index ID-1 of its ports — scenario IV's streams 1
+// and 3 leave on different East lanes, physically separated as the paper's
+// lane division multiplexing prescribes.
+func RunCircuit(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
+	if err := pat.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	p := core.DefaultParams()
+	// Open-loop measurement, as in the paper's scenarios: the destination
+	// always consumes, no acknowledgements are configured.
+	opt := core.AssemblyOptions{Flow: core.FlowParams{}, RxBufCap: 64}
+	a := core.NewAssembly(p, opt)
+	meter := power.NewMeter(core.Netlist(p, cfg.Lib), cfg.Lib, cfg.FreqMHz)
+	a.BindMeter(meter, cfg.Lib, cfg.Gated)
+
+	w := sim.NewWorld()
+	w.Add(a)
+
+	var sources []*Source
+	var res Result
+	for _, st := range sc.Streams {
+		lane := st.ID - 1
+		if lane < 0 || lane >= p.LanesPerPort {
+			return Result{}, fmt.Errorf("traffic: stream %d has no lane", st.ID)
+		}
+		circ := core.Circuit{
+			In:  core.LaneID{Port: st.In, Lane: lane},
+			Out: core.LaneID{Port: st.Out, Lane: lane},
+		}
+		if err := a.EstablishLocal(circ); err != nil {
+			return Result{}, err
+		}
+		src := NewSource(pat, st.ID)
+		sources = append(sources, src)
+
+		var tx *core.TxConverter
+		if st.In == core.Tile {
+			tx = a.Tx[lane]
+		} else {
+			// Feeder: the upstream router's output register for this lane.
+			tx = core.NewTxConverter(p, core.FlowParams{})
+			tx.Enabled = true
+			a.R.ConnectIn(p.Global(circ.In), &tx.Out)
+			w.Add(tx)
+		}
+		feeder := tx
+		w.Add(&sim.Func{OnEval: func() {
+			if feeder.Ready() {
+				if word, ok := src.Offer(); ok {
+					feeder.Push(word)
+				}
+			}
+		}})
+		if st.Out == core.Tile {
+			rx := a.Rx[lane]
+			w.Add(&sim.Func{OnEval: func() {
+				rx.Pop()
+			}})
+		}
+	}
+
+	w.Run(cfg.Cycles)
+
+	for _, s := range sources {
+		res.WordsSent += s.Sent()
+	}
+	for _, rx := range a.Rx {
+		res.WordsDelivered += rx.Received()
+	}
+	res.Power = meter.Report("circuit switched / scenario " + sc.Name)
+	return res, nil
+}
+
+// PacketWordsPerPacket is the payload length used when mapping a word
+// stream onto the packet-switched router: 16 words per packet keeps the
+// head-flit overhead near the paper's "same maximum bandwidth" framing.
+const PacketWordsPerPacket = 16
+
+// RunPacket simulates the packet-switched router under the same scenario.
+// Each stream travels on virtual channel ID-1 and is throttled to one data
+// word per PacketNibbles cycles — the bandwidth of one circuit-switched
+// lane, the paper's "100% load of a single lane". Streams to a shared
+// output port (scenario IV) are time multiplexed by the switch allocator.
+func RunPacket(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
+	if err := pat.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	pp := packetsw.DefaultParams()
+	cp := core.DefaultParams()
+	r := packetsw.NewRouter(pp, packetsw.PortRoute)
+	meter := power.NewMeter(packetsw.Netlist(pp, cfg.Lib), cfg.Lib, cfg.FreqMHz)
+	r.BindMeter(meter)
+
+	w := sim.NewWorld()
+	w.Add(r)
+
+	wordPeriod := cp.PacketNibbles() // 5 cycles per word at full lane load
+	var sources []*Source
+	var res Result
+	for _, st := range sc.Streams {
+		vc := st.ID - 1
+		if vc < 0 || vc >= pp.VCs {
+			return Result{}, fmt.Errorf("traffic: stream %d has no VC", st.ID)
+		}
+		src := NewSource(pat, st.ID)
+		sources = append(sources, src)
+		gen := &packetGen{
+			src: src, vc: vc, dst: st.Out,
+			period: wordPeriod,
+		}
+		if st.In == core.Tile {
+			w.Add(&sim.Func{OnEval: func() {
+				if f, ok := gen.next(); ok {
+					if !r.Inject(f) {
+						gen.retry(f)
+					}
+				}
+			}})
+		} else {
+			// Feeder register standing in for the upstream router.
+			inPort := st.In
+			slot := new(packetsw.Flit)
+			r.ConnectIn(inPort, slot)
+			w.Add(&sim.Func{OnEval: func() {
+				*slot = packetsw.Flit{}
+				if f, ok := gen.next(); ok {
+					*slot = f
+				}
+			}})
+		}
+	}
+	// The tile ejection sink drains continuously.
+	delivered := uint64(0)
+	w.Add(&sim.Func{OnEval: func() {
+		for _, f := range r.Drain() {
+			if f.Kind == packetsw.Body || f.Kind == packetsw.Tail {
+				delivered++
+			}
+		}
+	}})
+
+	w.Run(cfg.Cycles)
+
+	for _, s := range sources {
+		res.WordsSent += s.Sent()
+	}
+	res.WordsDelivered = delivered
+	res.Power = meter.Report("packet switched / scenario " + sc.Name)
+	return res, nil
+}
+
+// packetGen converts a word source into a flit stream: packets of
+// PacketWordsPerPacket words, one data word per period cycles plus the
+// head flit when a packet opens.
+type packetGen struct {
+	src    *Source
+	vc     int
+	dst    core.Port
+	period int
+
+	cycle     int
+	inPacket  int // payload words emitted in the current packet
+	queued    []packetsw.Flit
+	retrySlot *packetsw.Flit
+}
+
+// next returns the flit to emit this cycle, if any.
+func (g *packetGen) next() (packetsw.Flit, bool) {
+	g.cycle++
+	if g.retrySlot != nil {
+		f := *g.retrySlot
+		g.retrySlot = nil
+		return f, true
+	}
+	if len(g.queued) > 0 {
+		f := g.queued[0]
+		g.queued = g.queued[1:]
+		return f, true
+	}
+	if g.cycle%g.period != 0 {
+		return packetsw.Flit{}, false
+	}
+	word, ok := g.src.Offer()
+	if !ok {
+		return packetsw.Flit{}, false
+	}
+	kind := packetsw.Body
+	g.inPacket++
+	if g.inPacket >= PacketWordsPerPacket {
+		kind = packetsw.Tail
+		g.inPacket = 0
+	}
+	data := packetsw.Flit{Kind: kind, VC: g.vc, Data: word.Data}
+	if g.inPacket == 1 {
+		// Open the packet: head first, then the data word.
+		g.queued = append(g.queued, data)
+		return packetsw.Flit{Kind: packetsw.Head, VC: g.vc,
+			Data: packetsw.HeadData(g.dst)}, true
+	}
+	return data, true
+}
+
+// retry re-queues a flit the router could not accept this cycle.
+func (g *packetGen) retry(f packetsw.Flit) { g.retrySlot = &f }
