@@ -1,11 +1,12 @@
 // Command nocbench regenerates the paper's tables and figures plus the
-// reproduction's ablation experiments.
+// reproduction's ablation experiments, as text or as structured JSON.
 //
 // Usage:
 //
 //	nocbench -list              list all experiments
 //	nocbench -run fig9          run one experiment
 //	nocbench -run table4,fig10  run several
+//	nocbench -run fig9 -json    emit the typed result as JSON
 //	nocbench                    run everything
 //	nocbench -out results.txt   also write to a file
 package main
@@ -17,17 +18,18 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/experiments"
+	"repro/noc"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	out := flag.String("out", "", "also write output to this file")
+	jsonOut := flag.Bool("json", false, "emit typed experiment results as JSON instead of text")
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.All() {
+		for _, e := range noc.Experiments() {
 			fmt.Printf("%-10s %-55s [%s]\n", e.ID, e.Title, e.Paper)
 		}
 		return
@@ -43,14 +45,43 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
+	var ids []string
 	if *run == "" {
-		if err := experiments.RunAll(w); err != nil {
-			fatal(err)
+		for _, e := range noc.Experiments() {
+			ids = append(ids, e.ID)
 		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	if *jsonOut {
+		// Measure everything before emitting, so an unknown id or a
+		// failed run never leaves truncated JSON on stdout.
+		var parts [][]byte
+		for _, id := range ids {
+			b, err := noc.ExperimentJSON(id)
+			if err != nil {
+				fatal(err)
+			}
+			parts = append(parts, b)
+		}
+		fmt.Fprint(w, "[\n")
+		for i, b := range parts {
+			if _, err := w.Write(b); err != nil {
+				fatal(err)
+			}
+			if i < len(parts)-1 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, "]")
 		return
 	}
-	for _, id := range strings.Split(*run, ",") {
-		if err := experiments.RunOne(w, strings.TrimSpace(id)); err != nil {
+	for _, id := range ids {
+		if err := noc.RunExperiment(w, id); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,167 +1,105 @@
-// Command nocmesh drives a mesh-level simulation: it builds a W×H
-// circuit-switched NoC, lets the CCN map one of the paper's wireless
-// applications onto it, streams traffic over every configured channel and
-// reports the achieved bandwidth against the requirement.
+// Command nocmesh drives a mesh-level simulation through the public noc
+// API: it builds a W×H circuit-switched NoC, lets the CCN map one or
+// more of the paper's wireless applications onto it, streams traffic
+// over every configured channel and reports the achieved bandwidth
+// against the requirement.
 //
 // Usage:
 //
 //	nocmesh -app umts -w 4 -h 3 -freq 100
-//	nocmesh -app hiperlan -freq 200
-//	nocmesh -app drm -freq 25
+//	nocmesh -app hiperlan2 -freq 200
+//	nocmesh -app umts,drm -w 5 -h 4 -freq 100
+//	nocmesh -app umts -json
+//	nocmesh -app umts -vcd node00.vcd
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/apps"
-	"repro/internal/ccn"
-	"repro/internal/core"
-	"repro/internal/kpn"
-	"repro/internal/mesh"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/trace"
+	"repro/noc"
 )
 
 func main() {
-	app := flag.String("app", "umts", "application: hiperlan, umts, drm")
+	app := flag.String("app", "umts", "comma-separated applications: hiperlan2, umts, drm")
 	w := flag.Int("w", 4, "mesh width")
 	h := flag.Int("h", 3, "mesh height")
 	freq := flag.Float64("freq", 100, "network clock in MHz")
 	cycles := flag.Int("cycles", 20000, "simulation length in cycles")
 	vcd := flag.String("vcd", "", "dump a waveform of node (0,0)'s lanes to this VCD file")
+	jsonOut := flag.Bool("json", false, "emit the structured result as JSON")
 	flag.Parse()
 
-	var graph *kpn.Graph
-	switch *app {
-	case "hiperlan":
-		graph = apps.HiperLANGraph(apps.DefaultHiperLAN(), apps.HiperLANModulations()[3])
-	case "umts":
-		graph = apps.UMTSGraph(apps.DefaultUMTS())
-	case "drm":
-		graph = apps.DRMGraph()
-	default:
-		fmt.Fprintf(os.Stderr, "nocmesh: unknown app %q\n", *app)
-		os.Exit(1)
-	}
-
-	m := mesh.New(*w, *h, core.DefaultParams(), core.DefaultAssemblyOptions())
-	mgr := ccn.NewManager(m, *freq)
-	mp, err := mgr.MapApplication(graph)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nocmesh: mapping failed: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("%s mapped onto %dx%d mesh at %.0f MHz (lane rate %.0f Mbit/s)\n",
-		graph.Name, *w, *h, *freq, mgr.LaneRateMbps())
-	for name, c := range mp.Placement {
-		fmt.Printf("  %-14s -> tile %v\n", name, c)
-	}
-	fmt.Printf("link utilization: %.1f%%, total hops: %d\n\n",
-		mgr.LinkUtilization()*100, mp.TotalHops())
-
-	// Drive every GT channel at its required rate and measure delivery.
-	type chanState struct {
-		ch       kpn.Channel
-		conn     *ccn.Connection
-		received *uint64
-		offered  *uint64
-	}
-	var states []chanState
-	world := m.World()
-	for _, ch := range graph.GTChannels() {
-		conn := mp.Connections[ch.Name]
-		src := m.At(conn.Src)
-		dst := m.At(conn.Dst)
-		received := new(uint64)
-		offered := new(uint64)
-		// Words per cycle required across the ganged lanes.
-		wordsPerCycle := ch.BandwidthMbps / (*freq) / 16
-		acc := 0.0
-		n := uint16(0)
-		txLanes := make([]int, 0, conn.Lanes)
-		rxLanes := make([]int, 0, conn.Lanes)
-		for _, lane := range conn.Segments {
-			txLanes = append(txLanes, lane[0].Circuit.In.Lane)
-			rxLanes = append(rxLanes, lane[len(lane)-1].Circuit.Out.Lane)
-		}
-		gtx, grx, err := core.GangFor(src, dst, txLanes, rxLanes)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nocmesh:", err)
-			os.Exit(1)
-		}
-		world.Add(&sim.Func{OnEval: func() {
-			acc += wordsPerCycle
-			for acc >= 1 && gtx.Ready() {
-				if !gtx.Push(core.DataWord(n)) {
-					break
-				}
-				n++
-				acc--
-				*offered++
-			}
-			for {
-				if _, ok := grx.Pop(); !ok {
-					break
-				}
-				*received++
-			}
-		}})
-		states = append(states, chanState{ch: ch, conn: conn, received: received, offered: offered})
-	}
-
-	var rec *trace.Recorder
+	var opts []noc.Option
 	if *vcd != "" {
-		rec = trace.NewRecorder(4096)
-		node := m.At(mesh.Coord{X: 0, Y: 0})
-		for g := 0; g < m.P.TotalLanes(); g++ {
-			lane := m.P.LaneOf(g)
-			rec.Add(trace.U8(fmt.Sprintf("out.%v.%d", lane.Port, lane.Lane),
-				m.P.LaneWidth, &node.R.Out[g]))
-		}
-		m.World().Add(rec)
+		opts = append(opts, noc.WithNodeTrace(4096))
+	}
+	fabric := noc.CircuitSwitched(opts...)
+
+	var workloads []string
+	for _, wl := range strings.Split(*app, ",") {
+		workloads = append(workloads, strings.TrimSpace(wl))
+	}
+	sc := noc.Scenario{
+		Name:       *app,
+		FreqMHz:    *freq,
+		Cycles:     *cycles,
+		MeshWidth:  *w,
+		MeshHeight: *h,
+		Workloads:  workloads,
+	}
+	res, err := fabric.Run(sc)
+	if err != nil {
+		fatal(err)
 	}
 
-	m.Run(*cycles)
+	if *vcd != "" {
+		if err := os.WriteFile(*vcd, res.NodeVCD, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 
-	if rec != nil {
-		f, err := os.Create(*vcd)
+	if *jsonOut {
+		b, err := res.JSON()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "nocmesh:", err)
+			fatal(err)
+		}
+		fmt.Println(string(b))
+		if !res.MetAllRequirements() {
 			os.Exit(1)
 		}
-		nsPerCycle := int(1e3 / *freq)
-		if nsPerCycle < 1 {
-			nsPerCycle = 1
-		}
-		if err := rec.WriteVCD(f, "node00", fmt.Sprintf("%dns", nsPerCycle)); err != nil {
-			fmt.Fprintln(os.Stderr, "nocmesh:", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("wrote %d-cycle waveform of node (0,0) to %s\n\n", rec.Cycles(), *vcd)
+		return
 	}
 
-	// A channel keeps up when everything offered arrives, minus the words
-	// still in flight in converters, windows and link registers.
-	const inFlightAllowance = 32
-	fmt.Printf("%-12s %10s %14s %14s %6s\n", "channel", "lanes", "required", "achieved", "ok")
-	allOK := true
-	for _, st := range states {
-		got := stats.Rate(*st.received, 16, uint64(*cycles), *freq)
-		ok := *st.received+inFlightAllowance >= *st.offered
-		if !ok {
-			allOK = false
-		}
-		fmt.Printf("%-12s %10d %9.2f Mb/s %9.2f Mb/s %6v\n",
-			st.ch.Name, st.conn.Lanes, st.ch.BandwidthMbps, got, ok)
+	fmt.Printf("%s mapped onto %dx%d mesh at %.0f MHz\n", *app, *w, *h, *freq)
+	for _, p := range res.Placements {
+		fmt.Printf("  %-10s %-14s -> tile (%d,%d)\n", p.Workload, p.Process, p.X, p.Y)
 	}
-	if allOK {
-		fmt.Println("\nall guaranteed-throughput requirements met (paper Section 7.3)")
+	fmt.Printf("link utilization: %.1f%%\n\n", res.LinkUtilization*100)
+
+	if *vcd != "" {
+		fmt.Printf("wrote waveform of node (0,0) to %s\n\n", *vcd)
+	}
+
+	fmt.Printf("%-10s %-12s %6s %6s %14s %14s %6s\n",
+		"workload", "channel", "lanes", "hops", "required", "achieved", "ok")
+	for _, c := range res.Channels {
+		fmt.Printf("%-10s %-12s %6d %6d %9.2f Mb/s %9.2f Mb/s %6v\n",
+			c.Workload, c.Name, c.Lanes, c.Hops, c.RequiredMbps, c.AchievedMbps, c.Met)
+	}
+	fmt.Printf("\naggregate: %d words delivered, %.1f Mbit/s, NoC power %.1f uW\n",
+		res.WordsDelivered, res.ThroughputMbps, res.Power.TotalUW)
+	if res.MetAllRequirements() {
+		fmt.Println("all guaranteed-throughput requirements met (paper Section 7.3)")
 	} else {
-		fmt.Println("\nWARNING: some channels below requirement")
+		fmt.Println("WARNING: some channels below requirement")
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocmesh:", err)
+	os.Exit(1)
 }

@@ -6,6 +6,7 @@
 //	nocsynth                    print Table 4
 //	nocsynth -design circuit    per-block report of one router
 //	nocsynth -sweep             lane count/width sweep
+//	nocsynth -corner hvt        use the low-leakage library corner
 package main
 
 import (
@@ -13,9 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/experiments"
-	"repro/internal/stdcell"
-	"repro/internal/synth"
+	"repro/noc"
 )
 
 func main() {
@@ -24,38 +23,25 @@ func main() {
 	corner := flag.String("corner", "nominal", "library corner: nominal (LVT) or hvt (low leakage)")
 	flag.Parse()
 
-	var lib stdcell.Lib
-	switch *corner {
-	case "nominal":
-		lib = experiments.Lib()
-	case "hvt":
-		lib = stdcell.HighVT013()
-	default:
-		fmt.Fprintf(os.Stderr, "nocsynth: unknown corner %q\n", *corner)
-		os.Exit(1)
+	name, err := noc.LibraryName(*corner)
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Printf("library: %s\n\n", lib.Name)
+	fmt.Printf("library: %s\n\n", name)
 	switch {
 	case *design != "":
-		d, err := synth.Design(*design, lib)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nocsynth:", err)
-			os.Exit(1)
-		}
-		fmt.Print(d.Report(lib))
-		fmt.Printf("  leakage: %.1f uW, clock energy: %.1f pJ/cycle\n",
-			d.LeakageUW(lib), d.ClockEnergyPerCycle(lib)/1e3)
+		err = noc.RenderSynthDesign(os.Stdout, *design, *corner)
 	case *sweep:
-		pts := synth.LaneSweep(lib, []int{2, 4, 6, 8}, []int{2, 4, 8})
-		fmt.Printf("%-6s %-6s %12s %10s %14s\n", "lanes", "width", "area [mm2]", "fmax", "link bw")
-		for _, p := range pts {
-			fmt.Printf("%-6d %-6d %12.4f %6.0f MHz %9.1f Gb/s\n",
-				p.Lanes, p.Width, p.AreaMM2, p.MaxFreqMHz, p.LinkGbps)
-		}
+		err = noc.RenderLaneSweep(os.Stdout, *corner)
 	default:
-		if err := synth.Render(os.Stdout, synth.Table4(lib)); err != nil {
-			fmt.Fprintln(os.Stderr, "nocsynth:", err)
-			os.Exit(1)
-		}
+		err = noc.RenderSynthTable(os.Stdout, *corner)
 	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocsynth:", err)
+	os.Exit(1)
 }

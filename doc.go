@@ -8,9 +8,19 @@
 // and the three wireless applications (HiperLAN/2, UMTS, DRM) that motivate
 // the design.
 //
+// The public API lives in the repro/noc package: one Simulator runs a
+// Scenario over any of the three fabrics (CircuitSwitched,
+// PacketSwitched, AetherealTDM — interchangeable implementations of the
+// Fabric interface, tuned with functional options) and returns
+// structured, JSON-marshalable Results with the latency distribution,
+// throughput and three-bucket power breakdown. Everything under
+// internal/ is implementation detail.
+//
 // The benchmark file in this directory regenerates every table and figure
 // of the paper's evaluation; see DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-versus-measured results. The cmd/nocbench,
 // cmd/nocsynth and cmd/nocmesh tools drive the same experiments from the
-// command line, and the examples directory walks through the public API.
+// command line (nocbench -json emits typed results), and the examples
+// directory walks through the public API, starting with
+// examples/quickstart.
 package repro

@@ -1,93 +1,67 @@
-// HiperLAN/2 example: the paper's motivating OFDM workload (Section 3.1).
-// Derives Table 1 from the standard's parameters, lets the CCN map the
-// baseband pipeline onto a 4x3 mesh at 200 MHz, and verifies that one
-// OFDM symbol (80 complex samples) flows through the mapped front-end
-// channel every 4 µs — the guaranteed-throughput requirement.
+// HiperLAN/2 example: the paper's motivating OFDM workload (Section 3.1)
+// through the public noc API. Prints Table 1 (the bandwidths derived from
+// the standard's parameters), then maps the baseband pipeline onto a 4x3
+// mesh at 200 MHz — at that clock one lane carries 640 Mbit/s, exactly
+// the front-end requirement — and verifies every guaranteed-throughput
+// channel sustains its rate.
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"repro/internal/apps"
-	"repro/internal/ccn"
-	"repro/internal/core"
-	"repro/internal/mesh"
-	"repro/internal/sim"
+	"repro/noc"
 )
 
 func main() {
-	h := apps.DefaultHiperLAN()
-	fmt.Println("Table 1 (derived from OFDM parameters):")
-	for _, row := range apps.Table1(h) {
-		fmt.Printf("  %-26s edges %-10s %6.0f Mbit/s\n", row.Stream, row.Edges, row.Mbps)
+	if err := noc.RunExperiment(os.Stdout, "table1"); err != nil {
+		panic(err)
 	}
 
-	// Map the pipeline. At 200 MHz one lane carries 640 Mbit/s of data —
-	// exactly the front-end requirement.
 	const freqMHz = 200
-	graph := apps.HiperLANGraph(h, apps.HiperLANModulations()[3]) // QAM-64
-	m := mesh.New(4, 3, core.DefaultParams(), core.DefaultAssemblyOptions())
-	mgr := ccn.NewManager(m, freqMHz)
-	mp, err := mgr.MapApplication(graph)
+	res, err := noc.CircuitSwitched().Run(noc.Scenario{
+		Name:       "hiperlan2",
+		FreqMHz:    freqMHz,
+		Cycles:     20000,
+		MeshWidth:  4,
+		MeshHeight: 3,
+		Workloads:  []string{"hiperlan2"},
+	})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nmapped %d processes, %d GT channels at %d MHz (lane rate %.0f Mbit/s):\n",
-		len(mp.Placement), len(mp.Connections), freqMHz, mgr.LaneRateMbps())
-	for _, procName := range []string{"S/P", "FreqOffset", "PrefixRemoval", "FFT",
-		"PhaseOffset", "ChannelEq", "Demapping", "Sync"} {
-		fmt.Printf("  %-14s tile %v\n", procName, mp.Placement[procName])
+
+	fmt.Printf("mapped %d processes, %d GT channels at %d MHz:\n",
+		len(res.Placements), len(res.Channels), freqMHz)
+	for _, p := range res.Placements {
+		fmt.Printf("  %-14s tile (%d,%d)\n", p.Process, p.X, p.Y)
 	}
 
-	// Stream OFDM symbols over the S/P -> FreqOffset channel: 80 complex
-	// samples per symbol; each 32-bit sample is two 16-bit words, so one
-	// symbol is 160 words. At 200 MHz, 4 µs is 800 cycles; one lane moves
-	// a word every 5 cycles, i.e. exactly 160 words per symbol period.
-	conn := mp.Connections["1"]
-	src, dst := m.At(conn.Src), m.At(conn.Dst)
-	txLane := conn.Segments[0][0].Circuit.In.Lane
-	rxLane := conn.Segments[0][len(conn.Segments[0])-1].Circuit.Out.Lane
-
-	const (
-		wordsPerSymbol  = 160 // 80 samples x 2 words
-		symbols         = 10
-		cyclesPerSymbol = 800 // 4 µs at 200 MHz
-	)
-	btx := core.NewBlockTx(src.Tx[txLane])
-	brx := core.NewBlockRx(dst.Rx[rxLane])
-	nextSymbol, gotSymbols := 0, 0
-	symbolDeadlinesMet := 0
-	m.World().Add(&sim.Func{OnEval: func() {
-		if btx.Idle() && nextSymbol < symbols {
-			symbol := make([]uint16, wordsPerSymbol)
-			for i := range symbol {
-				symbol[i] = uint16(nextSymbol*wordsPerSymbol + i)
-			}
-			if btx.Start(symbol) == nil {
-				nextSymbol++
-			}
-		}
-		btx.Pump()
-		brx.Pump()
-		if blk, ok := brx.Pop(); ok {
-			gotSymbols++
-			if len(blk) != wordsPerSymbol {
-				panic("symbol truncated")
-			}
-			if m.World().Cycle() <= uint64(cyclesPerSymbol*gotSymbols+64) {
-				symbolDeadlinesMet++
-			}
-		}
-	}})
-	m.Run(symbols*cyclesPerSymbol + 200)
-
-	fmt.Printf("\nstreamed %d OFDM symbols (%d words) over the front-end channel\n",
-		gotSymbols, gotSymbols*wordsPerSymbol)
-	fmt.Printf("framing errors: %d; symbol deadlines met (4 us + pipeline fill): %d/%d\n",
-		brx.FramingErrors(), symbolDeadlinesMet, symbols)
-	if symbolDeadlinesMet != symbols || brx.FramingErrors() != 0 {
+	fmt.Printf("\n%-12s %6s %14s %14s %6s\n", "channel", "lanes", "required", "achieved", "ok")
+	for _, c := range res.Channels {
+		fmt.Printf("%-12s %6d %9.2f Mb/s %9.2f Mb/s %6v\n",
+			c.Name, c.Lanes, c.RequiredMbps, c.AchievedMbps, c.Met)
+	}
+	if !res.MetAllRequirements() {
 		panic("guaranteed throughput violated")
 	}
+
+	// Aggregate rate is necessary but not sufficient: stream whole OFDM
+	// symbols block-wise and check every 4 us symbol deadline.
+	sym, err := noc.StreamOFDMSymbols(10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nstreamed %d OFDM symbols (%d words each) over the front-end channel\n",
+		sym.Symbols, sym.WordsPerSymbol)
+	fmt.Printf("framing errors: %d; symbol deadlines met (4 us + pipeline fill): %d/%d\n",
+		sym.FramingErrors, sym.DeadlinesMet, sym.Symbols)
+	if !sym.Met() {
+		panic("guaranteed throughput violated")
+	}
+
 	fmt.Println("\nblock-based OFDM communication sustained with guaranteed throughput,")
-	fmt.Println("as the paper requires: \"each 4 us a new OFDM symbol can be processed\"")
+	fmt.Println("as the paper requires: \"each 4 us a new OFDM symbol can be processed\" —")
+	fmt.Println("one symbol is 80 complex samples = 160 words, and one lane at 200 MHz")
+	fmt.Println("moves exactly 160 words per 4 us symbol period")
 }

@@ -1,110 +1,75 @@
 // Multimode example: the paper's "multi-mode transceiver system"
 // (Section 1) — one SoC concurrently running two wireless standards
-// (UMTS + DRM, e.g. a phone call while the digital radio plays). The CCN
-// maps both applications onto one mesh, configuration travels over the
-// best-effort network with measured latency, and both sets of streams run
-// concurrently without interfering: their circuits are physically
-// separated lanes.
+// (UMTS + DRM, e.g. a phone call while the digital radio plays). Through
+// the public noc API this is one workload Scenario naming both
+// applications: the CCN maps them onto one 5x4 mesh and both sets of
+// streams run concurrently without interfering, because their circuits
+// are physically separated lanes.
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/apps"
-	"repro/internal/benet"
-	"repro/internal/ccn"
-	"repro/internal/core"
-	"repro/internal/mesh"
-	"repro/internal/packetsw"
-	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/noc"
 )
 
 func main() {
 	const freqMHz = 100
-	m := mesh.New(5, 4, core.DefaultParams(), core.DefaultAssemblyOptions())
-	mgr := ccn.NewManager(m, freqMHz)
-
-	umts := apps.UMTSGraph(apps.DefaultUMTS())
-	drm := apps.DRMGraph()
-
-	mpU, err := mgr.MapApplication(umts)
+	res, err := noc.CircuitSwitched().Run(noc.Scenario{
+		Name:       "multimode",
+		FreqMHz:    freqMHz,
+		Cycles:     40000,
+		MeshWidth:  5,
+		MeshHeight: 4,
+		Workloads:  []string{"umts", "drm"},
+	})
 	if err != nil {
 		panic(err)
 	}
-	mpD, err := mgr.MapApplication(drm)
-	if err != nil {
-		panic(err)
+
+	perWorkload := map[string]int{}
+	for _, c := range res.Channels {
+		perWorkload[c.Workload]++
 	}
 	fmt.Printf("multi-mode terminal on a 5x4 mesh at %d MHz:\n", freqMHz)
-	fmt.Printf("  %-24s %2d processes, %2d GT channels\n",
-		umts.Name, len(mpU.Placement), len(mpU.Connections))
-	fmt.Printf("  %-24s %2d processes, %2d GT channels\n",
-		drm.Name, len(mpD.Placement), len(mpD.Connections))
-	fmt.Printf("  link utilization: %.1f%%\n\n", mgr.LinkUtilization()*100)
-
-	// Reconfigure one DRM connection over the BE network, demonstrating
-	// in-band control while UMTS streams keep running.
-	be := benet.New(5, 4, packetsw.DefaultParams())
-	bc := &ccn.BEConfigurator{Net: be, Mesh: m, CCNNode: mesh.Coord{X: 0, Y: 0}}
-	var anyDRM *ccn.Connection
-	for _, c := range mpD.Connections {
-		anyDRM = c
-		break
+	for _, wl := range []string{"umts", "drm"} {
+		fmt.Printf("  %-8s %2d GT channels\n", wl, perWorkload[wl])
 	}
-	res, err := bc.Configure(anyDRM) // idempotent re-send of its commands
+	fmt.Printf("  link utilization: %.1f%%, NoC power %.1f uW\n\n",
+		res.LinkUtilization*100, res.Power.TotalUW)
+
+	fmt.Printf("%-10s %-12s %6s %14s %14s %6s\n",
+		"workload", "channel", "lanes", "required", "achieved", "ok")
+	for _, c := range res.Channels {
+		fmt.Printf("%-10s %-12s %6d %9.2f Mb/s %9.2f Mb/s %6v\n",
+			c.Workload, c.Name, c.Lanes, c.RequiredMbps, c.AchievedMbps, c.Met)
+	}
+	if !res.MetAllRequirements() {
+		panic("guaranteed throughput violated")
+	}
+
+	fmt.Println("\nboth standards hold their guaranteed rates concurrently: resource")
+	fmt.Println("sharing across standards with zero stream interaction — the")
+	fmt.Println("reconfigurable multi-mode SoC of the paper's introduction")
+
+	// Tear down DRM (radio off) on a persistent Network; the UMTS
+	// mapping keeps its circuits untouched.
+	net, err := noc.NewNetwork(5, 4, freqMHz)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("re-sent %d configuration commands over the BE network in %d cycles "+
-		"(%.4f ms at %d MHz; paper budget 1 ms/lane)\n\n",
-		res.Commands, res.Cycles, res.TimeMS(freqMHz), freqMHz)
-
-	// Drive one stream of each application concurrently and check both
-	// meet their rates: physically separated lanes cannot collide.
-	type streamRun struct {
-		name     string
-		conn     *ccn.Connection
-		reqMbps  float64
-		received uint64
-	}
-	runs := []*streamRun{
-		{name: "UMTS chips-1", conn: mpU.Connections["chips-1"], reqMbps: 61.44},
-		{name: "DRM front-end", conn: mpD.Connections["1"], reqMbps: 0.64},
-	}
-	for _, r := range runs {
-		r := r
-		src, dst := m.At(r.conn.Src), m.At(r.conn.Dst)
-		txLane := r.conn.Segments[0][0].Circuit.In.Lane
-		rxLane := r.conn.Segments[0][len(r.conn.Segments[0])-1].Circuit.Out.Lane
-		wordsPerCycle := r.reqMbps / freqMHz / 16
-		acc, n := 0.0, uint16(0)
-		m.World().Add(&sim.Func{OnEval: func() {
-			acc += wordsPerCycle
-			if acc >= 1 && src.Tx[txLane].Ready() {
-				if src.Tx[txLane].Push(core.DataWord(n)) {
-					n++
-					acc--
-				}
-			}
-			if _, ok := dst.Rx[rxLane].Pop(); ok {
-				r.received++
-			}
-		}})
-	}
-	const cycles = 40000
-	m.Run(cycles)
-	for _, r := range runs {
-		fmt.Printf("%-14s required %6.2f Mbit/s, achieved %6.2f Mbit/s\n",
-			r.name, r.reqMbps, stats.Rate(r.received, 16, cycles, freqMHz))
-	}
-
-	// Tear down DRM (radio off); UMTS circuits are untouched.
-	if err := mgr.UnmapApplication(mpD); err != nil {
+	umts, err := net.Map("umts")
+	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nDRM unmapped; link utilization now %.1f%%, UMTS connections intact: %d\n",
-		mgr.LinkUtilization()*100, len(mpU.Connections))
-	fmt.Println("resource sharing across standards with zero stream interaction —")
-	fmt.Println("the reconfigurable multi-mode SoC of the paper's introduction")
+	drm, err := net.Map("drm")
+	if err != nil {
+		panic(err)
+	}
+	both := net.LinkUtilization()
+	if err := net.Unmap(drm.ID); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nDRM unmapped: link utilization %.1f%% -> %.1f%%, UMTS intact with %d channels\n",
+		both*100, net.LinkUtilization()*100, umts.Channels)
 }

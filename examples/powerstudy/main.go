@@ -1,74 +1,78 @@
-// Powerstudy example: the paper's evaluation methodology end to end —
-// synthesize both routers (Table 4), run the four traffic scenarios at
-// three bit-flip levels (Figures 9 and 10), then apply the future-work
-// clock gating and quantify the saving. A compact version of what
-// `nocbench` does, showing how to use the synth/traffic/power packages
-// directly.
+// Powerstudy example: the paper's evaluation methodology end to end
+// through the public noc API — synthesize the three routers (Table 4),
+// run the four traffic scenarios on both routers (Figure 9), sweep the
+// data bit-flip rate (Figure 10), then apply the future-work clock
+// gating with the WithClockGating option and quantify the saving. A
+// compact version of what `nocbench` does.
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"repro/internal/stdcell"
-	"repro/internal/synth"
-	"repro/internal/traffic"
+	"repro/noc"
 )
 
 func main() {
-	lib := stdcell.Default013()
-
 	fmt.Println("== synthesis (Table 4) ==")
-	if err := synth.Render(os.Stdout, synth.Table4(lib)); err != nil {
+	if err := noc.RenderSynthTable(os.Stdout, "nominal"); err != nil {
 		panic(err)
 	}
 
-	cfg := traffic.RunConfig{Cycles: 4000, FreqMHz: 25, Lib: lib}
+	cs := noc.CircuitSwitched(noc.WithLatencyWords(0))
+	ps := noc.PacketSwitched(noc.WithLatencyWords(0))
+
 	fmt.Println("\n== scenario power at 25 MHz, random data (Figure 9) ==")
 	fmt.Printf("%-10s %-9s %10s %12s %12s\n", "router", "scenario", "total", "dynamic", "uW/MHz")
-	for _, sc := range traffic.Scenarios() {
-		pat := traffic.Pattern{FlipProb: 0.5, Load: 1}
-		rc, err := traffic.RunCircuit(sc, pat, cfg)
-		if err != nil {
-			panic(err)
+	for _, sc := range noc.PaperScenarios() {
+		sc.Cycles = 4000
+		for _, f := range []noc.Fabric{cs, ps} {
+			r, err := f.Run(sc)
+			if err != nil {
+				panic(err)
+			}
+			dyn := r.Power.InternalUW + r.Power.SwitchingUW
+			fmt.Printf("%-10s %-9s %7.0f uW %9.0f uW %12.2f\n",
+				r.Fabric, sc.Name, r.Power.TotalUW, dyn, r.Power.DynamicUWPerMHz)
 		}
-		rp, err := traffic.RunPacket(sc, pat, cfg)
-		if err != nil {
-			panic(err)
-		}
-		fmt.Printf("%-10s %-9s %7.0f uW %9.0f uW %12.2f\n", "circuit", sc.Name,
-			rc.Power.TotalUW(), rc.Power.DynamicUW(), rc.Power.DynamicPerMHz())
-		fmt.Printf("%-10s %-9s %7.0f uW %9.0f uW %12.2f\n", "packet", sc.Name,
-			rp.Power.TotalUW(), rp.Power.DynamicUW(), rp.Power.DynamicPerMHz())
 	}
 
 	fmt.Println("\n== bit-flip sensitivity, scenario IV (Figure 10) ==")
-	sc := traffic.Scenarios()[3]
-	for _, flips := range traffic.BitFlipCases() {
-		rc, err := traffic.RunCircuit(sc, traffic.Pattern{FlipProb: flips, Load: 1}, cfg)
+	scIV, err := noc.PaperScenario("IV")
+	if err != nil {
+		panic(err)
+	}
+	scIV.Cycles = 4000
+	for _, flips := range []float64{0, 0.5, 1} {
+		sc := scIV
+		sc.Pattern = noc.Pattern{FlipProb: flips, Load: 1}
+		r, err := cs.Run(sc)
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("  circuit, %3.0f%% flips: %.2f uW/MHz\n",
-			flips*100, rc.Power.DynamicPerMHz())
+		fmt.Printf("  circuit, %3.0f%% flips: %.2f uW/MHz\n", flips*100, r.Power.DynamicUWPerMHz)
 	}
 	fmt.Println("  -> the number of streams matters more than the data (Section 7.3)")
 
 	fmt.Println("\n== clock gating (the paper's future work) ==")
-	gatedCfg := cfg
-	gatedCfg.Gated = true
-	for _, s := range []traffic.Scenario{traffic.Scenarios()[0], traffic.Scenarios()[3]} {
-		pat := traffic.Pattern{FlipProb: 0.5, Load: 1}
-		ungated, err := traffic.RunCircuit(s, pat, cfg)
+	gated := noc.CircuitSwitched(noc.WithClockGating(true), noc.WithLatencyWords(0))
+	for _, name := range []string{"I", "IV"} {
+		sc, err := noc.PaperScenario(name)
 		if err != nil {
 			panic(err)
 		}
-		gated, err := traffic.RunCircuit(s, pat, gatedCfg)
+		sc.Cycles = 4000
+		u, err := cs.Run(sc)
 		if err != nil {
 			panic(err)
 		}
+		g, err := gated.Run(sc)
+		if err != nil {
+			panic(err)
+		}
+		uDyn := u.Power.InternalUW + u.Power.SwitchingUW
+		gDyn := g.Power.InternalUW + g.Power.SwitchingUW
 		fmt.Printf("  scenario %-3s dynamic %6.1f -> %6.1f uW (%.0f%% saved)\n",
-			s.Name, ungated.Power.DynamicUW(), gated.Power.DynamicUW(),
-			(1-gated.Power.DynamicUW()/ungated.Power.DynamicUW())*100)
+			sc.Name, uDyn, gDyn, (1-gDyn/uDyn)*100)
 	}
 }

@@ -1,93 +1,79 @@
-// UMTS example: the paper's streaming workload (Section 3.2). A W-CDMA
-// rake receiver with 4 fingers at spreading factor 4 is mapped onto the
-// mesh; the chip streams are sample-streaming (one small packet at a
-// regular short interval), the second traffic style the NoC must carry.
-// The example also exercises run-time reconfiguration: after streaming,
-// the receiver is re-mapped with 2 fingers (better channel conditions),
-// showing connection release and re-allocation.
+// UMTS example: the paper's streaming workload (Section 3.2) through the
+// public noc API. Prints Table 2 (the W-CDMA rake receiver's bandwidth
+// requirements), maps the receiver onto a 4x3 mesh at 100 MHz and checks
+// every chip/coefficient stream holds its rate — the sample-streaming
+// traffic style, one small packet at a regular short interval. The
+// structured Result is also emitted as JSON, the form a monitoring
+// pipeline would ingest.
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"repro/internal/apps"
-	"repro/internal/ccn"
-	"repro/internal/core"
-	"repro/internal/mesh"
-	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/noc"
 )
 
 func main() {
-	u := apps.DefaultUMTS()
-	fmt.Println("Table 2 (derived from W-CDMA parameters):")
-	for _, row := range apps.Table2(u) {
-		fmt.Printf("  %-30s edge %d  %7.2f Mbit/s\n", row.Stream, row.Edge, row.Mbps)
+	if err := noc.RunExperiment(os.Stdout, "table2"); err != nil {
+		panic(err)
 	}
-	fmt.Printf("total for %d fingers at SF=%d: %.1f Mbit/s (paper: ~320)\n\n",
-		u.Fingers, u.SF, u.TotalMbps())
 
 	const freqMHz = 100
-	m := mesh.New(4, 3, core.DefaultParams(), core.DefaultAssemblyOptions())
-	mgr := ccn.NewManager(m, freqMHz)
-	mp, err := mgr.MapApplication(apps.UMTSGraph(u))
+	res, err := noc.CircuitSwitched().Run(noc.Scenario{
+		Name:       "umts",
+		FreqMHz:    freqMHz,
+		Cycles:     20000,
+		MeshWidth:  4,
+		MeshHeight: 3,
+		Workloads:  []string{"umts"},
+	})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("mapped rake receiver: %d processes, %d channels, link utilization %.1f%%\n",
-		len(mp.Placement), len(mp.Connections), mgr.LinkUtilization()*100)
 
-	// Stream chips to finger 1 at the required 61.44 Mbit/s: at 100 MHz a
-	// lane delivers 320 Mbit/s, so the stream occupies ~19% of its lane —
-	// one small packet at a regular short interval, never a big block.
-	conn := mp.Connections["chips-1"]
-	src, dst := m.At(conn.Src), m.At(conn.Dst)
-	txLane := conn.Segments[0][0].Circuit.In.Lane
-	rxLane := conn.Segments[0][len(conn.Segments[0])-1].Circuit.Out.Lane
-	wordsPerCycle := u.ChipsPerFingerMbps() / freqMHz / 16
-	acc, sent := 0.0, uint64(0)
-	var gaps stats.Series
-	lastArrival := uint64(0)
-	received := uint64(0)
-	m.World().Add(&sim.Func{OnEval: func() {
-		acc += wordsPerCycle
-		if acc >= 1 && src.Tx[txLane].Ready() {
-			if src.Tx[txLane].Push(core.DataWord(uint16(sent))) {
-				sent++
-				acc--
-			}
-		}
-		if _, ok := dst.Rx[rxLane].Pop(); ok {
-			if received > 0 {
-				gaps.Add(float64(m.World().Cycle() - lastArrival))
-			}
-			lastArrival = m.World().Cycle()
-			received++
-		}
-	}})
-	const cycles = 20000
-	m.Run(cycles)
-	fmt.Printf("\nchips-1 stream: %d words sent, %d received, achieved %.2f Mbit/s "+
-		"(required %.2f)\n", sent, received,
-		stats.Rate(received, 16, cycles, freqMHz), u.ChipsPerFingerMbps())
-	fmt.Printf("inter-arrival: mean %.1f cycles, max %.0f — periodic streaming, no bursts\n",
-		gaps.Mean(), gaps.Max())
+	fmt.Printf("mapped rake receiver: %d processes, %d channels, link utilization %.1f%%\n\n",
+		len(res.Placements), len(res.Channels), res.LinkUtilization*100)
+
+	fmt.Printf("%-12s %6s %14s %14s %6s\n", "channel", "lanes", "required", "achieved", "ok")
+	for _, c := range res.Channels {
+		fmt.Printf("%-12s %6d %9.2f Mb/s %9.2f Mb/s %6v\n",
+			c.Name, c.Lanes, c.RequiredMbps, c.AchievedMbps, c.Met)
+	}
+	if !res.MetAllRequirements() {
+		panic("guaranteed throughput violated")
+	}
+	fmt.Println("\nat 100 MHz a lane delivers 320 Mbit/s, so each 61.44 Mbit/s chip stream")
+	fmt.Println("occupies ~19% of its lane — periodic streaming, never a big block; the")
+	fmt.Println("semi-static stream lifetime of Section 3.3 is what makes circuit")
+	fmt.Println("switching pay off")
 
 	// Run-time adaptation (Section 1: reconfigure "due to changes in the
-	// reception quality"): drop to 2 fingers and remap.
-	if err := mgr.UnmapApplication(mp); err != nil {
-		panic(err)
-	}
-	u2 := u
-	u2.Fingers = 2
-	mp2, err := mgr.MapApplication(apps.UMTSGraph(u2))
+	// reception quality"): drop to 2 fingers and remap on a persistent
+	// Network — released lanes are immediately reusable.
+	net, err := noc.NewNetwork(4, 3, freqMHz)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nre-mapped with %d fingers: %d channels, link utilization %.1f%% "+
-		"(was %.1f%% with %d fingers)\n",
-		u2.Fingers, len(mp2.Connections), mgr.LinkUtilization()*100,
-		16.9, u.Fingers)
-	fmt.Println("released lanes are immediately reusable — the semi-static stream")
-	fmt.Println("lifetime of Section 3.3 is what makes circuit switching pay off")
+	mp4, err := net.Map("umts")
+	if err != nil {
+		panic(err)
+	}
+	util4 := net.LinkUtilization()
+	if err := net.Unmap(mp4.ID); err != nil {
+		panic(err)
+	}
+	mp2, err := net.Map("umts:2")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nre-mapped with 2 fingers: %d channels, link utilization %.1f%% "+
+		"(was %.1f%% with 4 fingers)\n",
+		mp2.Channels, net.LinkUtilization()*100, util4*100)
+
+	b, err := res.JSON()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nstructured result (JSON):\n%s\n", b)
 }

@@ -1,84 +1,40 @@
-// Waveform example: debugging a circuit with the trace recorder. Probes
-// the lane wires of a router while a circuit is configured and a word is
-// serialized across it, prints an ASCII timing diagram of the 20-bit
-// packet crossing the crossbar, and writes a VCD file any waveform viewer
-// (e.g. GTKWave) can open.
+// Waveform example: debugging a circuit with the trace subsystem through
+// the public noc API. CaptureWaveform probes the lane wires of a router
+// while a circuit is configured and a word is serialized across it; the
+// example prints the ASCII timing diagram of the 20-bit packet crossing
+// the crossbar, writes a VCD file any waveform viewer (e.g. GTKWave) can
+// open, and lists the probes by activity — the same signal changes the
+// power meter charges energy for.
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/trace"
+	"repro/noc"
 )
 
 func main() {
-	p := core.DefaultParams()
-	a := core.NewAssembly(p, core.DefaultAssemblyOptions())
-
-	rec := trace.NewRecorder(64)
-	east0 := p.Global(core.LaneID{Port: core.East, Lane: 0})
-	rec.Add(
-		trace.U8("tx0.lane", p.LaneWidth, &a.Tx[0].Out),
-		trace.U8("east0.lane", p.LaneWidth, &a.R.Out[east0]),
-	)
-
-	w := sim.NewWorld()
-	w.Add(a)
-
-	// Cycle 2: the CCN's configuration command arrives; one cycle later
-	// the circuit Tile.0 -> East.0 is live.
-	pushed := false
-	w.Add(&sim.Func{OnEval: func() {
-		switch w.Cycle() {
-		case 2:
-			if err := a.EstablishLocal(core.Circuit{
-				In:  core.LaneID{Port: core.Tile, Lane: 0},
-				Out: core.LaneID{Port: core.East, Lane: 0},
-			}); err != nil {
-				panic(err)
-			}
-		case 6:
-			// One word with SOB|EOB (a single-word block).
-			if !pushed {
-				a.Tx[0].Push(core.Word{
-					Hdr:  core.HdrValid | core.HdrSOB | core.HdrEOB,
-					Data: 0xCAFE,
-				})
-				pushed = true
-			}
-		}
-	}})
-	w.Add(rec) // last: samples post-edge values
-	w.Run(24)
+	wf, err := noc.CaptureWaveform()
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("ASCII waveform (hex lane values, '.' = unchanged):")
 	fmt.Println()
-	if err := rec.RenderASCII(os.Stdout, 0, 24); err != nil {
-		panic(err)
-	}
+	fmt.Print(wf.ASCII)
 	fmt.Println()
 	fmt.Println("reading it: the word {V|SOB|EOB 0xCAFE} packs to the 20-bit packet")
 	fmt.Println("0x7CAFE; the tx lane carries nibbles 7,C,A,F,E and the East output")
 	fmt.Println("repeats them one clock edge later (registered crossbar outputs).")
 
 	const vcdPath = "waveform.vcd"
-	f, err := os.Create(vcdPath)
-	if err != nil {
-		panic(err)
-	}
-	defer f.Close()
-	if err := rec.WriteVCD(f, "quicklook", "40ns"); err != nil { // 25 MHz
+	if err := os.WriteFile(vcdPath, wf.VCD, 0o644); err != nil {
 		panic(err)
 	}
 	fmt.Printf("\nwrote %s (open with any VCD viewer)\n", vcdPath)
 
-	// The trace recorder doubles as an activity profiler — the same
-	// signal changes the power meter charges energy for.
-	for _, name := range rec.MostActive() {
-		n, _ := rec.Changes(name)
-		fmt.Printf("  %-12s %d transitions in %d cycles\n", name, n, rec.Cycles())
+	for _, s := range wf.Signals {
+		fmt.Printf("  %-12s %d transitions in %d cycles\n", s.Name, s.Transitions, wf.Cycles)
 	}
 }

@@ -19,63 +19,82 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "fig9gated",
-		Title: "Clock gating ablation: Figure 9 with configuration-driven gating",
-		Paper: "Sections 7.3/8 (future work)",
-		Run:   runFig9Gated,
+		ID:     "fig9gated",
+		Title:  "Clock gating ablation: Figure 9 with configuration-driven gating",
+		Paper:  "Sections 7.3/8 (future work)",
+		Data:   dataFrom(fig9GatedResult),
+		Render: renderAs(renderFig9Gated),
 	})
 	register(Experiment{
-		ID:    "setup",
-		Title: "Configuration latency over the BE network",
-		Paper: "Section 5.1 (1 ms/lane, 20 ms/router budgets)",
-		Run:   runSetup,
+		ID:     "setup",
+		Title:  "Configuration latency over the BE network",
+		Paper:  "Section 5.1 (1 ms/lane, 20 ms/router budgets)",
+		Data:   dataFrom(setupResult),
+		Render: renderAs(renderSetup),
 	})
 	register(Experiment{
-		ID:    "lanes",
-		Title: "Lane count/width design sweep",
-		Paper: "Section 5.1 (adjustable parameters)",
-		Run:   runLanes,
+		ID:     "lanes",
+		Title:  "Lane count/width design sweep",
+		Paper:  "Section 5.1 (adjustable parameters)",
+		Data:   dataFrom(lanesResult),
+		Render: renderAs(renderLanes),
 	})
 	register(Experiment{
-		ID:    "window",
-		Title: "Window-counter flow control sweep",
-		Paper: "Section 5.2",
-		Run:   runWindow,
+		ID:     "window",
+		Title:  "Window-counter flow control sweep",
+		Paper:  "Section 5.2",
+		Data:   dataFrom(WindowData),
+		Render: renderAs(renderWindow),
 	})
 	register(Experiment{
-		ID:    "apps",
-		Title: "Run-time mapping of the three wireless applications",
-		Paper: "Sections 3 and 7.3",
-		Run:   runApps,
+		ID:     "apps",
+		Title:  "Run-time mapping of the three wireless applications",
+		Paper:  "Sections 3 and 7.3",
+		Data:   dataFrom(AppsData),
+		Render: renderAs(renderApps),
 	})
 	register(Experiment{
-		ID:    "crossover",
-		Title: "Load sweep: energy per transported bit, both routers",
-		Paper: "Discussion (Section 7.3)",
-		Run:   runCrossover,
+		ID:     "crossover",
+		Title:  "Load sweep: energy per transported bit, both routers",
+		Paper:  "Discussion (Section 7.3)",
+		Data:   dataFrom(CrossoverData),
+		Render: renderAs(renderCrossover),
 	})
 }
 
-func runFig9Gated(w io.Writer) error {
+// Fig9GatedResult pairs the ungated and gated Figure 9 runs.
+type Fig9GatedResult struct {
+	// Config is the shared (ungated) setup.
+	Config Fig9Config `json:"config"`
+	// Ungated and Gated hold the eight bars of each run.
+	Ungated []Fig9Bar `json:"ungated"`
+	Gated   []Fig9Bar `json:"gated"`
+}
+
+func fig9GatedResult() (Fig9GatedResult, error) {
 	base := DefaultFig9Config()
 	base.Cycles = 3000
 	ungated, err := Fig9Data(base)
 	if err != nil {
-		return err
+		return Fig9GatedResult{}, err
 	}
 	gcfg := base
 	gcfg.Gated = true
 	gated, err := Fig9Data(gcfg)
 	if err != nil {
-		return err
+		return Fig9GatedResult{}, err
 	}
+	return Fig9GatedResult{Config: base, Ungated: ungated, Gated: gated}, nil
+}
+
+func renderFig9Gated(w io.Writer, res Fig9GatedResult) error {
 	fmt.Fprintln(w, "circuit-switched router, dynamic power [uW] at 25 MHz, random data:")
 	fmt.Fprintf(w, "%-9s %14s %14s %10s\n", "Scenario", "ungated", "clock gated", "saving")
-	for i, b := range ungated {
+	for i, b := range res.Ungated {
 		if b.Router != "circuit" {
 			continue
 		}
-		g := gated[i]
+		g := res.Gated[i]
 		fmt.Fprintf(w, "%-9s %11.1f uW %11.1f uW %9.0f%%\n",
 			b.Scenario, b.Power.DynamicUW(), g.Power.DynamicUW(),
 			(1-g.Power.DynamicUW()/b.Power.DynamicUW())*100)
@@ -90,14 +109,14 @@ func runFig9Gated(w io.Writer) error {
 type SetupResult struct {
 	// PathCommands and PathCycles describe configuring one 2-lane
 	// connection across the mesh.
-	PathCommands int
-	PathCycles   uint64
+	PathCommands int    `json:"path_commands"`
+	PathCycles   uint64 `json:"path_cycles"`
 	// PerLaneMS is the worst per-command latency in ms at the BE clock.
-	PerLaneMS float64
+	PerLaneMS float64 `json:"per_lane_ms"`
 	// FullRouterMS is the full 20-lane reconfiguration time in ms.
-	FullRouterMS float64
+	FullRouterMS float64 `json:"full_router_ms"`
 	// FreqMHz is the BE network clock.
-	FreqMHz float64
+	FreqMHz float64 `json:"freq_mhz"`
 }
 
 // SetupData measures configuration delivery over the BE network on a 4×4
@@ -128,15 +147,23 @@ func SetupData(freqMHz float64) (SetupResult, error) {
 	}, nil
 }
 
-func runSetup(w io.Writer) error {
+func setupResult() ([]SetupResult, error) {
+	var out []SetupResult
 	for _, f := range []float64{25, 100} {
 		r, err := SetupData(f)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Fprintf(w, "BE network at %.0f MHz (4x4 mesh, CCN at (0,0)):\n", f)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func renderSetup(w io.Writer, results []SetupResult) error {
+	for _, r := range results {
+		fmt.Fprintf(w, "BE network at %.0f MHz (4x4 mesh, CCN at (0,0)):\n", r.FreqMHz)
 		fmt.Fprintf(w, "  2-lane cross-mesh connection: %d commands in %d cycles (%.4f ms)\n",
-			r.PathCommands, r.PathCycles, float64(r.PathCycles)/f/1e3)
+			r.PathCommands, r.PathCycles, float64(r.PathCycles)/r.FreqMHz/1e3)
 		fmt.Fprintf(w, "  worst per-lane command latency: %.4f ms (paper budget: < 1 ms)\n",
 			r.PerLaneMS)
 		fmt.Fprintf(w, "  full 20-lane router reconfiguration: %.4f ms (paper budget: < 20 ms)\n",
@@ -145,8 +172,11 @@ func runSetup(w io.Writer) error {
 	return nil
 }
 
-func runLanes(w io.Writer) error {
-	pts := synth.LaneSweep(lib, []int{2, 4, 6, 8}, []int{2, 4, 8})
+func lanesResult() ([]synth.LaneSweepPoint, error) {
+	return synth.DefaultLaneSweep(lib), nil
+}
+
+func renderLanes(w io.Writer, pts []synth.LaneSweepPoint) error {
 	fmt.Fprintf(w, "%-6s %-6s %12s %10s %14s %9s\n",
 		"lanes", "width", "area [mm2]", "fmax", "link bw", "streams")
 	for _, p := range pts {
@@ -161,11 +191,12 @@ func runLanes(w io.Writer) error {
 // WindowPoint is one sample of the window-counter sweep.
 type WindowPoint struct {
 	// WC and X are the flow parameters.
-	WC, X int
+	WC int `json:"wc"`
+	X  int `json:"x"`
 	// ThroughputWordsPer100 is the delivered words per 100 cycles.
-	ThroughputWordsPer100 float64
+	ThroughputWordsPer100 float64 `json:"throughput_words_per_100"`
 	// Stalls counts source stall cycles.
-	Stalls uint64
+	Stalls uint64 `json:"stalls"`
 }
 
 // WindowData sweeps the window counter across a two-router circuit with a
@@ -226,11 +257,7 @@ func WindowData() ([]WindowPoint, error) {
 	return out, nil
 }
 
-func runWindow(w io.Writer) error {
-	pts, err := WindowData()
-	if err != nil {
-		return err
-	}
+func renderWindow(w io.Writer, pts []WindowPoint) error {
 	fmt.Fprintln(w, "two-router circuit, consumer at line rate, 3000 cycles:")
 	fmt.Fprintf(w, "%-5s %-5s %22s %10s\n", "WC", "X", "words per 100 cycles", "stalls")
 	for _, p := range pts {
@@ -242,7 +269,34 @@ func runWindow(w io.Writer) error {
 	return nil
 }
 
-func runApps(w io.Writer) error {
+// AppMapping summarizes one wireless application mapped onto the mesh.
+type AppMapping struct {
+	// Name labels the application and its operating point.
+	Name string `json:"name"`
+	// Processes is the process count of the KPN graph.
+	Processes int `json:"processes"`
+	// MeshW, MeshH and FreqMHz describe the target NoC.
+	MeshW   int     `json:"mesh_w"`
+	MeshH   int     `json:"mesh_h"`
+	FreqMHz float64 `json:"freq_mhz"`
+	// Channels and LanePaths count GT connections and allocated lane
+	// paths; Hops is the route length total.
+	Channels  int `json:"channels"`
+	LanePaths int `json:"lane_paths"`
+	Hops      int `json:"hops"`
+	// LinkUtilization is the fraction of mesh lane capacity in use.
+	LinkUtilization float64 `json:"link_utilization"`
+	// GTMbps and BEFraction characterize the traffic mix.
+	GTMbps     float64 `json:"gt_mbps"`
+	BEFraction float64 `json:"be_fraction"`
+	// MaxChannelMbps and MaxChannelLanes describe the heaviest stream.
+	MaxChannelMbps  float64 `json:"max_channel_mbps"`
+	MaxChannelLanes int     `json:"max_channel_lanes"`
+}
+
+// AppsData maps the three wireless applications of Section 3 onto the
+// circuit-switched NoC via the CCN and reports the allocation summary.
+func AppsData() ([]AppMapping, error) {
 	type appCase struct {
 		name    string
 		graph   *kpn.Graph
@@ -254,25 +308,46 @@ func runApps(w io.Writer) error {
 		{"UMTS (4 fingers, SF4)", apps.UMTSGraph(apps.DefaultUMTS()), 100, 4, 3},
 		{"DRM", apps.DRMGraph(), 25, 4, 3},
 	}
+	var out []AppMapping
 	for _, c := range cases {
 		m := mesh.New(c.w, c.h, core.DefaultParams(), core.DefaultAssemblyOptions())
 		mgr := ccn.NewManager(m, c.freqMHz)
 		mp, err := mgr.MapApplication(c.graph)
 		if err != nil {
-			return fmt.Errorf("mapping %s: %w", c.name, err)
+			return nil, fmt.Errorf("mapping %s: %w", c.name, err)
 		}
 		var laneSum int
 		for _, conn := range mp.Connections {
 			laneSum += conn.Lanes
 		}
+		out = append(out, AppMapping{
+			Name:            c.name,
+			Processes:       len(c.graph.Processes),
+			MeshW:           c.w,
+			MeshH:           c.h,
+			FreqMHz:         c.freqMHz,
+			Channels:        len(mp.Connections),
+			LanePaths:       laneSum,
+			Hops:            mp.TotalHops(),
+			LinkUtilization: mgr.LinkUtilization(),
+			GTMbps:          c.graph.TotalBandwidthMbps(kpn.GT),
+			BEFraction:      c.graph.BEFraction(),
+			MaxChannelMbps:  c.graph.MaxChannelMbps(),
+			MaxChannelLanes: mgr.LanesFor(c.graph.MaxChannelMbps()),
+		})
+	}
+	return out, nil
+}
+
+func renderApps(w io.Writer, rows []AppMapping) error {
+	for _, r := range rows {
 		fmt.Fprintf(w, "%-24s %2d processes on %dx%d mesh at %3.0f MHz: "+
 			"%2d GT channels, %2d lane paths, %2d hops, util %.1f%%\n",
-			c.name, len(c.graph.Processes), c.w, c.h, c.freqMHz,
-			len(mp.Connections), laneSum, mp.TotalHops(), mgr.LinkUtilization()*100)
+			r.Name, r.Processes, r.MeshW, r.MeshH, r.FreqMHz,
+			r.Channels, r.LanePaths, r.Hops, r.LinkUtilization*100)
 		fmt.Fprintf(w, "%-24s   GT %.1f Mbit/s, BE share %.2f%% (< 5%% per Section 3.3), "+
 			"heaviest channel %.0f Mbit/s -> %d lane(s)\n",
-			"", c.graph.TotalBandwidthMbps(kpn.GT), c.graph.BEFraction()*100,
-			c.graph.MaxChannelMbps(), mgr.LanesFor(c.graph.MaxChannelMbps()))
+			"", r.GTMbps, r.BEFraction*100, r.MaxChannelMbps, r.MaxChannelLanes)
 	}
 	fmt.Fprintln(w, "\nall three applications of Section 3 map onto the circuit-switched NoC")
 	fmt.Fprintln(w, "with guaranteed-throughput lanes (paper Section 7.3, second bullet)")
@@ -282,11 +357,11 @@ func runApps(w io.Writer) error {
 // CrossoverPoint is one sample of the load sweep.
 type CrossoverPoint struct {
 	// Load is the offered load fraction.
-	Load float64
+	Load float64 `json:"load"`
 	// CircuitNJPerWord and PacketNJPerWord are total energy per
 	// delivered word in nanojoules.
-	CircuitNJPerWord float64
-	PacketNJPerWord  float64
+	CircuitNJPerWord float64 `json:"circuit_nj_per_word"`
+	PacketNJPerWord  float64 `json:"packet_nj_per_word"`
 }
 
 // CrossoverData sweeps the offered load on Scenario III and reports the
@@ -320,11 +395,7 @@ func CrossoverData() ([]CrossoverPoint, error) {
 	return out, nil
 }
 
-func runCrossover(w io.Writer) error {
-	pts, err := CrossoverData()
-	if err != nil {
-		return err
-	}
+func renderCrossover(w io.Writer, pts []CrossoverPoint) error {
 	fmt.Fprintln(w, "Scenario III (streams 1+2), 25 MHz, random data; total energy per word:")
 	fmt.Fprintf(w, "%-8s %20s %20s %8s\n", "load", "circuit [nJ/word]", "packet [nJ/word]", "ratio")
 	var ratios stats.Series

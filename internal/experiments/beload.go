@@ -13,23 +13,25 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "beload",
-		Title: "Best-effort network latency vs offered load",
-		Paper: "Section 3.3 BE class (fairness, no guarantees)",
-		Run:   runBELoad,
+		ID:     "beload",
+		Title:  "Best-effort network latency vs offered load",
+		Paper:  "Section 3.3 BE class (fairness, no guarantees)",
+		Data:   dataFrom(BELoadData),
+		Render: renderAs(renderBELoad),
 	})
 }
 
 // BELoadPoint is one sample of the latency-throughput curve.
 type BELoadPoint struct {
 	// OfferedLoad is the per-node injection probability per cycle.
-	OfferedLoad float64
+	OfferedLoad float64 `json:"offered_load"`
 	// MeanLatency and P95Latency are in cycles.
-	MeanLatency, P95Latency float64
+	MeanLatency float64 `json:"mean_latency"`
+	P95Latency  float64 `json:"p95_latency"`
 	// Delivered counts completed messages.
-	Delivered int
+	Delivered int `json:"delivered"`
 	// Throughput is delivered messages per node per 100 cycles.
-	Throughput float64
+	Throughput float64 `json:"throughput"`
 }
 
 // BELoadData sweeps uniform-random traffic on a 4×4 best-effort mesh and
@@ -80,11 +82,7 @@ func BELoadData() ([]BELoadPoint, error) {
 	return out, nil
 }
 
-func runBELoad(w io.Writer) error {
-	pts, err := BELoadData()
-	if err != nil {
-		return err
-	}
+func renderBELoad(w io.Writer, pts []BELoadPoint) error {
 	fmt.Fprintln(w, "4x4 BE mesh, uniform random 4-word messages, 4000 cycles:")
 	fmt.Fprintf(w, "%-14s %12s %12s %14s\n",
 		"offered load", "mean lat", "p95 lat", "msgs/node/100cy")

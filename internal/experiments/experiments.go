@@ -2,13 +2,20 @@
 // evaluation, plus the ablations DESIGN.md calls out. Each experiment is
 // registered under the identifier used in DESIGN.md's per-experiment index
 // (table1..table4, fig9, fig10, fig9gated, setup, lanes, window, apps,
-// crossover) and renders its result as text, so
+// crossover, ...) and is split into two halves: a Data function that
+// produces the experiment's typed result, and a Render function that
+// formats that result as text. So
 //
 //	nocbench -run fig9
 //
 // prints the reproduction of Figure 9 next to the paper's reference
-// values. The data behind each rendering is available through exported
-// functions for the benchmark harness and the tests.
+// values, while
+//
+//	nocbench -run fig9 -json
+//
+// emits the same result as structured JSON. The typed data behind each
+// rendering is also available through exported functions for the
+// benchmark harness and the tests.
 package experiments
 
 import (
@@ -19,7 +26,9 @@ import (
 	"repro/internal/stdcell"
 )
 
-// Experiment is one reproducible artefact of the paper.
+// Experiment is one reproducible artefact of the paper, split into a
+// data-producing half and a rendering half so the same measurement can
+// feed both the text reports and structured (JSON) output.
 type Experiment struct {
 	// ID is the identifier used by the CLI and DESIGN.md.
 	ID string
@@ -27,8 +36,11 @@ type Experiment struct {
 	Title string
 	// Paper cites the table/figure or section reproduced.
 	Paper string
-	// Run renders the experiment to w.
-	Run func(w io.Writer) error
+	// Data produces the experiment's typed result. The concrete type is
+	// experiment specific (e.g. []Fig9Bar for fig9) and JSON-marshalable.
+	Data func() (any, error)
+	// Render formats a value previously produced by Data.
+	Render func(w io.Writer, data any) error
 }
 
 var registry = map[string]Experiment{}
@@ -38,7 +50,26 @@ func register(e Experiment) {
 	if _, dup := registry[e.ID]; dup {
 		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
 	}
+	if e.Data == nil || e.Render == nil {
+		panic(fmt.Sprintf("experiments: %q lacks Data or Render", e.ID))
+	}
 	registry[e.ID] = e
+}
+
+// dataFrom adapts a typed data function to the registry's signature.
+func dataFrom[T any](f func() (T, error)) func() (any, error) {
+	return func() (any, error) { return f() }
+}
+
+// renderAs adapts a typed render function to the registry's signature.
+func renderAs[T any](f func(io.Writer, T) error) func(io.Writer, any) error {
+	return func(w io.Writer, data any) error {
+		d, ok := data.(T)
+		if !ok {
+			return fmt.Errorf("experiments: render expected %T, got %T", d, data)
+		}
+		return f(w, d)
+	}
 }
 
 // All returns the registered experiments sorted by ID.
@@ -57,6 +88,19 @@ func Lookup(id string) (Experiment, bool) {
 	return e, ok
 }
 
+// DataFor runs the experiment's measurement and returns its typed result.
+func DataFor(id string) (any, error) {
+	e, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	data, err := e.Data()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	return data, nil
+}
+
 // RunAll renders every experiment to w, separated by headers.
 func RunAll(w io.Writer) error {
 	for _, e := range All() {
@@ -67,14 +111,18 @@ func RunAll(w io.Writer) error {
 	return nil
 }
 
-// RunOne renders a single experiment with its header.
+// RunOne measures and renders a single experiment with its header.
 func RunOne(w io.Writer, id string) error {
 	e, ok := Lookup(id)
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q", id)
 	}
 	fmt.Fprintf(w, "=== %s: %s (%s) ===\n", e.ID, e.Title, e.Paper)
-	if err := e.Run(w); err != nil {
+	data, err := e.Data()
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	if err := e.Render(w, data); err != nil {
 		return fmt.Errorf("experiments: %s: %w", e.ID, err)
 	}
 	fmt.Fprintln(w)

@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		if e.ID != want[i] {
 			t.Errorf("experiment %d = %q, want %q", i, e.ID, want[i])
 		}
-		if e.Title == "" || e.Paper == "" || e.Run == nil {
+		if e.Title == "" || e.Paper == "" || e.Data == nil || e.Render == nil {
 			t.Errorf("experiment %q incomplete", e.ID)
 		}
 	}

@@ -10,16 +10,18 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "fig9",
-		Title: "Dynamic and static power bars per scenario (random data, 100% load)",
-		Paper: "Figure 9",
-		Run:   runFig9,
+		ID:     "fig9",
+		Title:  "Dynamic and static power bars per scenario (random data, 100% load)",
+		Paper:  "Figure 9",
+		Data:   dataFrom(defaultFig9Result),
+		Render: renderAs(renderFig9),
 	})
 	register(Experiment{
-		ID:    "fig10",
-		Title: "Data dependency of the dynamic power consumption (100% load)",
-		Paper: "Figure 10",
-		Run:   runFig10,
+		ID:     "fig10",
+		Title:  "Data dependency of the dynamic power consumption (100% load)",
+		Paper:  "Figure 10",
+		Data:   dataFrom(defaultFig10Result),
+		Render: renderAs(renderFig10),
 	})
 }
 
@@ -27,27 +29,35 @@ func init() {
 // 25 MHz with random data at 100% load.
 type Fig9Bar struct {
 	// Router is "circuit" or "packet".
-	Router string
+	Router string `json:"router"`
 	// Scenario is the roman numeral.
-	Scenario string
+	Scenario string `json:"scenario"`
 	// Power is the static/internal/switching split.
-	Power power.Breakdown
+	Power power.Breakdown `json:"power"`
 }
 
 // Fig9Config bundles the knobs of the Figure 9/10 simulations.
 type Fig9Config struct {
 	// Cycles is the simulation length (paper: 200 µs at 25 MHz = 5000).
-	Cycles int
+	Cycles int `json:"cycles"`
 	// FreqMHz is the clock (paper: 25).
-	FreqMHz float64
+	FreqMHz float64 `json:"freq_mhz"`
 	// Gated applies the clock-gating ablation to the circuit-switched
 	// router.
-	Gated bool
+	Gated bool `json:"gated"`
 }
 
 // DefaultFig9Config returns the paper's setup.
 func DefaultFig9Config() Fig9Config {
 	return Fig9Config{Cycles: 5000, FreqMHz: 25}
+}
+
+// Fig9Result is the typed result of the fig9 experiment.
+type Fig9Result struct {
+	// Config echoes the simulation setup.
+	Config Fig9Config `json:"config"`
+	// Bars holds the eight bars in the paper's order.
+	Bars []Fig9Bar `json:"bars"`
 }
 
 // Fig9Data runs all eight simulations of Figure 9 (four scenarios × two
@@ -74,18 +84,23 @@ func Fig9Data(cfg Fig9Config) ([]Fig9Bar, error) {
 	return bars, nil
 }
 
-func runFig9(w io.Writer) error {
+func defaultFig9Result() (Fig9Result, error) {
 	cfg := DefaultFig9Config()
 	bars, err := Fig9Data(cfg)
 	if err != nil {
-		return err
+		return Fig9Result{}, err
 	}
+	return Fig9Result{Config: cfg, Bars: bars}, nil
+}
+
+func renderFig9(w io.Writer, res Fig9Result) error {
+	cfg := res.Config
 	fmt.Fprintf(w, "clock %.0f MHz, %d cycles (%.0f us), random data (50%% flips), 100%% load\n",
 		cfg.FreqMHz, cfg.Cycles, float64(cfg.Cycles)/cfg.FreqMHz)
 	fmt.Fprintf(w, "%-10s %-9s %12s %18s %20s %12s\n",
 		"Router", "Scenario", "Static [uW]", "Dyn internal [uW]", "Dyn switching [uW]", "Total [uW]")
 	var csAvg, psAvg float64
-	for _, b := range bars {
+	for _, b := range res.Bars {
 		fmt.Fprintf(w, "%-10s %-9s %12.1f %18.1f %20.1f %12.1f\n",
 			b.Router, b.Scenario, b.Power.StaticUW, b.Power.InternalUW,
 			b.Power.SwitchingUW, b.Power.TotalUW())
@@ -105,13 +120,21 @@ func runFig9(w io.Writer) error {
 // dynamic power against the data bit-flip fraction.
 type Fig10Point struct {
 	// Router is "circuit" or "packet".
-	Router string
+	Router string `json:"router"`
 	// Scenario is the roman numeral.
-	Scenario string
+	Scenario string `json:"scenario"`
 	// FlipProb is the bit-flip fraction (0, 0.5, 1).
-	FlipProb float64
+	FlipProb float64 `json:"flip_prob"`
 	// UWPerMHz is the dynamic power in µW/MHz.
-	UWPerMHz float64
+	UWPerMHz float64 `json:"uw_per_mhz"`
+}
+
+// Fig10Result is the typed result of the fig10 experiment.
+type Fig10Result struct {
+	// Config echoes the simulation setup.
+	Config Fig9Config `json:"config"`
+	// Points holds the 24 curve samples.
+	Points []Fig10Point `json:"points"`
 }
 
 // Fig10Data sweeps the bit-flip fraction over the paper's three cases for
@@ -145,16 +168,20 @@ func Fig10Data(cfg Fig9Config) ([]Fig10Point, error) {
 	return pts, nil
 }
 
-func runFig10(w io.Writer) error {
+func defaultFig10Result() (Fig10Result, error) {
 	cfg := DefaultFig9Config()
 	pts, err := Fig10Data(cfg)
 	if err != nil {
-		return err
+		return Fig10Result{}, err
 	}
+	return Fig10Result{Config: cfg, Points: pts}, nil
+}
+
+func renderFig10(w io.Writer, res Fig10Result) error {
 	fmt.Fprintln(w, "dynamic power [uW/MHz] vs percentage of data bit-flips (100% load)")
 	fmt.Fprintf(w, "%-10s %-9s %10s %10s %10s\n", "Router", "Scenario", "0%", "50%", "100%")
 	curve := map[string][3]float64{}
-	for _, p := range pts {
+	for _, p := range res.Points {
 		key := p.Router + "/" + p.Scenario
 		c := curve[key]
 		switch p.FlipProb {

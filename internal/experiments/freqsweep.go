@@ -10,21 +10,32 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "freqsweep",
-		Title: "Power vs clock frequency, both routers",
-		Paper: "extension of Section 7.2 (the paper fixes 25 MHz)",
-		Run:   runFreqSweep,
+		ID:     "freqsweep",
+		Title:  "Power vs clock frequency, both routers",
+		Paper:  "extension of Section 7.2 (the paper fixes 25 MHz)",
+		Data:   dataFrom(freqSweepResult),
+		Render: renderAs(renderFreqSweep),
 	})
 }
 
 // FreqPoint is one sample of the frequency sweep.
 type FreqPoint struct {
 	// FreqMHz is the clock.
-	FreqMHz float64
+	FreqMHz float64 `json:"freq_mhz"`
 	// CircuitUW and PacketUW are total power under Scenario III.
-	CircuitUW, PacketUW float64
+	CircuitUW float64 `json:"circuit_uw"`
+	PacketUW  float64 `json:"packet_uw"`
 	// CircuitStaticUW isolates the frequency-independent part.
-	CircuitStaticUW float64
+	CircuitStaticUW float64 `json:"circuit_static_uw"`
+}
+
+// FreqSweepResult is the typed result of the freqsweep experiment.
+type FreqSweepResult struct {
+	// Points are the sweep samples.
+	Points []FreqPoint `json:"points"`
+	// CircuitLimitMHz and PacketLimitMHz are the Table 4 synthesis limits.
+	CircuitLimitMHz float64 `json:"circuit_limit_mhz"`
+	PacketLimitMHz  float64 `json:"packet_limit_mhz"`
 }
 
 // FreqSweepData measures Scenario III total power across clocks up to
@@ -54,19 +65,27 @@ func FreqSweepData() ([]FreqPoint, []float64, error) {
 	return pts, limits, nil
 }
 
-func runFreqSweep(w io.Writer) error {
+func freqSweepResult() (FreqSweepResult, error) {
 	pts, limits, err := FreqSweepData()
 	if err != nil {
-		return err
+		return FreqSweepResult{}, err
 	}
+	return FreqSweepResult{
+		Points:          pts,
+		CircuitLimitMHz: limits[0],
+		PacketLimitMHz:  limits[1],
+	}, nil
+}
+
+func renderFreqSweep(w io.Writer, res FreqSweepResult) error {
 	fmt.Fprintln(w, "Scenario III, random data, 100% load; total power [uW]:")
 	fmt.Fprintf(w, "%-10s %14s %14s %10s\n", "f [MHz]", "circuit", "packet", "ratio")
-	for _, p := range pts {
+	for _, p := range res.Points {
 		fmt.Fprintf(w, "%-10.0f %14.0f %14.0f %10.2f\n",
 			p.FreqMHz, p.CircuitUW, p.PacketUW, p.PacketUW/p.CircuitUW)
 	}
 	fmt.Fprintf(w, "\nsynthesis limits (Table 4): circuit %.0f MHz, packet %.0f MHz —\n",
-		limits[0], limits[1])
+		res.CircuitLimitMHz, res.PacketLimitMHz)
 	fmt.Fprintln(w, "the packet-switched router cannot follow beyond ~507 MHz; the power")
 	fmt.Fprintln(w, "ratio is frequency independent (dynamic dominates and both scale")
 	fmt.Fprintln(w, "linearly), so the 3.5x advantage holds at any operating point")

@@ -4,26 +4,30 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/core"
+	"repro/internal/packetsw"
 	"repro/internal/traffic"
 )
 
 func init() {
 	register(Experiment{
-		ID:    "latency",
-		Title: "Word latency and jitter: circuit vs packet switching",
-		Paper: "Section 3.3 GT definition (guaranteed bandwidth, bounded latency)",
-		Run:   runLatency,
+		ID:     "latency",
+		Title:  "Word latency and jitter: circuit vs packet switching",
+		Paper:  "Section 3.3 GT definition (guaranteed bandwidth, bounded latency)",
+		Data:   dataFrom(LatencyData),
+		Render: renderAs(renderLatency),
 	})
 }
 
 // LatencyRow compares delivery latency at one configuration.
 type LatencyRow struct {
 	// Case labels the configuration.
-	Case string
+	Case string `json:"case"`
 	// MeanCycles and MaxCycles describe the distribution.
-	MeanCycles, MaxCycles float64
+	MeanCycles float64 `json:"mean_cycles"`
+	MaxCycles  float64 `json:"max_cycles"`
 	// Jitter is max - min.
-	Jitter float64
+	Jitter float64 `json:"jitter"`
 }
 
 // LatencyData measures circuit latency (alone — a circuit cannot have
@@ -32,7 +36,7 @@ type LatencyRow struct {
 func LatencyData() ([]LatencyRow, error) {
 	const words = 300
 	var rows []LatencyRow
-	c, err := traffic.MeasureCircuitLatency(1.0, words)
+	c, err := traffic.MeasureCircuitLatency(core.DefaultParams(), 1.0, words)
 	if err != nil {
 		return nil, err
 	}
@@ -40,7 +44,7 @@ func LatencyData() ([]LatencyRow, error) {
 		Case: "circuit, 100% load", MeanCycles: c.Cycles.Mean(),
 		MaxCycles: c.Cycles.Max(), Jitter: c.Jitter,
 	})
-	p1, err := traffic.MeasurePacketLatency(1.0, words, false)
+	p1, err := traffic.MeasurePacketLatency(packetsw.DefaultParams(), 1.0, words, false)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +52,7 @@ func LatencyData() ([]LatencyRow, error) {
 		Case: "packet, no contention", MeanCycles: p1.Cycles.Mean(),
 		MaxCycles: p1.Cycles.Max(), Jitter: p1.Jitter,
 	})
-	p2, err := traffic.MeasurePacketLatency(1.0, words, true)
+	p2, err := traffic.MeasurePacketLatency(packetsw.DefaultParams(), 1.0, words, true)
 	if err != nil {
 		return nil, err
 	}
@@ -59,11 +63,7 @@ func LatencyData() ([]LatencyRow, error) {
 	return rows, nil
 }
 
-func runLatency(w io.Writer) error {
-	rows, err := LatencyData()
-	if err != nil {
-		return err
-	}
+func renderLatency(w io.Writer, rows []LatencyRow) error {
 	fmt.Fprintln(w, "one router, words timestamped push-to-pop, cycles at the router clock:")
 	fmt.Fprintf(w, "%-24s %10s %10s %10s\n", "case", "mean", "max", "jitter")
 	for _, r := range rows {

@@ -13,22 +13,24 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "multicast",
-		Title: "Multicast: crossbar fan-out vs packet replication",
-		Paper: "implied by the fully connected crossbar of Section 5.1",
-		Run:   runMulticast,
+		ID:     "multicast",
+		Title:  "Multicast: crossbar fan-out vs packet replication",
+		Paper:  "implied by the fully connected crossbar of Section 5.1",
+		Data:   dataFrom(MulticastData),
+		Render: renderAs(renderMulticast),
 	})
 }
 
 // MulticastPoint compares delivering one stream to k destinations.
 type MulticastPoint struct {
 	// Fanout is the destination count.
-	Fanout int
+	Fanout int `json:"fanout"`
 	// CircuitUW and PacketUW are total router power at 25 MHz.
-	CircuitUW, PacketUW float64
+	CircuitUW float64 `json:"circuit_uw"`
+	PacketUW  float64 `json:"packet_uw"`
 	// PacketInjectedWords counts words the packet-switched source had to
 	// inject (k copies); the circuit-switched source always injects one.
-	PacketInjectedWords uint64
+	PacketInjectedWords uint64 `json:"packet_injected_words"`
 }
 
 // MulticastData streams one 80 Mbit/s source to k ∈ {1,2,3} neighbour
@@ -100,11 +102,7 @@ func MulticastData() ([]MulticastPoint, error) {
 	return out, nil
 }
 
-func runMulticast(w io.Writer) error {
-	pts, err := MulticastData()
-	if err != nil {
-		return err
-	}
+func renderMulticast(w io.Writer, pts []MulticastPoint) error {
 	fmt.Fprintln(w, "one 80 Mbit/s source to k destinations, 25 MHz, total power [uW]:")
 	fmt.Fprintf(w, "%-8s %14s %14s %16s\n", "fanout", "circuit", "packet", "PS copies sent")
 	base := pts[0]

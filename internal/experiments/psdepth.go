@@ -9,23 +9,24 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "psdepth",
-		Title: "Packet-switched FIFO depth sweep: buffering dominates",
-		Paper: "Section 7.3 (\"the necessary buffers ... of the packet-switched router\")",
-		Run:   runPSDepth,
+		ID:     "psdepth",
+		Title:  "Packet-switched FIFO depth sweep: buffering dominates",
+		Paper:  "Section 7.3 (\"the necessary buffers ... of the packet-switched router\")",
+		Data:   dataFrom(psDepthResult),
+		Render: renderAs(renderPSDepth),
 	})
 }
 
 // PSDepthPoint is one sample of the buffer-depth sweep.
 type PSDepthPoint struct {
 	// Depth is the per-VC FIFO depth in flits.
-	Depth int
+	Depth int `json:"depth"`
 	// AreaMM2 is the router's total area.
-	AreaMM2 float64
+	AreaMM2 float64 `json:"area_mm2"`
 	// BufferShare is the buffering block's fraction of the total area.
-	BufferShare float64
+	BufferShare float64 `json:"buffer_share"`
 	// IdleUWPerMHz is the clocked-but-idle dynamic power.
-	IdleUWPerMHz float64
+	IdleUWPerMHz float64 `json:"idle_uw_per_mhz"`
 }
 
 // PSDepthData sweeps the virtual-channel router's FIFO depth and shows
@@ -50,8 +51,11 @@ func PSDepthData() []PSDepthPoint {
 	return out
 }
 
-func runPSDepth(w io.Writer) error {
-	pts := PSDepthData()
+func psDepthResult() ([]PSDepthPoint, error) {
+	return PSDepthData(), nil
+}
+
+func renderPSDepth(w io.Writer, pts []PSDepthPoint) error {
 	fmt.Fprintln(w, "virtual-channel router, 4 VCs, varying per-VC FIFO depth:")
 	fmt.Fprintf(w, "%-8s %12s %14s %16s\n", "depth", "area [mm2]", "buffer share", "idle [uW/MHz]")
 	for _, p := range pts {

@@ -16,29 +16,31 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "meshpower",
-		Title: "Whole-NoC power for the UMTS mapping, with and without clock gating",
-		Paper: "system-level extension of Figures 9/10",
-		Run:   runMeshPower,
+		ID:     "meshpower",
+		Title:  "Whole-NoC power for the UMTS mapping, with and without clock gating",
+		Paper:  "system-level extension of Figures 9/10",
+		Data:   dataFrom(defaultMeshPowerResult),
+		Render: renderAs(renderMeshPower),
 	})
 	register(Experiment{
-		ID:    "schedule",
-		Title: "Scheduling effort: TDM slot tables vs lane allocation",
-		Paper: "Section 4 (SoCBUS/AEthereal discussion)",
-		Run:   runSchedule,
+		ID:     "schedule",
+		Title:  "Scheduling effort: TDM slot tables vs lane allocation",
+		Paper:  "Section 4 (SoCBUS/AEthereal discussion)",
+		Data:   dataFrom(ScheduleData),
+		Render: renderAs(renderSchedule),
 	})
 }
 
 // MeshPowerResult compares NoC-level power for one scenario.
 type MeshPowerResult struct {
 	// Idle is the unconfigured mesh.
-	Idle power.Breakdown
+	Idle power.Breakdown `json:"idle"`
 	// Loaded carries the UMTS mapping's heaviest streams.
-	Loaded power.Breakdown
+	Loaded power.Breakdown `json:"loaded"`
 	// Gated repeats Loaded with configuration-driven clock gating.
-	Gated power.Breakdown
+	Gated power.Breakdown `json:"gated"`
 	// Routers is the node count.
-	Routers int
+	Routers int `json:"routers"`
 }
 
 // MeshPowerData maps UMTS onto a 4×3 mesh at 100 MHz and measures
@@ -87,11 +89,11 @@ func MeshPowerData(cycles int) (MeshPowerResult, error) {
 	return out, nil
 }
 
-func runMeshPower(w io.Writer) error {
-	r, err := MeshPowerData(2000)
-	if err != nil {
-		return err
-	}
+func defaultMeshPowerResult() (MeshPowerResult, error) {
+	return MeshPowerData(2000)
+}
+
+func renderMeshPower(w io.Writer, r MeshPowerResult) error {
 	mw := func(b power.Breakdown) float64 { return b.TotalUW() / 1e3 }
 	fmt.Fprintf(w, "4x3 mesh (%d routers) at 100 MHz, UMTS chip streams at full rate:\n", r.Routers)
 	fmt.Fprintf(w, "  %-28s %8.3f mW  (%.1f uW/router)\n", "idle, ungated:", mw(r.Idle), r.Idle.TotalUW()/12)
@@ -107,11 +109,13 @@ func runMeshPower(w io.Writer) error {
 // SchedulePoint compares allocation effort at one load level.
 type SchedulePoint struct {
 	// Requests is the number of connection requests offered.
-	Requests int
+	Requests int `json:"requests"`
 	// TDMProbes and TDMRejected describe the slot-table scheduler.
-	TDMProbes, TDMRejected int
+	TDMProbes   int `json:"tdm_probes"`
+	TDMRejected int `json:"tdm_rejected"`
 	// LaneProbes and LaneRejected describe circuit-switched allocation.
-	LaneProbes, LaneRejected int
+	LaneProbes   int `json:"lane_probes"`
+	LaneRejected int `json:"lane_rejected"`
 }
 
 // ScheduleData offers growing random request sets to both allocators on
@@ -148,11 +152,7 @@ func ScheduleData() ([]SchedulePoint, error) {
 	return out, nil
 }
 
-func runSchedule(w io.Writer) error {
-	pts, err := ScheduleData()
-	if err != nil {
-		return err
-	}
+func renderSchedule(w io.Writer, pts []SchedulePoint) error {
 	fmt.Fprintln(w, "random connection requests on one router; equal bandwidth shares")
 	fmt.Fprintln(w, "(32-slot TDM table vs 4 lanes):")
 	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n",

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/synth"
@@ -11,69 +12,155 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "table1",
-		Title: "Communication in HiperLAN/2",
-		Paper: "Table 1",
-		Run:   runTable1,
+		ID:     "table1",
+		Title:  "Communication in HiperLAN/2",
+		Paper:  "Table 1",
+		Data:   dataFrom(table1Result),
+		Render: renderAs(renderTable1),
 	})
 	register(Experiment{
-		ID:    "table2",
-		Title: "Communication in UMTS",
-		Paper: "Table 2",
-		Run:   runTable2,
+		ID:     "table2",
+		Title:  "Communication in UMTS",
+		Paper:  "Table 2",
+		Data:   dataFrom(table2Result),
+		Render: renderAs(renderTable2),
 	})
 	register(Experiment{
-		ID:    "table3",
-		Title: "Stream definitions",
-		Paper: "Table 3",
-		Run:   runTable3,
+		ID:     "table3",
+		Title:  "Stream definitions",
+		Paper:  "Table 3",
+		Data:   dataFrom(table3Result),
+		Render: renderAs(renderTable3),
 	})
 	register(Experiment{
-		ID:    "table4",
-		Title: "Synthesis results of three routers",
-		Paper: "Table 4",
-		Run:   runTable4,
+		ID:     "table4",
+		Title:  "Synthesis results of three routers",
+		Paper:  "Table 4",
+		Data:   dataFrom(table4Result),
+		Render: renderAs(renderTable4),
 	})
 }
 
-func runTable1(w io.Writer) error {
+// Table1Result is the typed result of the table1 experiment.
+type Table1Result struct {
+	// Params are the OFDM parameters the bandwidths derive from.
+	Params apps.HiperLANParams `json:"params"`
+	// Rows are the derived-versus-paper bandwidth rows.
+	Rows []apps.Table1Row `json:"rows"`
+}
+
+func table1Result() (Table1Result, error) {
 	h := apps.DefaultHiperLAN()
+	return Table1Result{Params: h, Rows: apps.Table1(h)}, nil
+}
+
+func renderTable1(w io.Writer, res Table1Result) error {
+	h := res.Params
 	fmt.Fprintf(w, "OFDM parameters: %d samples/symbol, %.0f us symbol, %d-pt FFT, "+
 		"%d used / %d data carriers, %d-bit complex samples\n",
 		h.SamplesPerSymbol, h.SymbolPeriodUS, h.FFTSize,
 		h.UsedCarriers, h.DataCarriers, h.SampleBits)
 	fmt.Fprintf(w, "%-28s %-10s %12s %12s\n", "Stream", "Edge(s)", "computed", "paper")
-	for _, row := range apps.Table1(h) {
+	for _, row := range res.Rows {
 		fmt.Fprintf(w, "%-28s %-10s %9.0f Mb/s %9.0f Mb/s\n",
 			row.Stream, row.Edges, row.Mbps, row.PaperMbps)
 	}
 	return nil
 }
 
-func runTable2(w io.Writer) error {
+// Table2Result is the typed result of the table2 experiment.
+type Table2Result struct {
+	// Params are the W-CDMA parameters the bandwidths derive from.
+	Params apps.UMTSParams `json:"params"`
+	// Rows are the derived-versus-paper bandwidth rows.
+	Rows []apps.Table2Row `json:"rows"`
+	// TotalMbps is the aggregate requirement across all fingers.
+	TotalMbps float64 `json:"total_mbps"`
+}
+
+func table2Result() (Table2Result, error) {
 	u := apps.DefaultUMTS()
+	return Table2Result{Params: u, Rows: apps.Table2(u), TotalMbps: u.TotalMbps()}, nil
+}
+
+func renderTable2(w io.Writer, res Table2Result) error {
+	u := res.Params
 	fmt.Fprintf(w, "W-CDMA parameters: %.2f Mchip/s, %dx oversampling, %d-bit chips, "+
 		"SF=%d, %d fingers\n",
 		u.ChipRateMcps, u.Oversampling, u.ChipBits, u.SF, u.Fingers)
 	fmt.Fprintf(w, "%-30s %-5s %12s %12s\n", "Stream", "Edge", "computed", "paper")
-	for _, row := range apps.Table2(u) {
+	for _, row := range res.Rows {
 		fmt.Fprintf(w, "%-30s %-5d %9.2f Mb/s %9.2f Mb/s\n",
 			row.Stream, row.Edge, row.Mbps, row.PaperMbps)
 	}
 	fmt.Fprintf(w, "total for %d fingers at SF=%d: %.1f Mbit/s (paper: ~320)\n",
-		u.Fingers, u.SF, u.TotalMbps())
+		u.Fingers, u.SF, res.TotalMbps)
 	return nil
 }
 
-func runTable3(w io.Writer) error {
-	fmt.Fprintf(w, "%-8s %-16s %-16s\n", "Stream", "Input port", "Output port")
+// Table3Stream is one row of the table3 experiment with the ports spelled
+// out as names, for readable JSON. Names are lowercase ("tile", "east"),
+// matching the noc package's Port JSON representation.
+type Table3Stream struct {
+	// ID is the paper's stream number.
+	ID int `json:"id"`
+	// In and Out name the ports.
+	In  string `json:"in"`
+	Out string `json:"out"`
+}
+
+// Table3Result is the typed result of the table3 experiment.
+type Table3Result struct {
+	// Streams are the stream definitions of Table 3.
+	Streams []Table3Stream `json:"streams"`
+	// Scenarios maps the roman numerals to the active stream IDs (Fig. 8).
+	Scenarios map[string][]int `json:"scenarios"`
+}
+
+func table3Result() (Table3Result, error) {
+	var res Table3Result
 	for _, s := range traffic.PaperStreams() {
-		fmt.Fprintf(w, "%-8d %-16v %-16v\n", s.ID, s.In, s.Out)
+		res.Streams = append(res.Streams, Table3Stream{
+			ID: s.ID, In: strings.ToLower(s.In.String()), Out: strings.ToLower(s.Out.String()),
+		})
+	}
+	res.Scenarios = map[string][]int{}
+	for _, sc := range traffic.Scenarios() {
+		ids := []int{}
+		for _, s := range sc.Streams {
+			ids = append(ids, s.ID)
+		}
+		res.Scenarios[sc.Name] = ids
+	}
+	return res, nil
+}
+
+func renderTable3(w io.Writer, res Table3Result) error {
+	// The text table keeps the paper's capitalized port names.
+	cap := func(s string) string {
+		if s == "" {
+			return s
+		}
+		return strings.ToUpper(s[:1]) + s[1:]
+	}
+	fmt.Fprintf(w, "%-8s %-16s %-16s\n", "Stream", "Input port", "Output port")
+	for _, s := range res.Streams {
+		fmt.Fprintf(w, "%-8d %-16s %-16s\n", s.ID, cap(s.In), cap(s.Out))
 	}
 	fmt.Fprintln(w, "\nScenarios (Fig. 8): I = none, II = {1}, III = {1,2}, IV = {1,2,3}")
 	return nil
 }
 
-func runTable4(w io.Writer) error {
-	return synth.Render(w, synth.Table4(lib))
+// Table4Result is the typed result of the table4 experiment.
+type Table4Result struct {
+	// Rows are the three synthesis rows (circuit, packet, Aethereal).
+	Rows []synth.Row `json:"rows"`
+}
+
+func table4Result() (Table4Result, error) {
+	return Table4Result{Rows: synth.Table4(lib)}, nil
+}
+
+func renderTable4(w io.Writer, res Table4Result) error {
+	return synth.Render(w, res.Rows)
 }

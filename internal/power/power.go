@@ -87,18 +87,18 @@ func toggleEnergy(lib stdcell.Lib, k ToggleKind) (internal, switching float64) {
 // Breakdown is the result of a power estimation at a given clock frequency.
 type Breakdown struct {
 	// Name labels the measured design/scenario combination.
-	Name string
+	Name string `json:"name"`
 	// FreqMHz is the clock frequency the estimate applies to.
-	FreqMHz float64
+	FreqMHz float64 `json:"freq_mhz"`
 	// Cycles is the number of simulated clock cycles.
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 	// StaticUW is the leakage power in µW.
-	StaticUW float64
+	StaticUW float64 `json:"static_uw"`
 	// InternalUW is the dynamic internal-cell power in µW (clock network
 	// plus in-cell toggle energy).
-	InternalUW float64
+	InternalUW float64 `json:"internal_uw"`
 	// SwitchingUW is the dynamic switching (net charging) power in µW.
-	SwitchingUW float64
+	SwitchingUW float64 `json:"switching_uw"`
 }
 
 // DynamicUW returns internal plus switching power in µW.

@@ -206,6 +206,13 @@ type LaneSweepPoint struct {
 	Streams int
 }
 
+// DefaultLaneSweep evaluates the standard design-space grid of
+// Section 5.1 (2-8 lanes, 2-8 bit): the one grid the `lanes` experiment
+// and the nocsynth -sweep report share.
+func DefaultLaneSweep(lib stdcell.Lib) []LaneSweepPoint {
+	return LaneSweep(lib, []int{2, 4, 6, 8}, []int{2, 4, 8})
+}
+
 // LaneSweep evaluates the given lane-count and lane-width choices.
 func LaneSweep(lib stdcell.Lib, lanes, widths []int) []LaneSweepPoint {
 	var out []LaneSweepPoint

@@ -22,15 +22,17 @@ type LatencyResult struct {
 }
 
 // MeasureCircuitLatency streams timestamped words through an established
-// circuit (North→Tile, one router) at the given load and measures
-// push-to-pop latency. A circuit has no arbitration and no queueing: the
-// latency is the serialization plus pipeline depth, identical for every
-// word.
-func MeasureCircuitLatency(load float64, words int) (LatencyResult, error) {
+// circuit (North→Tile, one router of the given geometry) at the given
+// load and measures push-to-pop latency. A circuit has no arbitration
+// and no queueing: the latency is the serialization plus pipeline depth,
+// identical for every word.
+func MeasureCircuitLatency(p core.Params, load float64, words int) (LatencyResult, error) {
 	if load <= 0 || load > 1 {
 		return LatencyResult{}, fmt.Errorf("traffic: load %v out of (0,1]", load)
 	}
-	p := core.DefaultParams()
+	if err := p.Validate(); err != nil {
+		return LatencyResult{}, err
+	}
 	a := core.NewAssembly(p, core.AssemblyOptions{Flow: core.FlowParams{}, RxBufCap: 4})
 	// Feeder converter models the upstream router/tile.
 	tx := core.NewTxConverter(p, core.FlowParams{})
@@ -84,15 +86,18 @@ func MeasureCircuitLatency(load float64, words int) (LatencyResult, error) {
 const latencyWarmup = 10
 
 // MeasurePacketLatency injects timestamped single-word packets at the
-// North port of the packet-switched router towards the tile, optionally
-// with competing background streams that keep the shared ejection port
-// busy, and measures head-to-eject latency. Queueing and arbitration make
-// the latency load-dependent — bounded but not constant.
-func MeasurePacketLatency(load float64, words int, background bool) (LatencyResult, error) {
+// North port of a packet-switched router with the given configuration
+// towards the tile, optionally with competing background streams that
+// keep the shared ejection port busy, and measures head-to-eject
+// latency. Queueing and arbitration make the latency load-dependent —
+// bounded but not constant.
+func MeasurePacketLatency(pp packetsw.Params, load float64, words int, background bool) (LatencyResult, error) {
 	if load <= 0 || load > 1 {
 		return LatencyResult{}, fmt.Errorf("traffic: load %v out of (0,1]", load)
 	}
-	pp := packetsw.DefaultParams()
+	if err := pp.Validate(); err != nil {
+		return LatencyResult{}, err
+	}
 	r := packetsw.NewRouter(pp, packetsw.PortRoute)
 	w := sim.NewWorld()
 	w.Add(r)
@@ -125,6 +130,9 @@ func MeasurePacketLatency(load float64, words int, background bool) (LatencyResu
 			}
 		}
 	}})
+	if background && pp.VCs < 3 {
+		return LatencyResult{}, fmt.Errorf("traffic: background contention needs 3 VCs, have %d", pp.VCs)
+	}
 	if background {
 		// Two heavy random streams on other VCs oversubscribe the shared
 		// ejection port: the measured stream has to win round-robin

@@ -1,12 +1,17 @@
 package traffic
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packetsw"
+)
 
 func TestCircuitLatencyIsConstant(t *testing.T) {
 	// The established circuit's defining property: every word sees the
 	// identical latency — serialization (5 cycles in, 5 out) plus the
 	// registered crossbar stage. Zero jitter.
-	r, err := MeasureCircuitLatency(1.0, 150)
+	r, err := MeasureCircuitLatency(core.DefaultParams(), 1.0, 150)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +34,11 @@ func TestCircuitLatencyLoadIndependent(t *testing.T) {
 	// variation is alignment of the push instant to the 5-cycle lane
 	// frame (a serializer property, bounded by one packet time) — never
 	// contention from other streams.
-	hi, err := MeasureCircuitLatency(1.0, 100)
+	hi, err := MeasureCircuitLatency(core.DefaultParams(), 1.0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lo, err := MeasureCircuitLatency(0.3, 100)
+	lo, err := MeasureCircuitLatency(core.DefaultParams(), 0.3, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +57,11 @@ func TestCircuitLatencyLoadIndependent(t *testing.T) {
 }
 
 func TestPacketLatencyContentionAddsJitter(t *testing.T) {
-	alone, err := MeasurePacketLatency(1.0, 150, false)
+	alone, err := MeasurePacketLatency(packetsw.DefaultParams(), 1.0, 150, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shared, err := MeasurePacketLatency(1.0, 150, true)
+	shared, err := MeasurePacketLatency(packetsw.DefaultParams(), 1.0, 150, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,13 +77,13 @@ func TestPacketLatencyContentionAddsJitter(t *testing.T) {
 }
 
 func TestLatencyInputValidation(t *testing.T) {
-	if _, err := MeasureCircuitLatency(0, 10); err == nil {
+	if _, err := MeasureCircuitLatency(core.DefaultParams(), 0, 10); err == nil {
 		t.Error("zero load accepted")
 	}
-	if _, err := MeasureCircuitLatency(1.5, 10); err == nil {
+	if _, err := MeasureCircuitLatency(core.DefaultParams(), 1.5, 10); err == nil {
 		t.Error("overload accepted")
 	}
-	if _, err := MeasurePacketLatency(-1, 10, false); err == nil {
+	if _, err := MeasurePacketLatency(packetsw.DefaultParams(), -1, 10, false); err == nil {
 		t.Error("negative load accepted")
 	}
 }

@@ -23,6 +23,13 @@ type RunConfig struct {
 	// clock gating (the paper's future-work ablation); ignored by the
 	// packet-switched router, which has no gating.
 	Gated bool
+	// Params overrides the circuit-switched router geometry (nil: the
+	// paper's defaults). Used by the public noc façade's WithLanes /
+	// WithLaneWidth options.
+	Params *core.Params
+	// PSParams overrides the packet-switched router configuration (nil:
+	// the paper's defaults). Used by WithVirtualChannels / WithBufferDepth.
+	PSParams *packetsw.Params
 }
 
 // DefaultRunConfig mirrors the paper's power-estimation setup: 5000 cycles
@@ -39,7 +46,33 @@ func (c RunConfig) Validate() error {
 	if c.FreqMHz <= 0 {
 		return fmt.Errorf("traffic: non-positive frequency")
 	}
+	if c.Params != nil {
+		if err := c.Params.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.PSParams != nil {
+		if err := c.PSParams.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// coreParams returns the circuit-switched geometry to simulate.
+func (c RunConfig) coreParams() core.Params {
+	if c.Params != nil {
+		return *c.Params
+	}
+	return core.DefaultParams()
+}
+
+// psParams returns the packet-switched configuration to simulate.
+func (c RunConfig) psParams() packetsw.Params {
+	if c.PSParams != nil {
+		return *c.PSParams
+	}
+	return packetsw.DefaultParams()
 }
 
 // Result is the outcome of one scenario simulation.
@@ -68,7 +101,7 @@ func RunCircuit(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	p := core.DefaultParams()
+	p := cfg.coreParams()
 	// Open-loop measurement, as in the paper's scenarios: the destination
 	// always consumes, no acknowledgements are configured.
 	opt := core.AssemblyOptions{Flow: core.FlowParams{}, RxBufCap: 64}
@@ -151,8 +184,8 @@ func RunPacket(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	pp := packetsw.DefaultParams()
-	cp := core.DefaultParams()
+	pp := cfg.psParams()
+	cp := cfg.coreParams()
 	r := packetsw.NewRouter(pp, packetsw.PortRoute)
 	meter := power.NewMeter(packetsw.Netlist(pp, cfg.Lib), cfg.Lib, cfg.FreqMHz)
 	r.BindMeter(meter)

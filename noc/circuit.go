@@ -1,0 +1,78 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// wordBits is the tile-interface word size all throughput figures use.
+const wordBits = 16
+
+// circuitFabric implements Fabric with the paper's lane-division
+// circuit-switched router.
+type circuitFabric struct {
+	cfg config
+}
+
+// Kind implements Fabric.
+func (f *circuitFabric) Kind() Kind { return KindCircuit }
+
+// String implements Fabric.
+func (f *circuitFabric) String() string {
+	gated := ""
+	if f.cfg.gated {
+		gated = ", clock gated"
+	}
+	p := f.cfg.resolvedCoreParams()
+	return fmt.Sprintf("circuit-switched (%d lanes x %d bit%s)",
+		p.LanesPerPort, p.LaneWidth, gated)
+}
+
+// Validate implements Fabric.
+func (f *circuitFabric) Validate() error { return f.cfg.validate(KindCircuit) }
+
+// Run implements Fabric: single-router scenarios go through the traffic
+// runner of Figures 9/10; workload scenarios map applications onto a
+// mesh via the CCN.
+func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.IsWorkload() {
+		return runCircuitWorkload(f.cfg, sc)
+	}
+	rc := traffic.RunConfig{
+		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
+		Lib: f.cfg.mustLib(), Gated: f.cfg.gated,
+		Params: f.cfg.coreParams(),
+	}
+	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
+	tr, err := traffic.RunCircuit(sc.trafficScenario(), pat, rc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Fabric:         KindCircuit,
+		Scenario:       sc.Name,
+		FreqMHz:        sc.FreqMHz,
+		Cycles:         sc.Cycles,
+		WordsSent:      tr.WordsSent,
+		WordsDelivered: tr.WordsDelivered,
+		ThroughputMbps: stats.Rate(tr.WordsDelivered, wordBits, uint64(sc.Cycles), sc.FreqMHz),
+		Power:          powerFrom(tr.Power),
+	}
+	if n := f.cfg.latencySamples(); n > 0 && len(sc.Streams) > 0 {
+		lr, err := traffic.MeasureCircuitLatency(f.cfg.resolvedCoreParams(), sc.Pattern.Load, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Latency = latencyFrom(lr.Cycles)
+	}
+	return res, nil
+}

@@ -1,0 +1,60 @@
+package noc
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// Experiment describes one registered reproduction of a paper artefact
+// (table, figure or ablation).
+type Experiment struct {
+	// ID is the identifier used by the CLI and DESIGN.md's index.
+	ID string `json:"id"`
+	// Title describes the artefact.
+	Title string `json:"title"`
+	// Paper cites the table/figure or section reproduced.
+	Paper string `json:"paper"`
+}
+
+// Experiments lists every registered experiment, sorted by ID.
+func Experiments() []Experiment {
+	var out []Experiment
+	for _, e := range experiments.All() {
+		out = append(out, Experiment{ID: e.ID, Title: e.Title, Paper: e.Paper})
+	}
+	return out
+}
+
+// RunExperiment measures one experiment and renders it as text to w.
+func RunExperiment(w io.Writer, id string) error {
+	return experiments.RunOne(w, id)
+}
+
+// RunAllExperiments renders every experiment to w.
+func RunAllExperiments(w io.Writer) error {
+	return experiments.RunAll(w)
+}
+
+// ExperimentData measures one experiment and returns its typed,
+// JSON-marshalable result (e.g. the eight power bars of fig9).
+func ExperimentData(id string) (any, error) {
+	return experiments.DataFor(id)
+}
+
+// ExperimentJSON measures one experiment and returns its result as
+// indented JSON, wrapped with the experiment's identity.
+func ExperimentJSON(id string) ([]byte, error) {
+	data, err := experiments.DataFor(id)
+	if err != nil {
+		return nil, err
+	}
+	e, _ := experiments.Lookup(id)
+	return json.MarshalIndent(struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Paper string `json:"paper"`
+		Data  any    `json:"data"`
+	}{ID: e.ID, Title: e.Title, Paper: e.Paper, Data: data}, "", "  ")
+}

@@ -1,0 +1,219 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/aethereal"
+	"repro/internal/core"
+	"repro/internal/packetsw"
+	"repro/internal/stdcell"
+)
+
+// Option tunes a fabric away from the paper's default configuration.
+// Options that do not apply to a fabric are ignored by it (e.g.
+// WithBufferDepth on the circuit-switched fabric, which has no buffers).
+// Invalid values are reported by Fabric.Validate, not at option time.
+type Option func(*config)
+
+// config collects every fabric knob; the zero value of each field means
+// "paper default".
+type config struct {
+	lanes       int // circuit: lanes per port (default 4)
+	laneWidth   int // circuit: bits per lane (default 4)
+	vcs         int // packet: virtual channels (default 4)
+	bufferDepth int // packet: per-VC FIFO depth in flits (default 8)
+	slots       int // TDM: slot-table length (default 32)
+	beDepth     int // TDM: best-effort FIFO depth in words (default 16)
+
+	gated        bool   // circuit: configuration-driven clock gating
+	corner       string // library corner: "nominal" (default) or "hvt"
+	latencyWords int    // latency sample count; -1 default, 0 disables
+	traceCycles  int    // workload runs: VCD capture depth for node (0,0)
+}
+
+func makeConfig(opts []Option) config {
+	c := config{corner: "nominal", latencyWords: -1}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithLanes sets the circuit-switched router's lane count per port
+// (paper: 4). Streams occupy lane ID-1, so a scenario's highest stream
+// ID must not exceed the lane count.
+func WithLanes(n int) Option { return func(c *config) { c.lanes = n } }
+
+// WithLaneWidth sets the circuit-switched lane width in bits. Only the
+// paper's 4-bit lanes can be simulated — the cycle-accurate data
+// converters model the Fig. 6 wire format exactly, so Validate rejects
+// any other value; alternative widths exist in the structural `lanes`
+// experiment (area/frequency only).
+func WithLaneWidth(bits int) Option { return func(c *config) { c.laneWidth = bits } }
+
+// WithVirtualChannels sets the packet-switched router's VC count per
+// input port (paper: 4).
+func WithVirtualChannels(n int) Option { return func(c *config) { c.vcs = n } }
+
+// WithBufferDepth sets the packet-switched per-VC FIFO depth in flits
+// (paper: 8).
+func WithBufferDepth(flits int) Option { return func(c *config) { c.bufferDepth = flits } }
+
+// WithSlots sets the TDM slot-table length (Æthereal default: 32).
+func WithSlots(n int) Option { return func(c *config) { c.slots = n } }
+
+// WithBEDepth sets the TDM router's per-port best-effort FIFO depth in
+// words (default: 16).
+func WithBEDepth(words int) Option { return func(c *config) { c.beDepth = words } }
+
+// WithClockGating enables the circuit-switched router's
+// configuration-driven clock gating — the paper's Section 8 future work.
+func WithClockGating(on bool) Option { return func(c *config) { c.gated = on } }
+
+// WithLibraryCorner selects the 0.13 µm technology corner: "nominal"
+// (the paper's LVT calibration, default) or "hvt" (low leakage).
+func WithLibraryCorner(corner string) Option { return func(c *config) { c.corner = corner } }
+
+// WithLatencyWords sets how many timed word deliveries the latency
+// measurement collects per single-router run (default 200); 0 disables
+// the latency measurement entirely.
+func WithLatencyWords(n int) Option { return func(c *config) { c.latencyWords = n } }
+
+// WithNodeTrace records up to the given number of cycles of node (0,0)'s
+// lane signals during a workload run, returned as a VCD waveform in
+// Result.NodeVCD. Zero (the default) disables tracing.
+func WithNodeTrace(cycles int) Option { return func(c *config) { c.traceCycles = cycles } }
+
+// defaultLatencyWords is the latency sample count when unset.
+const defaultLatencyWords = 200
+
+// validate checks the knobs relevant to the given fabric kind.
+func (c config) validate(k Kind) error {
+	if _, err := c.lib(); err != nil {
+		return err
+	}
+	if c.latencyWords < -1 {
+		return fmt.Errorf("noc: negative latency word count %d", c.latencyWords)
+	}
+	if c.traceCycles < 0 {
+		return fmt.Errorf("noc: negative trace depth %d", c.traceCycles)
+	}
+	switch k {
+	case KindCircuit:
+		if p := c.coreParams(); p != nil {
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("noc: %w", err)
+			}
+			// The cycle-accurate data converters model the paper's
+			// Fig. 6 wire format exactly; other lane widths exist only
+			// in the structural area sweeps (the `lanes` experiment).
+			if p.LaneWidth != 4 {
+				return fmt.Errorf("noc: lane width %d unsupported for simulation: "+
+					"the Fig. 6 wire format serializes 16-bit words over 4-bit lanes "+
+					"(see the lanes experiment for the structural sweep)", p.LaneWidth)
+			}
+		}
+	case KindPacket:
+		if p := c.psParams(); p != nil {
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("noc: %w", err)
+			}
+		}
+	case KindTDM:
+		if err := c.tdmParams().Validate(); err != nil {
+			return fmt.Errorf("noc: %w", err)
+		}
+	}
+	return nil
+}
+
+// lib resolves the technology library corner.
+func (c config) lib() (stdcell.Lib, error) {
+	switch c.corner {
+	case "", "nominal":
+		return stdcell.Default013(), nil
+	case "hvt":
+		return stdcell.HighVT013(), nil
+	default:
+		return stdcell.Lib{}, fmt.Errorf("noc: unknown library corner %q (have nominal, hvt)", c.corner)
+	}
+}
+
+// mustLib resolves the corner after validate has accepted it.
+func (c config) mustLib() stdcell.Lib {
+	lib, err := c.lib()
+	if err != nil {
+		panic(err)
+	}
+	return lib
+}
+
+// coreParams returns the circuit-switched geometry override, or nil for
+// the paper's defaults.
+func (c config) coreParams() *core.Params {
+	if c.lanes == 0 && c.laneWidth == 0 {
+		return nil
+	}
+	p := core.DefaultParams()
+	if c.lanes != 0 {
+		p.LanesPerPort = c.lanes
+	}
+	if c.laneWidth != 0 {
+		p.LaneWidth = c.laneWidth
+	}
+	return &p
+}
+
+// psParams returns the packet-switched configuration override, or nil
+// for the paper's defaults.
+func (c config) psParams() *packetsw.Params {
+	if c.vcs == 0 && c.bufferDepth == 0 {
+		return nil
+	}
+	p := packetsw.DefaultParams()
+	if c.vcs != 0 {
+		p.VCs = c.vcs
+	}
+	if c.bufferDepth != 0 {
+		p.Depth = c.bufferDepth
+	}
+	return &p
+}
+
+// tdmParams returns the TDM router configuration.
+func (c config) tdmParams() aethereal.Params {
+	p := aethereal.DefaultParams()
+	if c.slots != 0 {
+		p.Slots = c.slots
+	}
+	if c.beDepth != 0 {
+		p.BEDepth = c.beDepth
+	}
+	return p
+}
+
+// latencySamples resolves the latency word count.
+func (c config) latencySamples() int {
+	if c.latencyWords == -1 {
+		return defaultLatencyWords
+	}
+	return c.latencyWords
+}
+
+// resolvedCoreParams returns the circuit-switched geometry the fabric
+// will simulate (override or paper default).
+func (c config) resolvedCoreParams() core.Params {
+	if p := c.coreParams(); p != nil {
+		return *p
+	}
+	return core.DefaultParams()
+}
+
+// resolvedPSParams returns the packet-switched configuration the fabric
+// will simulate (override or paper default).
+func (c config) resolvedPSParams() packetsw.Params {
+	if p := c.psParams(); p != nil {
+		return *p
+	}
+	return packetsw.DefaultParams()
+}

@@ -1,0 +1,157 @@
+package noc
+
+import (
+	"encoding/json"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+// Power is the three-bucket power estimate of one run, in the style of
+// the paper's Power Compiler split (Section 7.2).
+type Power struct {
+	// StaticUW is the leakage power in µW.
+	StaticUW float64 `json:"static_uw"`
+	// InternalUW is the dynamic internal-cell power in µW (clock network
+	// plus in-cell toggle energy).
+	InternalUW float64 `json:"internal_uw"`
+	// SwitchingUW is the dynamic switching (net charging) power in µW.
+	SwitchingUW float64 `json:"switching_uw"`
+	// TotalUW is the sum of the three buckets.
+	TotalUW float64 `json:"total_uw"`
+	// DynamicUWPerMHz is the frequency-normalized dynamic power, the
+	// unit of the paper's Figure 10.
+	DynamicUWPerMHz float64 `json:"dynamic_uw_per_mhz"`
+}
+
+// powerFrom converts the internal breakdown.
+func powerFrom(b power.Breakdown) *Power {
+	return &Power{
+		StaticUW:        b.StaticUW,
+		InternalUW:      b.InternalUW,
+		SwitchingUW:     b.SwitchingUW,
+		TotalUW:         b.TotalUW(),
+		DynamicUWPerMHz: b.DynamicPerMHz(),
+	}
+}
+
+// Latency summarizes the word-delivery latency distribution of a run, in
+// clock cycles.
+type Latency struct {
+	// Words is the number of timed deliveries.
+	Words int `json:"words"`
+	// MeanCycles, MinCycles and MaxCycles describe the distribution.
+	MeanCycles float64 `json:"mean_cycles"`
+	MinCycles  float64 `json:"min_cycles"`
+	MaxCycles  float64 `json:"max_cycles"`
+	// StdDevCycles is the population standard deviation.
+	StdDevCycles float64 `json:"stddev_cycles"`
+	// JitterCycles is max minus min — zero for an established circuit,
+	// the paper's bounded-latency guarantee in its strongest form.
+	JitterCycles float64 `json:"jitter_cycles"`
+}
+
+// latencyFrom converts a measured series.
+func latencyFrom(s stats.Series) *Latency {
+	if s.N() == 0 {
+		return nil
+	}
+	return &Latency{
+		Words:        s.N(),
+		MeanCycles:   s.Mean(),
+		MinCycles:    s.Min(),
+		MaxCycles:    s.Max(),
+		StdDevCycles: s.StdDev(),
+		JitterCycles: s.Max() - s.Min(),
+	}
+}
+
+// Channel is the outcome of one guaranteed-throughput channel of a
+// workload run.
+type Channel struct {
+	// Workload names the application the channel belongs to.
+	Workload string `json:"workload"`
+	// Name is the channel's name in the application graph.
+	Name string `json:"name"`
+	// Lanes is the number of parallel lane paths allocated.
+	Lanes int `json:"lanes"`
+	// Hops is the route length in routers.
+	Hops int `json:"hops"`
+	// RequiredMbps and AchievedMbps compare the requirement against the
+	// measured delivery rate.
+	RequiredMbps float64 `json:"required_mbps"`
+	AchievedMbps float64 `json:"achieved_mbps"`
+	// WordsDelivered counts words that arrived at the destination tile.
+	WordsDelivered uint64 `json:"words_delivered"`
+	// Met reports whether everything offered arrived (minus an
+	// in-flight allowance for words still in converters and links).
+	Met bool `json:"met"`
+}
+
+// Placement records where a workload process was mapped.
+type Placement struct {
+	// Workload names the application.
+	Workload string `json:"workload"`
+	// Process is the process name in the application graph.
+	Process string `json:"process"`
+	// X and Y are the tile coordinates.
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+// Result is the structured outcome of running one Scenario on one
+// Fabric. It marshals to JSON.
+type Result struct {
+	// Fabric and Scenario identify the run.
+	Fabric   Kind   `json:"fabric"`
+	Scenario string `json:"scenario"`
+	// FreqMHz and Cycles echo the operating point.
+	FreqMHz float64 `json:"freq_mhz"`
+	Cycles  int     `json:"cycles"`
+	// WordsSent and WordsDelivered count 16-bit data words offered by
+	// all sources and delivered at an observable endpoint. The circuit-
+	// and packet-switched routers can only observe streams terminating
+	// at the tile port end to end; the TDM functional model observes
+	// every output port, so its count covers all streams.
+	WordsSent      uint64 `json:"words_sent"`
+	WordsDelivered uint64 `json:"words_delivered"`
+	// ThroughputMbps is the aggregate delivered bandwidth.
+	ThroughputMbps float64 `json:"throughput_mbps"`
+	// Power is the three-bucket estimate (nil when the run measured
+	// nothing, which does not happen for the built-in fabrics).
+	Power *Power `json:"power,omitempty"`
+	// Latency is the word-delivery latency distribution; nil when the
+	// scenario has no observable stream or latency was disabled. The
+	// TDM fabric measures it in-run; the circuit- and packet-switched
+	// fabrics measure it with a canonical single-stream North→Tile
+	// harness built from the fabric's configuration and the scenario's
+	// load (with background contention when the scenario's streams
+	// share an output port) — the router's characteristic latency at
+	// that operating point, not a per-stream trace of this exact run.
+	Latency *Latency `json:"latency,omitempty"`
+	// Channels and Placements describe workload runs.
+	Channels   []Channel   `json:"channels,omitempty"`
+	Placements []Placement `json:"placements,omitempty"`
+	// LinkUtilization is the fraction of mesh lane capacity allocated
+	// (workload runs).
+	LinkUtilization float64 `json:"link_utilization,omitempty"`
+	// NodeVCD is the captured waveform of node (0,0) when WithNodeTrace
+	// was requested on a workload run.
+	NodeVCD []byte `json:"node_vcd,omitempty"`
+}
+
+// MetAllRequirements reports whether every channel of a workload run met
+// its guaranteed-throughput requirement.
+func (r *Result) MetAllRequirements() bool {
+	for _, c := range r.Channels {
+		if !c.Met {
+			return false
+		}
+	}
+	return true
+}
+
+// JSON renders the result as indented JSON.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,235 @@
+package noc
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// Port identifies one of the router's five bidirectional ports.
+type Port int
+
+// The five ports of the paper's router: the tile interface plus the four
+// mesh directions.
+const (
+	Tile Port = iota
+	North
+	East
+	South
+	West
+)
+
+var portNames = [...]string{"tile", "north", "east", "south", "west"}
+
+// String returns the port's lower-case name.
+func (p Port) String() string {
+	if p < 0 || int(p) >= len(portNames) {
+		return fmt.Sprintf("port(%d)", int(p))
+	}
+	return portNames[p]
+}
+
+// Valid reports whether the port is one of the five defined ports.
+func (p Port) Valid() bool { return p >= Tile && p <= West }
+
+// corePort converts to the internal representation (same ordering).
+func (p Port) corePort() core.Port { return core.Port(p) }
+
+// MarshalJSON renders the port as its name.
+func (p Port) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON parses a port name (case insensitive).
+func (p *Port) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, n := range portNames {
+		if strings.EqualFold(s, n) {
+			*p = Port(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("noc: unknown port %q", s)
+}
+
+// Stream is one unidirectional data stream through the router, at 100%
+// of a lane's bandwidth when the pattern's load is 1 (Table 3).
+type Stream struct {
+	// ID is the stream number (1-based); it selects the lane/VC/slot
+	// share the stream occupies.
+	ID int `json:"id"`
+	// In and Out are the ports the stream enters and leaves on.
+	In  Port `json:"in"`
+	Out Port `json:"out"`
+}
+
+// Pattern is the data knob of the paper's test set.
+type Pattern struct {
+	// FlipProb is the expected bit-flip fraction between consecutive
+	// words, in [0,1] (0 best case, 0.5 typical, 1 worst case).
+	FlipProb float64 `json:"flip_prob"`
+	// Load is the offered load as a fraction of a lane's bandwidth, in
+	// (0,1].
+	Load float64 `json:"load"`
+}
+
+// DefaultPattern returns the paper's standard data case: random data
+// (50% bit flips) at 100% load.
+func DefaultPattern() Pattern { return Pattern{FlipProb: 0.5, Load: 1} }
+
+// Scenario describes one simulation: either a single-router test (the
+// paper's Fig. 8 scenarios, or custom Streams) or — when Workloads is
+// set — a mesh run that maps whole wireless applications onto a W×H NoC.
+type Scenario struct {
+	// Name labels the scenario in results.
+	Name string `json:"name"`
+	// FreqMHz is the network clock (default 25, the paper's Figure 9/10
+	// operating point).
+	FreqMHz float64 `json:"freq_mhz"`
+	// Cycles is the simulated length (default 5000 for single-router
+	// runs — 200 µs at 25 MHz — and 20000 for workload runs).
+	Cycles int `json:"cycles"`
+	// Pattern is the data pattern driving the streams. The zero value
+	// means DefaultPattern.
+	Pattern Pattern `json:"pattern"`
+	// Streams are the concurrently active streams of a single-router
+	// scenario. Empty with no Workloads reproduces scenario I (the
+	// static offset measurement).
+	Streams []Stream `json:"streams,omitempty"`
+	// MeshWidth and MeshHeight give the NoC dimensions of a workload
+	// run (default 4×3).
+	MeshWidth  int `json:"mesh_width,omitempty"`
+	MeshHeight int `json:"mesh_height,omitempty"`
+	// Workloads names the applications to map concurrently onto the
+	// mesh: "hiperlan2", "umts", "drm". Setting it switches the
+	// scenario to a mesh workload run.
+	Workloads []string `json:"workloads,omitempty"`
+}
+
+// IsWorkload reports whether the scenario is a mesh workload run.
+func (s Scenario) IsWorkload() bool { return len(s.Workloads) > 0 }
+
+// withDefaults fills unset knobs with the paper's defaults.
+func (s Scenario) withDefaults() Scenario {
+	if s.FreqMHz == 0 {
+		s.FreqMHz = 25
+	}
+	if s.Cycles == 0 {
+		if s.IsWorkload() {
+			s.Cycles = 20000
+		} else {
+			s.Cycles = 5000
+		}
+	}
+	if s.Pattern == (Pattern{}) {
+		s.Pattern = DefaultPattern()
+	}
+	if s.IsWorkload() {
+		if s.MeshWidth == 0 {
+			s.MeshWidth = 4
+		}
+		if s.MeshHeight == 0 {
+			s.MeshHeight = 3
+		}
+	}
+	return s
+}
+
+// Validate checks the scenario (after defaulting; Run applies defaults
+// for you).
+func (s Scenario) Validate() error {
+	if s.FreqMHz <= 0 {
+		return fmt.Errorf("noc: scenario %q: non-positive frequency %v", s.Name, s.FreqMHz)
+	}
+	if s.Cycles < 1 {
+		return fmt.Errorf("noc: scenario %q: need at least 1 cycle", s.Name)
+	}
+	if s.Pattern.FlipProb < 0 || s.Pattern.FlipProb > 1 {
+		return fmt.Errorf("noc: scenario %q: flip probability %v out of [0,1]",
+			s.Name, s.Pattern.FlipProb)
+	}
+	if s.Pattern.Load <= 0 || s.Pattern.Load > 1 {
+		return fmt.Errorf("noc: scenario %q: load %v out of (0,1]", s.Name, s.Pattern.Load)
+	}
+	if s.IsWorkload() {
+		if len(s.Streams) > 0 {
+			return fmt.Errorf("noc: scenario %q: streams and workloads are mutually exclusive", s.Name)
+		}
+		if s.MeshWidth < 2 || s.MeshHeight < 2 {
+			return fmt.Errorf("noc: scenario %q: workload mesh must be at least 2x2, have %dx%d",
+				s.Name, s.MeshWidth, s.MeshHeight)
+		}
+		for _, wl := range s.Workloads {
+			if _, err := workloadGraph(wl); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	seen := map[int]bool{}
+	for _, st := range s.Streams {
+		if st.ID < 1 {
+			return fmt.Errorf("noc: scenario %q: stream ID %d must be >= 1", s.Name, st.ID)
+		}
+		if seen[st.ID] {
+			return fmt.Errorf("noc: scenario %q: duplicate stream ID %d", s.Name, st.ID)
+		}
+		seen[st.ID] = true
+		if !st.In.Valid() || !st.Out.Valid() {
+			return fmt.Errorf("noc: scenario %q: stream %d has an invalid port", s.Name, st.ID)
+		}
+		if st.In == st.Out {
+			return fmt.Errorf("noc: scenario %q: stream %d enters and leaves on %v",
+				s.Name, st.ID, st.In)
+		}
+	}
+	return nil
+}
+
+// PaperStreams returns Table 3's stream definitions.
+func PaperStreams() []Stream {
+	return []Stream{
+		{ID: 1, In: Tile, Out: East},
+		{ID: 2, In: North, Out: Tile},
+		{ID: 3, In: West, Out: East},
+	}
+}
+
+// PaperScenarios returns the paper's four test scenarios (Fig. 8) at the
+// paper's operating point: I carries no data, II adds stream 1, III
+// streams 1–2, IV streams 1–3.
+func PaperScenarios() []Scenario {
+	streams := PaperStreams()
+	var out []Scenario
+	for i, name := range []string{"I", "II", "III", "IV"} {
+		out = append(out, Scenario{Name: name, Streams: streams[:i]}.withDefaults())
+	}
+	return out
+}
+
+// PaperScenario returns the paper scenario with the given roman numeral.
+func PaperScenario(name string) (Scenario, error) {
+	for _, sc := range PaperScenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("noc: unknown paper scenario %q (have I..IV)", name)
+}
+
+// trafficScenario converts to the internal representation.
+func (s Scenario) trafficScenario() traffic.Scenario {
+	out := traffic.Scenario{Name: s.Name}
+	for _, st := range s.Streams {
+		out.Streams = append(out.Streams, traffic.Stream{
+			ID: st.ID, In: st.In.corePort(), Out: st.Out.corePort(),
+		})
+	}
+	return out
+}

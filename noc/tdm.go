@@ -1,0 +1,209 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/aethereal"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// tdmFabric implements Fabric with the Æthereal-style slot-table TDM
+// router of Table 4.
+type tdmFabric struct {
+	cfg config
+}
+
+// Kind implements Fabric.
+func (f *tdmFabric) Kind() Kind { return KindTDM }
+
+// String implements Fabric.
+func (f *tdmFabric) String() string {
+	p := f.cfg.tdmParams()
+	return fmt.Sprintf("Aethereal TDM (%d slots, %d-word BE FIFOs)", p.Slots, p.BEDepth)
+}
+
+// Validate implements Fabric.
+func (f *tdmFabric) Validate() error { return f.cfg.validate(KindTDM) }
+
+// Run implements Fabric. Each stream is given a contention-free
+// guaranteed-throughput reservation in the slot table whose bandwidth
+// share matches one circuit-switched lane (the scenarios' "100% load of
+// a single lane"), then words are streamed through the reservations and
+// metered. Workload scenarios are not supported.
+func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.IsWorkload() {
+		return nil, fmt.Errorf("noc: the Aethereal TDM fabric does not support workload scenarios (use CircuitSwitched)")
+	}
+	p := f.cfg.tdmParams()
+	lib := f.cfg.mustLib()
+
+	// One stream per input port: the functional model registers one
+	// upstream word per port, like the real router's input stage.
+	seenIn := map[Port]bool{}
+	for _, st := range sc.Streams {
+		if seenIn[st.In] {
+			return nil, fmt.Errorf("noc: TDM fabric: two streams enter on port %v", st.In)
+		}
+		seenIn[st.In] = true
+	}
+
+	r := aethereal.NewRouter(p)
+	// A circuit-switched lane moves one 16-bit word per 5 cycles; the
+	// functional TDM model forwards one word per reserved slot, so
+	// matching that rate takes a fifth of the table, rounded up (the
+	// 32-bit link has bandwidth to spare — the slot count, not the link
+	// width, is the limit).
+	const wordPeriod = 5
+	slotsNeeded := (p.Slots + wordPeriod - 1) / wordPeriod
+	if slotsNeeded < 1 {
+		slotsNeeded = 1
+	}
+	type reservation struct {
+		in, out int
+		slots   []int
+	}
+	var reservations []reservation
+	for _, st := range sc.Streams {
+		in, out := int(st.In), int(st.Out)
+		rv := reservation{in: in, out: out}
+		// Spread the reservation over the table, probing linearly past
+		// occupied entries; an input may only feed one output per slot.
+		stride := p.Slots / slotsNeeded
+		for k := 0; k < slotsNeeded; k++ {
+			booked := false
+			for probe := 0; probe < p.Slots; probe++ {
+				s := (k*stride + probe) % p.Slots
+				if r.Table.Entry(s, out) != aethereal.NoInput {
+					continue
+				}
+				if inputBusy(r.Table, p, s, in) {
+					continue
+				}
+				if err := r.Table.Reserve(s, in, out); err != nil {
+					return nil, err
+				}
+				rv.slots = append(rv.slots, s)
+				booked = true
+				break
+			}
+			if !booked {
+				return nil, fmt.Errorf("noc: TDM fabric: slot table full for stream %d (%d slots, %d streams)",
+					st.ID, p.Slots, len(sc.Streams))
+			}
+		}
+		reservations = append(reservations, rv)
+	}
+	if err := r.Table.Validate(); err != nil {
+		return nil, err
+	}
+
+	meter := power.NewMeter(aethereal.Netlist(p, lib), lib, sc.FreqMHz)
+	w := sim.NewWorld()
+	w.Add(r)
+
+	// The average toggling bits per forwarded word under the pattern's
+	// flip probability, split over register, crossbar and link nets.
+	toggleBits := int(sc.Pattern.FlipProb*wordBits + 0.5)
+
+	var (
+		sources []*traffic.Source
+		lat     stats.Series
+
+		delivered uint64
+	)
+	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
+	for i, st := range sc.Streams {
+		rv := reservations[i]
+		src := traffic.NewSource(pat, st.ID)
+		sources = append(sources, src)
+
+		data := new(uint32)
+		valid := new(bool)
+		r.ConnectIn(rv.in, data, valid)
+
+		reserved := make([]bool, p.Slots)
+		for _, s := range rv.slots {
+			reserved[s] = true
+		}
+		type pending struct {
+			word  uint32
+			cycle uint64
+		}
+		var queue, inFlight []pending
+		out := rv.out
+		in := rv.in
+		w.Add(&sim.Func{OnEval: func() {
+			// Observe the registered output first: the value visible
+			// now was committed from the previous cycle's slot. A word
+			// only counts as delivered — and only then records its
+			// latency and pays its toggle energy — once it has actually
+			// crossed the crossbar into the output register.
+			prev := (r.Slot() - 1 + p.Slots) % p.Slots
+			if r.OutValid[out] && r.Table.Entry(prev, out) == in && len(inFlight) > 0 {
+				head := inFlight[0]
+				inFlight = inFlight[1:]
+				delivered++
+				lat.Add(float64(w.Cycle() - head.cycle))
+				meter.AddToggles(power.ToggleReg, toggleBits)
+				meter.AddToggles(power.ToggleGate, toggleBits)
+				meter.AddToggles(power.ToggleLink, toggleBits)
+			}
+			// Offer words at the lane rate, gated by the load knob.
+			if w.Cycle()%wordPeriod == 0 {
+				if word, ok := src.Offer(); ok {
+					queue = append(queue, pending{word: uint32(word.Data), cycle: w.Cycle()})
+				}
+			}
+			// The router's next Eval uses the slot after the current
+			// one; present a word iff that slot is ours.
+			*valid = false
+			upcoming := (r.Slot() + 1) % p.Slots
+			if reserved[upcoming] && len(queue) > 0 {
+				head := queue[0]
+				queue = queue[1:]
+				*data = head.word
+				*valid = true
+				inFlight = append(inFlight, head)
+			}
+		}})
+	}
+	w.Add(&sim.Func{OnEval: meter.Tick})
+
+	w.Run(sc.Cycles)
+
+	res := &Result{
+		Fabric:         KindTDM,
+		Scenario:       sc.Name,
+		FreqMHz:        sc.FreqMHz,
+		Cycles:         sc.Cycles,
+		WordsDelivered: delivered,
+		ThroughputMbps: stats.Rate(delivered, wordBits, uint64(sc.Cycles), sc.FreqMHz),
+		Power:          powerFrom(meter.Report("aethereal / scenario " + sc.Name)),
+		Latency:        latencyFrom(lat),
+	}
+	for _, s := range sources {
+		res.WordsSent += s.Sent()
+	}
+	return res, nil
+}
+
+// inputBusy reports whether the input already feeds some output in the
+// slot (the no-multicast invariant of the functional model).
+func inputBusy(t *aethereal.SlotTable, p aethereal.Params, s, in int) bool {
+	for o := 0; o < p.Ports; o++ {
+		if t.Entry(s, o) == in {
+			return true
+		}
+	}
+	return false
+}

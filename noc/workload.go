@@ -1,0 +1,201 @@
+package noc
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/ccn"
+	"repro/internal/core"
+	"repro/internal/kpn"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Workloads lists the wireless applications a workload Scenario can map:
+// the three applications of the paper's Section 3.
+func Workloads() []string { return []string{"hiperlan2", "umts", "drm"} }
+
+// workloadGraph resolves a workload name to its process graph. UMTS
+// accepts an operating point suffix, "umts:N", selecting N rake fingers
+// (the knob the CCN re-maps at run time when reception quality changes).
+func workloadGraph(name string) (*kpn.Graph, error) {
+	switch low := strings.ToLower(name); low {
+	case "hiperlan", "hiperlan2":
+		return apps.HiperLANGraph(apps.DefaultHiperLAN(), apps.HiperLANModulations()[3]), nil
+	case "umts":
+		return apps.UMTSGraph(apps.DefaultUMTS()), nil
+	case "drm":
+		return apps.DRMGraph(), nil
+	default:
+		if fingers, ok := strings.CutPrefix(low, "umts:"); ok {
+			n, err := strconv.Atoi(fingers)
+			if err != nil {
+				return nil, fmt.Errorf("noc: bad umts finger count %q", fingers)
+			}
+			u := apps.DefaultUMTS()
+			u.Fingers = n
+			if err := u.Validate(); err != nil {
+				return nil, fmt.Errorf("noc: %w", err)
+			}
+			return apps.UMTSGraph(u), nil
+		}
+		return nil, fmt.Errorf("noc: unknown workload %q (have %s)",
+			name, strings.Join(Workloads(), ", "))
+	}
+}
+
+// placementsOf converts a mapping's tile assignment into Placements,
+// ordered by process name for stable output.
+func placementsOf(workload string, mp *ccn.Mapping) []Placement {
+	procs := make([]string, 0, len(mp.Placement))
+	for name := range mp.Placement {
+		procs = append(procs, name)
+	}
+	sort.Strings(procs)
+	out := make([]Placement, 0, len(procs))
+	for _, name := range procs {
+		c := mp.Placement[name]
+		out = append(out, Placement{Workload: workload, Process: name, X: c.X, Y: c.Y})
+	}
+	return out
+}
+
+// inFlightAllowance is the number of words allowed to still be in flight
+// (converters, windows, link registers) when judging whether a channel
+// kept up.
+const inFlightAllowance = 32
+
+// runCircuitWorkload maps the scenario's applications onto a W×H
+// circuit-switched mesh via the CCN, drives every guaranteed-throughput
+// channel at its required rate and measures delivery, aggregate power
+// and (optionally) a waveform of node (0,0).
+func runCircuitWorkload(cfg config, sc Scenario) (*Result, error) {
+	p := cfg.resolvedCoreParams()
+	m := mesh.New(sc.MeshWidth, sc.MeshHeight, p, core.DefaultAssemblyOptions())
+	dom := m.BindMeters(cfg.mustLib(), sc.FreqMHz, cfg.gated)
+	mgr := ccn.NewManager(m, sc.FreqMHz)
+
+	res := &Result{
+		Fabric:   KindCircuit,
+		Scenario: sc.Name,
+		FreqMHz:  sc.FreqMHz,
+		Cycles:   sc.Cycles,
+	}
+
+	type chanState struct {
+		workload string
+		ch       kpn.Channel
+		conn     *ccn.Connection
+		received *uint64
+		offered  *uint64
+	}
+	var states []chanState
+	world := m.World()
+	for _, wl := range sc.Workloads {
+		graph, err := workloadGraph(wl)
+		if err != nil {
+			return nil, err
+		}
+		mp, err := mgr.MapApplication(graph)
+		if err != nil {
+			return nil, fmt.Errorf("noc: mapping %s onto %dx%d mesh: %w",
+				wl, sc.MeshWidth, sc.MeshHeight, err)
+		}
+		res.Placements = append(res.Placements, placementsOf(wl, mp)...)
+
+		for _, ch := range graph.GTChannels() {
+			conn := mp.Connections[ch.Name]
+			src := m.At(conn.Src)
+			dst := m.At(conn.Dst)
+			received := new(uint64)
+			offered := new(uint64)
+			// Words per cycle required across the ganged lanes.
+			wordsPerCycle := ch.BandwidthMbps / sc.FreqMHz / wordBits
+			acc := 0.0
+			n := uint16(0)
+			txLanes := make([]int, 0, conn.Lanes)
+			rxLanes := make([]int, 0, conn.Lanes)
+			for _, lane := range conn.Segments {
+				txLanes = append(txLanes, lane[0].Circuit.In.Lane)
+				rxLanes = append(rxLanes, lane[len(lane)-1].Circuit.Out.Lane)
+			}
+			gtx, grx, err := core.GangFor(src, dst, txLanes, rxLanes)
+			if err != nil {
+				return nil, fmt.Errorf("noc: channel %s/%s: %w", wl, ch.Name, err)
+			}
+			world.Add(&sim.Func{OnEval: func() {
+				acc += wordsPerCycle
+				for acc >= 1 && gtx.Ready() {
+					if !gtx.Push(core.DataWord(n)) {
+						break
+					}
+					n++
+					acc--
+					*offered++
+				}
+				for {
+					if _, ok := grx.Pop(); !ok {
+						break
+					}
+					*received++
+				}
+			}})
+			states = append(states, chanState{
+				workload: wl, ch: ch, conn: conn,
+				received: received, offered: offered,
+			})
+		}
+	}
+
+	var rec *trace.Recorder
+	if cfg.traceCycles > 0 {
+		rec = trace.NewRecorder(cfg.traceCycles)
+		node := m.At(mesh.Coord{X: 0, Y: 0})
+		for g := 0; g < p.TotalLanes(); g++ {
+			lane := p.LaneOf(g)
+			rec.Add(trace.U8(fmt.Sprintf("out.%v.%d", lane.Port, lane.Lane),
+				p.LaneWidth, &node.R.Out[g]))
+		}
+		world.Add(rec)
+	}
+
+	m.Run(sc.Cycles)
+
+	for _, st := range states {
+		achieved := stats.Rate(*st.received, wordBits, uint64(sc.Cycles), sc.FreqMHz)
+		res.Channels = append(res.Channels, Channel{
+			Workload:       st.workload,
+			Name:           st.ch.Name,
+			Lanes:          st.conn.Lanes,
+			Hops:           len(st.conn.Route) - 1,
+			RequiredMbps:   st.ch.BandwidthMbps,
+			AchievedMbps:   achieved,
+			WordsDelivered: *st.received,
+			Met:            *st.received+inFlightAllowance >= *st.offered,
+		})
+		res.WordsSent += *st.offered
+		res.WordsDelivered += *st.received
+	}
+	res.ThroughputMbps = stats.Rate(res.WordsDelivered, wordBits, uint64(sc.Cycles), sc.FreqMHz)
+	res.LinkUtilization = mgr.LinkUtilization()
+	res.Power = powerFrom(dom.Report("mesh " + sc.Name))
+
+	if rec != nil {
+		var buf bytes.Buffer
+		nsPerCycle := int(1e3 / sc.FreqMHz)
+		if nsPerCycle < 1 {
+			nsPerCycle = 1
+		}
+		if err := rec.WriteVCD(&buf, "node00", fmt.Sprintf("%dns", nsPerCycle)); err != nil {
+			return nil, err
+		}
+		res.NodeVCD = buf.Bytes()
+	}
+	return res, nil
+}
