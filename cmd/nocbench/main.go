@@ -1,21 +1,34 @@
 // Command nocbench regenerates the paper's tables and figures plus the
-// reproduction's ablation experiments, as text or as structured JSON.
+// reproduction's ablation experiments, as text or as structured JSON,
+// and runs parameter sweeps across all CPU cores.
 //
 // Usage:
 //
-//	nocbench -list              list all experiments
-//	nocbench -run fig9          run one experiment
-//	nocbench -run table4,fig10  run several
-//	nocbench -run fig9 -json    emit the typed result as JSON
-//	nocbench                    run everything
-//	nocbench -out results.txt   also write to a file
+//	nocbench -list                 list all experiments
+//	nocbench -run fig9             run one experiment
+//	nocbench -run table4,fig10     run several
+//	nocbench -run fig9 -json       emit the typed result as JSON
+//	nocbench                       run everything
+//	nocbench -parallel             run everything on all cores
+//	nocbench -out results.txt      also write to a file
+//	nocbench -sweep spec.json      run a parallel sweep from a spec file
+//	nocbench -sweep spec.json -csv same, as CSV
+//	nocbench -sweep spec.json -workers 4
+//
+// A sweep spec is a JSON-encoded noc.SweepSpec: a set of fabrics crossed
+// with an explicit scenario list or a cartesian parameter grid. The
+// sweep engine fans the cells across a bounded worker pool and emits
+// them in deterministic order, so the output is byte-identical for any
+// worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/noc"
@@ -26,6 +39,10 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	out := flag.String("out", "", "also write output to this file")
 	jsonOut := flag.Bool("json", false, "emit typed experiment results as JSON instead of text")
+	sweepFile := flag.String("sweep", "", "run a parallel sweep from this JSON spec file")
+	workers := flag.Int("workers", 0, "worker pool size for -sweep and -parallel (default GOMAXPROCS)")
+	parallel := flag.Bool("parallel", false, "measure experiments on all cores (text output unchanged)")
+	csvOut := flag.Bool("csv", false, "with -sweep: emit CSV instead of JSON")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +62,13 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
+	if *sweepFile != "" {
+		if err := runSweep(w, *sweepFile, *workers, *csvOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var ids []string
 	if *run == "" {
 		for _, e := range noc.Experiments() {
@@ -58,14 +82,16 @@ func main() {
 
 	if *jsonOut {
 		// Measure everything before emitting, so an unknown id or a
-		// failed run never leaves truncated JSON on stdout.
-		var parts [][]byte
-		for _, id := range ids {
-			b, err := noc.ExperimentJSON(id)
-			if err != nil {
-				fatal(err)
-			}
-			parts = append(parts, b)
+		// failed run never leaves truncated JSON on stdout. With
+		// -parallel the measurements run on all cores; the emitted
+		// JSON is identical either way.
+		jsonWorkers := 1
+		if *parallel {
+			jsonWorkers = *workers
+		}
+		parts, err := noc.ExperimentsJSON(ids, jsonWorkers)
+		if err != nil {
+			fatal(err)
 		}
 		fmt.Fprint(w, "[\n")
 		for i, b := range parts {
@@ -80,11 +106,39 @@ func main() {
 		fmt.Fprintln(w, "]")
 		return
 	}
+	if *parallel {
+		if err := noc.RunExperimentsParallel(w, ids, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	for _, id := range ids {
 		if err := noc.RunExperiment(w, id); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// runSweep loads a noc.SweepSpec from the file and streams the cells to
+// w. Ctrl-C cancels the sweep cleanly mid-run.
+func runSweep(w io.Writer, path string, workers int, asCSV bool) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := noc.ParseSweepSpec(b)
+	if err != nil {
+		return err
+	}
+	if workers != 0 {
+		spec.Workers = workers
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if asCSV {
+		return noc.SweepCSV(ctx, spec, w)
+	}
+	return noc.SweepJSON(ctx, spec, w)
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/packetsw"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/synth"
 	"repro/internal/traffic"
 )
@@ -148,15 +150,10 @@ func SetupData(freqMHz float64) (SetupResult, error) {
 }
 
 func setupResult() ([]SetupResult, error) {
-	var out []SetupResult
-	for _, f := range []float64{25, 100} {
-		r, err := SetupData(f)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	freqs := []float64{25, 100}
+	return sweep.Map(context.Background(), len(freqs), 0, func(i int) (SetupResult, error) {
+		return SetupData(freqs[i])
+	})
 }
 
 func renderSetup(w io.Writer, results []SetupResult) error {
@@ -201,10 +198,12 @@ type WindowPoint struct {
 
 // WindowData sweeps the window counter across a two-router circuit with a
 // consumer that drains at line rate, showing the window size needed to
-// cover the round-trip.
+// cover the round-trip. Each window size is an independent simulation;
+// they run as parallel sweep cells.
 func WindowData() ([]WindowPoint, error) {
-	var out []WindowPoint
-	for _, wc := range []int{1, 2, 4, 8, 16} {
+	wcs := []int{1, 2, 4, 8, 16}
+	return sweep.Map(context.Background(), len(wcs), 0, func(i int) (WindowPoint, error) {
+		wc := wcs[i]
 		x := wc / 2
 		if x < 1 {
 			x = 1
@@ -223,12 +222,12 @@ func WindowData() ([]WindowPoint, error) {
 		if err := a.EstablishLocal(core.Circuit{
 			In: core.LaneID{Port: core.Tile, Lane: 0}, Out: core.LaneID{Port: core.East, Lane: 0},
 		}); err != nil {
-			return nil, err
+			return WindowPoint{}, err
 		}
 		if err := b.EstablishLocal(core.Circuit{
 			In: core.LaneID{Port: core.West, Lane: 0}, Out: core.LaneID{Port: core.Tile, Lane: 0},
 		}); err != nil {
-			return nil, err
+			return WindowPoint{}, err
 		}
 		world := sim.NewWorld()
 		world.Add(a, b)
@@ -245,16 +244,15 @@ func WindowData() ([]WindowPoint, error) {
 		}})
 		const cycles = 3000
 		world.Run(cycles)
-		out = append(out, WindowPoint{
+		if b.Rx[0].Dropped() != 0 {
+			return WindowPoint{}, fmt.Errorf("experiments: window WC=%d dropped words", wc)
+		}
+		return WindowPoint{
 			WC: wc, X: x,
 			ThroughputWordsPer100: float64(recv) / cycles * 100,
 			Stalls:                a.Tx[0].Stalled(),
-		})
-		if b.Rx[0].Dropped() != 0 {
-			return nil, fmt.Errorf("experiments: window WC=%d dropped words", wc)
-		}
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 func renderWindow(w io.Writer, pts []WindowPoint) error {
@@ -366,20 +364,21 @@ type CrossoverPoint struct {
 
 // CrossoverData sweeps the offered load on Scenario III and reports the
 // energy per transported word for both routers — the efficiency view of
-// the paper's comparison.
+// the paper's comparison. The load points run as parallel sweep cells.
 func CrossoverData() ([]CrossoverPoint, error) {
 	rc := traffic.RunConfig{Cycles: 4000, FreqMHz: 25, Lib: lib}
 	sc := traffic.Scenarios()[2]
-	var out []CrossoverPoint
-	for _, load := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+	loads := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	return sweep.Map(context.Background(), len(loads), 0, func(i int) (CrossoverPoint, error) {
+		load := loads[i]
 		pat := traffic.Pattern{FlipProb: 0.5, Load: load}
 		cr, err := traffic.RunCircuit(sc, pat, rc)
 		if err != nil {
-			return nil, err
+			return CrossoverPoint{}, err
 		}
 		pr, err := traffic.RunPacket(sc, pat, rc)
 		if err != nil {
-			return nil, err
+			return CrossoverPoint{}, err
 		}
 		t := float64(rc.Cycles) / rc.FreqMHz // µs
 		energyNJ := func(p float64) float64 { return p * t / 1e3 }
@@ -390,9 +389,8 @@ func CrossoverData() ([]CrossoverPoint, error) {
 		if pr.WordsSent > 0 {
 			cp.PacketNJPerWord = energyNJ(pr.Power.TotalUW()) / float64(pr.WordsSent)
 		}
-		out = append(out, cp)
-	}
-	return out, nil
+		return cp, nil
+	})
 }
 
 func renderCrossover(w io.Writer, pts []CrossoverPoint) error {

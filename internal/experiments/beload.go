@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/packetsw"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func init() {
@@ -40,8 +42,9 @@ type BELoadPoint struct {
 // effort gives fairness but no guarantees, which is exactly why the paper
 // keeps GT traffic off this network.
 func BELoadData() ([]BELoadPoint, error) {
-	var out []BELoadPoint
-	for _, load := range []float64{0.02, 0.05, 0.1, 0.2, 0.3} {
+	loads := []float64{0.02, 0.05, 0.1, 0.2, 0.3}
+	return sweep.Map(context.Background(), len(loads), 0, func(i int) (BELoadPoint, error) {
+		load := loads[i]
 		n := benet.New(4, 4, packetsw.DefaultParams())
 		rng := bitvec.NewXorShift64(uint64(1 + load*1000))
 		const cycles = 4000
@@ -71,15 +74,14 @@ func BELoadData() ([]BELoadPoint, error) {
 				delivered++
 			}
 		}
-		out = append(out, BELoadPoint{
+		return BELoadPoint{
 			OfferedLoad: load,
 			MeanLatency: lat.Mean(),
 			P95Latency:  hist.Quantile(0.95),
 			Delivered:   delivered,
 			Throughput:  float64(delivered) / 16 / cycles * 100,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 func renderBELoad(w io.Writer, pts []BELoadPoint) error {

@@ -19,11 +19,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"repro/internal/stdcell"
+	"repro/internal/sweep"
 )
 
 // Experiment is one reproducible artefact of the paper, split into a
@@ -109,6 +111,47 @@ func RunAll(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// RunMany measures the given experiments on a bounded worker pool
+// (workers <= 0 means GOMAXPROCS) and renders them to w in the order the
+// ids were given — the parallel full-suite path behind `nocbench
+// -parallel`. Measurement and rendering are decoupled: every Data
+// function runs concurrently, while the text output stays byte-identical
+// to the sequential RunOne loop. The worker bound applies to whole
+// experiments; grid-shaped experiments additionally parallelize their
+// own cells, so transient goroutine counts can exceed the bound (the
+// extra goroutines are CPU-bound and cheap — Go's scheduler degrades
+// gracefully under that oversubscription).
+func RunMany(w io.Writer, ids []string, workers int) error {
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			return fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+		exps[i] = e
+	}
+	return sweep.Run(context.Background(), len(exps), workers,
+		func(_ context.Context, i int) (any, error) {
+			data, err := exps[i].Data()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", exps[i].ID, err)
+			}
+			return data, nil
+		},
+		func(i int, data any, err error) error {
+			if err != nil {
+				return err
+			}
+			e := exps[i]
+			fmt.Fprintf(w, "=== %s: %s (%s) ===\n", e.ID, e.Title, e.Paper)
+			if err := e.Render(w, data); err != nil {
+				return fmt.Errorf("experiments: %s: %w", e.ID, err)
+			}
+			fmt.Fprintln(w)
+			return nil
+		})
 }
 
 // RunOne measures and renders a single experiment with its header.

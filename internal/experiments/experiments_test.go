@@ -219,6 +219,32 @@ func TestCrossoverAlwaysFavoursCircuit(t *testing.T) {
 	}
 }
 
+func TestRunManyMatchesSequentialByteForByte(t *testing.T) {
+	ids := []string{"table3", "psdepth", "setup", "window", "table1"}
+	var seq bytes.Buffer
+	for _, id := range ids {
+		if err := RunOne(&seq, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 8} {
+		var par bytes.Buffer
+		if err := RunMany(&par, ids, workers); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+			t.Fatalf("workers=%d output differs from sequential:\n--- seq ---\n%s\n--- par ---\n%s",
+				workers, seq.String(), par.String())
+		}
+	}
+}
+
+func TestRunManyUnknownID(t *testing.T) {
+	if err := RunMany(io.Discard, []string{"table3", "nope"}, 2); err == nil {
+		t.Fatal("RunMany accepted unknown id")
+	}
+}
+
 func TestRunAllSucceeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep is slow")

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/power"
+	"repro/internal/sweep"
 	"repro/internal/traffic"
 )
 
@@ -61,27 +63,38 @@ type Fig9Result struct {
 }
 
 // Fig9Data runs all eight simulations of Figure 9 (four scenarios × two
-// routers) and returns the bars in the paper's order: circuit-switched
-// I–IV, then packet-switched I–IV.
+// routers) in parallel and returns the bars in the paper's order:
+// circuit-switched I–IV, then packet-switched I–IV.
 func Fig9Data(cfg Fig9Config) ([]Fig9Bar, error) {
 	pat := traffic.Pattern{FlipProb: 0.5, Load: 1} // random data, 100% load
 	rc := traffic.RunConfig{Cycles: cfg.Cycles, FreqMHz: cfg.FreqMHz, Lib: lib, Gated: cfg.Gated}
-	var bars []Fig9Bar
+	type cell struct {
+		router string
+		sc     traffic.Scenario
+	}
+	var cells []cell
 	for _, sc := range traffic.Scenarios() {
-		res, err := traffic.RunCircuit(sc, pat, rc)
-		if err != nil {
-			return nil, err
-		}
-		bars = append(bars, Fig9Bar{Router: "circuit", Scenario: sc.Name, Power: res.Power})
+		cells = append(cells, cell{"circuit", sc})
 	}
 	for _, sc := range traffic.Scenarios() {
-		res, err := traffic.RunPacket(sc, pat, rc)
-		if err != nil {
-			return nil, err
-		}
-		bars = append(bars, Fig9Bar{Router: "packet", Scenario: sc.Name, Power: res.Power})
+		cells = append(cells, cell{"packet", sc})
 	}
-	return bars, nil
+	return sweep.Map(context.Background(), len(cells), 0, func(i int) (Fig9Bar, error) {
+		c := cells[i]
+		var (
+			res traffic.Result
+			err error
+		)
+		if c.router == "circuit" {
+			res, err = traffic.RunCircuit(c.sc, pat, rc)
+		} else {
+			res, err = traffic.RunPacket(c.sc, pat, rc)
+		}
+		if err != nil {
+			return Fig9Bar{}, err
+		}
+		return Fig9Bar{Router: c.router, Scenario: c.sc.Name, Power: res.Power}, nil
+	})
 }
 
 func defaultFig9Result() (Fig9Result, error) {
@@ -138,34 +151,43 @@ type Fig10Result struct {
 }
 
 // Fig10Data sweeps the bit-flip fraction over the paper's three cases for
-// all scenarios and both routers.
+// all scenarios and both routers — 24 independent simulations, run in
+// parallel and returned in the paper's fixed order.
 func Fig10Data(cfg Fig9Config) ([]Fig10Point, error) {
 	rc := traffic.RunConfig{Cycles: cfg.Cycles, FreqMHz: cfg.FreqMHz, Lib: lib, Gated: cfg.Gated}
-	var pts []Fig10Point
+	type cell struct {
+		router string
+		sc     traffic.Scenario
+		flip   float64
+	}
+	var cells []cell
 	for _, router := range []string{"circuit", "packet"} {
 		for _, sc := range traffic.Scenarios() {
 			for _, p := range traffic.BitFlipCases() {
-				pat := traffic.Pattern{FlipProb: p, Load: 1}
-				var (
-					res traffic.Result
-					err error
-				)
-				if router == "circuit" {
-					res, err = traffic.RunCircuit(sc, pat, rc)
-				} else {
-					res, err = traffic.RunPacket(sc, pat, rc)
-				}
-				if err != nil {
-					return nil, err
-				}
-				pts = append(pts, Fig10Point{
-					Router: router, Scenario: sc.Name, FlipProb: p,
-					UWPerMHz: res.Power.DynamicPerMHz(),
-				})
+				cells = append(cells, cell{router, sc, p})
 			}
 		}
 	}
-	return pts, nil
+	return sweep.Map(context.Background(), len(cells), 0, func(i int) (Fig10Point, error) {
+		c := cells[i]
+		pat := traffic.Pattern{FlipProb: c.flip, Load: 1}
+		var (
+			res traffic.Result
+			err error
+		)
+		if c.router == "circuit" {
+			res, err = traffic.RunCircuit(c.sc, pat, rc)
+		} else {
+			res, err = traffic.RunPacket(c.sc, pat, rc)
+		}
+		if err != nil {
+			return Fig10Point{}, err
+		}
+		return Fig10Point{
+			Router: c.router, Scenario: c.sc.Name, FlipProb: c.flip,
+			UWPerMHz: res.Power.DynamicPerMHz(),
+		}, nil
+	})
 }
 
 func defaultFig10Result() (Fig10Result, error) {

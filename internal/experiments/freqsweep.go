@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"repro/internal/sweep"
 	"repro/internal/synth"
 	"repro/internal/traffic"
 )
@@ -39,26 +41,30 @@ type FreqSweepResult struct {
 }
 
 // FreqSweepData measures Scenario III total power across clocks up to
-// each router's synthesis limit.
+// each router's synthesis limit, one sweep cell per clock in parallel.
 func FreqSweepData() ([]FreqPoint, []float64, error) {
 	sc := traffic.Scenarios()[2]
 	pat := traffic.Pattern{FlipProb: 0.5, Load: 1}
-	var pts []FreqPoint
-	for _, f := range []float64{25, 50, 100, 200, 400} {
+	freqs := []float64{25, 50, 100, 200, 400}
+	pts, err := sweep.Map(context.Background(), len(freqs), 0, func(i int) (FreqPoint, error) {
+		f := freqs[i]
 		rc := traffic.RunConfig{Cycles: 2000, FreqMHz: f, Lib: lib}
 		c, err := traffic.RunCircuit(sc, pat, rc)
 		if err != nil {
-			return nil, nil, err
+			return FreqPoint{}, err
 		}
 		p, err := traffic.RunPacket(sc, pat, rc)
 		if err != nil {
-			return nil, nil, err
+			return FreqPoint{}, err
 		}
-		pts = append(pts, FreqPoint{
+		return FreqPoint{
 			FreqMHz:   f,
 			CircuitUW: c.Power.TotalUW(), PacketUW: p.Power.TotalUW(),
 			CircuitStaticUW: c.Power.StaticUW,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	rows := synth.Table4(lib)
 	limits := []float64{rows[0].MaxFreqMHz, rows[1].MaxFreqMHz}

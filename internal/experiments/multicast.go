@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/packetsw"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func init() {
@@ -39,9 +41,9 @@ type MulticastPoint struct {
 // must inject one packet per destination, paying bandwidth and buffer
 // energy k times.
 func MulticastData() ([]MulticastPoint, error) {
-	var out []MulticastPoint
 	dests := []core.Port{core.East, core.South, core.West}
-	for k := 1; k <= 3; k++ {
+	return sweep.Map(context.Background(), 3, 0, func(cell int) (MulticastPoint, error) {
+		k := cell + 1
 		// Circuit switched: one tile lane feeding k output lanes.
 		cp := core.DefaultParams()
 		a := core.NewAssembly(cp, core.AssemblyOptions{Flow: core.FlowParams{}, RxBufCap: 8})
@@ -52,7 +54,7 @@ func MulticastData() ([]MulticastPoint, error) {
 				In:  core.LaneID{Port: core.Tile, Lane: 0},
 				Out: core.LaneID{Port: dests[i], Lane: 0},
 			}); err != nil {
-				return nil, err
+				return MulticastPoint{}, err
 			}
 		}
 		w := sim.NewWorld()
@@ -92,14 +94,13 @@ func MulticastData() ([]MulticastPoint, error) {
 			cyc++
 		}})
 		pw.Run(cycles)
-		out = append(out, MulticastPoint{
+		return MulticastPoint{
 			Fanout:              k,
 			CircuitUW:           circuitUW,
 			PacketUW:            pm.Report("ps").TotalUW(),
 			PacketInjectedWords: injected,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 func renderMulticast(w io.Writer, pts []MulticastPoint) error {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/packetsw"
+	"repro/internal/sweep"
 )
 
 func init() {
@@ -35,19 +37,19 @@ type PSDepthPoint struct {
 // costs the packet-switched router area and idle clock power it can never
 // win back.
 func PSDepthData() []PSDepthPoint {
-	var out []PSDepthPoint
-	for _, depth := range []int{2, 4, 8, 16} {
+	depths := []int{2, 4, 8, 16}
+	out, _ := sweep.Map(context.Background(), len(depths), 0, func(i int) (PSDepthPoint, error) {
 		p := packetsw.DefaultParams()
-		p.Depth = depth
+		p.Depth = depths[i]
 		d := packetsw.Netlist(p, lib)
 		buf := d.BlockAreaMM2(lib, packetsw.BlockBuffering)
-		out = append(out, PSDepthPoint{
-			Depth:        depth,
+		return PSDepthPoint{
+			Depth:        depths[i],
 			AreaMM2:      d.AreaMM2(lib),
 			BufferShare:  buf / d.AreaMM2(lib),
 			IdleUWPerMHz: d.ClockEnergyPerCycle(lib) / 1e3,
-		})
-	}
+		}, nil
+	})
 	return out
 }
 

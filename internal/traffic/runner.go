@@ -30,6 +30,10 @@ type RunConfig struct {
 	// PSParams overrides the packet-switched router configuration (nil:
 	// the paper's defaults). Used by WithVirtualChannels / WithBufferDepth.
 	PSParams *packetsw.Params
+	// Seed is the run-level base seed mixed into every stream source, so
+	// sweep cells draw independent data sequences. Zero keeps the
+	// paper-default seeding (sources seeded by stream id alone).
+	Seed uint64
 }
 
 // DefaultRunConfig mirrors the paper's power-estimation setup: 5000 cycles
@@ -126,7 +130,7 @@ func RunCircuit(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 		if err := a.EstablishLocal(circ); err != nil {
 			return Result{}, err
 		}
-		src := NewSource(pat, st.ID)
+		src := NewSourceSeeded(pat, st.ID, cfg.Seed)
 		sources = append(sources, src)
 
 		var tx *core.TxConverter
@@ -201,7 +205,7 @@ func RunPacket(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 		if vc < 0 || vc >= pp.VCs {
 			return Result{}, fmt.Errorf("traffic: stream %d has no VC", st.ID)
 		}
-		src := NewSource(pat, st.ID)
+		src := NewSourceSeeded(pat, st.ID, cfg.Seed)
 		sources = append(sources, src)
 		gen := &packetGen{
 			src: src, vc: vc, dst: st.Out,

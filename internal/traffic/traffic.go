@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 // Stream is one entry of Table 3: a unidirectional data stream through the
@@ -105,10 +106,21 @@ type Source struct {
 
 // NewSource returns a source for the pattern, seeded by the stream id.
 func NewSource(p Pattern, streamID int) *Source {
+	return NewSourceSeeded(p, streamID, 0)
+}
+
+// NewSourceSeeded returns a source whose random streams derive from both
+// the stream id and a run-level base seed: distinct sweep cells draw
+// statistically independent sequences while each cell stays reproducible
+// regardless of scheduling. A zero base reproduces NewSource exactly.
+func NewSourceSeeded(p Pattern, streamID int, base uint64) *Source {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
 	seed := uint64(streamID)*0x9E3779B97F4A7C15 + 12345
+	if base != 0 {
+		seed ^= sweep.Mix64(base)
+	}
 	return &Source{
 		gen:  bitvec.NewFlipGen(16, p.FlipProb, seed),
 		load: p.Load,

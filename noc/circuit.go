@@ -50,7 +50,7 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 	rc := traffic.RunConfig{
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
 		Lib: f.cfg.mustLib(), Gated: f.cfg.gated,
-		Params: f.cfg.coreParams(),
+		Params: f.cfg.coreParams(), Seed: sc.Seed,
 	}
 	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
 	tr, err := traffic.RunCircuit(sc.trafficScenario(), pat, rc)

@@ -1,10 +1,12 @@
 package noc
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 // Experiment describes one registered reproduction of a paper artefact
@@ -37,10 +39,29 @@ func RunAllExperiments(w io.Writer) error {
 	return experiments.RunAll(w)
 }
 
+// RunExperimentsParallel measures the given experiments concurrently on
+// a bounded worker pool (workers <= 0 means GOMAXPROCS) and renders them
+// to w in the given order. The text output is byte-identical to running
+// RunExperiment over the ids sequentially; only the wall-clock changes.
+func RunExperimentsParallel(w io.Writer, ids []string, workers int) error {
+	return experiments.RunMany(w, ids, workers)
+}
+
 // ExperimentData measures one experiment and returns its typed,
 // JSON-marshalable result (e.g. the eight power bars of fig9).
 func ExperimentData(id string) (any, error) {
 	return experiments.DataFor(id)
+}
+
+// ExperimentsJSON measures the given experiments on a bounded worker
+// pool (workers <= 0 means GOMAXPROCS, 1 is sequential) and returns one
+// JSON document per id, in the order the ids were given. The documents
+// are identical to calling ExperimentJSON per id; only the wall-clock
+// changes.
+func ExperimentsJSON(ids []string, workers int) ([][]byte, error) {
+	return sweep.Map(context.Background(), len(ids), workers, func(i int) ([]byte, error) {
+		return ExperimentJSON(ids[i])
+	})
 }
 
 // ExperimentJSON measures one experiment and returns its result as

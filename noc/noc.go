@@ -25,12 +25,20 @@
 // whole wireless applications (HiperLAN/2, UMTS, DRM) onto a W×H NoC via
 // the Central Coordination Node — see Scenario.
 //
+// Batch comparisons are first class: Sweep executes a SweepSpec — a
+// set of fabric configurations crossed with an explicit scenario list
+// or a cartesian parameter grid — across a bounded worker pool and
+// streams typed SweepCells in deterministic order, with JSON and CSV
+// encoders (SweepJSON, SweepCSV). Each cell runs with its own derived
+// RNG seed, so sweep output is byte-identical for any worker count.
+//
 // Beyond simulation, the package exposes the paper's full evaluation:
 // Experiments lists every table/figure reproduction, RunExperiment
-// renders one as text and ExperimentData returns its typed result for
-// JSON output; RenderSynthTable and friends print the synthesis model
-// (Table 4); CaptureWaveform records the lane-level timing diagram the
-// trace subsystem produces.
+// renders one as text (RunExperimentsParallel measures many at once)
+// and ExperimentData returns its typed result for JSON output;
+// RenderSynthTable and friends print the synthesis model (Table 4);
+// CaptureWaveform records the lane-level timing diagram the trace
+// subsystem produces.
 package noc
 
 import (

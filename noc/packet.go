@@ -41,6 +41,7 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 	rc := traffic.RunConfig{
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
 		Lib: f.cfg.mustLib(), PSParams: f.cfg.psParams(),
+		Seed: sc.Seed,
 	}
 	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
 	tr, err := traffic.RunPacket(sc.trafficScenario(), pat, rc)

@@ -110,6 +110,12 @@ type Scenario struct {
 	// mesh: "hiperlan2", "umts", "drm". Setting it switches the
 	// scenario to a mesh workload run.
 	Workloads []string `json:"workloads,omitempty"`
+	// Seed is the run-level base seed mixed into every stream source's
+	// RNG. Zero selects the paper-default seeding (sources seeded by
+	// stream id alone). The Sweep engine assigns each cell a
+	// deterministic seed derived from the spec seed and the cell index,
+	// so sweep results are reproducible regardless of scheduling.
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // IsWorkload reports whether the scenario is a mesh workload run.

@@ -1,0 +1,464 @@
+package noc
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sweep"
+)
+
+// FabricSpec is the JSON-encodable description of one fabric
+// configuration — the declarative counterpart of the CircuitSwitched /
+// PacketSwitched / AetherealTDM constructors and their options. Zero
+// fields mean the paper's defaults.
+type FabricSpec struct {
+	// Kind selects the implementation: "circuit", "packet" or
+	// "aethereal".
+	Kind Kind `json:"kind"`
+	// Lanes and LaneWidth configure the circuit-switched router
+	// (WithLanes / WithLaneWidth).
+	Lanes     int `json:"lanes,omitempty"`
+	LaneWidth int `json:"lane_width,omitempty"`
+	// VCs and BufferDepth configure the packet-switched router
+	// (WithVirtualChannels / WithBufferDepth).
+	VCs         int `json:"vcs,omitempty"`
+	BufferDepth int `json:"buffer_depth,omitempty"`
+	// Slots and BEDepth configure the TDM router (WithSlots /
+	// WithBEDepth).
+	Slots   int `json:"slots,omitempty"`
+	BEDepth int `json:"be_depth,omitempty"`
+	// Gated enables the circuit-switched clock-gating ablation.
+	Gated bool `json:"gated,omitempty"`
+	// Corner selects the library corner: "nominal" (default) or "hvt".
+	Corner string `json:"corner,omitempty"`
+	// LatencyWords overrides the latency sample count; nil keeps the
+	// default, 0 disables the latency measurement (WithLatencyWords).
+	LatencyWords *int `json:"latency_words,omitempty"`
+}
+
+// options converts the spec into the functional options it describes.
+func (fs FabricSpec) options() []Option {
+	var opts []Option
+	if fs.Lanes != 0 {
+		opts = append(opts, WithLanes(fs.Lanes))
+	}
+	if fs.LaneWidth != 0 {
+		opts = append(opts, WithLaneWidth(fs.LaneWidth))
+	}
+	if fs.VCs != 0 {
+		opts = append(opts, WithVirtualChannels(fs.VCs))
+	}
+	if fs.BufferDepth != 0 {
+		opts = append(opts, WithBufferDepth(fs.BufferDepth))
+	}
+	if fs.Slots != 0 {
+		opts = append(opts, WithSlots(fs.Slots))
+	}
+	if fs.BEDepth != 0 {
+		opts = append(opts, WithBEDepth(fs.BEDepth))
+	}
+	if fs.Gated {
+		opts = append(opts, WithClockGating(true))
+	}
+	if fs.Corner != "" {
+		opts = append(opts, WithLibraryCorner(fs.Corner))
+	}
+	if fs.LatencyWords != nil {
+		opts = append(opts, WithLatencyWords(*fs.LatencyWords))
+	}
+	return opts
+}
+
+// Fabric builds and validates the fabric the spec describes.
+func (fs FabricSpec) Fabric() (Fabric, error) {
+	var f Fabric
+	switch fs.Kind {
+	case KindCircuit:
+		f = CircuitSwitched(fs.options()...)
+	case KindPacket:
+		f = PacketSwitched(fs.options()...)
+	case KindTDM:
+		f = AetherealTDM(fs.options()...)
+	default:
+		return nil, fmt.Errorf("noc: sweep: unknown fabric kind %q (have %s, %s, %s)",
+			fs.Kind, KindCircuit, KindPacket, KindTDM)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Grid describes a cartesian product of scenario parameters. Each empty
+// axis contributes the paper's default; each populated axis multiplies
+// the cell count by its length. Grid scenarios are named after their
+// base scenario plus one suffix per populated axis, so every cell is
+// identifiable in results.
+type Grid struct {
+	// Scenarios names the base single-router scenarios ("I".."IV");
+	// empty means all four.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// FreqsMHz sweeps the network clock.
+	FreqsMHz []float64 `json:"freqs_mhz,omitempty"`
+	// Loads sweeps the offered load fraction.
+	Loads []float64 `json:"loads,omitempty"`
+	// FlipProbs sweeps the data bit-flip fraction.
+	FlipProbs []float64 `json:"flip_probs,omitempty"`
+	// Cycles sweeps the simulated length.
+	Cycles []int `json:"cycles,omitempty"`
+}
+
+// expand materializes the grid into concrete scenarios in a fixed
+// order: scenario-major, then frequency, load, flip probability and
+// cycle count.
+func (g Grid) expand() ([]Scenario, error) {
+	names := g.Scenarios
+	if len(names) == 0 {
+		names = []string{"I", "II", "III", "IV"}
+	}
+	var out []Scenario
+	for _, name := range names {
+		base, err := PaperScenario(name)
+		if err != nil {
+			return nil, err
+		}
+		scs := []Scenario{base}
+		scs = expandAxis(scs, g.FreqsMHz, "f", func(sc *Scenario, v float64) {
+			sc.FreqMHz = v
+		})
+		scs = expandAxis(scs, g.Loads, "load", func(sc *Scenario, v float64) {
+			sc.Pattern.Load = v
+		})
+		scs = expandAxis(scs, g.FlipProbs, "flip", func(sc *Scenario, v float64) {
+			sc.Pattern.FlipProb = v
+		})
+		scs = expandIntAxis(scs, g.Cycles, "cycles", func(sc *Scenario, v int) {
+			sc.Cycles = v
+		})
+		out = append(out, scs...)
+	}
+	return out, nil
+}
+
+// expandAxis multiplies the scenario list by one populated axis,
+// suffixing each scenario name with the axis label and value.
+func expandAxis(scs []Scenario, values []float64, label string,
+	set func(*Scenario, float64)) []Scenario {
+	if len(values) == 0 {
+		return scs
+	}
+	out := make([]Scenario, 0, len(scs)*len(values))
+	for _, sc := range scs {
+		for _, v := range values {
+			next := sc
+			set(&next, v)
+			next.Name = fmt.Sprintf("%s/%s=%s", sc.Name, label,
+				strconv.FormatFloat(v, 'g', -1, 64))
+			out = append(out, next)
+		}
+	}
+	return out
+}
+
+// expandIntAxis is expandAxis for integer-valued axes, keeping labels
+// like "cycles=1000000" out of float exponent notation.
+func expandIntAxis(scs []Scenario, values []int, label string,
+	set func(*Scenario, int)) []Scenario {
+	if len(values) == 0 {
+		return scs
+	}
+	out := make([]Scenario, 0, len(scs)*len(values))
+	for _, sc := range scs {
+		for _, v := range values {
+			next := sc
+			set(&next, v)
+			next.Name = fmt.Sprintf("%s/%s=%d", sc.Name, label, v)
+			out = append(out, next)
+		}
+	}
+	return out
+}
+
+// SweepSpec describes a batch of runs: a set of fabrics crossed with
+// either an explicit scenario list or a cartesian Grid. It marshals to
+// JSON, so a spec file drives `nocbench -sweep spec.json`.
+type SweepSpec struct {
+	// Name labels the sweep in output.
+	Name string `json:"name,omitempty"`
+	// Fabrics are the fabric configurations to cross with the
+	// scenarios; empty means all three fabrics at the paper's defaults.
+	Fabrics []FabricSpec `json:"fabrics,omitempty"`
+	// Scenarios is an explicit scenario list. Mutually exclusive with
+	// Grid; with neither set the sweep covers the paper's four
+	// scenarios.
+	Scenarios []Scenario `json:"scenarios,omitempty"`
+	// Grid is a cartesian parameter grid expanded into scenarios.
+	Grid *Grid `json:"grid,omitempty"`
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// Seed is the sweep-level base seed. Every cell derives its own
+	// deterministic seed from it and the cell index, so results are
+	// identical for any worker count.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ParseSweepSpec decodes a JSON sweep spec (the `nocbench -sweep`
+// file format) and validates it. Unknown fields are rejected, so a
+// typoed axis name fails loudly instead of silently sweeping nothing.
+func ParseSweepSpec(b []byte) (SweepSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var spec SweepSpec
+	if err := dec.Decode(&spec); err != nil {
+		return SweepSpec{}, fmt.Errorf("noc: sweep spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return SweepSpec{}, err
+	}
+	return spec, nil
+}
+
+// SweepCell is one unit of a sweep — a fabric × scenario pair — plus,
+// after execution, its Result or error. Cells are delivered in Index
+// order regardless of scheduling.
+type SweepCell struct {
+	// Index is the cell's position in the sweep's deterministic
+	// enumeration (fabric-major, then scenario).
+	Index int `json:"index"`
+	// Seed is the per-cell RNG seed the engine assigned.
+	Seed uint64 `json:"seed"`
+	// Fabric and Scenario are the generating parameters.
+	Fabric   FabricSpec `json:"fabric"`
+	Scenario Scenario   `json:"scenario"`
+	// Result is the run's outcome; nil when the run failed.
+	Result *Result `json:"result,omitempty"`
+	// Error carries the run's failure, if any. A failed cell does not
+	// abort the sweep.
+	Error string `json:"error,omitempty"`
+}
+
+// defaultFabrics covers all three fabrics at the paper's defaults.
+func defaultFabrics() []FabricSpec {
+	return []FabricSpec{{Kind: KindCircuit}, {Kind: KindPacket}, {Kind: KindTDM}}
+}
+
+// Validate checks the spec: every fabric must build, the scenario
+// source must be unambiguous and every scenario valid.
+func (s SweepSpec) Validate() error {
+	_, err := s.Cells()
+	return err
+}
+
+// scenarios resolves the spec's scenario list.
+func (s SweepSpec) scenarios() ([]Scenario, error) {
+	switch {
+	case len(s.Scenarios) > 0:
+		return s.Scenarios, nil
+	case s.Grid != nil:
+		return s.Grid.expand()
+	default:
+		return PaperScenarios(), nil
+	}
+}
+
+// Cells validates the spec and enumerates the sweep's cells —
+// fabric-major, then scenario — with their per-cell seeds assigned but
+// no results yet. The spec is checked and the grid expanded exactly
+// once; Validate is this function with the cells discarded.
+func (s SweepSpec) Cells() ([]SweepCell, error) {
+	if s.Workers < 0 {
+		return nil, fmt.Errorf("noc: sweep: negative worker count %d", s.Workers)
+	}
+	if len(s.Scenarios) > 0 && s.Grid != nil {
+		return nil, fmt.Errorf("noc: sweep: scenarios and grid are mutually exclusive")
+	}
+	fabrics := s.Fabrics
+	if len(fabrics) == 0 {
+		fabrics = defaultFabrics()
+	}
+	for i, fs := range fabrics {
+		if _, err := fs.Fabric(); err != nil {
+			return nil, fmt.Errorf("noc: sweep: fabric %d: %w", i, err)
+		}
+	}
+	scs, err := s.scenarios()
+	if err != nil {
+		return nil, err
+	}
+	for _, sc := range scs {
+		if err := sc.withDefaults().Validate(); err != nil {
+			return nil, err
+		}
+	}
+	cells := make([]SweepCell, 0, len(fabrics)*len(scs))
+	for _, fs := range fabrics {
+		for _, sc := range scs {
+			idx := len(cells)
+			cell := SweepCell{Index: idx, Fabric: fs, Scenario: sc}
+			// Every cell gets a deterministic RNG seed derived from the
+			// spec seed and its index; a seed the scenario already
+			// carries is preserved.
+			if sc.Seed != 0 {
+				cell.Seed = sc.Seed
+			} else {
+				cell.Seed = cellSeed(s.Seed, idx)
+				cell.Scenario.Seed = cell.Seed
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// cellSeed derives a cell's RNG seed from the sweep seed and the cell
+// index with a SplitMix64 step, so neighbouring cells are decorrelated.
+func cellSeed(base uint64, index int) uint64 {
+	return sweep.Mix64(base + uint64(index)*0x9E3779B97F4A7C15)
+}
+
+// Sweep executes the spec's cells across a bounded worker pool (default
+// GOMAXPROCS) and streams each completed cell to fn in Index order, so
+// any output assembled from the cells is byte-identical for any worker
+// count. A cell whose run fails carries the error in SweepCell.Error
+// and does not abort the sweep; Sweep itself returns an error only for
+// an invalid spec, a cancelled context or a non-nil error from fn.
+func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error {
+	cells, err := spec.Cells()
+	if err != nil {
+		return err
+	}
+	return sweep.Run(ctx, len(cells), spec.Workers,
+		func(ctx context.Context, i int) (SweepCell, error) {
+			cell := cells[i]
+			if err := ctx.Err(); err != nil {
+				return cell, err
+			}
+			f, err := cell.Fabric.Fabric()
+			if err != nil {
+				cell.Error = err.Error()
+				return cell, nil
+			}
+			res, err := f.Run(cell.Scenario)
+			if err != nil {
+				cell.Error = err.Error()
+				return cell, nil
+			}
+			cell.Result = res
+			return cell, nil
+		},
+		func(_ int, cell SweepCell, err error) error {
+			if err != nil {
+				return err
+			}
+			return fn(cell)
+		})
+}
+
+// SweepAll executes the spec and returns every cell in Index order.
+func SweepAll(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
+	var out []SweepCell
+	if err := Sweep(ctx, spec, func(c SweepCell) error {
+		out = append(out, c)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepJSON executes the spec and streams the cells to w as one
+// indented JSON array, in Index order. The output is byte-identical for
+// any worker count.
+func SweepJSON(ctx context.Context, spec SweepSpec, w io.Writer) error {
+	first := true
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	err := Sweep(ctx, spec, func(c SweepCell) error {
+		b, err := json.MarshalIndent(c, "  ", "  ")
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := io.WriteString(w, "  "); err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n]\n")
+	return err
+}
+
+// sweepCSVHeader is the column set of SweepCSV.
+var sweepCSVHeader = []string{
+	"index", "fabric", "scenario", "freq_mhz", "cycles", "load",
+	"flip_prob", "seed", "words_sent", "words_delivered",
+	"throughput_mbps", "power_total_uw", "power_dynamic_uw_per_mhz",
+	"latency_mean_cycles", "latency_jitter_cycles", "error",
+}
+
+// SweepCSV executes the spec and writes one CSV row per cell, in Index
+// order, preceded by a header row.
+func SweepCSV(ctx context.Context, spec SweepSpec, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(sweepCSVHeader); err != nil {
+		return err
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	err := Sweep(ctx, spec, func(c SweepCell) error {
+		sc := c.Scenario.withDefaults()
+		// Columns appended in sweepCSVHeader order; absent measurements
+		// stay blank.
+		var sent, delivered, tput, totalUW, dynUW, meanLat, jitter string
+		if r := c.Result; r != nil {
+			sent = strconv.FormatUint(r.WordsSent, 10)
+			delivered = strconv.FormatUint(r.WordsDelivered, 10)
+			tput = ff(r.ThroughputMbps)
+			if r.Power != nil {
+				totalUW = ff(r.Power.TotalUW)
+				dynUW = ff(r.Power.DynamicUWPerMHz)
+			}
+			if r.Latency != nil {
+				meanLat = ff(r.Latency.MeanCycles)
+				jitter = ff(r.Latency.JitterCycles)
+			}
+		}
+		return cw.Write([]string{
+			strconv.Itoa(c.Index),
+			string(c.Fabric.Kind),
+			sc.Name,
+			ff(sc.FreqMHz),
+			strconv.Itoa(sc.Cycles),
+			ff(sc.Pattern.Load),
+			ff(sc.Pattern.FlipProb),
+			strconv.FormatUint(c.Seed, 10),
+			sent,
+			delivered,
+			tput,
+			totalUW,
+			dynUW,
+			meanLat,
+			jitter,
+			c.Error,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

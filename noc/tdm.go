@@ -124,7 +124,7 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
 	for i, st := range sc.Streams {
 		rv := reservations[i]
-		src := traffic.NewSource(pat, st.ID)
+		src := traffic.NewSourceSeeded(pat, st.ID, sc.Seed)
 		sources = append(sources, src)
 
 		data := new(uint32)
