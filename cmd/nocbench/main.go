@@ -14,12 +14,27 @@
 //	nocbench -sweep spec.json      run a parallel sweep from a spec file
 //	nocbench -sweep spec.json -csv same, as CSV
 //	nocbench -sweep spec.json -workers 4
+//	nocbench -sweep spec.json -kernel naive
+//	nocbench -run fig9 -cpuprofile cpu.pprof
 //
 // A sweep spec is a JSON-encoded noc.SweepSpec: a set of fabrics crossed
 // with an explicit scenario list or a cartesian parameter grid. The
 // sweep engine fans the cells across a bounded worker pool and emits
 // them in deterministic order, so the output is byte-identical for any
 // worker count.
+//
+// -kernel selects the simulation kernel of a -sweep: "gated" (the
+// activity-tracked default) or "naive" (evaluate everything). Results
+// are byte-identical either way — the CI equivalence job runs the same
+// sweep under both and byte-compares. The experiments (-run/-parallel)
+// always use the gated default, so the flag is rejected without -sweep
+// rather than silently ignored.
+//
+// -cpuprofile / -memprofile write pprof profiles covering the whole run
+// (flushed on errors and Ctrl-C too), so kernel work is measurable
+// without editing code:
+//
+//	go tool pprof cpu.pprof
 package main
 
 import (
@@ -29,53 +44,92 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/noc"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nocbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run owns every deferred cleanup (profile flushes, file closes), so any
+// exit path — error, Ctrl-C cancellation, success — leaves complete,
+// loadable pprof files behind.
+func run() (err error) {
 	list := flag.Bool("list", false, "list available experiments")
-	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	out := flag.String("out", "", "also write output to this file")
 	jsonOut := flag.Bool("json", false, "emit typed experiment results as JSON instead of text")
 	sweepFile := flag.String("sweep", "", "run a parallel sweep from this JSON spec file")
 	workers := flag.Int("workers", 0, "worker pool size for -sweep and -parallel (default GOMAXPROCS)")
 	parallel := flag.Bool("parallel", false, "measure experiments on all cores (text output unchanged)")
 	csvOut := flag.Bool("csv", false, "with -sweep: emit CSV instead of JSON")
+	kernel := flag.String("kernel", "", `with -sweep: simulation kernel, "gated" (default) or "naive"`)
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if _, kerr := noc.ParseKernel(*kernel); kerr != nil {
+		return kerr
+	}
+	if *kernel != "" && *sweepFile == "" {
+		return fmt.Errorf("-kernel only applies to -sweep runs (experiments always use the gated default)")
+	}
+
+	if *cpuProfile != "" {
+		f, ferr := os.Create(*cpuProfile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			return perr
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			werr := writeHeapProfile(*memProfile)
+			if err == nil {
+				err = werr
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range noc.Experiments() {
 			fmt.Printf("%-10s %-55s [%s]\n", e.ID, e.Title, e.Paper)
 		}
-		return
+		return nil
 	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
 	if *sweepFile != "" {
-		if err := runSweep(w, *sweepFile, *workers, *csvOut); err != nil {
-			fatal(err)
-		}
-		return
+		return runSweep(w, *sweepFile, *workers, *csvOut, *kernel)
 	}
 
 	var ids []string
-	if *run == "" {
+	if *runIDs == "" {
 		for _, e := range noc.Experiments() {
 			ids = append(ids, e.ID)
 		}
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
@@ -89,14 +143,14 @@ func main() {
 		if *parallel {
 			jsonWorkers = *workers
 		}
-		parts, err := noc.ExperimentsJSON(ids, jsonWorkers)
-		if err != nil {
-			fatal(err)
+		parts, jerr := noc.ExperimentsJSON(ids, jsonWorkers)
+		if jerr != nil {
+			return jerr
 		}
 		fmt.Fprint(w, "[\n")
 		for i, b := range parts {
-			if _, err := w.Write(b); err != nil {
-				fatal(err)
+			if _, werr := w.Write(b); werr != nil {
+				return werr
 			}
 			if i < len(parts)-1 {
 				fmt.Fprint(w, ",")
@@ -104,24 +158,34 @@ func main() {
 			fmt.Fprintln(w)
 		}
 		fmt.Fprintln(w, "]")
-		return
+		return nil
 	}
 	if *parallel {
-		if err := noc.RunExperimentsParallel(w, ids, *workers); err != nil {
-			fatal(err)
-		}
-		return
+		return noc.RunExperimentsParallel(w, ids, *workers)
 	}
 	for _, id := range ids {
-		if err := noc.RunExperiment(w, id); err != nil {
-			fatal(err)
+		if rerr := noc.RunExperiment(w, id); rerr != nil {
+			return rerr
 		}
 	}
+	return nil
+}
+
+// writeHeapProfile dumps the heap profile after a GC, so allocation
+// statistics are current.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // runSweep loads a noc.SweepSpec from the file and streams the cells to
 // w. Ctrl-C cancels the sweep cleanly mid-run.
-func runSweep(w io.Writer, path string, workers int, asCSV bool) error {
+func runSweep(w io.Writer, path string, workers int, asCSV bool, kernel string) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -133,15 +197,13 @@ func runSweep(w io.Writer, path string, workers int, asCSV bool) error {
 	if workers != 0 {
 		spec.Workers = workers
 	}
+	if kernel != "" {
+		spec.Kernel = kernel
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if asCSV {
 		return noc.SweepCSV(ctx, spec, w)
 	}
 	return noc.SweepJSON(ctx, spec, w)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nocbench:", err)
-	os.Exit(1)
 }

@@ -260,6 +260,29 @@ func (r *Router) Commit() {
 	r.slot = (r.slot + 1) % r.P.Slots
 }
 
+// Quiescent implements sim.Quiescer: the TDM router is skippable when no
+// input presents a valid word, every best-effort FIFO is empty and every
+// output register is idle — i.e. none of its reserved slots is occupied
+// and no BE traffic is waiting. The slot counter still advances on skipped
+// cycles via IdleTick, keeping the TDM frame phase cycle-accurate.
+func (r *Router) Quiescent() bool {
+	for o := 0; o < r.P.Ports; o++ {
+		if r.OutValid[o] || len(r.beFIFOs[o]) != 0 {
+			return false
+		}
+		if r.in[o] != nil && r.inValid[o] != nil && *r.inValid[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// IdleTick implements sim.IdleTicker: only the slot counter moves on an
+// idle cycle.
+func (r *Router) IdleTick() {
+	r.slot = (r.slot + 1) % r.P.Slots
+}
+
 // Netlist returns the structural netlist that reproduces the Table 4 row:
 // slot table storage, the GT crossbar, best-effort buffering and the
 // header-parsing/arbitration unit.

@@ -77,14 +77,16 @@ type Network struct {
 	recv     []Message
 }
 
-// New builds a W×H best-effort mesh with XY routing.
-func New(w, h int, p packetsw.Params) *Network {
+// New builds a W×H best-effort mesh with XY routing. World options select
+// the simulation kernel (default: the activity-tracked gated kernel, which
+// skips routers with no buffered flits or arriving traffic).
+func New(w, h int, p packetsw.Params, wopts ...sim.WorldOption) *Network {
 	if w < 1 || h < 1 {
 		panic(fmt.Sprintf("benet: invalid size %dx%d", w, h))
 	}
 	n := &Network{
 		W: w, H: h, P: p,
-		world:    sim.NewWorld(),
+		world:    sim.NewWorld(wopts...),
 		sendQ:    make([][]packetsw.Flit, w*h),
 		inflight: make(map[uint16][]Message),
 	}

@@ -29,6 +29,24 @@ type Assembly struct {
 	lib    stdcell.Lib
 	gated  bool
 	design *netlist.Design
+
+	// idle-cycle clock-energy cache for the activity-tracked kernel: the
+	// gated per-cycle energy depends only on the configuration memory and
+	// the converter enables, both of which are frozen while the assembly
+	// is quiescent. The enable masks validate the cache against direct
+	// Enabled-flag writes (the CCN toggles converters outside the clock).
+	idleFJ     float64
+	idleFJOK   bool
+	idleTxMask uint64
+	idleRxMask uint64
+
+	// asleep is the quiescence fast path: once an assembly is quiescent
+	// AND self-stable — router unconfigured, every converter disabled —
+	// no external register can influence it (an unconfigured crossbar
+	// ignores its inputs, a disabled converter its lane), so the state
+	// can only end through a wake. The flag turns the per-cycle poll of
+	// the >80% idle routers of a sparse mesh into one boolean load.
+	asleep bool
 }
 
 // AssemblyOptions configure an Assembly.
@@ -133,6 +151,15 @@ func (a *Assembly) Commit() {
 		a.meter.Tick()
 		return
 	}
+	e := a.gatedClockFJ()
+	a.idleFJ, a.idleFJOK = e, true
+	a.idleTxMask, a.idleRxMask = a.enableMasks()
+	a.meter.TickGated(e)
+}
+
+// gatedClockFJ returns the clock energy one cycle draws under the
+// configuration-driven gating of Section 7.3.
+func (a *Assembly) gatedClockFJ() float64 {
 	e := a.R.ClockFJ(a.lib, true)
 	for _, tx := range a.Tx {
 		e += tx.ClockFJ(a.lib, true)
@@ -140,7 +167,111 @@ func (a *Assembly) Commit() {
 	for _, rx := range a.Rx {
 		e += rx.ClockFJ(a.lib, true)
 	}
-	a.meter.TickGated(e)
+	return e
+}
+
+// enableMasks summarizes which converters are enabled, the only gated
+// clock-energy input that can change without a clock edge.
+func (a *Assembly) enableMasks() (txm, rxm uint64) {
+	for i, tx := range a.Tx {
+		if tx.Enabled {
+			txm |= 1 << uint(i)
+		}
+	}
+	for i, rx := range a.Rx {
+		if rx.Enabled {
+			rxm |= 1 << uint(i)
+		}
+	}
+	return txm, rxm
+}
+
+// SetWake implements sim.Waker, forwarding the wake to the router and the
+// converters: a configuration write, a pushed word or a tile-side pop on
+// any sub-component re-activates the whole assembly and ends any asleep
+// fast path.
+func (a *Assembly) SetWake(fn func()) {
+	wake := func() {
+		a.asleep = false
+		if fn != nil {
+			fn()
+		}
+	}
+	a.R.SetWake(wake)
+	for _, tx := range a.Tx {
+		tx.SetWake(wake)
+	}
+	for _, rx := range a.Rx {
+		rx.SetWake(wake)
+	}
+}
+
+// Quiescent implements sim.Quiescer: the assembly is skippable only when
+// the router and every converter are individually at rest. The per-cycle
+// meter tick a skipped cycle still owes is reproduced by IdleTick.
+func (a *Assembly) Quiescent() bool {
+	if a.asleep {
+		return true
+	}
+	if !a.R.Quiescent() {
+		return false
+	}
+	for _, tx := range a.Tx {
+		if !tx.Quiescent() {
+			return false
+		}
+	}
+	for _, rx := range a.Rx {
+		if !rx.Quiescent() {
+			return false
+		}
+	}
+	// Latch the fast path only when the quiescence cannot be ended by an
+	// external register: with no circuit configured the crossbar ignores
+	// its inputs, and a disabled converter ignores its lane and ack
+	// wires. Any enabled converter (or configured lane) keeps the full
+	// poll, since upstream traffic or acks could arrive on any cycle.
+	if a.R.Unconfigured() && !a.anyConverterEnabled() {
+		a.asleep = true
+	}
+	return true
+}
+
+// anyConverterEnabled reports whether any tile converter is enabled.
+func (a *Assembly) anyConverterEnabled() bool {
+	for _, tx := range a.Tx {
+		if tx.Enabled {
+			return true
+		}
+	}
+	for _, rx := range a.Rx {
+		if rx.Enabled {
+			return true
+		}
+	}
+	return false
+}
+
+// IdleTick implements sim.IdleTicker: a skipped cycle charges exactly the
+// clock energy an active-but-idle cycle would have charged — the full
+// clock network ungated, or the cached configuration-dependent share when
+// gated. The cache is recomputed whenever a converter enable changed
+// underneath it, so direct Enabled writes (the CCN's unmap path) stay
+// exact.
+func (a *Assembly) IdleTick() {
+	if a.meter == nil {
+		return
+	}
+	if !a.gated {
+		a.meter.Tick()
+		return
+	}
+	txm, rxm := a.enableMasks()
+	if !a.idleFJOK || txm != a.idleTxMask || rxm != a.idleRxMask {
+		a.idleFJ, a.idleFJOK = a.gatedClockFJ(), true
+		a.idleTxMask, a.idleRxMask = txm, rxm
+	}
+	a.meter.TickGated(a.idleFJ)
 }
 
 // VerifyClockCensus checks that the netlist design used for the meter
@@ -162,3 +293,15 @@ var _ sim.Clocked = (*Assembly)(nil)
 var _ sim.Clocked = (*Router)(nil)
 var _ sim.Clocked = (*TxConverter)(nil)
 var _ sim.Clocked = (*RxConverter)(nil)
+
+var _ sim.Quiescer = (*Assembly)(nil)
+var _ sim.Quiescer = (*Router)(nil)
+var _ sim.Quiescer = (*TxConverter)(nil)
+var _ sim.Quiescer = (*RxConverter)(nil)
+
+var _ sim.Waker = (*Assembly)(nil)
+var _ sim.Waker = (*Router)(nil)
+var _ sim.Waker = (*TxConverter)(nil)
+var _ sim.Waker = (*RxConverter)(nil)
+
+var _ sim.IdleTicker = (*Assembly)(nil)

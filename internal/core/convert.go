@@ -76,6 +76,7 @@ type TxConverter struct {
 	wcViolations uint64
 
 	meter *power.Meter
+	wake  func()
 }
 
 // NewTxConverter returns an idle transmit converter.
@@ -110,7 +111,23 @@ func (t *TxConverter) Push(w Word) bool {
 	}
 	cp := w
 	t.staged = &cp
+	if t.wake != nil {
+		t.wake()
+	}
 	return true
+}
+
+// SetWake implements sim.Waker: a pushed word re-activates a skipped
+// converter in the cycle it is staged.
+func (t *TxConverter) SetWake(fn func()) { t.wake = fn }
+
+// Quiescent implements sim.Quiescer: true only when the converter holds no
+// word in any stage, its output lane is idle and no acknowledgement is
+// arriving (an ack replenishes the window counter, which is a state
+// change).
+func (t *TxConverter) Quiescent() bool {
+	return t.staged == nil && t.pending == nil && t.cnt == 0 &&
+		t.shift == 0 && t.Out == 0 && !(t.ackIn != nil && *t.ackIn)
 }
 
 // Window returns the current window counter value.
@@ -282,6 +299,7 @@ type RxConverter struct {
 	popN     int // words consumed by the tile this cycle (staged)
 
 	meter *power.Meter
+	wake  func()
 }
 
 // NewRxConverter returns an idle receive converter whose destination buffer
@@ -321,8 +339,33 @@ func (r *RxConverter) Pop() (Word, bool) {
 	w, ok := r.Peek()
 	if ok {
 		r.popN++
+		if r.wake != nil {
+			r.wake()
+		}
 	}
 	return w, ok
+}
+
+// SetWake implements sim.Waker: a consumed word re-activates a skipped
+// converter so the buffer trim and acknowledgement credit commit on time.
+func (r *RxConverter) SetWake(fn func()) { r.wake = fn }
+
+// Quiescent implements sim.Quiescer: true only when no packet is being
+// reassembled, no pop is staged, the acknowledgement machinery is at rest
+// and no valid nibble is arriving on the watched lane. Words parked in the
+// destination buffer do not count as activity — they change nothing until
+// the tile pops them, and Pop wakes the converter.
+func (r *RxConverter) Quiescent() bool {
+	if r.cnt != 0 || r.acc != 0 || r.popN != 0 || r.ackHigh > 0 || r.AckOut {
+		return false
+	}
+	if r.Enabled && r.in != nil {
+		nib := *r.in & uint8(1<<uint(r.p.LaneWidth)-1)
+		if Header(nib)&HdrValid != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Received returns the number of completely reassembled words.

@@ -57,6 +57,15 @@ type Router struct {
 	// router and its converters leave this on; the converters then only
 	// add their own register energy.
 	statsWords uint64
+
+	// activity tracking (sim.Quiescer): a router with no configured lanes,
+	// no staged configuration writes and all-idle output registers is a
+	// guaranteed no-op — exactly the lanes the paper's clock gating powers
+	// down. A router with any configured circuit stays active: its inputs
+	// can light up on any cycle.
+	activeLanes int
+	outDirty    bool
+	wake        func()
 }
 
 // NewRouter returns an unconfigured router with all lanes idle.
@@ -112,6 +121,27 @@ func (r *Router) PushConfig(cmd ConfigCmd) {
 		panic(fmt.Sprintf("core: config for lane %d out of range", cmd.Out))
 	}
 	r.cfgPending = append(r.cfgPending, cmd)
+	if r.wake != nil {
+		r.wake()
+	}
+}
+
+// SetWake implements sim.Waker: staged configuration writes re-activate a
+// skipped router in the same cycle they are pushed.
+func (r *Router) SetWake(fn func()) { r.wake = fn }
+
+// Quiescent implements sim.Quiescer. It is true only when Eval+Commit
+// would be a complete no-op: no circuit is configured (so the crossbar
+// ignores its inputs), no configuration write is staged, and the output
+// registers already hold their idle values.
+func (r *Router) Quiescent() bool {
+	return r.activeLanes == 0 && len(r.cfgPending) == 0 && !r.outDirty
+}
+
+// Unconfigured reports whether no circuit is configured and none is
+// staged — the state in which the crossbar provably ignores every input.
+func (r *Router) Unconfigured() bool {
+	return r.activeLanes == 0 && len(r.cfgPending) == 0
 }
 
 // BindMeter attaches a power meter. If gated is true the router models the
@@ -171,6 +201,7 @@ func (r *Router) Commit() {
 		r.accountPower()
 	}
 
+	dirty := false
 	for g := 0; g < n; g++ {
 		if r.nextOut[g]&uint8(HdrValid) != 0 {
 			// Counting header nibbles overcounts (data nibbles may have
@@ -178,9 +209,13 @@ func (r *Router) Commit() {
 			// is only a coarse activity indicator.
 			r.statsWords++
 		}
+		if r.nextOut[g] != 0 || r.nextAck[g] {
+			dirty = true
+		}
 		r.Out[g] = r.nextOut[g]
 		r.AckOut[g] = r.nextAck[g]
 	}
+	r.outDirty = dirty
 
 	if len(r.cfgPending) > 0 {
 		if r.meter != nil {
@@ -195,6 +230,7 @@ func (r *Router) Commit() {
 			}
 		}
 		r.cfgPending = r.cfgPending[:0]
+		r.activeLanes = r.cfg.EnabledLanes()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/power"
+	"repro/internal/sim"
 )
 
 // Router is the cycle-accurate virtual-channel wormhole router. Unlike the
@@ -63,6 +64,14 @@ type Router struct {
 	meter       *power.Meter
 	lastWritten [][]uint32 // last value written per FIFO, for write toggles
 	lastRead    [][]uint32 // last value read per FIFO, for read-path toggles
+
+	// activity tracking (sim.Quiescer): buffered counts flits across all
+	// input FIFOs and outActive records whether the last commit left any
+	// output or credit register driven, so the idle poll only has to scan
+	// the external input and credit wires.
+	buffered  int
+	outActive bool
+	wake      func()
 }
 
 type popOp struct{ port, vc int }
@@ -161,7 +170,48 @@ func (r *Router) Inject(f Flit) bool {
 	}
 	f.InjectCycle = r.cycle
 	r.injStaged = append(r.injStaged, f)
+	if r.wake != nil {
+		r.wake()
+	}
 	return true
+}
+
+// SetWake implements sim.Waker: an injected flit re-activates a skipped
+// router in the cycle it is staged, so it enters the tile FIFO at the same
+// clock edge as under the naive kernel.
+func (r *Router) SetWake(fn func()) { r.wake = fn }
+
+// Quiescent implements sim.Quiescer: the router is skippable only when its
+// FIFOs and injection stage are empty, its output and credit registers are
+// idle, and no upstream flit or downstream credit pulse is arriving. A
+// wormhole route held open across an idle gap (routed/outOwner state)
+// needs no per-cycle work, so it does not count as activity.
+func (r *Router) Quiescent() bool {
+	if r.buffered != 0 || len(r.injStaged) != 0 || r.outActive {
+		return false
+	}
+	for port := 0; port < r.P.Ports; port++ {
+		if r.inSrc[port] != nil && r.inSrc[port].Valid() {
+			return false
+		}
+		for v := 0; v < r.P.VCs; v++ {
+			if r.creditIn[port][v] != nil && *r.creditIn[port][v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IdleTick implements sim.IdleTicker: a skipped cycle still advances the
+// router's cycle counter (flit timestamps reference it) and charges the
+// ungated clock network — the packet-switched router has no clock gating,
+// the source of its large dynamic power offset.
+func (r *Router) IdleTick() {
+	if r.meter != nil {
+		r.meter.Tick()
+	}
+	r.cycle++
 }
 
 // InjectReady reports whether VC v of the tile port can accept a flit.
@@ -324,6 +374,7 @@ func (r *Router) Commit() {
 		q := r.fifos[op.port][op.vc]
 		f := q[0]
 		r.fifos[op.port][op.vc] = q[1:]
+		r.buffered--
 		r.nextCredit[op.port][op.vc] = true
 		r.flitsRouted++
 		if f.Kind.Opens() {
@@ -376,12 +427,20 @@ func (r *Router) Commit() {
 	r.injStaged = r.injStaged[:0]
 
 	// Latch outputs; deliver the tile ejection.
+	outActive := false
 	for o := 0; o < p.Ports; o++ {
 		r.Out[o] = r.nextOut[o]
+		if r.Out[o].Valid() {
+			outActive = true
+		}
 		for v := 0; v < p.VCs; v++ {
 			r.CreditOut[o][v] = r.nextCredit[o][v]
+			if r.nextCredit[o][v] {
+				outActive = true
+			}
 		}
 	}
+	r.outActive = outActive
 	if f := r.Out[core.Tile]; f.Valid() {
 		r.ejected = append(r.ejected, f)
 		if f.Kind.Closes() {
@@ -408,7 +467,15 @@ func (r *Router) pushFIFO(port int, f Flit) {
 		r.lastWritten[port][f.VC] = w
 	}
 	r.fifos[port][f.VC] = append(r.fifos[port][f.VC], f)
+	r.buffered++
 }
+
+var (
+	_ sim.Clocked    = (*Router)(nil)
+	_ sim.Quiescer   = (*Router)(nil)
+	_ sim.IdleTicker = (*Router)(nil)
+	_ sim.Waker      = (*Router)(nil)
+)
 
 // accountDatapath records output register, link, switch-traversal and FIFO
 // read-path toggles for this cycle's flit movements.

@@ -10,6 +10,36 @@
 // outputs (Section 5.1: "The 20 output lanes of the crossbar are
 // registered"), there are no combinational paths between components, and
 // components may be evaluated in any order.
+//
+// # Activity tracking
+//
+// The paper's circuit-switched router wins on energy because idle lanes and
+// gated clocks do no work; the kernel exploits the same sparsity in
+// software. A component may additionally implement Quiescer; each cycle the
+// gated kernel (the default, KernelGated) polls Quiescent at the
+// component's Eval slot and, when true, skips both Eval and Commit for that
+// cycle, running the component's IdleTick (if implemented) in the Commit
+// phase instead. The contract making this exact, not approximate:
+//
+//   - Quiescent must return true only when running Eval+Commit now would
+//     leave every externally visible value unchanged, except for uniform
+//     per-cycle bookkeeping (cycle counters, slot counters, constant clock
+//     energy) that IdleTick reproduces exactly.
+//   - Quiescent must account for all staged work (pushed words, injected
+//     flits, pending configuration writes), so work staged before the poll
+//     is never missed.
+//   - A mutator that stages work during the Eval phase after the
+//     component's slot has already been polled must wake the component: the
+//     kernel hands Wakers a wake function at registration, and the wake
+//     runs the missed Eval immediately (safe because staged work is
+//     processed in Commit and never read by Eval). Such mutators must only
+//     be called during the Eval phase, the same rule the two-phase
+//     semantics already impose on Push/Inject/Pop.
+//
+// Under these rules the gated kernel is byte-identical to the naive kernel
+// on every scenario — verified by the gated-vs-naive comparison tests and
+// the CI byte-compare — while skipping the >90% of Eval/Commit pairs a
+// sparse mesh would otherwise waste on idle routers.
 package sim
 
 // Clocked is a synchronous hardware component.
@@ -23,15 +53,95 @@ type Clocked interface {
 	Commit()
 }
 
+// Quiescer is optionally implemented by components that can report having
+// no pending work. Quiescent must be true only if Eval+Commit this cycle
+// would change nothing externally visible beyond what IdleTick reproduces,
+// and must account for all staged work (see the package comment).
+type Quiescer interface {
+	Quiescent() bool
+}
+
+// IdleTicker is optionally implemented by Quiescers whose Commit performs
+// uniform per-cycle bookkeeping even when idle — advancing a cycle or slot
+// counter, charging the constant idle clock energy to a power meter. The
+// kernel calls IdleTick in the Commit phase of every skipped cycle; it must
+// reproduce that bookkeeping exactly (same floating-point operations, so
+// accumulated energy stays bit-identical to the naive kernel).
+type IdleTicker interface {
+	IdleTick()
+}
+
+// Waker is optionally implemented by components with staging mutators
+// (Push, Inject, PushConfig, Pop) that can be invoked by other components
+// during the Eval phase. The kernel calls SetWake at registration; the
+// component must invoke the wake function from every such mutator so a
+// skip decision already taken this cycle is revised. The wake function is
+// safe to call at any time (it is a no-op outside the Eval phase, where
+// Quiescent polling covers the staged work instead).
+type Waker interface {
+	SetWake(func())
+}
+
+// Kernel selects the scheduling strategy of a World.
+type Kernel int
+
+const (
+	// KernelGated is the activity-tracked kernel: quiescent components are
+	// skipped, with byte-identical results to KernelNaive. The default.
+	KernelGated Kernel = iota
+	// KernelNaive evaluates and commits every component every cycle.
+	KernelNaive
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case KernelGated:
+		return "gated"
+	case KernelNaive:
+		return "naive"
+	default:
+		return "kernel(?)"
+	}
+}
+
+// WorldOption configures a World at construction.
+type WorldOption func(*World)
+
+// WithKernel selects the world's kernel (default KernelGated).
+func WithKernel(k Kernel) WorldOption {
+	return func(w *World) { w.kernel = k }
+}
+
 // World is an ordered collection of clocked components driven by a common
 // clock, with an attached cycle counter.
 type World struct {
 	components []Clocked
+	quiescers  []Quiescer   // parallel to components; nil if not implemented
+	idlers     []IdleTicker // parallel to components; nil if not implemented
+	skipped    []bool       // per component, skip decision of the current cycle
+	kernel     Kernel
 	cycle      uint64
+
+	inEval  bool // currently inside the Eval sweep
+	evalPos int  // index of the component whose Eval slot is active
+
+	evals uint64 // Eval/Commit pairs executed
+	skips uint64 // Eval/Commit pairs skipped
 }
 
-// NewWorld returns an empty world.
-func NewWorld() *World { return &World{} }
+// NewWorld returns an empty world. Without options it uses the
+// activity-tracked gated kernel.
+func NewWorld(opts ...WorldOption) *World {
+	w := &World{}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Kernel returns the world's kernel.
+func (w *World) Kernel() Kernel { return w.kernel }
 
 // Add registers components with the world's clock. Nil components are
 // rejected so wiring bugs fail fast.
@@ -40,7 +150,30 @@ func (w *World) Add(cs ...Clocked) {
 		if c == nil {
 			panic("sim: adding nil component")
 		}
+		idx := len(w.components)
 		w.components = append(w.components, c)
+		q, _ := c.(Quiescer)
+		w.quiescers = append(w.quiescers, q)
+		it, _ := c.(IdleTicker)
+		w.idlers = append(w.idlers, it)
+		w.skipped = append(w.skipped, false)
+		if wk, ok := c.(Waker); ok {
+			wk.SetWake(w.wakeFn(idx))
+		}
+	}
+}
+
+// wakeFn builds the wake closure handed to Wakers: if the component's Eval
+// slot has already passed this cycle and it was skipped, run the missed
+// Eval now so the staged work commits this cycle, exactly as it would have
+// under the naive kernel. In every other situation the Quiescent poll
+// observes the staged work itself and the wake is a no-op.
+func (w *World) wakeFn(i int) func() {
+	return func() {
+		if w.inEval && i <= w.evalPos && w.skipped[i] {
+			w.skipped[i] = false
+			w.components[i].Eval()
+		}
 	}
 }
 
@@ -50,13 +183,37 @@ func (w *World) Components() int { return len(w.components) }
 // Cycle returns the number of elapsed clock cycles.
 func (w *World) Cycle() uint64 { return w.cycle }
 
-// Step advances the world by one clock cycle: Eval on every component, then
-// Commit on every component.
+// Evals returns the number of Eval/Commit pairs executed so far.
+func (w *World) Evals() uint64 { return w.evals }
+
+// Skips returns the number of Eval/Commit pairs the gated kernel skipped.
+func (w *World) Skips() uint64 { return w.skips }
+
+// Step advances the world by one clock cycle: Eval on every active
+// component, then Commit on every active component (IdleTick on the
+// skipped ones).
 func (w *World) Step() {
-	for _, c := range w.components {
+	gated := w.kernel == KernelGated
+	w.inEval = true
+	for i, c := range w.components {
+		w.evalPos = i
+		if gated && w.quiescers[i] != nil && w.quiescers[i].Quiescent() {
+			w.skipped[i] = true
+			continue
+		}
+		w.skipped[i] = false
 		c.Eval()
 	}
-	for _, c := range w.components {
+	w.inEval = false
+	for i, c := range w.components {
+		if w.skipped[i] {
+			w.skips++
+			if w.idlers[i] != nil {
+				w.idlers[i].IdleTick()
+			}
+			continue
+		}
+		w.evals++
 		c.Commit()
 	}
 	w.cycle++
@@ -71,7 +228,8 @@ func (w *World) Run(n int) {
 
 // RunUntil steps the world until the predicate returns true or maxCycles
 // elapse; it reports whether the predicate was satisfied. The predicate is
-// evaluated after each cycle.
+// evaluated after each cycle, including cycles in which every component was
+// quiescent, so a wake-cycle event is observed on the cycle it happens.
 func (w *World) RunUntil(pred func() bool, maxCycles int) bool {
 	for i := 0; i < maxCycles; i++ {
 		w.Step()
@@ -83,7 +241,8 @@ func (w *World) RunUntil(pred func() bool, maxCycles int) bool {
 }
 
 // Func wraps an Eval/Commit function pair as a Clocked component; handy for
-// testbench stimulus and monitors.
+// testbench stimulus and monitors. Func deliberately does not implement
+// Quiescer: stimulus and monitors run every cycle under every kernel.
 type Func struct {
 	// OnEval runs in the Eval phase; may be nil.
 	OnEval func()

@@ -95,6 +95,186 @@ func TestAddNilPanics(t *testing.T) {
 	NewWorld().Add(nil)
 }
 
+// sleeper is a quiescer with a Push/Inject-style staging mutator: Set
+// stages a value during the Eval phase, Commit latches it. IdleTick counts
+// the cycles the kernel skipped.
+type sleeper struct {
+	cur    int
+	staged *int
+	idle   uint64
+	commit uint64
+	wake   func()
+}
+
+func (s *sleeper) Eval() {}
+func (s *sleeper) Commit() {
+	s.commit++
+	if s.staged != nil {
+		s.cur = *s.staged
+		s.staged = nil
+	}
+}
+func (s *sleeper) Quiescent() bool   { return s.staged == nil }
+func (s *sleeper) IdleTick()         { s.idle++ }
+func (s *sleeper) SetWake(fn func()) { s.wake = fn }
+func (s *sleeper) Set(v int) {
+	cp := v
+	s.staged = &cp
+	if s.wake != nil {
+		s.wake()
+	}
+}
+
+// TestWakeOnStagedMutation: a component already skipped this cycle must be
+// re-activated by a staging mutator invoked later in the Eval phase, so the
+// staged value commits on the same clock edge as under the naive kernel.
+func TestWakeOnStagedMutation(t *testing.T) {
+	for _, k := range []Kernel{KernelGated, KernelNaive} {
+		s := &sleeper{}
+		w := NewWorld(WithKernel(k))
+		w.Add(s) // before the stimulus: its Eval slot passes first
+		w.Add(&Func{OnEval: func() {
+			if w.Cycle() == 3 {
+				s.Set(42)
+			}
+		}})
+		for i := 0; i < 3; i++ {
+			w.Step()
+		}
+		if s.cur != 0 {
+			t.Fatalf("%v: early commit: cur=%d", k, s.cur)
+		}
+		w.Step() // cycle 3: Set during Eval, value must commit this edge
+		if s.cur != 42 {
+			t.Fatalf("%v: staged value not committed on the wake cycle: cur=%d", k, s.cur)
+		}
+	}
+}
+
+// TestIdleTickEveryskippedCycle: skipped cycles run IdleTick instead of
+// Commit, once per cycle, and active cycles run Commit.
+func TestIdleTickEverySkippedCycle(t *testing.T) {
+	s := &sleeper{}
+	w := NewWorld() // gated by default
+	w.Add(s)
+	w.Add(&Func{OnEval: func() {
+		if w.Cycle() == 5 {
+			s.Set(1)
+		}
+	}})
+	w.Run(10)
+	if s.commit != 1 {
+		t.Fatalf("commits = %d, want 1 (the wake cycle)", s.commit)
+	}
+	if s.idle != 9 {
+		t.Fatalf("idle ticks = %d, want 9", s.idle)
+	}
+	if w.Skips() != 9 || w.Evals() != 10+1 {
+		// 10 Func evals + 1 sleeper eval.
+		t.Fatalf("skips=%d evals=%d", w.Skips(), w.Evals())
+	}
+}
+
+// pulse drives its registered output to 1 for exactly one cycle.
+type pulse struct {
+	out, next int
+	at        uint64
+	n         uint64
+}
+
+func (p *pulse) Eval() {
+	p.next = 0
+	if p.n == p.at {
+		p.next = 1
+	}
+}
+func (p *pulse) Commit() { p.out = p.next; p.n++ }
+
+// watcher counts nonzero observations of a neighbour's registered output.
+// It is woken purely by the Quiescent poll seeing the neighbour's commit —
+// no explicit wake call.
+type watcher struct {
+	src    *int
+	seen   int
+	staged int
+}
+
+func (w *watcher) Eval() {
+	w.staged = w.seen
+	if *w.src != 0 {
+		w.staged++
+	}
+}
+func (w *watcher) Commit()         { w.seen = w.staged }
+func (w *watcher) Quiescent() bool { return *w.src == 0 }
+
+// TestNeighbourCommitWakes: a quiescent component is woken by a
+// neighbour's commit making its input non-idle, on exactly the cycle the
+// naive kernel would have processed it.
+func TestNeighbourCommitWakes(t *testing.T) {
+	run := func(k Kernel) (*World, *watcher) {
+		p := &pulse{at: 5}
+		wt := &watcher{src: &p.out}
+		w := NewWorld(WithKernel(k))
+		w.Add(p)
+		w.Add(wt)
+		return w, wt
+	}
+	wg, g := run(KernelGated)
+	wn, n := run(KernelNaive)
+	for i := 0; i < 12; i++ {
+		wg.Step()
+		wn.Step()
+		if g.seen != n.seen {
+			t.Fatalf("cycle %d: gated saw %d, naive saw %d", i, g.seen, n.seen)
+		}
+	}
+	if g.seen != 1 {
+		t.Fatalf("watcher saw %d pulses, want 1", g.seen)
+	}
+	if wg.Skips() == 0 {
+		t.Fatal("gated kernel never skipped the watcher")
+	}
+}
+
+// TestRunUntilFiresOnWakeCycle: the predicate must observe a wake-cycle
+// event on the cycle it happens, even when the waking component had been
+// quiescent for the whole run up to that point.
+func TestRunUntilFiresOnWakeCycle(t *testing.T) {
+	const at = 7
+	p := &pulse{at: at}
+	wt := &watcher{src: &p.out}
+	w := NewWorld()
+	w.Add(p)
+	w.Add(wt)
+	if !w.RunUntil(func() bool { return wt.seen > 0 }, 100) {
+		t.Fatal("RunUntil missed the wake event")
+	}
+	// The pulse is registered at the end of cycle `at` and observed during
+	// cycle at+1; RunUntil must stop right after that commit.
+	if got, want := w.Cycle(), uint64(at+2); got != want {
+		t.Fatalf("RunUntil stopped at cycle %d, want %d", got, want)
+	}
+}
+
+// TestFuncNeverSkipped: monitors and stimulus wrapped in Func run every
+// cycle under the gated kernel, even in an otherwise fully quiescent
+// world.
+func TestFuncNeverSkipped(t *testing.T) {
+	s := &sleeper{}
+	evals, commits := 0, 0
+	w := NewWorld()
+	w.Add(s)
+	w.Add(&Func{OnEval: func() { evals++ }, OnCommit: func() { commits++ }})
+	w.Run(50)
+	if evals != 50 || commits != 50 {
+		t.Fatalf("monitor ran %d/%d cycles, want 50/50", evals, commits)
+	}
+	if s.idle != 50 {
+		t.Fatalf("sleeper idled %d cycles, want 50", s.idle)
+	}
+}
+
 func TestFuncComponent(t *testing.T) {
 	evals, commits := 0, 0
 	w := NewWorld()

@@ -1,0 +1,92 @@
+package traffic
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// circuitWorld is the world-building helper shared by the scenario runner
+// (Figures 9/10) and the latency measurement: one circuit-switched
+// assembly under the chosen kernel, plus feeder converters standing in for
+// upstream routers' registered lane outputs.
+type circuitWorld struct {
+	// W is the simulation world; the assembly is its first component, so
+	// stimulus added afterwards observes the documented Eval ordering.
+	W *sim.World
+	// A is the assembly under test.
+	A *core.Assembly
+
+	p core.Params
+}
+
+// newCircuitWorld builds an assembly and registers it with a fresh world
+// constructed with the given options (typically sim.WithKernel).
+func newCircuitWorld(p core.Params, opt core.AssemblyOptions, wopts ...sim.WorldOption) *circuitWorld {
+	w := sim.NewWorld(wopts...)
+	a := core.NewAssembly(p, opt)
+	w.Add(a)
+	return &circuitWorld{W: w, A: a, p: p}
+}
+
+// Feeder adds a transmit converter driving the given foreign input lane —
+// the upstream router's output register for that lane. Its switching
+// activity is charged to that upstream router, not to this assembly's
+// meter, matching the single-router measurement setup of the paper.
+func (cw *circuitWorld) Feeder(in core.LaneID) *core.TxConverter {
+	tx := core.NewTxConverter(cw.p, core.FlowParams{})
+	tx.Enabled = true
+	cw.A.R.ConnectIn(cw.p.Global(in), &tx.Out)
+	cw.W.Add(tx)
+	return tx
+}
+
+// Establish configures a circuit through the assembly and returns the
+// transmit converter that feeds it: the assembly's own tile converter when
+// the circuit enters at the tile port, or a fresh feeder otherwise.
+func (cw *circuitWorld) Establish(c core.Circuit) (*core.TxConverter, error) {
+	if err := cw.A.EstablishLocal(c); err != nil {
+		return nil, err
+	}
+	if c.In.Port == core.Tile {
+		return cw.A.Tx[c.In.Lane], nil
+	}
+	return cw.Feeder(c.In), nil
+}
+
+// sourceDriver pushes one stream's words into a transmit converter. It is
+// a first-class component rather than a bare sim.Func so the
+// activity-tracked kernel can retire it: once the word budget is exhausted
+// the driver goes quiescent and the kernel stops visiting it. While words
+// remain the driver runs every cycle — the load gate consumes one random
+// draw per offer opportunity, and that RNG sequence is part of the
+// byte-identical gated-vs-naive contract.
+type sourceDriver struct {
+	src   *Source
+	tx    *core.TxConverter
+	limit uint64 // emitted-word budget; 0 = unlimited
+}
+
+// Eval implements sim.Clocked.
+func (d *sourceDriver) Eval() {
+	if d.done() {
+		return
+	}
+	if d.tx.Ready() {
+		if w, ok := d.src.Offer(); ok {
+			d.tx.Push(w)
+		}
+	}
+}
+
+// Commit implements sim.Clocked.
+func (d *sourceDriver) Commit() {}
+
+func (d *sourceDriver) done() bool {
+	return d.limit > 0 && d.src.Sent() >= d.limit
+}
+
+// Quiescent implements sim.Quiescer: a source that has emitted all its
+// words has no further work.
+func (d *sourceDriver) Quiescent() bool { return d.done() }
+
+var _ sim.Quiescer = (*sourceDriver)(nil)

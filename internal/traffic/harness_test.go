@@ -1,0 +1,101 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packetsw"
+	"repro/internal/sim"
+	"repro/internal/stdcell"
+)
+
+// TestRunCircuitKernelEquivalence: the scenario runner must produce
+// identical results under both kernels, including with a finite word
+// budget whose exhausted sources go quiescent mid-run.
+func TestRunCircuitKernelEquivalence(t *testing.T) {
+	lib := stdcell.Default013()
+	pat := Pattern{FlipProb: 0.5, Load: 1}
+	for _, limit := range []uint64{0, 50} {
+		var results [2]Result
+		for i, k := range []sim.Kernel{sim.KernelGated, sim.KernelNaive} {
+			cfg := RunConfig{Cycles: 2000, FreqMHz: 25, Lib: lib,
+				Kernel: k, WordsPerStream: limit}
+			res, err := RunCircuit(Scenarios()[2], pat, cfg)
+			if err != nil {
+				t.Fatalf("kernel %v limit %d: %v", k, limit, err)
+			}
+			results[i] = res
+		}
+		if results[0] != results[1] {
+			t.Errorf("limit %d: kernels disagree:\ngated: %+v\nnaive: %+v",
+				limit, results[0], results[1])
+		}
+	}
+}
+
+// TestWordsPerStreamCapsSources: the budget is honoured exactly and the
+// retired sources stop the word counters.
+func TestWordsPerStreamCapsSources(t *testing.T) {
+	lib := stdcell.Default013()
+	cfg := RunConfig{Cycles: 3000, FreqMHz: 25, Lib: lib, WordsPerStream: 40}
+	res, err := RunCircuit(Scenarios()[2], Pattern{FlipProb: 0.5, Load: 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scenario III has two streams; each source must stop at its budget.
+	if res.WordsSent != 80 {
+		t.Fatalf("WordsSent = %d, want 80 (2 streams x 40 words)", res.WordsSent)
+	}
+	if res.WordsDelivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestRunPacketKernelEquivalence covers the packet-switched runner.
+func TestRunPacketKernelEquivalence(t *testing.T) {
+	lib := stdcell.Default013()
+	pat := Pattern{FlipProb: 0.5, Load: 1}
+	var results [2]Result
+	for i, k := range []sim.Kernel{sim.KernelGated, sim.KernelNaive} {
+		cfg := RunConfig{Cycles: 1500, FreqMHz: 25, Lib: lib, Kernel: k}
+		res, err := RunPacket(Scenarios()[3], pat, cfg)
+		if err != nil {
+			t.Fatalf("kernel %v: %v", k, err)
+		}
+		results[i] = res
+	}
+	if results[0] != results[1] {
+		t.Errorf("kernels disagree:\ngated: %+v\nnaive: %+v", results[0], results[1])
+	}
+}
+
+// TestMeasureLatencyKernelEquivalence covers both latency harnesses,
+// which exercise the wake path (Push/Pop from stimulus placed after the
+// component in Eval order).
+func TestMeasureLatencyKernelEquivalence(t *testing.T) {
+	type lat struct {
+		words  int
+		mean   float64
+		jitter float64
+	}
+	measure := func(k sim.Kernel) (lat, lat) {
+		cr, err := MeasureCircuitLatency(core.DefaultParams(), 1, 60, sim.WithKernel(k))
+		if err != nil {
+			t.Fatalf("circuit %v: %v", k, err)
+		}
+		pr, err := MeasurePacketLatency(packetsw.DefaultParams(), 1, 60, true, sim.WithKernel(k))
+		if err != nil {
+			t.Fatalf("packet %v: %v", k, err)
+		}
+		return lat{cr.Words, cr.Cycles.Mean(), cr.Jitter},
+			lat{pr.Words, pr.Cycles.Mean(), pr.Jitter}
+	}
+	cg, pg := measure(sim.KernelGated)
+	cn, pn := measure(sim.KernelNaive)
+	if cg != cn {
+		t.Errorf("circuit latency disagrees: gated %+v naive %+v", cg, cn)
+	}
+	if pg != pn {
+		t.Errorf("packet latency disagrees: gated %+v naive %+v", pg, pn)
+	}
+}

@@ -25,27 +25,26 @@ type LatencyResult struct {
 // circuit (North→Tile, one router of the given geometry) at the given
 // load and measures push-to-pop latency. A circuit has no arbitration
 // and no queueing: the latency is the serialization plus pipeline depth,
-// identical for every word.
-func MeasureCircuitLatency(p core.Params, load float64, words int) (LatencyResult, error) {
+// identical for every word. An optional kernel override
+// (sim.WithKernel) selects the simulation kernel; the measurement is
+// byte-identical under both.
+func MeasureCircuitLatency(p core.Params, load float64, words int, wopts ...sim.WorldOption) (LatencyResult, error) {
 	if load <= 0 || load > 1 {
 		return LatencyResult{}, fmt.Errorf("traffic: load %v out of (0,1]", load)
 	}
 	if err := p.Validate(); err != nil {
 		return LatencyResult{}, err
 	}
-	a := core.NewAssembly(p, core.AssemblyOptions{Flow: core.FlowParams{}, RxBufCap: 4})
+	cw := newCircuitWorld(p, core.AssemblyOptions{Flow: core.FlowParams{}, RxBufCap: 4}, wopts...)
+	a, w := cw.A, cw.W
 	// Feeder converter models the upstream router/tile.
-	tx := core.NewTxConverter(p, core.FlowParams{})
-	tx.Enabled = true
 	in := core.LaneID{Port: core.North, Lane: 0}
-	a.R.ConnectIn(p.Global(in), &tx.Out)
+	tx := cw.Feeder(in)
 	if err := a.EstablishLocal(core.Circuit{
 		In: in, Out: core.LaneID{Port: core.Tile, Lane: 0},
 	}); err != nil {
 		return LatencyResult{}, err
 	}
-	w := sim.NewWorld()
-	w.Add(a, tx)
 
 	src := NewSource(Pattern{FlipProb: 0.5, Load: load}, 1)
 	var res LatencyResult
@@ -91,7 +90,7 @@ const latencyWarmup = 10
 // keep the shared ejection port busy, and measures head-to-eject
 // latency. Queueing and arbitration make the latency load-dependent —
 // bounded but not constant.
-func MeasurePacketLatency(pp packetsw.Params, load float64, words int, background bool) (LatencyResult, error) {
+func MeasurePacketLatency(pp packetsw.Params, load float64, words int, background bool, wopts ...sim.WorldOption) (LatencyResult, error) {
 	if load <= 0 || load > 1 {
 		return LatencyResult{}, fmt.Errorf("traffic: load %v out of (0,1]", load)
 	}
@@ -99,7 +98,7 @@ func MeasurePacketLatency(pp packetsw.Params, load float64, words int, backgroun
 		return LatencyResult{}, err
 	}
 	r := packetsw.NewRouter(pp, packetsw.PortRoute)
-	w := sim.NewWorld()
+	w := sim.NewWorld(wopts...)
 	w.Add(r)
 
 	var north, west, east packetsw.Flit

@@ -34,6 +34,14 @@ type RunConfig struct {
 	// sweep cells draw independent data sequences. Zero keeps the
 	// paper-default seeding (sources seeded by stream id alone).
 	Seed uint64
+	// Kernel selects the simulation kernel. The zero value is the
+	// activity-tracked gated kernel; results are byte-identical under
+	// both, so sim.KernelNaive exists for verification and benchmarking.
+	Kernel sim.Kernel
+	// WordsPerStream caps each stream source's emitted words; 0 means
+	// unlimited (the paper's open-loop scenarios). With a cap, exhausted
+	// sources go quiescent and the gated kernel retires them.
+	WordsPerStream uint64
 }
 
 // DefaultRunConfig mirrors the paper's power-estimation setup: 5000 cycles
@@ -109,12 +117,10 @@ func RunCircuit(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 	// Open-loop measurement, as in the paper's scenarios: the destination
 	// always consumes, no acknowledgements are configured.
 	opt := core.AssemblyOptions{Flow: core.FlowParams{}, RxBufCap: 64}
-	a := core.NewAssembly(p, opt)
+	cw := newCircuitWorld(p, opt, sim.WithKernel(cfg.Kernel))
+	a := cw.A
 	meter := power.NewMeter(core.Netlist(p, cfg.Lib), cfg.Lib, cfg.FreqMHz)
 	a.BindMeter(meter, cfg.Lib, cfg.Gated)
-
-	w := sim.NewWorld()
-	w.Add(a)
 
 	var sources []*Source
 	var res Result
@@ -123,43 +129,25 @@ func RunCircuit(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 		if lane < 0 || lane >= p.LanesPerPort {
 			return Result{}, fmt.Errorf("traffic: stream %d has no lane", st.ID)
 		}
-		circ := core.Circuit{
+		tx, err := cw.Establish(core.Circuit{
 			In:  core.LaneID{Port: st.In, Lane: lane},
 			Out: core.LaneID{Port: st.Out, Lane: lane},
-		}
-		if err := a.EstablishLocal(circ); err != nil {
+		})
+		if err != nil {
 			return Result{}, err
 		}
 		src := NewSourceSeeded(pat, st.ID, cfg.Seed)
 		sources = append(sources, src)
-
-		var tx *core.TxConverter
-		if st.In == core.Tile {
-			tx = a.Tx[lane]
-		} else {
-			// Feeder: the upstream router's output register for this lane.
-			tx = core.NewTxConverter(p, core.FlowParams{})
-			tx.Enabled = true
-			a.R.ConnectIn(p.Global(circ.In), &tx.Out)
-			w.Add(tx)
-		}
-		feeder := tx
-		w.Add(&sim.Func{OnEval: func() {
-			if feeder.Ready() {
-				if word, ok := src.Offer(); ok {
-					feeder.Push(word)
-				}
-			}
-		}})
+		cw.W.Add(&sourceDriver{src: src, tx: tx, limit: cfg.WordsPerStream})
 		if st.Out == core.Tile {
 			rx := a.Rx[lane]
-			w.Add(&sim.Func{OnEval: func() {
+			cw.W.Add(&sim.Func{OnEval: func() {
 				rx.Pop()
 			}})
 		}
 	}
 
-	w.Run(cfg.Cycles)
+	cw.W.Run(cfg.Cycles)
 
 	for _, s := range sources {
 		res.WordsSent += s.Sent()
@@ -194,7 +182,7 @@ func RunPacket(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 	meter := power.NewMeter(packetsw.Netlist(pp, cfg.Lib), cfg.Lib, cfg.FreqMHz)
 	r.BindMeter(meter)
 
-	w := sim.NewWorld()
+	w := sim.NewWorld(sim.WithKernel(cfg.Kernel))
 	w.Add(r)
 
 	wordPeriod := cp.PacketNibbles() // 5 cycles per word at full lane load

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -51,6 +52,7 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
 		Lib: f.cfg.mustLib(), Gated: f.cfg.gated,
 		Params: f.cfg.coreParams(), Seed: sc.Seed,
+		Kernel: f.cfg.simKernel(),
 	}
 	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
 	tr, err := traffic.RunCircuit(sc.trafficScenario(), pat, rc)
@@ -68,7 +70,8 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 		Power:          powerFrom(tr.Power),
 	}
 	if n := f.cfg.latencySamples(); n > 0 && len(sc.Streams) > 0 {
-		lr, err := traffic.MeasureCircuitLatency(f.cfg.resolvedCoreParams(), sc.Pattern.Load, n)
+		lr, err := traffic.MeasureCircuitLatency(f.cfg.resolvedCoreParams(), sc.Pattern.Load, n,
+			sim.WithKernel(f.cfg.simKernel()))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,125 @@
+package noc
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// kernelCase builds the same fabric twice, once per kernel.
+type kernelCase struct {
+	name  string
+	build func(k Kernel) Fabric
+}
+
+func kernelCases() []kernelCase {
+	return []kernelCase{
+		{"circuit", func(k Kernel) Fabric { return CircuitSwitched(WithKernel(k)) }},
+		{"circuit-gatedclock", func(k Kernel) Fabric {
+			return CircuitSwitched(WithKernel(k), WithClockGating(true))
+		}},
+		{"packet", func(k Kernel) Fabric { return PacketSwitched(WithKernel(k)) }},
+		{"tdm", func(k Kernel) Fabric { return AetherealTDM(WithKernel(k)) }},
+	}
+}
+
+// TestKernelEquivalenceScenarios: the activity-tracked kernel must produce
+// byte-identical Result JSON to the naive kernel on every paper scenario,
+// every fabric, with and without the clock-gating ablation — the contract
+// the CI gated-vs-naive byte-compare enforces end to end.
+func TestKernelEquivalenceScenarios(t *testing.T) {
+	for _, sc := range PaperScenarios() {
+		sc := sc
+		sc.Cycles = 1500 // full-length runs belong to nocbench
+		for _, c := range kernelCases() {
+			gated, err := c.build(KernelGated).Run(sc)
+			if err != nil {
+				t.Fatalf("%s/%s gated: %v", c.name, sc.Name, err)
+			}
+			naive, err := c.build(KernelNaive).Run(sc)
+			if err != nil {
+				t.Fatalf("%s/%s naive: %v", c.name, sc.Name, err)
+			}
+			gb, err := json.Marshal(gated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nb, err := json.Marshal(naive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gb, nb) {
+				t.Errorf("%s / scenario %s: kernels disagree\ngated: %s\nnaive: %s",
+					c.name, sc.Name, gb, nb)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceWorkload runs a mesh workload (CCN mapping, bound
+// power meters, gang drivers) under both kernels and compares the full
+// Result JSON — the path where idle routers dominate and skipping pays
+// most.
+func TestKernelEquivalenceWorkload(t *testing.T) {
+	sc := Scenario{
+		Name:      "kernel-workload",
+		Workloads: []string{"drm"},
+		Cycles:    2500,
+	}
+	var out [2][]byte
+	for i, k := range []Kernel{KernelGated, KernelNaive} {
+		res, err := CircuitSwitched(WithKernel(k)).Run(sc)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	if !bytes.Equal(out[0], out[1]) {
+		t.Errorf("workload results diverge\ngated: %s\nnaive: %s", out[0], out[1])
+	}
+}
+
+// TestKernelEquivalenceWaveform: waveform capture (trace recorder sampling
+// every cycle while the assembly sleeps until its configuration write)
+// must render identically — the recorder is a monitor and monitors are
+// never skipped.
+func TestKernelEquivalenceWaveform(t *testing.T) {
+	wf, err := CaptureWaveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.Cycles == 0 || len(wf.VCD) == 0 {
+		t.Fatal("empty capture under the gated kernel")
+	}
+	// The capture must show the word serializing on both probes: skipping
+	// the assembly before its cycle-2 configuration must not lose edges.
+	for _, sig := range wf.Signals {
+		if sig.Transitions == 0 {
+			t.Errorf("probe %s recorded no transitions under the gated kernel", sig.Name)
+		}
+	}
+}
+
+// TestParseKernel covers the kernel name resolution used by nocbench and
+// the sweep spec.
+func TestParseKernel(t *testing.T) {
+	for _, s := range []string{"", "gated"} {
+		k, err := ParseKernel(s)
+		if err != nil || k != KernelGated {
+			t.Fatalf("ParseKernel(%q) = %v, %v", s, k, err)
+		}
+	}
+	if k, err := ParseKernel("naive"); err != nil || k != KernelNaive {
+		t.Fatalf("ParseKernel(naive) = %v, %v", k, err)
+	}
+	if _, err := ParseKernel("warp"); err == nil {
+		t.Fatal("ParseKernel accepted an unknown kernel")
+	}
+	if err := CircuitSwitched(WithKernel("warp")).Validate(); err == nil {
+		t.Fatal("Validate accepted an unknown kernel option")
+	}
+}

@@ -6,8 +6,36 @@ import (
 	"repro/internal/aethereal"
 	"repro/internal/core"
 	"repro/internal/packetsw"
+	"repro/internal/sim"
 	"repro/internal/stdcell"
 )
+
+// Kernel selects the simulation kernel a fabric runs its worlds on.
+type Kernel string
+
+const (
+	// KernelGated is the activity-tracked kernel (the default): quiescent
+	// components — unconfigured routers, drained converters, exhausted
+	// sources — are skipped each cycle, with results byte-identical to
+	// KernelNaive. The software analogue of the paper's clock gating.
+	KernelGated Kernel = "gated"
+	// KernelNaive evaluates every component every cycle. It exists for
+	// verification (the CI byte-compare) and benchmarking the speedup.
+	KernelNaive Kernel = "naive"
+)
+
+// ParseKernel resolves a kernel name; the empty string means the default
+// gated kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch Kernel(s) {
+	case "", KernelGated:
+		return KernelGated, nil
+	case KernelNaive:
+		return KernelNaive, nil
+	default:
+		return "", fmt.Errorf("noc: unknown kernel %q (have %s, %s)", s, KernelGated, KernelNaive)
+	}
+}
 
 // Option tunes a fabric away from the paper's default configuration.
 // Options that do not apply to a fabric are ignored by it (e.g.
@@ -29,6 +57,7 @@ type config struct {
 	corner       string // library corner: "nominal" (default) or "hvt"
 	latencyWords int    // latency sample count; -1 default, 0 disables
 	traceCycles  int    // workload runs: VCD capture depth for node (0,0)
+	kernel       Kernel // simulation kernel; "" means gated
 }
 
 func makeConfig(opts []Option) config {
@@ -84,12 +113,21 @@ func WithLatencyWords(n int) Option { return func(c *config) { c.latencyWords = 
 // Result.NodeVCD. Zero (the default) disables tracing.
 func WithNodeTrace(cycles int) Option { return func(c *config) { c.traceCycles = cycles } }
 
+// WithKernel selects the simulation kernel (default KernelGated). Results
+// are byte-identical under both kernels; the gated kernel is simply
+// faster the sparser the traffic, so there is rarely a reason to change
+// this outside verification and benchmarking.
+func WithKernel(k Kernel) Option { return func(c *config) { c.kernel = k } }
+
 // defaultLatencyWords is the latency sample count when unset.
 const defaultLatencyWords = 200
 
 // validate checks the knobs relevant to the given fabric kind.
 func (c config) validate(k Kind) error {
 	if _, err := c.lib(); err != nil {
+		return err
+	}
+	if _, err := ParseKernel(string(c.kernel)); err != nil {
 		return err
 	}
 	if c.latencyWords < -1 {
@@ -198,6 +236,15 @@ func (c config) latencySamples() int {
 		return defaultLatencyWords
 	}
 	return c.latencyWords
+}
+
+// simKernel maps the facade's kernel choice onto the kernel type the
+// internal simulation worlds take.
+func (c config) simKernel() sim.Kernel {
+	if c.kernel == KernelNaive {
+		return sim.KernelNaive
+	}
+	return sim.KernelGated
 }
 
 // resolvedCoreParams returns the circuit-switched geometry the fabric

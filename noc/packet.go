@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -41,7 +42,7 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 	rc := traffic.RunConfig{
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
 		Lib: f.cfg.mustLib(), PSParams: f.cfg.psParams(),
-		Seed: sc.Seed,
+		Seed: sc.Seed, Kernel: f.cfg.simKernel(),
 	}
 	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
 	tr, err := traffic.RunPacket(sc.trafficScenario(), pat, rc)
@@ -74,7 +75,8 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 		// The contention harness needs three VCs; a narrower router
 		// still measures, just without background streams.
 		contended = contended && pp.VCs >= 3
-		lr, err := traffic.MeasurePacketLatency(pp, sc.Pattern.Load, n, contended)
+		lr, err := traffic.MeasurePacketLatency(pp, sc.Pattern.Load, n, contended,
+			sim.WithKernel(f.cfg.simKernel()))
 		if err != nil {
 			return nil, err
 		}

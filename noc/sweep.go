@@ -39,6 +39,10 @@ type FabricSpec struct {
 	// LatencyWords overrides the latency sample count; nil keeps the
 	// default, 0 disables the latency measurement (WithLatencyWords).
 	LatencyWords *int `json:"latency_words,omitempty"`
+	// Kernel selects the simulation kernel: "gated" (default) or
+	// "naive" (WithKernel). Results are byte-identical under both; the
+	// CI equivalence check runs the same sweep under each and compares.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // options converts the spec into the functional options it describes.
@@ -70,6 +74,9 @@ func (fs FabricSpec) options() []Option {
 	}
 	if fs.LatencyWords != nil {
 		opts = append(opts, WithLatencyWords(*fs.LatencyWords))
+	}
+	if fs.Kernel != "" {
+		opts = append(opts, WithKernel(Kernel(fs.Kernel)))
 	}
 	return opts
 }
@@ -205,6 +212,10 @@ type SweepSpec struct {
 	// deterministic seed from it and the cell index, so results are
 	// identical for any worker count.
 	Seed uint64 `json:"seed,omitempty"`
+	// Kernel is the default simulation kernel for every fabric that does
+	// not choose its own: "gated" (default) or "naive". The
+	// `nocbench -kernel` flag sets it from the command line.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // ParseSweepSpec decodes a JSON sweep spec (the `nocbench -sweep`
@@ -277,6 +288,9 @@ func (s SweepSpec) Cells() ([]SweepCell, error) {
 	if len(s.Scenarios) > 0 && s.Grid != nil {
 		return nil, fmt.Errorf("noc: sweep: scenarios and grid are mutually exclusive")
 	}
+	if _, err := ParseKernel(s.Kernel); err != nil {
+		return nil, fmt.Errorf("noc: sweep: %w", err)
+	}
 	fabrics := s.Fabrics
 	if len(fabrics) == 0 {
 		fabrics = defaultFabrics()
@@ -338,7 +352,15 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 			if err := ctx.Err(); err != nil {
 				return cell, err
 			}
-			f, err := cell.Fabric.Fabric()
+			// The sweep-level kernel is applied at run time, not stored in
+			// the cell, so gated and naive runs of the same spec emit
+			// byte-identical cells — the property the CI equivalence check
+			// compares.
+			fs := cell.Fabric
+			if fs.Kernel == "" {
+				fs.Kernel = spec.Kernel
+			}
+			f, err := fs.Fabric()
 			if err != nil {
 				cell.Error = err.Error()
 				return cell, nil

@@ -108,7 +108,7 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 	}
 
 	meter := power.NewMeter(aethereal.Netlist(p, lib), lib, sc.FreqMHz)
-	w := sim.NewWorld()
+	w := sim.NewWorld(sim.WithKernel(f.cfg.simKernel()))
 	w.Add(r)
 
 	// The average toggling bits per forwarded word under the pattern's

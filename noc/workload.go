@@ -77,7 +77,8 @@ const inFlightAllowance = 32
 // and (optionally) a waveform of node (0,0).
 func runCircuitWorkload(cfg config, sc Scenario) (*Result, error) {
 	p := cfg.resolvedCoreParams()
-	m := mesh.New(sc.MeshWidth, sc.MeshHeight, p, core.DefaultAssemblyOptions())
+	m := mesh.New(sc.MeshWidth, sc.MeshHeight, p, core.DefaultAssemblyOptions(),
+		sim.WithKernel(cfg.simKernel()))
 	dom := m.BindMeters(cfg.mustLib(), sc.FreqMHz, cfg.gated)
 	mgr := ccn.NewManager(m, sc.FreqMHz)
 
