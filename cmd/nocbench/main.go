@@ -24,11 +24,12 @@
 // worker count.
 //
 // -kernel selects the simulation kernel of a -sweep: "gated" (the
-// activity-tracked default) or "naive" (evaluate everything). Results
-// are byte-identical either way — the CI equivalence job runs the same
-// sweep under both and byte-compares. The experiments (-run/-parallel)
-// always use the gated default, so the flag is rejected without -sweep
-// rather than silently ignored.
+// activity-tracked default), "naive" (evaluate everything) or "event"
+// (timer-wheel scheduling: fully quiescent windows are fast-forwarded).
+// Results are byte-identical under all three — the CI equivalence job
+// runs the same sweep under each and byte-compares. The experiments
+// (-run/-parallel) always use the gated default, so the flag is
+// rejected without -sweep rather than silently ignored.
 //
 // -cpuprofile / -memprofile write pprof profiles covering the whole run
 // (flushed on errors and Ctrl-C too), so kernel work is measurable
@@ -70,7 +71,7 @@ func run() (err error) {
 	workers := flag.Int("workers", 0, "worker pool size for -sweep and -parallel (default GOMAXPROCS)")
 	parallel := flag.Bool("parallel", false, "measure experiments on all cores (text output unchanged)")
 	csvOut := flag.Bool("csv", false, "with -sweep: emit CSV instead of JSON")
-	kernel := flag.String("kernel", "", `with -sweep: simulation kernel, "gated" (default) or "naive"`)
+	kernel := flag.String("kernel", "", `with -sweep: simulation kernel, "gated" (default), "naive" or "event"`)
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()

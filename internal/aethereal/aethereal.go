@@ -283,6 +283,13 @@ func (r *Router) IdleTick() {
 	r.slot = (r.slot + 1) % r.P.Slots
 }
 
+// IdleWindow implements sim.IdleWindower: a window of n idle cycles
+// advances the slot counter by n modulo the table length in O(1), keeping
+// the TDM frame phase cycle-accurate across a fast-forward.
+func (r *Router) IdleWindow(n uint64) {
+	r.slot = int((uint64(r.slot) + n) % uint64(r.P.Slots))
+}
+
 // Netlist returns the structural netlist that reproduces the Table 4 row:
 // slot table storage, the GT crossbar, best-effort buffering and the
 // header-parsing/arbitration unit.

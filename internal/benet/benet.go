@@ -9,6 +9,8 @@ package benet
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/mesh"
@@ -70,7 +72,7 @@ type Network struct {
 
 	routers []*packetsw.Router
 	world   *sim.World
-	cycle   uint64
+	sched   *scheduler
 
 	sendQ    [][]packetsw.Flit // per node, flits waiting for injection
 	inflight map[uint16][]Message
@@ -90,6 +92,11 @@ func New(w, h int, p packetsw.Params, wopts ...sim.WorldOption) *Network {
 		sendQ:    make([][]packetsw.Flit, w*h),
 		inflight: make(map[uint16][]Message),
 	}
+	// The burst scheduler releases SendAt messages at their due cycle. It
+	// is registered first so a release is visible to every pump of the
+	// same cycle, exactly like an external Send just before the step.
+	n.sched = &scheduler{net: n}
+	n.world.Add(n.sched)
 	n.routers = make([]*packetsw.Router, w*h)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -119,13 +126,82 @@ func New(w, h int, p packetsw.Params, wopts ...sim.WorldOption) *Network {
 			}
 		}
 	}
-	// Injection and ejection glue per node.
+	// Injection and ejection glue per node. Pumps are first-class
+	// components, not bare sim.Funcs, so the activity-tracked kernels can
+	// skip a node whose injection queue is empty and whose router has
+	// nothing ejected — on a quiet mesh the whole world then quiesces and
+	// the event kernel fast-forwards to the next scheduled burst.
 	for i := range n.routers {
-		idx := i
-		n.world.Add(&sim.Func{OnEval: func() { n.pump(idx) }})
+		n.world.Add(&pump{net: n, idx: i})
 	}
 	return n
 }
+
+// pump is the per-node injection/ejection glue component.
+type pump struct {
+	net *Network
+	idx int
+}
+
+// Eval implements sim.Clocked.
+func (p *pump) Eval() { p.net.pump(p.idx) }
+
+// Commit implements sim.Clocked.
+func (p *pump) Commit() {}
+
+// Quiescent implements sim.Quiescer: nothing queued for injection and
+// nothing ejected awaiting drain. The router's own quiescence (and its
+// Inject wake) covers flits in flight.
+func (p *pump) Quiescent() bool {
+	return len(p.net.sendQ[p.idx]) == 0 && p.net.routers[p.idx].EjectedPending() == 0
+}
+
+// scheduler releases messages queued with SendAt when their cycle comes.
+// It is the BE network's event source: quiescent between bursts, and a
+// sim.Timed so the event kernel knows the next release cycle and can
+// fast-forward the idle window between configuration bursts instead of
+// polling it cycle by cycle.
+type scheduler struct {
+	net     *Network
+	pending []scheduledSend // sorted by cycle, insertion order within one
+}
+
+type scheduledSend struct {
+	cycle uint64
+	msg   Message
+}
+
+// Eval implements sim.Clocked: release every message due this cycle.
+func (s *scheduler) Eval() {
+	now := s.net.world.Cycle()
+	for len(s.pending) > 0 && s.pending[0].cycle <= now {
+		msg := s.pending[0].msg
+		s.pending = s.pending[1:]
+		s.net.Send(msg)
+	}
+}
+
+// Commit implements sim.Clocked.
+func (s *scheduler) Commit() {}
+
+// Quiescent implements sim.Quiescer: no release is due this cycle.
+func (s *scheduler) Quiescent() bool {
+	return len(s.pending) == 0 || s.pending[0].cycle > s.net.world.Cycle()
+}
+
+// NextEvent implements sim.Timed: the earliest scheduled release.
+func (s *scheduler) NextEvent() (uint64, bool) {
+	if len(s.pending) == 0 {
+		return 0, false
+	}
+	return s.pending[0].cycle, true
+}
+
+var (
+	_ sim.Quiescer = (*pump)(nil)
+	_ sim.Quiescer = (*scheduler)(nil)
+	_ sim.Timed    = (*scheduler)(nil)
+)
 
 func (n *Network) router(c mesh.Coord) *packetsw.Router { return n.routers[c.Y*n.W+c.X] }
 
@@ -148,16 +224,37 @@ func (n *Network) Send(msg Message) {
 	if len(msg.Payload) == 0 {
 		panic("benet: empty message")
 	}
-	msg.SentCycle = n.cycle
+	msg.SentCycle = n.Cycle()
 	src := msg.Src.Y*n.W + msg.Src.X
 	flits := packetsw.MakePacket(0, HeadDataXY(msg.Dst), msg.Payload)
 	// Messages are matched to arrivals in send order per destination.
 	key := HeadDataXY(msg.Dst)
 	n.inflight[key] = append(n.inflight[key], msg)
 	for i := range flits {
-		flits[i].InjectCycle = n.cycle
+		flits[i].InjectCycle = n.Cycle()
 	}
 	n.sendQ[src] = append(n.sendQ[src], flits...)
+}
+
+// SendAt schedules a message for release at the given absolute cycle —
+// the shape of the CCN's configuration bursts, which are planned ahead of
+// time and sparse. Between releases the scheduler is quiescent and
+// reports the next due cycle to the kernel, so the event kernel
+// fast-forwards the dead window instead of polling it. It panics on a
+// cycle already in the past; the current cycle is allowed and releases on
+// the next step.
+func (n *Network) SendAt(cycle uint64, msg Message) {
+	if len(msg.Payload) == 0 {
+		panic("benet: empty message")
+	}
+	if cycle < n.Cycle() {
+		panic(fmt.Sprintf("benet: SendAt(%d) is in the past (cycle %d)", cycle, n.Cycle()))
+	}
+	s := n.sched
+	at := sort.Search(len(s.pending), func(i int) bool {
+		return s.pending[i].cycle > cycle
+	})
+	s.pending = slices.Insert(s.pending, at, scheduledSend{cycle: cycle, msg: msg})
 }
 
 // pump injects queued flits and collects ejected packets at node idx.
@@ -184,25 +281,19 @@ func (n *Network) complete(dst mesh.Coord) {
 	}
 	m := msgs[0]
 	n.inflight[key] = msgs[1:]
-	m.RecvCycle = n.cycle
+	m.RecvCycle = n.Cycle()
 	n.recv = append(n.recv, m)
 }
 
 // Step advances the network one cycle.
-func (n *Network) Step() {
-	n.world.Step()
-	n.cycle++
-}
+func (n *Network) Step() { n.world.Step() }
 
-// Run advances the network n cycles.
-func (n *Network) Run(cycles int) {
-	for i := 0; i < cycles; i++ {
-		n.Step()
-	}
-}
+// Run advances the network n cycles through the world's kernel, so the
+// event kernel may fast-forward quiet windows between scheduled bursts.
+func (n *Network) Run(cycles int) { n.world.Run(cycles) }
 
 // Cycle returns the elapsed cycles.
-func (n *Network) Cycle() uint64 { return n.cycle }
+func (n *Network) Cycle() uint64 { return n.world.Cycle() }
 
 // Delivered returns and clears the messages delivered so far.
 func (n *Network) Delivered() []Message {
@@ -211,9 +302,10 @@ func (n *Network) Delivered() []Message {
 	return d
 }
 
-// Pending returns the number of messages not yet delivered.
+// Pending returns the number of messages not yet delivered, including
+// SendAt messages still waiting for their release cycle.
 func (n *Network) Pending() int {
-	p := 0
+	p := len(n.sched.pending)
 	for _, msgs := range n.inflight {
 		p += len(msgs)
 	}

@@ -258,12 +258,19 @@ func (a *Assembly) anyConverterEnabled() bool {
 // gated. The cache is recomputed whenever a converter enable changed
 // underneath it, so direct Enabled writes (the CCN's unmap path) stay
 // exact.
-func (a *Assembly) IdleTick() {
+func (a *Assembly) IdleTick() { a.IdleWindow(1) }
+
+// IdleWindow implements sim.IdleWindower: n skipped cycles charge n times
+// the idle clock energy in one O(1) meter extension — the meter's
+// run-length accounting makes the batch bit-identical to n IdleTicks, so
+// the event kernel can fast-forward whole idle windows across this
+// assembly.
+func (a *Assembly) IdleWindow(n uint64) {
 	if a.meter == nil {
 		return
 	}
 	if !a.gated {
-		a.meter.Tick()
+		a.meter.TickN(n)
 		return
 	}
 	txm, rxm := a.enableMasks()
@@ -271,7 +278,7 @@ func (a *Assembly) IdleTick() {
 		a.idleFJ, a.idleFJOK = a.gatedClockFJ(), true
 		a.idleTxMask, a.idleRxMask = txm, rxm
 	}
-	a.meter.TickGated(a.idleFJ)
+	a.meter.TickGatedN(a.idleFJ, n)
 }
 
 // VerifyClockCensus checks that the netlist design used for the meter
@@ -305,3 +312,4 @@ var _ sim.Waker = (*TxConverter)(nil)
 var _ sim.Waker = (*RxConverter)(nil)
 
 var _ sim.IdleTicker = (*Assembly)(nil)
+var _ sim.IdleWindower = (*Assembly)(nil)

@@ -61,8 +61,10 @@ type Router struct {
 	// activity tracking (sim.Quiescer): a router with no configured lanes,
 	// no staged configuration writes and all-idle output registers is a
 	// guaranteed no-op — exactly the lanes the paper's clock gating powers
-	// down. A router with any configured circuit stays active: its inputs
-	// can light up on any cycle.
+	// down. A configured router is a no-op too whenever every configured
+	// input and acknowledgement wire currently shows its idle value; the
+	// per-cycle poll re-checks the wires, so traffic lighting up an input
+	// is caught on the cycle it appears.
 	activeLanes int
 	outDirty    bool
 	wake        func()
@@ -131,11 +133,32 @@ func (r *Router) PushConfig(cmd ConfigCmd) {
 func (r *Router) SetWake(fn func()) { r.wake = fn }
 
 // Quiescent implements sim.Quiescer. It is true only when Eval+Commit
-// would be a complete no-op: no circuit is configured (so the crossbar
-// ignores its inputs), no configuration write is staged, and the output
-// registers already hold their idle values.
+// would be a complete no-op: no configuration write is staged, the
+// output registers already hold their idle values, and every configured
+// output would latch the same idle value again — its selected input
+// lane and its acknowledgement wire both idle. (With no circuits
+// configured the crossbar ignores its inputs and the scan short-cuts.)
+// An all-idle cycle records zero toggles, so skipping it is power-exact.
 func (r *Router) Quiescent() bool {
-	return r.activeLanes == 0 && len(r.cfgPending) == 0 && !r.outDirty
+	if len(r.cfgPending) != 0 || r.outDirty {
+		return false
+	}
+	if r.activeLanes == 0 {
+		return true
+	}
+	for g := 0; g < r.P.TotalLanes(); g++ {
+		in, ok := r.cfg.InputFor(g)
+		if !ok {
+			continue
+		}
+		if r.readIn(in) != 0 {
+			return false
+		}
+		if r.ackIn[g] != nil && *r.ackIn[g] {
+			return false
+		}
+	}
+	return true
 }
 
 // Unconfigured reports whether no circuit is configured and none is

@@ -97,6 +97,21 @@ func (m *Mesh) Nodes() int { return m.W * m.H }
 // components.
 func (m *Mesh) World() *sim.World { return m.world }
 
+// NodeActivity returns the kernel's Eval/Commit counts for the assembly
+// at the coordinate: pairs executed and pairs skipped (including
+// fast-forwarded windows). Together they are the per-router activity
+// factor behind the per-component power attribution — an idle router
+// shows ~100% skips, a streaming router ~100% evals. Under the naive
+// kernel skips are always zero.
+func (m *Mesh) NodeActivity(c Coord) (evals, skips uint64) {
+	if !m.InBounds(c) {
+		panic(fmt.Sprintf("mesh: %v outside %dx%d", c, m.W, m.H))
+	}
+	// Assemblies are the first W*H components registered with the world,
+	// in row-major order.
+	return m.world.ComponentActivity(c.Y*m.W + c.X)
+}
+
 // Step advances the whole mesh by one clock cycle.
 func (m *Mesh) Step() { m.world.Step() }
 

@@ -207,12 +207,22 @@ func (r *Router) Quiescent() bool {
 // router's cycle counter (flit timestamps reference it) and charges the
 // ungated clock network — the packet-switched router has no clock gating,
 // the source of its large dynamic power offset.
-func (r *Router) IdleTick() {
+func (r *Router) IdleTick() { r.IdleWindow(1) }
+
+// IdleWindow implements sim.IdleWindower: n idle cycles advance the cycle
+// counter and charge n ungated clock ticks in one O(1) meter extension,
+// so the event kernel can fast-forward idle windows across this router.
+func (r *Router) IdleWindow(n uint64) {
 	if r.meter != nil {
-		r.meter.Tick()
+		r.meter.TickN(n)
 	}
-	r.cycle++
+	r.cycle += n
 }
+
+// EjectedPending returns the number of tile-port flits waiting for Drain —
+// the activity an injection/ejection pump must account for in its own
+// quiescence decision.
+func (r *Router) EjectedPending() int { return len(r.ejected) }
 
 // InjectReady reports whether VC v of the tile port can accept a flit.
 func (r *Router) InjectReady(vc int) bool {
@@ -471,10 +481,11 @@ func (r *Router) pushFIFO(port int, f Flit) {
 }
 
 var (
-	_ sim.Clocked    = (*Router)(nil)
-	_ sim.Quiescer   = (*Router)(nil)
-	_ sim.IdleTicker = (*Router)(nil)
-	_ sim.Waker      = (*Router)(nil)
+	_ sim.Clocked      = (*Router)(nil)
+	_ sim.Quiescer     = (*Router)(nil)
+	_ sim.IdleTicker   = (*Router)(nil)
+	_ sim.IdleWindower = (*Router)(nil)
+	_ sim.Waker        = (*Router)(nil)
 )
 
 // accountDatapath records output register, link, switch-traversal and FIFO

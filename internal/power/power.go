@@ -18,6 +18,7 @@ package power
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/netlist"
 	"repro/internal/stdcell"
@@ -117,6 +118,17 @@ func (b Breakdown) DynamicPerMHz() float64 {
 	return b.DynamicUW() / b.FreqMHz
 }
 
+// clockRun is one run of consecutive cycles drawing the same per-cycle
+// clock energy. The meter accumulates clock energy run-length encoded —
+// per-cycle ticks extend the current run, and a whole idle window of n
+// cycles is one O(1) extension — so a batched TickGatedN is bit-identical
+// to n individual TickGated calls by construction, the property the event
+// kernel's fast-forward relies on.
+type clockRun struct {
+	fj float64 // per-cycle clock energy of the run
+	n  uint64  // cycles in the run
+}
+
 // Meter accumulates activity for one design over a simulation.
 type Meter struct {
 	lib     stdcell.Lib
@@ -124,9 +136,9 @@ type Meter struct {
 	freqMHz float64
 
 	cycles      uint64
-	clockFJ     float64 // accumulated clock-network energy
-	internalFJ  float64 // accumulated non-clock internal energy
-	switchingFJ float64 // accumulated net switching energy
+	clockRuns   []clockRun // run-length encoded clock-network energy
+	internalFJ  float64    // accumulated non-clock internal energy
+	switchingFJ float64    // accumulated net switching energy
 	toggles     [numToggleKinds]uint64
 
 	fullClockFJ float64 // per-cycle clock energy when ungated
@@ -146,20 +158,48 @@ func NewMeter(d *netlist.Design, lib stdcell.Lib, freqMHz float64) *Meter {
 }
 
 // Tick records one clock cycle with the full (ungated) clock network active.
-func (m *Meter) Tick() {
-	m.cycles++
-	m.clockFJ += m.fullClockFJ
-}
+func (m *Meter) Tick() { m.TickN(1) }
+
+// TickN records n clock cycles with the full clock network active, in
+// O(1); bit-identical to n Tick calls.
+func (m *Meter) TickN(n uint64) { m.addClock(m.fullClockFJ, n) }
 
 // TickGated records one clock cycle in which only clockFJ femtojoules of
 // clock energy were drawn (clock gating: idle lanes' registers are not
 // clocked). clockFJ must not exceed the ungated per-cycle energy.
-func (m *Meter) TickGated(clockFJ float64) {
+func (m *Meter) TickGated(clockFJ float64) { m.TickGatedN(clockFJ, 1) }
+
+// TickGatedN records n gated clock cycles drawing clockFJ each, in O(1);
+// bit-identical to n TickGated calls.
+func (m *Meter) TickGatedN(clockFJ float64, n uint64) {
 	if clockFJ < 0 || clockFJ > m.fullClockFJ*(1+1e-9) {
 		panic(fmt.Sprintf("power: gated clock energy %v outside [0,%v]", clockFJ, m.fullClockFJ))
 	}
-	m.cycles++
-	m.clockFJ += clockFJ
+	m.addClock(clockFJ, n)
+}
+
+// addClock extends the run-length encoded clock-energy record.
+func (m *Meter) addClock(fj float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	m.cycles += n
+	if last := len(m.clockRuns) - 1; last >= 0 && m.clockRuns[last].fj == fj {
+		m.clockRuns[last].n += n
+		return
+	}
+	m.clockRuns = append(m.clockRuns, clockRun{fj: fj, n: n})
+}
+
+// clockFJ returns the total accumulated clock-network energy. Each run
+// contributes one multiplication, so the total is independent of whether
+// its cycles were recorded one at a time or as a batch.
+func (m *Meter) clockFJ() float64 {
+	var e float64
+	for _, r := range m.clockRuns {
+		e += r.fj * float64(r.n)
+	}
+	return e
 }
 
 // AddToggles records n transitions of the given kind.
@@ -203,7 +243,7 @@ func (m *Meter) Report(name string) Breakdown {
 		FreqMHz:     m.freqMHz,
 		Cycles:      m.cycles,
 		StaticUW:    m.design.LeakageUW(m.lib),
-		InternalUW:  (m.clockFJ + m.internalFJ) / t / 1e3,
+		InternalUW:  (m.clockFJ() + m.internalFJ) / t / 1e3,
 		SwitchingUW: m.switchingFJ / t / 1e3,
 	}
 }
@@ -220,26 +260,48 @@ func (m *Meter) ClassUW(k ToggleKind) float64 {
 	return e / m.SimTimeUS() / 1e3
 }
 
+// AttributionEntry is one class of the dynamic-power attribution.
+type AttributionEntry struct {
+	// Class names the activity class: "clock" or a ToggleKind name.
+	Class string `json:"class"`
+	// UW is the class's dynamic power in µW.
+	UW float64 `json:"uw"`
+}
+
 // Attribution returns the dynamic power per toggle class plus the clock
 // network, in µW, keyed by a stable name. The values sum to DynamicUW of
 // the corresponding Report.
 func (m *Meter) Attribution() map[string]float64 {
-	out := make(map[string]float64, int(numToggleKinds)+1)
-	for k := ToggleKind(0); k < numToggleKinds; k++ {
-		out[k.String()] = m.ClassUW(k)
+	entries := m.AttributionSorted()
+	out := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		out[e.Class] = e.UW
 	}
+	return out
+}
+
+// AttributionSorted returns the dynamic-power attribution as a slice in a
+// deterministic order (sorted by class name), so JSON and CSV encoders
+// that iterate it emit byte-identical output run to run. The values sum
+// to DynamicUW of the corresponding Report.
+func (m *Meter) AttributionSorted() []AttributionEntry {
+	out := make([]AttributionEntry, 0, int(numToggleKinds)+1)
+	var clock float64
 	if m.cycles > 0 {
-		out["clock"] = m.clockFJ / m.SimTimeUS() / 1e3
-	} else {
-		out["clock"] = 0
+		clock = m.clockFJ() / m.SimTimeUS() / 1e3
 	}
+	out = append(out, AttributionEntry{Class: "clock", UW: clock})
+	for k := ToggleKind(0); k < numToggleKinds; k++ {
+		out = append(out, AttributionEntry{Class: k.String(), UW: m.ClassUW(k)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
 	return out
 }
 
 // Reset clears accumulated activity, keeping the design binding.
 func (m *Meter) Reset() {
 	m.cycles = 0
-	m.clockFJ = 0
+	m.clockRuns = m.clockRuns[:0]
 	m.internalFJ = 0
 	m.switchingFJ = 0
 	m.toggles = [numToggleKinds]uint64{}

@@ -259,3 +259,83 @@ func TestAttribution(t *testing.T) {
 		t.Fatal("fresh ClassUW not zero")
 	}
 }
+
+// TestBatchedTicksBitIdentical pins the contract the event kernel's
+// fast-forward relies on: recording an idle window with one TickN /
+// TickGatedN call produces bit-identical reports to recording the same
+// cycles one at a time, for any interleaving of energy levels.
+func TestBatchedTicksBitIdentical(t *testing.T) {
+	d := testDesign()
+	gatedFJ := d.ClockEnergyPerCycle(lib) * 0.25
+	perCycle := NewMeter(d, lib, 25)
+	batched := NewMeter(d, lib, 25)
+
+	for i := 0; i < 700; i++ {
+		perCycle.Tick()
+	}
+	batched.TickN(700)
+	for i := 0; i < 300; i++ {
+		perCycle.TickGated(gatedFJ)
+	}
+	batched.TickGatedN(gatedFJ, 300)
+	for i := 0; i < 11; i++ {
+		perCycle.TickGated(gatedFJ)
+		batched.TickGated(gatedFJ)
+	}
+
+	a, b := perCycle.Report("a"), batched.Report("b")
+	if a.Cycles != b.Cycles || a.InternalUW != b.InternalUW ||
+		a.SwitchingUW != b.SwitchingUW || a.StaticUW != b.StaticUW {
+		t.Fatalf("batched ticks diverge: per-cycle %+v batched %+v", a, b)
+	}
+	// Zero-length batches are no-ops.
+	before := batched.Cycles()
+	batched.TickN(0)
+	batched.TickGatedN(gatedFJ, 0)
+	if batched.Cycles() != before {
+		t.Fatal("TickN(0) advanced the cycle count")
+	}
+}
+
+// TestAttributionSortedDeterministic is the regression test for the
+// attribution ordering contract: the slice form is sorted by class name,
+// covers every toggle class plus the clock, and agrees with the map form,
+// so any JSON/CSV encoder iterating it is deterministic by construction.
+func TestAttributionSortedDeterministic(t *testing.T) {
+	d := testDesign()
+	m := NewMeter(d, lib, 25)
+	for i := 0; i < 100; i++ {
+		m.Tick()
+		m.AddToggles(ToggleReg, 3)
+		m.AddToggles(ToggleLink, 2)
+	}
+	entries := m.AttributionSorted()
+	if want := int(numToggleKinds) + 1; len(entries) != want {
+		t.Fatalf("attribution has %d entries, want %d", len(entries), want)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Class >= entries[i].Class {
+			t.Fatalf("attribution not sorted: %q before %q",
+				entries[i-1].Class, entries[i].Class)
+		}
+	}
+	att := m.Attribution()
+	var sum float64
+	for _, e := range entries {
+		if att[e.Class] != e.UW {
+			t.Fatalf("map/slice attribution disagree on %q: %v vs %v",
+				e.Class, att[e.Class], e.UW)
+		}
+		sum += e.UW
+	}
+	if b := m.Report("x"); math.Abs(sum-b.DynamicUW()) > 1e-9*b.DynamicUW() {
+		t.Fatalf("attribution sums to %v, report says %v", sum, b.DynamicUW())
+	}
+	// Repeated calls return identical content (no map-iteration leakage).
+	again := m.AttributionSorted()
+	for i := range entries {
+		if entries[i] != again[i] {
+			t.Fatalf("attribution changed between calls: %+v vs %+v", entries[i], again[i])
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import "fmt"
+
+// timerWheel holds the pending WakeAt cycles of a world as a binary
+// min-heap. The wheel only bounds fast-forward windows, so duplicate
+// entries are harmless (they pop together) and spent entries are dropped
+// lazily.
+type timerWheel struct {
+	heap []uint64
+}
+
+// push inserts a timer cycle.
+func (t *timerWheel) push(c uint64) {
+	t.heap = append(t.heap, c)
+	i := len(t.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent] <= t.heap[i] {
+			break
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+// peek returns the earliest pending timer.
+func (t *timerWheel) peek() (uint64, bool) {
+	if len(t.heap) == 0 {
+		return 0, false
+	}
+	return t.heap[0], true
+}
+
+// pop removes the earliest pending timer.
+func (t *timerWheel) pop() {
+	n := len(t.heap) - 1
+	t.heap[0] = t.heap[n]
+	t.heap = t.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && t.heap[l] < t.heap[small] {
+			small = l
+		}
+		if r < n && t.heap[r] < t.heap[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.heap[i], t.heap[small] = t.heap[small], t.heap[i]
+		i = small
+	}
+}
+
+// WakeAt schedules a timer at the given absolute cycle: the event kernel
+// will not fast-forward past it, so a driver that stages work for that
+// cycle (a scheduled configuration burst, a timeout) is guaranteed the
+// cycle executes as a normal step. A timer at the current cycle is legal
+// and spent immediately; a timer in the past is a programming error.
+// Duplicate timers are allowed and coalesce. The gated and naive kernels
+// execute every cycle anyway, so for them WakeAt is bookkeeping only —
+// behaviour is byte-identical across kernels with or without timers.
+func (w *World) WakeAt(cycle uint64) error {
+	if cycle < w.cycle {
+		return fmt.Errorf("sim: WakeAt(%d) is in the past (cycle %d)", cycle, w.cycle)
+	}
+	w.timers.push(cycle)
+	return nil
+}
+
+// PendingTimers returns the number of timers at or after the current
+// cycle. Spent timers are discarded first, so the count is exact.
+func (w *World) PendingTimers() int {
+	w.dropSpentTimers()
+	return len(w.timers.heap)
+}
+
+// dropSpentTimers removes timers before the current cycle; they can no
+// longer bound a fast-forward window.
+func (w *World) dropSpentTimers() {
+	for {
+		t, ok := w.timers.peek()
+		if !ok || t >= w.cycle {
+			return
+		}
+		w.timers.pop()
+	}
+}
+
+// horizon returns the cycle up to which the world may fast-forward after
+// a fully quiescent step: the earliest pending timer, the earliest
+// self-scheduled component event (NextEvent of a Timed component), or the
+// end of the Run window, whichever comes first. It never returns less
+// than the current cycle.
+func (w *World) horizon(end uint64) uint64 {
+	h := end
+	w.dropSpentTimers()
+	if t, ok := w.timers.peek(); ok && t < h {
+		h = t
+	}
+	for _, td := range w.timed {
+		if td == nil {
+			continue
+		}
+		if c, ok := td.NextEvent(); ok && c < h {
+			h = c
+		}
+	}
+	if h < w.cycle {
+		h = w.cycle
+	}
+	return h
+}
+
+// fastForward advances the world by n fully quiescent cycles in one step:
+// every component receives its idle bookkeeping — IdleWindow when
+// implemented, n IdleTicks otherwise — and the skip counters advance as
+// if the gated kernel had stepped each cycle individually. The caller
+// (Run) has established that every component was quiescent and that no
+// timer or self-scheduled event lies inside the window, so by the
+// fixed-point argument in the package comment the replay is exact.
+func (w *World) fastForward(n uint64) {
+	for i := range w.components {
+		w.skipsBy[i] += n
+		if w.windowers[i] != nil {
+			w.windowers[i].IdleWindow(n)
+			continue
+		}
+		if w.idlers[i] != nil {
+			for k := uint64(0); k < n; k++ {
+				w.idlers[i].IdleTick()
+			}
+		}
+	}
+	w.skips += n * uint64(len(w.components))
+	w.cycle += n
+	w.ffWindows++
+	w.ffCycles += n
+}

@@ -40,6 +40,41 @@
 // on every scenario — verified by the gated-vs-naive comparison tests and
 // the CI byte-compare — while skipping the >90% of Eval/Commit pairs a
 // sparse mesh would otherwise waste on idle routers.
+//
+// # Event-driven scheduling
+//
+// The gated kernel still visits every component every cycle, if only to
+// poll Quiescent. The event kernel (KernelEvent) removes the remaining
+// O(components·cycles) term for windows in which the whole world is idle:
+// when a Run cycle skips every component, the kernel fast-forwards the
+// global clock to the next event horizon — the earliest pending timer
+// (WakeAt), the earliest self-scheduled component event (NextEvent), or
+// the end of the Run window — and replays the skipped window's idle
+// bookkeeping in O(components), using IdleWindow where implemented and
+// falling back to per-cycle IdleTick otherwise.
+//
+// Fast-forward is exact, not approximate, by a fixed-point argument: a
+// cycle in which every component is quiescent commits no register, so the
+// pre-edge signal state the next cycle's Quiescent polls would observe is
+// unchanged — every later cycle up to the horizon would skip identically
+// under the gated kernel. The two holes in that argument are closed by
+// contract:
+//
+//   - Bookkeeping replayed by IdleTick must never influence Quiescent. A
+//     component whose quiescence can end purely through the passage of
+//     cycles (a timer expiring, a scheduled burst coming due) must
+//     implement Timed and report that cycle via NextEvent; the kernel
+//     never fast-forwards past it.
+//   - Stimulus and monitors that must observe every cycle stay sim.Func
+//     (or any non-Quiescer): one such component in the world disables
+//     fast-forward entirely, because no cycle then skips all components.
+//     Monitors therefore keep their every-cycle contract under every
+//     kernel without declaring anything.
+//
+// External drivers that mutate the world between Run calls need no
+// declaration either — fast-forward never crosses a Run boundary. Timers
+// (WakeAt) exist for drivers that stage future work inside a Run window,
+// e.g. the BE network's scheduled configuration bursts.
 package sim
 
 // Clocked is a synchronous hardware component.
@@ -71,6 +106,30 @@ type IdleTicker interface {
 	IdleTick()
 }
 
+// IdleWindower is optionally implemented by IdleTickers whose idle
+// bookkeeping for n consecutive cycles can be replayed in one call.
+// IdleWindow(n) must leave the component in exactly the state n calls to
+// IdleTick would have — including bit-identical accumulated floats — so
+// the event kernel can fast-forward a quiescent window in O(1) per
+// component instead of O(cycles). Components without it still work under
+// the event kernel; the kernel falls back to calling IdleTick n times.
+type IdleWindower interface {
+	IdleTicker
+	// IdleWindow replays n idle cycles of bookkeeping at once.
+	IdleWindow(n uint64)
+}
+
+// Timed is optionally implemented by components whose quiescence can end
+// without any external register changing or mutator being invoked — purely
+// because the clock reaches some cycle (a scheduled burst coming due, a
+// timeout expiring). NextEvent returns the earliest such absolute cycle,
+// or ok=false when no self-scheduled work is pending. The event kernel
+// polls NextEvent on fully quiescent cycles and never fast-forwards past
+// the reported cycle; the gated and naive kernels ignore it.
+type Timed interface {
+	NextEvent() (cycle uint64, ok bool)
+}
+
 // Waker is optionally implemented by components with staging mutators
 // (Push, Inject, PushConfig, Pop) that can be invoked by other components
 // during the Eval phase. The kernel calls SetWake at registration; the
@@ -91,6 +150,13 @@ const (
 	KernelGated Kernel = iota
 	// KernelNaive evaluates and commits every component every cycle.
 	KernelNaive
+	// KernelEvent is the event-driven scheduler: per-cycle it behaves
+	// like KernelGated, and additionally fast-forwards Run windows in
+	// which every component is quiescent to the next timer (WakeAt),
+	// self-scheduled component event (NextEvent) or window end,
+	// replaying idle bookkeeping in O(components). Byte-identical to
+	// both other kernels.
+	KernelEvent
 )
 
 // String names the kernel.
@@ -100,6 +166,8 @@ func (k Kernel) String() string {
 		return "gated"
 	case KernelNaive:
 		return "naive"
+	case KernelEvent:
+		return "event"
 	default:
 		return "kernel(?)"
 	}
@@ -117,17 +185,26 @@ func WithKernel(k Kernel) WorldOption {
 // clock, with an attached cycle counter.
 type World struct {
 	components []Clocked
-	quiescers  []Quiescer   // parallel to components; nil if not implemented
-	idlers     []IdleTicker // parallel to components; nil if not implemented
-	skipped    []bool       // per component, skip decision of the current cycle
+	quiescers  []Quiescer     // parallel to components; nil if not implemented
+	idlers     []IdleTicker   // parallel to components; nil if not implemented
+	windowers  []IdleWindower // parallel to components; nil if not implemented
+	timed      []Timed        // parallel to components; nil if not implemented
+	skipped    []bool         // per component, skip decision of the current cycle
 	kernel     Kernel
 	cycle      uint64
 
 	inEval  bool // currently inside the Eval sweep
 	evalPos int  // index of the component whose Eval slot is active
 
-	evals uint64 // Eval/Commit pairs executed
-	skips uint64 // Eval/Commit pairs skipped
+	evals   uint64   // Eval/Commit pairs executed
+	skips   uint64   // Eval/Commit pairs skipped
+	evalsBy []uint64 // per-component share of evals
+	skipsBy []uint64 // per-component share of skips
+
+	allSkipped bool       // last Step skipped every component
+	timers     timerWheel // pending WakeAt cycles (event kernel)
+	ffWindows  uint64     // fast-forward windows taken
+	ffCycles   uint64     // cycles covered by fast-forward
 }
 
 // NewWorld returns an empty world. Without options it uses the
@@ -156,7 +233,13 @@ func (w *World) Add(cs ...Clocked) {
 		w.quiescers = append(w.quiescers, q)
 		it, _ := c.(IdleTicker)
 		w.idlers = append(w.idlers, it)
+		iw, _ := c.(IdleWindower)
+		w.windowers = append(w.windowers, iw)
+		td, _ := c.(Timed)
+		w.timed = append(w.timed, td)
 		w.skipped = append(w.skipped, false)
+		w.evalsBy = append(w.evalsBy, 0)
+		w.skipsBy = append(w.skipsBy, 0)
 		if wk, ok := c.(Waker); ok {
 			wk.SetWake(w.wakeFn(idx))
 		}
@@ -186,14 +269,28 @@ func (w *World) Cycle() uint64 { return w.cycle }
 // Evals returns the number of Eval/Commit pairs executed so far.
 func (w *World) Evals() uint64 { return w.evals }
 
-// Skips returns the number of Eval/Commit pairs the gated kernel skipped.
+// Skips returns the number of Eval/Commit pairs the activity-tracked
+// kernels skipped, including cycles covered by fast-forward.
 func (w *World) Skips() uint64 { return w.skips }
+
+// ComponentActivity returns the Eval/Commit pairs executed and skipped for
+// the i-th registered component (registration order) — the per-component
+// activity factor a finer-grained power attribution is keyed by.
+func (w *World) ComponentActivity(i int) (evals, skips uint64) {
+	return w.evalsBy[i], w.skipsBy[i]
+}
+
+// FastForwards returns how many fast-forward windows the event kernel has
+// taken and how many cycles they covered in total.
+func (w *World) FastForwards() (windows, cycles uint64) {
+	return w.ffWindows, w.ffCycles
+}
 
 // Step advances the world by one clock cycle: Eval on every active
 // component, then Commit on every active component (IdleTick on the
 // skipped ones).
 func (w *World) Step() {
-	gated := w.kernel == KernelGated
+	gated := w.kernel != KernelNaive
 	w.inEval = true
 	for i, c := range w.components {
 		w.evalPos = i
@@ -205,24 +302,47 @@ func (w *World) Step() {
 		c.Eval()
 	}
 	w.inEval = false
+	all := len(w.components) > 0
 	for i, c := range w.components {
 		if w.skipped[i] {
 			w.skips++
+			w.skipsBy[i]++
 			if w.idlers[i] != nil {
 				w.idlers[i].IdleTick()
 			}
 			continue
 		}
+		all = false
 		w.evals++
+		w.evalsBy[i]++
 		c.Commit()
 	}
+	w.allSkipped = all
 	w.cycle++
 }
 
-// Run advances the world by n cycles.
+// Run advances the world by n cycles. Under the event kernel, windows in
+// which every component is quiescent are fast-forwarded to the next
+// pending timer, self-scheduled component event or the end of the window,
+// with the skipped cycles' idle bookkeeping replayed exactly.
 func (w *World) Run(n int) {
-	for i := 0; i < n; i++ {
+	if n <= 0 {
+		return
+	}
+	if w.kernel != KernelEvent {
+		for i := 0; i < n; i++ {
+			w.Step()
+		}
+		return
+	}
+	end := w.cycle + uint64(n)
+	for w.cycle < end {
 		w.Step()
+		if w.allSkipped && w.cycle < end {
+			if ff := w.horizon(end) - w.cycle; ff > 0 {
+				w.fastForward(ff)
+			}
+		}
 	}
 }
 
@@ -230,6 +350,9 @@ func (w *World) Run(n int) {
 // elapse; it reports whether the predicate was satisfied. The predicate is
 // evaluated after each cycle, including cycles in which every component was
 // quiescent, so a wake-cycle event is observed on the cycle it happens.
+// Because the predicate may read Cycle() or any other per-cycle state, the
+// event kernel never fast-forwards inside RunUntil — the predicate is a
+// monitor, and monitors observe every cycle under every kernel.
 func (w *World) RunUntil(pred func() bool, maxCycles int) bool {
 	for i := 0; i < maxCycles; i++ {
 		w.Step()

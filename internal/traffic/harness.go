@@ -89,4 +89,25 @@ func (d *sourceDriver) done() bool {
 // words has no further work.
 func (d *sourceDriver) Quiescent() bool { return d.done() }
 
+// sinkDriver drains a receive converter on behalf of the tile: one Pop
+// opportunity per cycle. A first-class component rather than a bare
+// sim.Func so the activity-tracked kernels can skip it while the buffer
+// is empty — Pop on an empty buffer is a no-op, so skipping is exact —
+// which lets a fully drained world (retired sources, empty converters)
+// quiesce end to end and the event kernel fast-forward to the end of the
+// run.
+type sinkDriver struct {
+	rx *core.RxConverter
+}
+
+// Eval implements sim.Clocked.
+func (d *sinkDriver) Eval() { d.rx.Pop() }
+
+// Commit implements sim.Clocked.
+func (d *sinkDriver) Commit() {}
+
+// Quiescent implements sim.Quiescer: nothing buffered, nothing to pop.
+func (d *sinkDriver) Quiescent() bool { return d.rx.Available() == 0 }
+
 var _ sim.Quiescer = (*sourceDriver)(nil)
+var _ sim.Quiescer = (*sinkDriver)(nil)

@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -9,15 +10,20 @@ import (
 	"repro/internal/stdcell"
 )
 
+// allKernels is the three-way equivalence set every runner-level test
+// compares across.
+var allKernels = []sim.Kernel{sim.KernelGated, sim.KernelNaive, sim.KernelEvent}
+
 // TestRunCircuitKernelEquivalence: the scenario runner must produce
-// identical results under both kernels, including with a finite word
-// budget whose exhausted sources go quiescent mid-run.
+// identical results under all three kernels, including with a finite
+// word budget whose exhausted sources go quiescent mid-run — the case
+// where the event kernel fast-forwards the drained tail of the run.
 func TestRunCircuitKernelEquivalence(t *testing.T) {
 	lib := stdcell.Default013()
 	pat := Pattern{FlipProb: 0.5, Load: 1}
 	for _, limit := range []uint64{0, 50} {
-		var results [2]Result
-		for i, k := range []sim.Kernel{sim.KernelGated, sim.KernelNaive} {
+		results := make([]Result, len(allKernels))
+		for i, k := range allKernels {
 			cfg := RunConfig{Cycles: 2000, FreqMHz: 25, Lib: lib,
 				Kernel: k, WordsPerStream: limit}
 			res, err := RunCircuit(Scenarios()[2], pat, cfg)
@@ -26,9 +32,11 @@ func TestRunCircuitKernelEquivalence(t *testing.T) {
 			}
 			results[i] = res
 		}
-		if results[0] != results[1] {
-			t.Errorf("limit %d: kernels disagree:\ngated: %+v\nnaive: %+v",
-				limit, results[0], results[1])
+		for i := 1; i < len(results); i++ {
+			if !reflect.DeepEqual(results[0], results[i]) {
+				t.Errorf("limit %d: kernels disagree:\n%v: %+v\n%v: %+v",
+					limit, allKernels[0], results[0], allKernels[i], results[i])
+			}
 		}
 	}
 }
@@ -55,8 +63,8 @@ func TestWordsPerStreamCapsSources(t *testing.T) {
 func TestRunPacketKernelEquivalence(t *testing.T) {
 	lib := stdcell.Default013()
 	pat := Pattern{FlipProb: 0.5, Load: 1}
-	var results [2]Result
-	for i, k := range []sim.Kernel{sim.KernelGated, sim.KernelNaive} {
+	results := make([]Result, len(allKernels))
+	for i, k := range allKernels {
 		cfg := RunConfig{Cycles: 1500, FreqMHz: 25, Lib: lib, Kernel: k}
 		res, err := RunPacket(Scenarios()[3], pat, cfg)
 		if err != nil {
@@ -64,8 +72,11 @@ func TestRunPacketKernelEquivalence(t *testing.T) {
 		}
 		results[i] = res
 	}
-	if results[0] != results[1] {
-		t.Errorf("kernels disagree:\ngated: %+v\nnaive: %+v", results[0], results[1])
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("kernels disagree:\n%v: %+v\n%v: %+v",
+				allKernels[0], results[0], allKernels[i], results[i])
+		}
 	}
 }
 
@@ -91,11 +102,39 @@ func TestMeasureLatencyKernelEquivalence(t *testing.T) {
 			lat{pr.Words, pr.Cycles.Mean(), pr.Jitter}
 	}
 	cg, pg := measure(sim.KernelGated)
-	cn, pn := measure(sim.KernelNaive)
-	if cg != cn {
-		t.Errorf("circuit latency disagrees: gated %+v naive %+v", cg, cn)
+	for _, k := range []sim.Kernel{sim.KernelNaive, sim.KernelEvent} {
+		ck, pk := measure(k)
+		if cg != ck {
+			t.Errorf("circuit latency disagrees: gated %+v %v %+v", cg, k, ck)
+		}
+		if pg != pk {
+			t.Errorf("packet latency disagrees: gated %+v %v %+v", pg, k, pk)
+		}
 	}
-	if pg != pn {
-		t.Errorf("packet latency disagrees: gated %+v naive %+v", pg, pn)
+}
+
+// TestWordsPerStreamPacketBoundary: on the packet fabric the word budget
+// is applied at packet boundaries — an opened wormhole packet always
+// completes (and closes with its Tail flit), so the cap rounds up to the
+// 16-word packet length rather than truncating a packet mid-flight and
+// leaking its output-VC ownership.
+func TestWordsPerStreamPacketBoundary(t *testing.T) {
+	lib := stdcell.Default013()
+	cfg := RunConfig{Cycles: 4000, FreqMHz: 25, Lib: lib, WordsPerStream: 20}
+	// Scenario III: stream 1 (Tile→East) and stream 2 (North→Tile); only
+	// the latter is observable end to end at the tile ejection port.
+	res, err := RunPacket(Scenarios()[2], Pattern{FlipProb: 0.5, Load: 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 words round up to 2 full packets of PacketWordsPerPacket each.
+	perStream := uint64(2 * PacketWordsPerPacket)
+	if want := 2 * perStream; res.WordsSent != want {
+		t.Fatalf("WordsSent = %d, want %d (budget rounded to packet boundary)",
+			res.WordsSent, want)
+	}
+	if res.WordsDelivered != perStream {
+		t.Fatalf("delivered %d, want %d: stream 2's final packet did not drain",
+			res.WordsDelivered, perStream)
 	}
 }

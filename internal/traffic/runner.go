@@ -40,8 +40,13 @@ type RunConfig struct {
 	Kernel sim.Kernel
 	// WordsPerStream caps each stream source's emitted words; 0 means
 	// unlimited (the paper's open-loop scenarios). With a cap, exhausted
-	// sources go quiescent and the gated kernel retires them.
+	// sources go quiescent, the gated kernel retires them, and the event
+	// kernel fast-forwards the drained tail of the run.
 	WordsPerStream uint64
+	// Observe, when non-nil, receives the simulation world after the run
+	// completes — kernel diagnostics (fast-forward windows, per-component
+	// activity) for tests and benchmarks. It must not mutate the world.
+	Observe func(*sim.World)
 }
 
 // DefaultRunConfig mirrors the paper's power-estimation setup: 5000 cycles
@@ -91,6 +96,9 @@ func (c RunConfig) psParams() packetsw.Params {
 type Result struct {
 	// Power is the three-bucket estimate.
 	Power power.Breakdown
+	// Attribution is the dynamic power split by activity class, in the
+	// meter's deterministic (sorted) order; it sums to Power.DynamicUW().
+	Attribution []power.AttributionEntry
 	// WordsSent is the total number of data words offered by all streams.
 	WordsSent uint64
 	// WordsDelivered counts words that completed their path (only streams
@@ -140,14 +148,14 @@ func RunCircuit(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 		sources = append(sources, src)
 		cw.W.Add(&sourceDriver{src: src, tx: tx, limit: cfg.WordsPerStream})
 		if st.Out == core.Tile {
-			rx := a.Rx[lane]
-			cw.W.Add(&sim.Func{OnEval: func() {
-				rx.Pop()
-			}})
+			cw.W.Add(&sinkDriver{rx: a.Rx[lane]})
 		}
 	}
 
 	cw.W.Run(cfg.Cycles)
+	if cfg.Observe != nil {
+		cfg.Observe(cw.W)
+	}
 
 	for _, s := range sources {
 		res.WordsSent += s.Sent()
@@ -156,6 +164,7 @@ func RunCircuit(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 		res.WordsDelivered += rx.Received()
 	}
 	res.Power = meter.Report("circuit switched / scenario " + sc.Name)
+	res.Attribution = meter.AttributionSorted()
 	return res, nil
 }
 
@@ -197,7 +206,7 @@ func RunPacket(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 		sources = append(sources, src)
 		gen := &packetGen{
 			src: src, vc: vc, dst: st.Out,
-			period: wordPeriod,
+			period: wordPeriod, limit: cfg.WordsPerStream,
 		}
 		if st.In == core.Tile {
 			w.Add(&sim.Func{OnEval: func() {
@@ -231,12 +240,16 @@ func RunPacket(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 	}})
 
 	w.Run(cfg.Cycles)
+	if cfg.Observe != nil {
+		cfg.Observe(w)
+	}
 
 	for _, s := range sources {
 		res.WordsSent += s.Sent()
 	}
 	res.WordsDelivered = delivered
 	res.Power = meter.Report("packet switched / scenario " + sc.Name)
+	res.Attribution = meter.AttributionSorted()
 	return res, nil
 }
 
@@ -248,6 +261,7 @@ type packetGen struct {
 	vc     int
 	dst    core.Port
 	period int
+	limit  uint64 // emitted-word budget; 0 = unlimited
 
 	cycle     int
 	inPacket  int // payload words emitted in the current packet
@@ -269,6 +283,15 @@ func (g *packetGen) next() (packetsw.Flit, bool) {
 		return f, true
 	}
 	if g.cycle%g.period != 0 {
+		return packetsw.Flit{}, false
+	}
+	// A retired source (word budget exhausted) stops drawing from the
+	// load gate, mirroring the circuit runner's sourceDriver. The budget
+	// is applied at packet boundaries only: a packet already opened is
+	// completed (rounding the cap up to the packet length), because a
+	// wormhole packet without its Tail flit would hold its output VC's
+	// ownership in every router on the path forever.
+	if g.limit > 0 && g.inPacket == 0 && g.src.Sent() >= g.limit {
 		return packetsw.Flit{}, false
 	}
 	word, ok := g.src.Offer()

@@ -52,7 +52,8 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
 		Lib: f.cfg.mustLib(), Gated: f.cfg.gated,
 		Params: f.cfg.coreParams(), Seed: sc.Seed,
-		Kernel: f.cfg.simKernel(),
+		Kernel:         f.cfg.simKernel(),
+		WordsPerStream: sc.WordsPerStream,
 	}
 	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
 	tr, err := traffic.RunCircuit(sc.trafficScenario(), pat, rc)
@@ -68,6 +69,7 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 		WordsDelivered: tr.WordsDelivered,
 		ThroughputMbps: stats.Rate(tr.WordsDelivered, wordBits, uint64(sc.Cycles), sc.FreqMHz),
 		Power:          powerFrom(tr.Power),
+		PerComponent:   attributionComponents(tr.Attribution, tr.Power.StaticUW),
 	}
 	if n := f.cfg.latencySamples(); n > 0 && len(sc.Streams) > 0 {
 		lr, err := traffic.MeasureCircuitLatency(f.cfg.resolvedCoreParams(), sc.Pattern.Load, n,

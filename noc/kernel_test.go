@@ -23,34 +23,48 @@ func kernelCases() []kernelCase {
 	}
 }
 
-// TestKernelEquivalenceScenarios: the activity-tracked kernel must produce
-// byte-identical Result JSON to the naive kernel on every paper scenario,
-// every fabric, with and without the clock-gating ablation — the contract
-// the CI gated-vs-naive byte-compare enforces end to end.
+// allKernels is the three-way equivalence set: the gated kernel is the
+// reference, and both the naive and the event kernel must match it byte
+// for byte.
+var allKernels = []Kernel{KernelGated, KernelNaive, KernelEvent}
+
+// TestKernelEquivalenceScenarios: the activity-tracked kernels must
+// produce byte-identical Result JSON to the naive kernel on every paper
+// scenario, every fabric, with and without the clock-gating ablation —
+// the contract the CI naive/gated/event byte-compare enforces end to
+// end. A finite variant (WordsPerStream) adds the retired-source case,
+// where the event kernel fast-forwards the drained tail of the run.
 func TestKernelEquivalenceScenarios(t *testing.T) {
-	for _, sc := range PaperScenarios() {
+	scenarios := PaperScenarios()
+	finite, err := PaperScenario("IV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finite.Name = "IV-finite"
+	finite.WordsPerStream = 60
+	scenarios = append(scenarios, finite)
+	for _, sc := range scenarios {
 		sc := sc
 		sc.Cycles = 1500 // full-length runs belong to nocbench
 		for _, c := range kernelCases() {
-			gated, err := c.build(KernelGated).Run(sc)
-			if err != nil {
-				t.Fatalf("%s/%s gated: %v", c.name, sc.Name, err)
-			}
-			naive, err := c.build(KernelNaive).Run(sc)
-			if err != nil {
-				t.Fatalf("%s/%s naive: %v", c.name, sc.Name, err)
-			}
-			gb, err := json.Marshal(gated)
-			if err != nil {
-				t.Fatal(err)
-			}
-			nb, err := json.Marshal(naive)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(gb, nb) {
-				t.Errorf("%s / scenario %s: kernels disagree\ngated: %s\nnaive: %s",
-					c.name, sc.Name, gb, nb)
+			var ref []byte
+			for _, k := range allKernels {
+				res, err := c.build(k).Run(sc)
+				if err != nil {
+					t.Fatalf("%s/%s %s: %v", c.name, sc.Name, k, err)
+				}
+				b, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = b
+					continue
+				}
+				if !bytes.Equal(ref, b) {
+					t.Errorf("%s / scenario %s: kernels disagree\n%s: %s\n%s: %s",
+						c.name, sc.Name, allKernels[0], ref, k, b)
+				}
 			}
 		}
 	}
@@ -66,8 +80,8 @@ func TestKernelEquivalenceWorkload(t *testing.T) {
 		Workloads: []string{"drm"},
 		Cycles:    2500,
 	}
-	var out [2][]byte
-	for i, k := range []Kernel{KernelGated, KernelNaive} {
+	out := make([][]byte, len(allKernels))
+	for i, k := range allKernels {
 		res, err := CircuitSwitched(WithKernel(k)).Run(sc)
 		if err != nil {
 			t.Fatalf("%v: %v", k, err)
@@ -78,8 +92,11 @@ func TestKernelEquivalenceWorkload(t *testing.T) {
 		}
 		out[i] = b
 	}
-	if !bytes.Equal(out[0], out[1]) {
-		t.Errorf("workload results diverge\ngated: %s\nnaive: %s", out[0], out[1])
+	for i := 1; i < len(out); i++ {
+		if !bytes.Equal(out[0], out[i]) {
+			t.Errorf("workload results diverge\n%s: %s\n%s: %s",
+				allKernels[0], out[0], allKernels[i], out[i])
+		}
 	}
 }
 
@@ -116,10 +133,57 @@ func TestParseKernel(t *testing.T) {
 	if k, err := ParseKernel("naive"); err != nil || k != KernelNaive {
 		t.Fatalf("ParseKernel(naive) = %v, %v", k, err)
 	}
+	if k, err := ParseKernel("event"); err != nil || k != KernelEvent {
+		t.Fatalf("ParseKernel(event) = %v, %v", k, err)
+	}
 	if _, err := ParseKernel("warp"); err == nil {
 		t.Fatal("ParseKernel accepted an unknown kernel")
 	}
 	if err := CircuitSwitched(WithKernel("warp")).Validate(); err == nil {
 		t.Fatal("Validate accepted an unknown kernel option")
+	}
+}
+
+// TestPerComponentPowerSums: the per-component attribution of every
+// fabric — activity classes for single-router runs, per-router meters
+// for workload runs — must sum (within float tolerance) to the
+// assembly-level total, and be deterministically ordered.
+func TestPerComponentPowerSums(t *testing.T) {
+	sc, err := PaperScenario("IV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Cycles = 1500
+	runs := []struct {
+		name string
+		f    Fabric
+		sc   Scenario
+	}{
+		{"circuit", CircuitSwitched(), sc},
+		{"circuit-gated", CircuitSwitched(WithClockGating(true)), sc},
+		{"packet", PacketSwitched(), sc},
+		{"tdm", AetherealTDM(), sc},
+		{"workload", CircuitSwitched(), Scenario{
+			Name: "wl", Workloads: []string{"drm"}, Cycles: 2000}},
+	}
+	for _, r := range runs {
+		res, err := r.f.Run(r.sc)
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if len(res.PerComponent) == 0 {
+			t.Fatalf("%s: no per-component attribution", r.name)
+		}
+		var sum float64
+		for _, c := range res.PerComponent {
+			if c.TotalUW != c.StaticUW+c.DynamicUW {
+				t.Errorf("%s/%s: total %v != static %v + dynamic %v",
+					r.name, c.Component, c.TotalUW, c.StaticUW, c.DynamicUW)
+			}
+			sum += c.TotalUW
+		}
+		if tot := res.Power.TotalUW; sum < tot*(1-1e-9) || sum > tot*(1+1e-9) {
+			t.Errorf("%s: per-component sum %v != assembly total %v", r.name, sum, tot)
+		}
 	}
 }

@@ -22,6 +22,13 @@ const (
 	// KernelNaive evaluates every component every cycle. It exists for
 	// verification (the CI byte-compare) and benchmarking the speedup.
 	KernelNaive Kernel = "naive"
+	// KernelEvent is the event-driven scheduler: per cycle it matches the
+	// gated kernel, and additionally fast-forwards whole windows in which
+	// every component is quiescent — retired finite workloads, the dead
+	// time between scheduled BE bursts — replaying idle bookkeeping in
+	// O(components) instead of O(components·cycles). Results stay
+	// byte-identical to both other kernels.
+	KernelEvent Kernel = "event"
 )
 
 // ParseKernel resolves a kernel name; the empty string means the default
@@ -32,8 +39,11 @@ func ParseKernel(s string) (Kernel, error) {
 		return KernelGated, nil
 	case KernelNaive:
 		return KernelNaive, nil
+	case KernelEvent:
+		return KernelEvent, nil
 	default:
-		return "", fmt.Errorf("noc: unknown kernel %q (have %s, %s)", s, KernelGated, KernelNaive)
+		return "", fmt.Errorf("noc: unknown kernel %q (have %s, %s, %s)",
+			s, KernelGated, KernelNaive, KernelEvent)
 	}
 }
 
@@ -114,9 +124,11 @@ func WithLatencyWords(n int) Option { return func(c *config) { c.latencyWords = 
 func WithNodeTrace(cycles int) Option { return func(c *config) { c.traceCycles = cycles } }
 
 // WithKernel selects the simulation kernel (default KernelGated). Results
-// are byte-identical under both kernels; the gated kernel is simply
-// faster the sparser the traffic, so there is rarely a reason to change
-// this outside verification and benchmarking.
+// are byte-identical under all kernels; they differ only in speed. The
+// gated kernel skips quiescent components cycle by cycle; the event
+// kernel additionally fast-forwards fully idle windows, which pays on
+// finite workloads (WordsPerStream) and sparse scheduled bursts. The
+// naive kernel evaluates everything and exists for verification.
 func WithKernel(k Kernel) Option { return func(c *config) { c.kernel = k } }
 
 // defaultLatencyWords is the latency sample count when unset.
@@ -241,10 +253,14 @@ func (c config) latencySamples() int {
 // simKernel maps the facade's kernel choice onto the kernel type the
 // internal simulation worlds take.
 func (c config) simKernel() sim.Kernel {
-	if c.kernel == KernelNaive {
+	switch c.kernel {
+	case KernelNaive:
 		return sim.KernelNaive
+	case KernelEvent:
+		return sim.KernelEvent
+	default:
+		return sim.KernelGated
 	}
-	return sim.KernelGated
 }
 
 // resolvedCoreParams returns the circuit-switched geometry the fabric

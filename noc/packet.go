@@ -43,6 +43,7 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
 		Lib: f.cfg.mustLib(), PSParams: f.cfg.psParams(),
 		Seed: sc.Seed, Kernel: f.cfg.simKernel(),
+		WordsPerStream: sc.WordsPerStream,
 	}
 	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
 	tr, err := traffic.RunPacket(sc.trafficScenario(), pat, rc)
@@ -58,6 +59,7 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 		WordsDelivered: tr.WordsDelivered,
 		ThroughputMbps: stats.Rate(tr.WordsDelivered, wordBits, uint64(sc.Cycles), sc.FreqMHz),
 		Power:          powerFrom(tr.Power),
+		PerComponent:   attributionComponents(tr.Attribution, tr.Power.StaticUW),
 	}
 	if n := f.cfg.latencySamples(); n > 0 && len(sc.Streams) > 0 {
 		// With several streams converging on one output port the

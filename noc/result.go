@@ -2,6 +2,7 @@ package noc
 
 import (
 	"encoding/json"
+	"fmt"
 
 	"repro/internal/power"
 	"repro/internal/stats"
@@ -33,6 +34,61 @@ func powerFrom(b power.Breakdown) *Power {
 		TotalUW:         b.TotalUW(),
 		DynamicUWPerMHz: b.DynamicPerMHz(),
 	}
+}
+
+// ComponentPower is one entry of a Result's per-component power
+// attribution. For single-router runs the components are the meter's
+// activity classes (the clock network, register/gate/link/buffer-bit
+// toggles, leakage); for mesh workload runs they are the individual
+// routers, each with its own meter fed by its own activity. In both
+// cases the entries' TotalUW sums (within float tolerance) to the
+// assembly-level Power.TotalUW.
+type ComponentPower struct {
+	// Component names the entry: an activity class ("clock",
+	// "register", "leakage", ...) or a mesh node ("node(1,2)").
+	Component string `json:"component"`
+	// StaticUW is the entry's leakage share in µW.
+	StaticUW float64 `json:"static_uw"`
+	// DynamicUW is the entry's dynamic power in µW.
+	DynamicUW float64 `json:"dynamic_uw"`
+	// TotalUW is the entry's total power in µW.
+	TotalUW float64 `json:"total_uw"`
+}
+
+// attributionComponents converts a meter's class attribution plus the
+// design's leakage into the per-component form. The attribution slice is
+// already deterministically ordered (sorted by class); leakage goes
+// last, keeping classes grouped.
+func attributionComponents(att []power.AttributionEntry, staticUW float64) []ComponentPower {
+	out := make([]ComponentPower, 0, len(att)+1)
+	for _, e := range att {
+		out = append(out, ComponentPower{
+			Component: e.Class,
+			DynamicUW: e.UW,
+			TotalUW:   e.UW,
+		})
+	}
+	out = append(out, ComponentPower{
+		Component: "leakage",
+		StaticUW:  staticUW,
+		TotalUW:   staticUW,
+	})
+	return out
+}
+
+// nodeComponents converts per-node breakdowns (row-major over a W×H
+// mesh) into the per-component form.
+func nodeComponents(nodes []power.Breakdown, w int) []ComponentPower {
+	out := make([]ComponentPower, 0, len(nodes))
+	for i, b := range nodes {
+		out = append(out, ComponentPower{
+			Component: fmt.Sprintf("node(%d,%d)", i%w, i/w),
+			StaticUW:  b.StaticUW,
+			DynamicUW: b.DynamicUW(),
+			TotalUW:   b.TotalUW(),
+		})
+	}
+	return out
 }
 
 // Latency summarizes the word-delivery latency distribution of a run, in
@@ -120,6 +176,11 @@ type Result struct {
 	// Power is the three-bucket estimate (nil when the run measured
 	// nothing, which does not happen for the built-in fabrics).
 	Power *Power `json:"power,omitempty"`
+	// PerComponent attributes the run's power below the assembly level:
+	// per activity class for single-router runs, per router for mesh
+	// workload runs. Entries are deterministically ordered and their
+	// totals sum (within float tolerance) to Power.TotalUW.
+	PerComponent []ComponentPower `json:"per_component,omitempty"`
 	// Latency is the word-delivery latency distribution; nil when the
 	// scenario has no observable stream or latency was disabled. The
 	// TDM fabric measures it in-run; the circuit- and packet-switched

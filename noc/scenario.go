@@ -116,6 +116,18 @@ type Scenario struct {
 	// deterministic seed derived from the spec seed and the cell index,
 	// so sweep results are reproducible regardless of scheduling.
 	Seed uint64 `json:"seed,omitempty"`
+	// WordsPerStream caps the words each stream source emits; 0 means
+	// unlimited (the paper's open-loop scenarios). With a cap the run is
+	// a finite workload: sources retire once their budget is spent and
+	// the network drains. Applies to single-router scenarios on all
+	// three fabrics (the packet fabric rounds the cap up to its 16-word
+	// packet boundary, since a wormhole packet must close with its Tail
+	// flit); on the circuit fabric the event kernel additionally
+	// fast-forwards the drained tail of the run — the packet and TDM
+	// runners keep every-cycle stimulus components, which by the monitor
+	// contract disable fast-forward. Ignored by workload runs, whose
+	// channels are rate-driven.
+	WordsPerStream uint64 `json:"words_per_stream,omitempty"`
 }
 
 // IsWorkload reports whether the scenario is a mesh workload run.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"repro/internal/sweep"
 )
@@ -108,8 +109,16 @@ func (fs FabricSpec) Fabric() (Fabric, error) {
 // identifiable in results.
 type Grid struct {
 	// Scenarios names the base single-router scenarios ("I".."IV");
-	// empty means all four.
+	// empty means all four. Mutually exclusive with Workloads.
 	Scenarios []string `json:"scenarios,omitempty"`
+	// Workloads switches the grid to mesh workload scenarios: each
+	// entry is a comma-separated application list mapped concurrently
+	// (e.g. "hiperlan2,umts,drm") and becomes one base scenario.
+	Workloads []string `json:"workloads,omitempty"`
+	// MeshSizes sweeps the workload mesh as N×N placements — the
+	// large-mesh axis the event kernel's fast-forward makes affordable.
+	// Requires Workloads.
+	MeshSizes []int `json:"mesh_sizes,omitempty"`
 	// FreqsMHz sweeps the network clock.
 	FreqsMHz []float64 `json:"freqs_mhz,omitempty"`
 	// Loads sweeps the offered load fraction.
@@ -120,10 +129,31 @@ type Grid struct {
 	Cycles []int `json:"cycles,omitempty"`
 }
 
-// expand materializes the grid into concrete scenarios in a fixed
-// order: scenario-major, then frequency, load, flip probability and
-// cycle count.
-func (g Grid) expand() ([]Scenario, error) {
+// bases returns the grid's base scenarios: the named paper scenarios,
+// or one workload scenario per Workloads entry.
+func (g Grid) bases() ([]Scenario, error) {
+	if len(g.Workloads) > 0 {
+		if len(g.Scenarios) > 0 {
+			return nil, fmt.Errorf("noc: sweep: grid scenarios and workloads are mutually exclusive")
+		}
+		var out []Scenario
+		for _, entry := range g.Workloads {
+			var apps []string
+			for _, a := range strings.Split(entry, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					apps = append(apps, a)
+				}
+			}
+			if len(apps) == 0 {
+				return nil, fmt.Errorf("noc: sweep: empty workload entry %q", entry)
+			}
+			out = append(out, Scenario{Name: "wl:" + entry, Workloads: apps})
+		}
+		return out, nil
+	}
+	if len(g.MeshSizes) > 0 {
+		return nil, fmt.Errorf("noc: sweep: mesh_sizes requires workloads")
+	}
 	names := g.Scenarios
 	if len(names) == 0 {
 		names = []string{"I", "II", "III", "IV"}
@@ -134,7 +164,25 @@ func (g Grid) expand() ([]Scenario, error) {
 		if err != nil {
 			return nil, err
 		}
+		out = append(out, base)
+	}
+	return out, nil
+}
+
+// expand materializes the grid into concrete scenarios in a fixed
+// order: scenario-major, then mesh size, frequency, load, flip
+// probability and cycle count.
+func (g Grid) expand() ([]Scenario, error) {
+	bases, err := g.bases()
+	if err != nil {
+		return nil, err
+	}
+	var out []Scenario
+	for _, base := range bases {
 		scs := []Scenario{base}
+		scs = expandIntAxis(scs, g.MeshSizes, "mesh", func(sc *Scenario, v int) {
+			sc.MeshWidth, sc.MeshHeight = v, v
+		})
 		scs = expandAxis(scs, g.FreqsMHz, "f", func(sc *Scenario, v float64) {
 			sc.FreqMHz = v
 		})
@@ -430,7 +478,22 @@ var sweepCSVHeader = []string{
 	"index", "fabric", "scenario", "freq_mhz", "cycles", "load",
 	"flip_prob", "seed", "words_sent", "words_delivered",
 	"throughput_mbps", "power_total_uw", "power_dynamic_uw_per_mhz",
-	"latency_mean_cycles", "latency_jitter_cycles", "error",
+	"power_components", "latency_mean_cycles", "latency_jitter_cycles",
+	"error",
+}
+
+// componentsCSV flattens the per-component attribution into one cell:
+// "name=totalUW" pairs joined by "|". The attribution slice is already
+// deterministically ordered, so the cell is byte-identical run to run.
+func componentsCSV(cs []ComponentPower, ff func(float64) string) string {
+	if len(cs) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(cs))
+	for _, c := range cs {
+		parts = append(parts, c.Component+"="+ff(c.TotalUW))
+	}
+	return strings.Join(parts, "|")
 }
 
 // SweepCSV executes the spec and writes one CSV row per cell, in Index
@@ -445,7 +508,7 @@ func SweepCSV(ctx context.Context, spec SweepSpec, w io.Writer) error {
 		sc := c.Scenario.withDefaults()
 		// Columns appended in sweepCSVHeader order; absent measurements
 		// stay blank.
-		var sent, delivered, tput, totalUW, dynUW, meanLat, jitter string
+		var sent, delivered, tput, totalUW, dynUW, comps, meanLat, jitter string
 		if r := c.Result; r != nil {
 			sent = strconv.FormatUint(r.WordsSent, 10)
 			delivered = strconv.FormatUint(r.WordsDelivered, 10)
@@ -454,6 +517,7 @@ func SweepCSV(ctx context.Context, spec SweepSpec, w io.Writer) error {
 				totalUW = ff(r.Power.TotalUW)
 				dynUW = ff(r.Power.DynamicUWPerMHz)
 			}
+			comps = componentsCSV(r.PerComponent, ff)
 			if r.Latency != nil {
 				meanLat = ff(r.Latency.MeanCycles)
 				jitter = ff(r.Latency.JitterCycles)
@@ -473,6 +537,7 @@ func SweepCSV(ctx context.Context, spec SweepSpec, w io.Writer) error {
 			tput,
 			totalUW,
 			dynUW,
+			comps,
 			meanLat,
 			jitter,
 			c.Error,

@@ -3,6 +3,7 @@ package noc
 import (
 	"bytes"
 	"context"
+	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"strings"
@@ -325,5 +326,103 @@ func TestFabricSpecRoundTrip(t *testing.T) {
 		if _, err := back.Fabric(); err != nil {
 			t.Errorf("%s: JSON round trip broke the spec: %v", fs.Kind, err)
 		}
+	}
+}
+
+// TestSweepGridWorkloadMeshAxis: the workload/mesh-size grid axes expand
+// into runnable CCN placement scenarios, and the invalid combinations
+// fail validation loudly.
+func TestSweepGridWorkloadMeshAxis(t *testing.T) {
+	spec := SweepSpec{
+		Fabrics: []FabricSpec{{Kind: KindCircuit}},
+		Grid: &Grid{
+			Workloads: []string{"drm", "hiperlan2,drm"},
+			MeshSizes: []int{4, 8},
+			Cycles:    []int{500},
+		},
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4 (2 workload entries x 2 mesh sizes)", len(cells))
+	}
+	first := cells[0].Scenario
+	if first.Name != "wl:drm/mesh=4/cycles=500" {
+		t.Errorf("cell 0 name = %q", first.Name)
+	}
+	if first.MeshWidth != 4 || first.MeshHeight != 4 || !first.IsWorkload() {
+		t.Errorf("cell 0 not a 4x4 workload scenario: %+v", first)
+	}
+	if got := cells[3].Scenario; got.MeshWidth != 8 || len(got.Workloads) != 2 {
+		t.Errorf("cell 3 parameters not applied: %+v", got)
+	}
+	// The expanded scenarios actually run and carry per-node attribution.
+	out, err := SweepAll(context.Background(), SweepSpec{
+		Fabrics: []FabricSpec{{Kind: KindCircuit}},
+		Grid:    &Grid{Workloads: []string{"drm"}, MeshSizes: []int{4}, Cycles: []int{500}},
+		Kernel:  "event",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Error != "" || out[0].Result == nil {
+		t.Fatalf("workload cell did not run: %+v", out[0])
+	}
+	if got := len(out[0].Result.PerComponent); got != 16 {
+		t.Fatalf("per-component entries = %d, want 16 (one per node)", got)
+	}
+
+	// mesh_sizes without workloads is rejected.
+	bad := SweepSpec{Grid: &Grid{MeshSizes: []int{8}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mesh_sizes without workloads accepted")
+	}
+	// scenarios and workloads are mutually exclusive.
+	bad = SweepSpec{Grid: &Grid{Scenarios: []string{"I"}, Workloads: []string{"drm"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("grid scenarios+workloads accepted")
+	}
+	// An unknown application name fails at validation, not at run time.
+	bad = SweepSpec{Grid: &Grid{Workloads: []string{"quantum"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestSweepCSVPerComponentColumn: the flattened attribution column is
+// present, populated and deterministic.
+func TestSweepCSVPerComponentColumn(t *testing.T) {
+	spec := SweepSpec{
+		Fabrics:   []FabricSpec{{Kind: KindCircuit}},
+		Scenarios: []Scenario{{Name: "II", Streams: PaperStreams()[:1], Cycles: 300}},
+	}
+	var a, b bytes.Buffer
+	if err := SweepCSV(context.Background(), spec, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := SweepCSV(context.Background(), spec, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("CSV output not deterministic across runs")
+	}
+	rows, err := csv.NewReader(&a).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := -1
+	for i, h := range rows[0] {
+		if h == "power_components" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("power_components column missing: %v", rows[0])
+	}
+	cell := rows[1][col]
+	if !strings.Contains(cell, "clock=") || !strings.Contains(cell, "leakage=") {
+		t.Fatalf("attribution cell malformed: %q", cell)
 	}
 }

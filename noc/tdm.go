@@ -158,8 +158,11 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 				meter.AddToggles(power.ToggleGate, toggleBits)
 				meter.AddToggles(power.ToggleLink, toggleBits)
 			}
-			// Offer words at the lane rate, gated by the load knob.
-			if w.Cycle()%wordPeriod == 0 {
+			// Offer words at the lane rate, gated by the load knob. A
+			// retired source (word budget exhausted) stops drawing from
+			// the load gate, mirroring the other fabrics' runners.
+			if w.Cycle()%wordPeriod == 0 &&
+				(sc.WordsPerStream == 0 || src.Sent() < sc.WordsPerStream) {
 				if word, ok := src.Offer(); ok {
 					queue = append(queue, pending{word: uint32(word.Data), cycle: w.Cycle()})
 				}
@@ -181,6 +184,7 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 
 	w.Run(sc.Cycles)
 
+	breakdown := meter.Report("aethereal / scenario " + sc.Name)
 	res := &Result{
 		Fabric:         KindTDM,
 		Scenario:       sc.Name,
@@ -188,7 +192,8 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 		Cycles:         sc.Cycles,
 		WordsDelivered: delivered,
 		ThroughputMbps: stats.Rate(delivered, wordBits, uint64(sc.Cycles), sc.FreqMHz),
-		Power:          powerFrom(meter.Report("aethereal / scenario " + sc.Name)),
+		Power:          powerFrom(breakdown),
+		PerComponent:   attributionComponents(meter.AttributionSorted(), breakdown.StaticUW),
 		Latency:        latencyFrom(lat),
 	}
 	for _, s := range sources {

@@ -186,6 +186,10 @@ func runCircuitWorkload(cfg config, sc Scenario) (*Result, error) {
 	res.ThroughputMbps = stats.Rate(res.WordsDelivered, wordBits, uint64(sc.Cycles), sc.FreqMHz)
 	res.LinkUtilization = mgr.LinkUtilization()
 	res.Power = powerFrom(dom.Report("mesh " + sc.Name))
+	// Per-router attribution: every node has its own meter, fed by its
+	// own activity — idle routers show up as clock+leakage only, the
+	// paper's clock-gating argument made visible per router.
+	res.PerComponent = nodeComponents(dom.PerNode("mesh "+sc.Name), sc.MeshWidth)
 
 	if rec != nil {
 		var buf bytes.Buffer
