@@ -15,6 +15,7 @@
 //	nocbench -sweep spec.json -csv same, as CSV
 //	nocbench -sweep spec.json -workers 4
 //	nocbench -sweep spec.json -kernel naive
+//	nocbench -pattern hotspot:0.7 -inject poisson:0.05 -mesh 16
 //	nocbench -run fig9 -cpuprofile cpu.pprof
 //
 // A sweep spec is a JSON-encoded noc.SweepSpec: a set of fabrics crossed
@@ -23,13 +24,22 @@
 // them in deterministic order, so the output is byte-identical for any
 // worker count.
 //
-// -kernel selects the simulation kernel of a -sweep: "gated" (the
-// activity-tracked default), "naive" (evaluate everything) or "event"
-// (timer-wheel scheduling: fully quiescent windows are fast-forwarded).
+// -pattern runs a synthetic traffic pattern on all three fabrics:
+// a spatial pattern name ("uniform", "transpose", "bitcomp", "bitrev",
+// "hotspot[:frac]", "neighbour", "perm") optionally combined with
+// -inject "process:rate[:burstiness]" ("cbr", "bernoulli", "poisson",
+// "onoff") and -mesh N for an N×N mesh (default 8). The circuit fabric
+// simulates the whole mesh; the packet and TDM fabrics are driven with
+// the pattern's projection onto the mesh-centre router. Output is one
+// JSON result per fabric.
+//
+// -kernel selects the simulation kernel of a -sweep or -pattern run:
+// "event" (the default: fully quiescent windows are fast-forwarded),
+// "gated" (activity tracking only) or "naive" (evaluate everything).
 // Results are byte-identical under all three — the CI equivalence job
 // runs the same sweep under each and byte-compares. The experiments
-// (-run/-parallel) always use the gated default, so the flag is
-// rejected without -sweep rather than silently ignored.
+// (-run/-parallel) always use the default, so the flag is rejected
+// without -sweep or -pattern rather than silently ignored.
 //
 // -cpuprofile / -memprofile write pprof profiles covering the whole run
 // (flushed on errors and Ctrl-C too), so kernel work is measurable
@@ -71,7 +81,11 @@ func run() (err error) {
 	workers := flag.Int("workers", 0, "worker pool size for -sweep and -parallel (default GOMAXPROCS)")
 	parallel := flag.Bool("parallel", false, "measure experiments on all cores (text output unchanged)")
 	csvOut := flag.Bool("csv", false, "with -sweep: emit CSV instead of JSON")
-	kernel := flag.String("kernel", "", `with -sweep: simulation kernel, "gated" (default), "naive" or "event"`)
+	kernel := flag.String("kernel", "", `with -sweep/-pattern: simulation kernel, "event" (default), "gated" or "naive"`)
+	patternName := flag.String("pattern", "", `run a synthetic traffic pattern on all three fabrics (e.g. "uniform", "hotspot:0.7")`)
+	inject := flag.String("inject", "", `with -pattern: injection process as "process:rate[:burstiness]" (e.g. "poisson:0.05", "onoff:0.1:8")`)
+	meshSize := flag.Int("mesh", 0, "with -pattern: mesh size N for an NxN mesh (default 8)")
+	cycles := flag.Int("cycles", 0, "with -pattern: simulated cycles (default 5000)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -79,8 +93,11 @@ func run() (err error) {
 	if _, kerr := noc.ParseKernel(*kernel); kerr != nil {
 		return kerr
 	}
-	if *kernel != "" && *sweepFile == "" {
-		return fmt.Errorf("-kernel only applies to -sweep runs (experiments always use the gated default)")
+	if *kernel != "" && *sweepFile == "" && *patternName == "" {
+		return fmt.Errorf("-kernel only applies to -sweep and -pattern runs (experiments always use the default)")
+	}
+	if (*inject != "" || *meshSize != 0 || *cycles != 0) && *patternName == "" {
+		return fmt.Errorf("-inject, -mesh and -cycles only apply to -pattern runs")
 	}
 
 	if *cpuProfile != "" {
@@ -122,6 +139,9 @@ func run() (err error) {
 
 	if *sweepFile != "" {
 		return runSweep(w, *sweepFile, *workers, *csvOut, *kernel)
+	}
+	if *patternName != "" {
+		return runPattern(w, *patternName, *inject, *meshSize, *cycles, *kernel)
 	}
 
 	var ids []string
@@ -182,6 +202,55 @@ func writeHeapProfile(path string) error {
 	defer f.Close()
 	runtime.GC()
 	return pprof.WriteHeapProfile(f)
+}
+
+// runPattern executes one synthetic-pattern scenario on all three
+// fabrics and emits one JSON result per fabric.
+func runPattern(w io.Writer, name, inject string, meshSize, cycles int, kernel string) error {
+	sc := noc.Scenario{Name: "pattern:" + name, Pattern: name}
+	if inject != "" {
+		inj, err := noc.ParseInjection(inject)
+		if err != nil {
+			return err
+		}
+		sc.Injection = &inj
+	}
+	if meshSize != 0 {
+		sc.MeshWidth, sc.MeshHeight = meshSize, meshSize
+	}
+	sc.Cycles = cycles
+	k, err := noc.ParseKernel(kernel)
+	if err != nil {
+		return err
+	}
+	sim, err := noc.NewSimulator(
+		noc.CircuitSwitched(noc.WithKernel(k)),
+		noc.PacketSwitched(noc.WithKernel(k)),
+		noc.AetherealTDM(noc.WithKernel(k)),
+	)
+	if err != nil {
+		return err
+	}
+	results, err := sim.Run(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "[")
+	for i, r := range results {
+		b, err := r.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		if i < len(results)-1 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "]")
+	return nil
 }
 
 // runSweep loads a noc.SweepSpec from the file and streams the cells to

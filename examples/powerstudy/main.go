@@ -45,7 +45,7 @@ func main() {
 	scIV.Cycles = 4000
 	for _, flips := range []float64{0, 0.5, 1} {
 		sc := scIV
-		sc.Pattern = noc.Pattern{FlipProb: flips, Load: 1}
+		sc.Data = noc.Pattern{FlipProb: flips, Load: 1}
 		r, err := cs.Run(sc)
 		if err != nil {
 			panic(err)

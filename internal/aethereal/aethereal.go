@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/netlist"
+	"repro/internal/power"
 	"repro/internal/stdcell"
 )
 
@@ -101,6 +102,18 @@ func (t *SlotTable) Reserve(s, in, out int) error {
 // Entry returns the input reserved for output out in slot s, or NoInput.
 func (t *SlotTable) Entry(s, out int) int { return t.slots[s][out] }
 
+// InputBusy reports whether the input already feeds some output in the
+// slot — the no-multicast invariant of the functional model, which
+// reservation builders must respect.
+func (t *SlotTable) InputBusy(s, in int) bool {
+	for _, booked := range t.slots[s] {
+		if booked == in {
+			return true
+		}
+	}
+	return false
+}
+
 // ReservedSlots returns how many of the table's slots reserve the given
 // output for the given input — the GT bandwidth share allocated to that
 // connection (share = ReservedSlots/Slots of the link bandwidth).
@@ -166,6 +179,8 @@ type Router struct {
 	beFIFOs [][]beWord // per output port
 	beRR    int
 
+	meter *power.Meter
+
 	gtForwarded uint64
 	beForwarded uint64
 
@@ -199,6 +214,15 @@ func (r *Router) ConnectIn(i int, data *uint32, valid *bool) {
 	r.in[i] = data
 	r.inValid[i] = valid
 }
+
+// BindMeter attaches a power meter whose clock network the router ticks
+// itself: once per Commit, once per IdleTick, and in one run-length
+// batch per IdleWindow. Folding the tick into the router (instead of an
+// every-cycle monitor Func) is what lets TDM scenarios fast-forward —
+// the meter's run-length encoded clock energy makes the batched window
+// bit-identical to per-cycle ticks. The TDM router has no clock gating,
+// so the full clock network is charged on idle cycles too.
+func (r *Router) BindMeter(m *power.Meter) { r.meter = m }
 
 // OfferBE queues a best-effort word for the given output port, returning
 // false if the BE FIFO is full.
@@ -258,6 +282,9 @@ func (r *Router) Commit() {
 		r.beForwarded++
 	}
 	r.slot = (r.slot + 1) % r.P.Slots
+	if r.meter != nil {
+		r.meter.Tick()
+	}
 }
 
 // Quiescent implements sim.Quiescer: the TDM router is skippable when no
@@ -277,17 +304,25 @@ func (r *Router) Quiescent() bool {
 	return true
 }
 
-// IdleTick implements sim.IdleTicker: only the slot counter moves on an
-// idle cycle.
+// IdleTick implements sim.IdleTicker: on an idle cycle the slot counter
+// moves and the (ungated) clock network is charged.
 func (r *Router) IdleTick() {
 	r.slot = (r.slot + 1) % r.P.Slots
+	if r.meter != nil {
+		r.meter.Tick()
+	}
 }
 
 // IdleWindow implements sim.IdleWindower: a window of n idle cycles
-// advances the slot counter by n modulo the table length in O(1), keeping
-// the TDM frame phase cycle-accurate across a fast-forward.
+// advances the slot counter by n modulo the table length and charges n
+// clock ticks in one O(1) run-length extension, keeping both the TDM
+// frame phase and the accumulated clock energy bit-identical across a
+// fast-forward.
 func (r *Router) IdleWindow(n uint64) {
 	r.slot = int((uint64(r.slot) + n) % uint64(r.P.Slots))
+	if r.meter != nil {
+		r.meter.TickN(n)
+	}
 }
 
 // Netlist returns the structural netlist that reproduces the Table 4 row:

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stdcell"
 )
@@ -213,5 +214,46 @@ func TestGTShareProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBindMeterTicksEveryCycle: with the meter folded into the router,
+// the clock network must be charged exactly once per cycle whatever mix
+// of Commit, IdleTick and batched IdleWindow advanced the clock — the
+// bit-identity the TDM fast-forward rests on.
+func TestBindMeterTicksEveryCycle(t *testing.T) {
+	lib := stdcell.Default013()
+	p := DefaultParams()
+
+	perCycle := power.NewMeter(Netlist(p, lib), lib, 25)
+	rA := NewRouter(p)
+	rA.BindMeter(perCycle)
+	for i := 0; i < 700; i++ {
+		rA.Eval()
+		rA.Commit()
+	}
+	for i := 0; i < 300; i++ {
+		rA.IdleTick()
+	}
+
+	batched := power.NewMeter(Netlist(p, lib), lib, 25)
+	rB := NewRouter(p)
+	rB.BindMeter(batched)
+	for i := 0; i < 700; i++ {
+		rB.Eval()
+		rB.Commit()
+	}
+	rB.IdleWindow(300)
+
+	if rA.Slot() != rB.Slot() {
+		t.Fatalf("slot counters diverged: %d vs %d", rA.Slot(), rB.Slot())
+	}
+	a := perCycle.Report("per-cycle")
+	b := batched.Report("batched")
+	if a.Cycles != 1000 || b.Cycles != 1000 {
+		t.Fatalf("cycle counts %d / %d, want 1000", a.Cycles, b.Cycles)
+	}
+	if a.InternalUW != b.InternalUW || a.SwitchingUW != b.SwitchingUW || a.StaticUW != b.StaticUW {
+		t.Fatalf("batched idle window is not bit-identical:\nper-cycle %+v\nbatched   %+v", a, b)
 	}
 }

@@ -1,0 +1,399 @@
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/sweep"
+)
+
+// PatternConfig drives one synthetic-traffic run on a W×H
+// circuit-switched mesh: a spatial pattern chooses each node's
+// destination, a temporal injection process times its words, and every
+// source is an event-scheduled component, so sparse runs fast-forward
+// under sim.KernelEvent.
+type PatternConfig struct {
+	// W and H are the mesh dimensions.
+	W, H int
+	// Cycles is the simulated length.
+	Cycles int
+	// FreqMHz is the network clock.
+	FreqMHz float64
+	// Lib is the technology library for the power meters.
+	Lib stdcell.Lib
+	// Gated enables configuration-driven clock gating on every router.
+	Gated bool
+	// Spatial chooses each node's destination.
+	Spatial pattern.Spatial
+	// Injection times each node's words.
+	Injection pattern.Injection
+	// FlipProb is the expected bit-flip fraction of consecutive data
+	// words (the paper's data knob).
+	FlipProb float64
+	// Seed decorrelates runs; every flow derives its own streams.
+	Seed uint64
+	// WordsPerFlow caps each flow's words; 0 = unlimited. Exhausted
+	// sources retire, and once the network drains the event kernel
+	// fast-forwards the rest of the run.
+	WordsPerFlow uint64
+	// Params overrides the router geometry (nil: paper defaults).
+	Params *core.Params
+	// Kernel selects the simulation kernel.
+	Kernel sim.Kernel
+	// Observe, when non-nil, receives the world after the run — kernel
+	// diagnostics for tests and benchmarks. It must not mutate it.
+	Observe func(*sim.World)
+}
+
+// Validate checks the configuration.
+func (c PatternConfig) Validate() error {
+	if c.W < 2 || c.H < 2 {
+		return fmt.Errorf("mesh: pattern run needs at least a 2x2 mesh, have %dx%d", c.W, c.H)
+	}
+	if c.Cycles < 1 {
+		return fmt.Errorf("mesh: need at least 1 cycle")
+	}
+	if c.FreqMHz <= 0 {
+		return fmt.Errorf("mesh: non-positive frequency")
+	}
+	if c.FlipProb < 0 || c.FlipProb > 1 {
+		return fmt.Errorf("mesh: flip probability %v out of [0,1]", c.FlipProb)
+	}
+	if err := c.Injection.Validate(); err != nil {
+		return err
+	}
+	if c.Params != nil {
+		if err := c.Params.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PatternFlow is the outcome of one source→destination flow.
+type PatternFlow struct {
+	// Src and Dst are the endpoints.
+	Src, Dst Coord
+	// Hops is the route length in routers (0 when not established).
+	Hops int
+	// Established reports whether a lane path was available; circuit
+	// switching admits traffic at setup time, so a pattern that
+	// overloads a region (hotspot) shows up as rejected flows here,
+	// not as queueing collapse.
+	Established bool
+	// WordsSent and WordsDelivered count the flow's traffic.
+	WordsSent, WordsDelivered uint64
+}
+
+// PatternResult is the outcome of a mesh pattern run.
+type PatternResult struct {
+	// FlowsRequested and FlowsEstablished count the pattern's flows and
+	// how many the lane allocator could route.
+	FlowsRequested, FlowsEstablished int
+	// WordsSent and WordsDelivered aggregate all flows.
+	WordsSent, WordsDelivered uint64
+	// Latency is the word-delivery latency distribution across all
+	// established flows (source push to destination pop).
+	Latency stats.Series
+	// Power aggregates every node meter; PerNode keeps them separate in
+	// row-major order.
+	Power   power.Breakdown
+	PerNode []power.Breakdown
+	// LaneUtilization is the fraction of the mesh's output lanes
+	// reserved by established flows.
+	LaneUtilization float64
+	// Flows describes every requested flow, in source order.
+	Flows []PatternFlow
+}
+
+// laneAlloc is the harness's single-lane circuit allocator: the same
+// XY-then-YX probing the CCN uses, reduced to one lane per flow. (The
+// CCN itself lives above this package and cannot be imported here.)
+type laneAlloc struct {
+	m      *Mesh
+	used   [][]bool // per node, per global output lane
+	tileIn [][]bool // per node, per tile input (transmit converter) lane
+}
+
+func newLaneAlloc(m *Mesh) *laneAlloc {
+	a := &laneAlloc{m: m}
+	for i := 0; i < m.Nodes(); i++ {
+		a.used = append(a.used, make([]bool, m.P.TotalLanes()))
+		a.tileIn = append(a.tileIn, make([]bool, m.P.LanesPerPort))
+	}
+	return a
+}
+
+func (a *laneAlloc) idx(c Coord) int { return c.Y*a.m.W + c.X }
+
+// establish reserves and configures a single-lane circuit along the
+// XY route (falling back to YX) and returns the endpoint converters.
+func (a *laneAlloc) establish(src, dst Coord) (*core.TxConverter, *core.RxConverter, int, error) {
+	routes := [][]Coord{XYPath(src, dst), yxPath(src, dst)}
+	var lastErr error
+	for _, route := range routes {
+		tx, rx, err := a.tryRoute(route)
+		if err == nil {
+			return tx, rx, len(route) - 1, nil
+		}
+		lastErr = err
+	}
+	return nil, nil, 0, lastErr
+}
+
+// yxPath is the Y-then-X alternative to XYPath.
+func yxPath(from, to Coord) []Coord {
+	mid := Coord{X: from.X, Y: to.Y}
+	path := XYPath(from, mid)
+	rest := XYPath(mid, to)
+	return append(path, rest[1:]...)
+}
+
+// tryRoute reserves one free lane on every hop of the route and
+// configures the circuits; on failure nothing is reserved.
+func (a *laneAlloc) tryRoute(route []Coord) (*core.TxConverter, *core.RxConverter, error) {
+	type reservation struct {
+		node int
+		lane int // global output lane, or -1 for a tile input
+		tin  int
+	}
+	var reserved []reservation
+	release := func() {
+		for _, r := range reserved {
+			if r.lane >= 0 {
+				a.used[r.node][r.lane] = false
+			} else {
+				a.tileIn[r.node][r.tin] = false
+			}
+		}
+	}
+	p := a.m.P
+
+	// Source tile input lane.
+	srcIdx := a.idx(route[0])
+	tin := -1
+	for l, used := range a.tileIn[srcIdx] {
+		if !used {
+			tin = l
+			break
+		}
+	}
+	if tin < 0 {
+		return nil, nil, fmt.Errorf("mesh: no free tile input lane at %v", route[0])
+	}
+	a.tileIn[srcIdx][tin] = true
+	reserved = append(reserved, reservation{node: srcIdx, lane: -1, tin: tin})
+
+	type seg struct {
+		node Coord
+		circ core.Circuit
+	}
+	var segs []seg
+	inLane := core.LaneID{Port: core.Tile, Lane: tin}
+	for h := 0; h < len(route)-1; h++ {
+		node, next := route[h], route[h+1]
+		outPort, err := PortTowards(node, next)
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+		l := a.freeLane(node, outPort)
+		if l < 0 {
+			release()
+			return nil, nil, fmt.Errorf("mesh: no free lane %v -> %v", node, next)
+		}
+		gl := p.Global(core.LaneID{Port: outPort, Lane: l})
+		a.used[a.idx(node)][gl] = true
+		reserved = append(reserved, reservation{node: a.idx(node), lane: gl})
+		segs = append(segs, seg{node: node, circ: core.Circuit{
+			In:  inLane,
+			Out: core.LaneID{Port: outPort, Lane: l},
+		}})
+		inLane = core.LaneID{Port: outPort.Opposite(), Lane: l}
+	}
+	// Destination tile output lane.
+	dstC := route[len(route)-1]
+	l := a.freeLane(dstC, core.Tile)
+	if l < 0 {
+		release()
+		return nil, nil, fmt.Errorf("mesh: no free tile output lane at %v", dstC)
+	}
+	gl := p.Global(core.LaneID{Port: core.Tile, Lane: l})
+	a.used[a.idx(dstC)][gl] = true
+	reserved = append(reserved, reservation{node: a.idx(dstC), lane: gl})
+	segs = append(segs, seg{node: dstC, circ: core.Circuit{
+		In:  inLane,
+		Out: core.LaneID{Port: core.Tile, Lane: l},
+	}})
+
+	// Configure the routers and enable the endpoint converters.
+	for i, s := range segs {
+		asm := a.m.At(s.node)
+		if err := asm.R.Configure(s.circ); err != nil {
+			release()
+			return nil, nil, err
+		}
+		if i == 0 && s.circ.In.Port == core.Tile {
+			asm.Tx[s.circ.In.Lane].Enabled = true
+		}
+		if i == len(segs)-1 && s.circ.Out.Port == core.Tile {
+			asm.Rx[s.circ.Out.Lane].Enabled = true
+		}
+	}
+	return a.m.At(route[0]).Tx[tin], a.m.At(dstC).Rx[l], nil
+}
+
+// freeLane returns a free lane index on the node's port, or -1.
+func (a *laneAlloc) freeLane(node Coord, port core.Port) int {
+	p := a.m.P
+	for l := 0; l < p.LanesPerPort; l++ {
+		if !a.used[a.idx(node)][p.Global(core.LaneID{Port: port, Lane: l})] {
+			return l
+		}
+	}
+	return -1
+}
+
+// utilization returns the reserved fraction of all output lanes.
+func (a *laneAlloc) utilization() float64 {
+	total, used := 0, 0
+	for _, lanes := range a.used {
+		for _, u := range lanes {
+			total++
+			if u {
+				used++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}
+
+// patternSink drains one flow's receive converter and records each
+// word's delivery latency. It is a first-class quiescent component:
+// while the converter buffer is empty, popping is a no-op and the
+// kernel skips the sink, so a drained mesh quiesces end to end.
+type patternSink struct {
+	rx     *core.RxConverter
+	stamps *[]uint64
+	lat    *stats.Series
+	cycle  uint64
+	popped uint64
+}
+
+// Eval implements sim.Clocked.
+func (d *patternSink) Eval() {
+	if _, ok := d.rx.Pop(); ok {
+		if len(*d.stamps) > 0 {
+			d.lat.Add(float64(d.cycle - (*d.stamps)[0]))
+			*d.stamps = (*d.stamps)[1:]
+		}
+		d.popped++
+	}
+}
+
+// Commit implements sim.Clocked.
+func (d *patternSink) Commit() { d.cycle++ }
+
+// Quiescent implements sim.Quiescer: nothing buffered, nothing to pop.
+func (d *patternSink) Quiescent() bool { return d.rx.Available() == 0 }
+
+// IdleTick implements sim.IdleTicker: track skipped cycles.
+func (d *patternSink) IdleTick() { d.cycle++ }
+
+// IdleWindow implements sim.IdleWindower.
+func (d *patternSink) IdleWindow(n uint64) { d.cycle += n }
+
+// RunPattern simulates the pattern on a W×H circuit-switched mesh. Each
+// flow of the spatial pattern gets a single-lane circuit (XY then YX
+// probing); flows the allocator cannot route are reported as not
+// established — the circuit fabric's admission-time answer to
+// overload. Established flows are driven by event-scheduled
+// pattern.Sources and drained by quiescent sinks, so a sparse run
+// fast-forwards between words under sim.KernelEvent with results
+// byte-identical to the gated and naive kernels.
+func RunPattern(cfg PatternConfig) (*PatternResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := core.DefaultParams()
+	if cfg.Params != nil {
+		p = *cfg.Params
+	}
+	m := New(cfg.W, cfg.H, p, core.DefaultAssemblyOptions(), sim.WithKernel(cfg.Kernel))
+	dom := m.BindMeters(cfg.Lib, cfg.FreqMHz, cfg.Gated)
+	alloc := newLaneAlloc(m)
+
+	res := &PatternResult{}
+	flows := cfg.Spatial.Flows(cfg.W, cfg.H, cfg.Seed)
+	res.FlowsRequested = len(flows)
+
+	type liveFlow struct {
+		src  *pattern.Source
+		sink *patternSink
+		idx  int
+	}
+	var live []liveFlow
+	for _, f := range flows {
+		srcC := Coord{X: f.Src % cfg.W, Y: f.Src / cfg.W}
+		dstC := Coord{X: f.Dst % cfg.W, Y: f.Dst / cfg.W}
+		pf := PatternFlow{Src: srcC, Dst: dstC}
+		tx, rx, hops, err := alloc.establish(srcC, dstC)
+		if err != nil {
+			res.Flows = append(res.Flows, pf)
+			continue
+		}
+		pf.Established = true
+		pf.Hops = hops
+		res.FlowsEstablished++
+
+		// Per-flow deterministic streams: data words and arrival times
+		// both derive from the run seed and the flow's source node.
+		flowSeed := sweep.Mix64(cfg.Seed + uint64(f.Src)*0x9E3779B97F4A7C15)
+		gen := bitvec.NewFlipGen(16, cfg.FlipProb, flowSeed^0xDA7A)
+		stamps := new([]uint64)
+		src := pattern.NewSource(cfg.Injection, flowSeed, cfg.WordsPerFlow, nil)
+		src.Emit = func() bool {
+			if !tx.Ready() {
+				return false
+			}
+			if !tx.Push(core.DataWord(uint16(gen.Next()))) {
+				return false
+			}
+			*stamps = append(*stamps, src.Cycle())
+			return true
+		}
+		sink := &patternSink{rx: rx, stamps: stamps, lat: &res.Latency}
+		m.World().Add(src, sink)
+		live = append(live, liveFlow{src: src, sink: sink, idx: len(res.Flows)})
+		res.Flows = append(res.Flows, pf)
+	}
+
+	m.Run(cfg.Cycles)
+	if cfg.Observe != nil {
+		cfg.Observe(m.World())
+	}
+
+	for _, lf := range live {
+		pf := &res.Flows[lf.idx]
+		pf.WordsSent = lf.src.Sent()
+		pf.WordsDelivered = lf.sink.popped
+		res.WordsSent += pf.WordsSent
+		res.WordsDelivered += pf.WordsDelivered
+	}
+	res.LaneUtilization = alloc.utilization()
+	res.Power = dom.Report(fmt.Sprintf("pattern %v x %v", cfg.Spatial, cfg.Injection))
+	res.PerNode = dom.PerNode("pattern node")
+	return res, nil
+}
+
+var _ sim.IdleWindower = (*patternSink)(nil)
+var _ sim.Quiescer = (*patternSink)(nil)

@@ -1,0 +1,164 @@
+package mesh
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/sim"
+	"repro/internal/stdcell"
+)
+
+func patternCfg(k sim.Kernel) PatternConfig {
+	return PatternConfig{
+		W: 4, H: 4, Cycles: 3000, FreqMHz: 25,
+		Lib:       stdcell.Default013(),
+		Spatial:   pattern.Spatial{Kind: pattern.Neighbour},
+		Injection: pattern.Injection{Proc: pattern.Poisson, Rate: 0.02},
+		FlipProb:  0.5, Seed: 11, Kernel: k,
+	}
+}
+
+// fingerprint renders the parts of a result that must be byte-identical
+// across kernels. stats.Series has unexported fields, so the latency
+// distribution is compared through its summary.
+func fingerprint(t *testing.T, r *PatternResult) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Req, Est  int
+		Sent, Del uint64
+		LatN      int
+		LatMean   float64
+		LatMin    float64
+		LatMax    float64
+		Power     float64
+		Util      float64
+		Flows     []PatternFlow
+	}{
+		r.FlowsRequested, r.FlowsEstablished, r.WordsSent, r.WordsDelivered,
+		r.Latency.N(), r.Latency.Mean(), r.Latency.Min(), r.Latency.Max(),
+		r.Power.TotalUW(), r.LaneUtilization, r.Flows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestRunPatternKernelEquivalence(t *testing.T) {
+	for _, sp := range []pattern.Spatial{
+		{Kind: pattern.Neighbour},
+		{Kind: pattern.Transpose},
+		{Kind: pattern.Hotspot, Alpha: 0.5},
+	} {
+		cfg := patternCfg(sim.KernelNaive)
+		cfg.Spatial = sp
+		naive, err := RunPattern(cfg)
+		if err != nil {
+			t.Fatalf("%v naive: %v", sp, err)
+		}
+		cfg.Kernel = sim.KernelGated
+		gated, err := RunPattern(cfg)
+		if err != nil {
+			t.Fatalf("%v gated: %v", sp, err)
+		}
+		cfg.Kernel = sim.KernelEvent
+		event, err := RunPattern(cfg)
+		if err != nil {
+			t.Fatalf("%v event: %v", sp, err)
+		}
+		if naive.WordsDelivered == 0 {
+			t.Fatalf("%v: nothing delivered", sp)
+		}
+		fn, fg, fe := fingerprint(t, naive), fingerprint(t, gated), fingerprint(t, event)
+		if fn != fg {
+			t.Errorf("%v: naive vs gated differ\n%s\n%s", sp, fn, fg)
+		}
+		if fn != fe {
+			t.Errorf("%v: naive vs event differ\n%s\n%s", sp, fn, fe)
+		}
+	}
+}
+
+func TestRunPatternDeterministicAcrossRuns(t *testing.T) {
+	cfg := patternCfg(sim.KernelEvent)
+	a, err := RunPattern(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPattern(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(t, a) != fingerprint(t, b) {
+		t.Error("same config, different results")
+	}
+	cfg.Seed = 12
+	c, err := RunPattern(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(t, a) == fingerprint(t, c) {
+		t.Error("seed change did not change the run")
+	}
+}
+
+func TestRunPatternHotspotBlocksFlows(t *testing.T) {
+	// All-to-hotspot traffic cannot be admitted on a circuit fabric:
+	// the hotspot tile has LanesPerPort output lanes, so only a handful
+	// of flows establish. That is the expected admission-time answer.
+	cfg := patternCfg(sim.KernelEvent)
+	cfg.Spatial = pattern.Spatial{Kind: pattern.Hotspot, Alpha: 1}
+	r, err := RunPattern(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlowsEstablished >= r.FlowsRequested {
+		t.Errorf("hotspot established %d of %d flows; expected blocking",
+			r.FlowsEstablished, r.FlowsRequested)
+	}
+	if r.FlowsEstablished == 0 {
+		t.Error("no flow established at all")
+	}
+}
+
+func TestRunPatternNeighbourEstablishesAll(t *testing.T) {
+	// One-hop neighbour flows never contend for more lanes than a port
+	// has; every flow must establish.
+	cfg := patternCfg(sim.KernelEvent)
+	cfg.Spatial = pattern.Spatial{Kind: pattern.Neighbour}
+	r, err := RunPattern(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlowsEstablished != r.FlowsRequested {
+		t.Errorf("neighbour established %d of %d flows", r.FlowsEstablished, r.FlowsRequested)
+	}
+	if r.Latency.N() == 0 {
+		t.Error("no latency samples")
+	}
+}
+
+func TestRunPatternSparseFastForwards(t *testing.T) {
+	// Finite sparse flows retire; the event kernel must fast-forward
+	// the drained tail — the bulk of the run.
+	cfg := patternCfg(sim.KernelEvent)
+	cfg.Injection = pattern.Injection{Proc: pattern.Bernoulli, Rate: 0.01}
+	cfg.WordsPerFlow = 5
+	cfg.Cycles = 100000
+	var ffCycles uint64
+	cfg.Observe = func(w *sim.World) { _, ffCycles = w.FastForwards() }
+	r, err := RunPattern(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(16 * 5); r.WordsSent != want {
+		t.Errorf("sent %d words, want %d", r.WordsSent, want)
+	}
+	if r.WordsDelivered != r.WordsSent {
+		t.Errorf("delivered %d of %d", r.WordsDelivered, r.WordsSent)
+	}
+	if float64(ffCycles) < 0.9*float64(cfg.Cycles) {
+		t.Errorf("fast-forwarded only %d of %d cycles", ffCycles, cfg.Cycles)
+	}
+}

@@ -224,6 +224,16 @@ func (r *Router) IdleWindow(n uint64) {
 // quiescence decision.
 func (r *Router) EjectedPending() int { return len(r.ejected) }
 
+// InputBacklog returns the current occupancy of VC v's input FIFO at
+// port p. A feeder deciding whether to present a flit must add any
+// flit it presented on the register in the previous cycle (that flit
+// is pushed at this cycle's Commit, so it is not yet counted here) and
+// compare against Params.Depth — the accounting hardware would get
+// from the credit path.
+func (r *Router) InputBacklog(p core.Port, vc int) int {
+	return len(r.fifos[p][vc])
+}
+
 // InjectReady reports whether VC v of the tile port can accept a flit.
 func (r *Router) InjectReady(vc int) bool {
 	staged := 0

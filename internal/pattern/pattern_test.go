@@ -1,0 +1,241 @@
+package pattern
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+func TestParseSpatialRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		sp, err := ParseSpatial(name)
+		if err != nil {
+			t.Fatalf("ParseSpatial(%q): %v", name, err)
+		}
+		if sp.String() != name {
+			t.Errorf("round trip %q -> %q", name, sp.String())
+		}
+	}
+	sp, err := ParseSpatial("hotspot:0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Kind != Hotspot || sp.Alpha != 0.7 {
+		t.Fatalf("hotspot:0.7 parsed as %+v", sp)
+	}
+	if sp.String() != "hotspot:0.7" {
+		t.Errorf("hotspot round trip: %q", sp.String())
+	}
+	for _, bad := range []string{"", "nope", "hotspot:0", "hotspot:1.5", "uniform:3"} {
+		if _, err := ParseSpatial(bad); err == nil {
+			t.Errorf("ParseSpatial(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDeterministicPatterns(t *testing.T) {
+	const w, h = 4, 4
+	// Transpose: (x,y) -> (y,x).
+	sp := Spatial{Kind: Transpose}
+	if d := sp.fixedDest(1, w, h); d != 4 { // (1,0) -> (0,1)
+		t.Errorf("transpose(1) = %d, want 4", d)
+	}
+	if d := sp.fixedDest(5, w, h); d != -1 { // (1,1) is a fixed point
+		t.Errorf("transpose diagonal = %d, want -1", d)
+	}
+	// Bit complement: i -> 15-i.
+	sp = Spatial{Kind: BitComplement}
+	for i := 0; i < w*h; i++ {
+		if d := sp.fixedDest(i, w, h); d != w*h-1-i {
+			t.Errorf("bitcomp(%d) = %d, want %d", i, d, w*h-1-i)
+		}
+	}
+	// Bit reverse over 4 bits: 0b0001 -> 0b1000.
+	sp = Spatial{Kind: BitReverse}
+	if d := sp.fixedDest(1, w, h); d != 8 {
+		t.Errorf("bitrev(1) = %d, want 8", d)
+	}
+	if d := sp.fixedDest(0b0011, w, h); d != 0b1100 {
+		t.Errorf("bitrev(3) = %d, want 12", d)
+	}
+}
+
+func TestPermutationIsBijection(t *testing.T) {
+	const n = 64
+	p := permTable(n, 42)
+	seen := map[int]bool{}
+	for _, d := range p {
+		if d < 0 || d >= n || seen[d] {
+			t.Fatalf("permTable not a bijection: %v", p)
+		}
+		seen[d] = true
+	}
+	if !reflect.DeepEqual(permTable(n, 42), p) {
+		t.Error("permTable not deterministic")
+	}
+	if reflect.DeepEqual(permTable(n, 43), p) {
+		t.Error("permTable ignores the seed")
+	}
+}
+
+func TestFlowsDeterministicAndSeedSensitive(t *testing.T) {
+	sp := Spatial{Kind: Uniform}
+	a := sp.Flows(8, 8, 7)
+	b := sp.Flows(8, 8, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Flows not deterministic for a fixed seed")
+	}
+	c := sp.Flows(8, 8, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Error("Flows ignores the seed")
+	}
+	for _, f := range a {
+		if f.Src == f.Dst {
+			t.Fatalf("self flow %+v", f)
+		}
+	}
+	if len(a) != 64 {
+		t.Fatalf("uniform flows: got %d, want 64", len(a))
+	}
+}
+
+func TestUniformDestinationCoverage(t *testing.T) {
+	// Many draws from one source must cover all other nodes roughly
+	// uniformly: every destination hit, none more than twice the mean.
+	const w, h, draws = 4, 4, 16000
+	sp := Spatial{Kind: Uniform}
+	rng := bitvec.NewXorShift64(99)
+	counts := make([]int, w*h)
+	for i := 0; i < draws; i++ {
+		counts[sp.Draw(rng, 5, w, h)]++
+	}
+	if counts[5] != 0 {
+		t.Fatalf("uniform drew self %d times", counts[5])
+	}
+	mean := float64(draws) / float64(w*h-1)
+	for d, c := range counts {
+		if d == 5 {
+			continue
+		}
+		if float64(c) < 0.5*mean || float64(c) > 2*mean {
+			t.Errorf("destination %d drawn %d times, mean %.0f", d, c, mean)
+		}
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	const w, h, draws = 4, 4, 40000
+	sp := Spatial{Kind: Hotspot, Alpha: 0.6}
+	hot := HotspotNode(w, h)
+	rng := bitvec.NewXorShift64(123)
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if sp.Draw(rng, 0, w, h) == hot {
+			hits++
+		}
+	}
+	// Expected fraction: alpha plus the uniform share of the hotspot.
+	want := 0.6 + 0.4/float64(w*h-1)
+	got := float64(hits) / draws
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("hotspot fraction %.3f, want %.3f +- 0.02", got, want)
+	}
+}
+
+func TestNeighbourDrawsAdjacent(t *testing.T) {
+	const w, h = 5, 3
+	sp := Spatial{Kind: Neighbour}
+	rng := bitvec.NewXorShift64(5)
+	for src := 0; src < w*h; src++ {
+		for i := 0; i < 50; i++ {
+			d := sp.Draw(rng, src, w, h)
+			dx := abs(d%w - src%w)
+			dy := abs(d/w - src/w)
+			if dx+dy != 1 {
+				t.Fatalf("neighbour draw %d from %d is not adjacent", d, src)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestProbWeightsSumToOne(t *testing.T) {
+	const w, h = 4, 4
+	for _, sp := range []Spatial{
+		{Kind: Uniform}, {Kind: Hotspot, Alpha: 0.3}, {Kind: Neighbour},
+		{Kind: Transpose}, {Kind: BitComplement}, {Kind: BitReverse},
+		{Kind: Permutation},
+	} {
+		for src := 0; src < w*h; src++ {
+			ws := sp.ProbWeights(src, w, h, 3)
+			sum := 0.0
+			for d, p := range ws {
+				if d == src {
+					t.Fatalf("%v: self weight at %d", sp, src)
+				}
+				sum += p
+			}
+			if len(ws) == 0 {
+				continue // fixed point of a deterministic pattern
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("%v src %d: weights sum to %v", sp, src, sum)
+			}
+		}
+	}
+}
+
+func TestPortFlowsConservation(t *testing.T) {
+	// Total weight through all routers' tile-exit ports must equal the
+	// total injected weight: every word is injected once and ejected
+	// once somewhere.
+	const w, h = 4, 4
+	for _, sp := range []Spatial{{Kind: Uniform}, {Kind: Hotspot}, {Kind: Transpose}} {
+		injected, ejected := 0.0, 0.0
+		for obs := 0; obs < w*h; obs++ {
+			for _, f := range PortFlows(sp, w, h, obs, 1) {
+				if f.In == core.Tile {
+					injected += f.Weight
+				}
+				if f.Out == core.Tile {
+					ejected += f.Weight
+				}
+			}
+		}
+		want := 0.0
+		for src := 0; src < w*h; src++ {
+			for _, p := range sp.ProbWeights(src, w, h, 1) {
+				want += p
+			}
+		}
+		if math.Abs(injected-want) > 1e-9 || math.Abs(ejected-want) > 1e-9 {
+			t.Errorf("%v: injected %.6f ejected %.6f want %.6f", sp, injected, ejected, want)
+		}
+	}
+}
+
+func TestPortFlowsHotspotConcentratesAtCentre(t *testing.T) {
+	const w, h = 4, 4
+	hot := HotspotNode(w, h)
+	sumAt := func(obs int) float64 {
+		total := 0.0
+		for _, f := range PortFlows(Spatial{Kind: Hotspot, Alpha: 0.8}, w, h, obs, 1) {
+			if f.Out == core.Tile {
+				total += f.Weight
+			}
+		}
+		return total
+	}
+	if sumAt(hot) < 5*sumAt(0) {
+		t.Errorf("hotspot tile delivery at centre %.3f not >> corner %.3f", sumAt(hot), sumAt(0))
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mesh"
 	"repro/internal/packetsw"
+	"repro/internal/pattern"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -276,6 +277,70 @@ func BenchmarkBEBurstEventKernel(b *testing.B) { benchBEBurst(b, sim.KernelEvent
 
 // BenchmarkBEBurstGatedKernel is the per-cycle-polling baseline.
 func BenchmarkBEBurstGatedKernel(b *testing.B) { benchBEBurst(b, sim.KernelGated) }
+
+// benchPattern16 runs the acceptance pattern workload: a sparse
+// (0.05 flits/cycle/node) 16×16 uniform-random pattern whose flows
+// retire after 4 words inside a 20000-cycle window. The sources drain
+// within the first few hundred cycles; the rest of the run is dead time
+// the event kernel fast-forwards while the gated kernel polls all ~700
+// components through it. The acceptance claim (event ≥5× gated here)
+// is pinned deterministically by TestPatternSparse16x16EventSpeedup in
+// the noc package; this benchmark provides the wall-clock numbers for
+// the BENCH_ci artifact.
+func benchPattern16(b *testing.B, k sim.Kernel) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mesh.RunPattern(mesh.PatternConfig{
+			W: 16, H: 16, Cycles: 20000, FreqMHz: 25,
+			Lib:       experiments.Lib(),
+			Spatial:   pattern.Spatial{Kind: pattern.Uniform},
+			Injection: pattern.Injection{Proc: pattern.Bernoulli, Rate: 0.05},
+			FlipProb:  0.5, Seed: 9, WordsPerFlow: 4, Kernel: k,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WordsDelivered == 0 {
+			b.Fatal("pattern run delivered nothing")
+		}
+	}
+}
+
+// BenchmarkPattern16x16EventKernel is the event-kernel side of the
+// pattern acceptance comparison.
+func BenchmarkPattern16x16EventKernel(b *testing.B) { benchPattern16(b, sim.KernelEvent) }
+
+// BenchmarkPattern16x16GatedKernel is the per-cycle-polling baseline.
+func BenchmarkPattern16x16GatedKernel(b *testing.B) { benchPattern16(b, sim.KernelGated) }
+
+// benchPatternSource measures one event-scheduled source alone: the
+// per-cycle cost of the generator layer itself, per simulated cycle.
+func benchPatternSource(b *testing.B, k sim.Kernel, inj pattern.Injection) {
+	w := sim.NewWorld(sim.WithKernel(k))
+	src := pattern.NewSource(inj, 1, 0, nil)
+	src.Emit = func() bool { return true }
+	w.Add(src)
+	b.ResetTimer()
+	w.Run(b.N)
+}
+
+// BenchmarkPatternSourcePoissonEventKernel: a sparse Poisson source
+// under the event kernel fast-forwards between arrivals.
+func BenchmarkPatternSourcePoissonEventKernel(b *testing.B) {
+	benchPatternSource(b, sim.KernelEvent, pattern.Injection{Proc: pattern.Poisson, Rate: 0.01})
+}
+
+// BenchmarkPatternSourcePoissonGatedKernel polls the same source every
+// cycle.
+func BenchmarkPatternSourcePoissonGatedKernel(b *testing.B) {
+	benchPatternSource(b, sim.KernelGated, pattern.Injection{Proc: pattern.Poisson, Rate: 0.01})
+}
+
+// BenchmarkPatternSourceOnOffEventKernel: the bursty two-state process,
+// where fast-forward windows alternate with back-to-back bursts.
+func BenchmarkPatternSourceOnOffEventKernel(b *testing.B) {
+	benchPatternSource(b, sim.KernelEvent, pattern.Injection{Proc: pattern.OnOff, Rate: 0.05, Burstiness: 8})
+}
 
 // TestFiniteWorkloadFastForward pins the property behind the ≥5x
 // benchmark deterministically, so the claim does not rest on wall-clock

@@ -45,6 +45,9 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	if sc.IsPattern() {
+		return runCircuitPattern(f.cfg, sc)
+	}
 	if sc.IsWorkload() {
 		return runCircuitWorkload(f.cfg, sc)
 	}
@@ -55,7 +58,7 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 		Kernel:         f.cfg.simKernel(),
 		WordsPerStream: sc.WordsPerStream,
 	}
-	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
+	pat := traffic.Pattern{FlipProb: sc.Data.FlipProb, Load: sc.Data.Load}
 	tr, err := traffic.RunCircuit(sc.trafficScenario(), pat, rc)
 	if err != nil {
 		return nil, err
@@ -72,7 +75,7 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 		PerComponent:   attributionComponents(tr.Attribution, tr.Power.StaticUW),
 	}
 	if n := f.cfg.latencySamples(); n > 0 && len(sc.Streams) > 0 {
-		lr, err := traffic.MeasureCircuitLatency(f.cfg.resolvedCoreParams(), sc.Pattern.Load, n,
+		lr, err := traffic.MeasureCircuitLatency(f.cfg.resolvedCoreParams(), sc.Data.Load, n,
 			sim.WithKernel(f.cfg.simKernel()))
 		if err != nil {
 			return nil, err

@@ -3,6 +3,7 @@ package noc
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -122,25 +123,50 @@ func TestKernelEquivalenceWaveform(t *testing.T) {
 }
 
 // TestParseKernel covers the kernel name resolution used by nocbench and
-// the sweep spec.
+// the sweep spec: the empty string selects the event-kernel default,
+// every name round-trips, and unknown names are rejected with an error
+// that lists the valid kernels.
 func TestParseKernel(t *testing.T) {
-	for _, s := range []string{"", "gated"} {
+	for _, s := range []string{"", "event"} {
 		k, err := ParseKernel(s)
-		if err != nil || k != KernelGated {
-			t.Fatalf("ParseKernel(%q) = %v, %v", s, k, err)
+		if err != nil || k != KernelEvent {
+			t.Fatalf("ParseKernel(%q) = %v, %v (event is the default)", s, k, err)
 		}
+	}
+	if k, err := ParseKernel("gated"); err != nil || k != KernelGated {
+		t.Fatalf("ParseKernel(gated) = %v, %v", k, err)
 	}
 	if k, err := ParseKernel("naive"); err != nil || k != KernelNaive {
 		t.Fatalf("ParseKernel(naive) = %v, %v", k, err)
 	}
-	if k, err := ParseKernel("event"); err != nil || k != KernelEvent {
-		t.Fatalf("ParseKernel(event) = %v, %v", k, err)
-	}
-	if _, err := ParseKernel("warp"); err == nil {
+	_, err := ParseKernel("warp")
+	if err == nil {
 		t.Fatal("ParseKernel accepted an unknown kernel")
+	}
+	for _, name := range []string{"gated", "naive", "event"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ParseKernel error %q does not list %q", err, name)
+		}
 	}
 	if err := CircuitSwitched(WithKernel("warp")).Validate(); err == nil {
 		t.Fatal("Validate accepted an unknown kernel option")
+	}
+}
+
+// TestSweepSpecRejectsUnknownKernel: a typoed kernel in the sweep spec
+// or a fabric spec fails validation instead of silently running the
+// default.
+func TestSweepSpecRejectsUnknownKernel(t *testing.T) {
+	spec := SweepSpec{Kernel: "warp"}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Fatalf("spec-level kernel: Validate() = %v", err)
+	}
+	spec = SweepSpec{Fabrics: []FabricSpec{{Kind: KindCircuit, Kernel: "warp"}}}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Fatalf("fabric-level kernel: Validate() = %v", err)
+	}
+	if _, err := ParseSweepSpec([]byte(`{"kernel":"warp"}`)); err == nil {
+		t.Fatal("ParseSweepSpec accepted an unknown kernel")
 	}
 }
 

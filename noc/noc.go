@@ -20,10 +20,14 @@
 //	sc, _ := noc.PaperScenario("IV")
 //	results, err := sim.Run(sc)
 //
-// A Scenario is either one of the paper's single-router test scenarios
-// (Table 3 streams, Fig. 8 combinations) or a mesh workload run that maps
-// whole wireless applications (HiperLAN/2, UMTS, DRM) onto a W×H NoC via
-// the Central Coordination Node — see Scenario.
+// A Scenario is one of the paper's single-router test scenarios
+// (Table 3 streams, Fig. 8 combinations), a mesh workload run that maps
+// whole wireless applications (HiperLAN/2, UMTS, DRM) onto a W×H NoC
+// via the Central Coordination Node, or a synthetic traffic-pattern run
+// (Scenario.Pattern/Injection: spatial patterns like uniform-random,
+// transpose or hotspot crossed with stochastic injection processes —
+// CBR, Bernoulli, Poisson, bursty on-off) — see Scenario, Patterns and
+// InjectionProcesses.
 //
 // Batch comparisons are first class: Sweep executes a SweepSpec — a
 // set of fabric configurations crossed with an explicit scenario list

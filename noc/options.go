@@ -14,33 +14,40 @@ import (
 type Kernel string
 
 const (
-	// KernelGated is the activity-tracked kernel (the default): quiescent
-	// components — unconfigured routers, drained converters, exhausted
-	// sources — are skipped each cycle, with results byte-identical to
+	// KernelGated is the activity-tracked kernel: quiescent components
+	// — unconfigured routers, drained converters, exhausted sources —
+	// are skipped each cycle, with results byte-identical to
 	// KernelNaive. The software analogue of the paper's clock gating.
 	KernelGated Kernel = "gated"
 	// KernelNaive evaluates every component every cycle. It exists for
 	// verification (the CI byte-compare) and benchmarking the speedup.
 	KernelNaive Kernel = "naive"
-	// KernelEvent is the event-driven scheduler: per cycle it matches the
-	// gated kernel, and additionally fast-forwards whole windows in which
-	// every component is quiescent — retired finite workloads, the dead
-	// time between scheduled BE bursts — replaying idle bookkeeping in
-	// O(components) instead of O(components·cycles). Results stay
-	// byte-identical to both other kernels.
+	// KernelEvent is the event-driven scheduler (the default): per
+	// cycle it matches the gated kernel, and additionally fast-forwards
+	// whole windows in which every component is quiescent — sparse
+	// pattern sources, retired finite workloads, the dead time between
+	// scheduled BE bursts — replaying idle bookkeeping in O(components)
+	// instead of O(components·cycles). Results stay byte-identical to
+	// both other kernels, which is why it can be the default: with
+	// every stimulus now a first-class quiescent component (no
+	// every-cycle Func channel drivers remain), fast-forward engages
+	// whenever the world is genuinely idle and costs nothing when it
+	// is not.
 	KernelEvent Kernel = "event"
 )
 
-// ParseKernel resolves a kernel name; the empty string means the default
-// gated kernel.
+// ParseKernel resolves a kernel name; the empty string means the
+// default event kernel. Unknown names are rejected with the valid
+// kernels listed — a typoed kernel fails loudly instead of silently
+// running the default.
 func ParseKernel(s string) (Kernel, error) {
 	switch Kernel(s) {
-	case "", KernelGated:
+	case "", KernelEvent:
+		return KernelEvent, nil
+	case KernelGated:
 		return KernelGated, nil
 	case KernelNaive:
 		return KernelNaive, nil
-	case KernelEvent:
-		return KernelEvent, nil
 	default:
 		return "", fmt.Errorf("noc: unknown kernel %q (have %s, %s, %s)",
 			s, KernelGated, KernelNaive, KernelEvent)
@@ -67,7 +74,9 @@ type config struct {
 	corner       string // library corner: "nominal" (default) or "hvt"
 	latencyWords int    // latency sample count; -1 default, 0 disables
 	traceCycles  int    // workload runs: VCD capture depth for node (0,0)
-	kernel       Kernel // simulation kernel; "" means gated
+	kernel       Kernel // simulation kernel; "" means event
+
+	worldObserver func(*sim.World) // test hook: kernel diagnostics after a run
 }
 
 func makeConfig(opts []Option) config {
@@ -123,13 +132,22 @@ func WithLatencyWords(n int) Option { return func(c *config) { c.latencyWords = 
 // Result.NodeVCD. Zero (the default) disables tracing.
 func WithNodeTrace(cycles int) Option { return func(c *config) { c.traceCycles = cycles } }
 
-// WithKernel selects the simulation kernel (default KernelGated). Results
-// are byte-identical under all kernels; they differ only in speed. The
-// gated kernel skips quiescent components cycle by cycle; the event
-// kernel additionally fast-forwards fully idle windows, which pays on
-// finite workloads (WordsPerStream) and sparse scheduled bursts. The
-// naive kernel evaluates everything and exists for verification.
+// WithKernel selects the simulation kernel (default KernelEvent).
+// Results are byte-identical under all kernels; they differ only in
+// speed. The gated kernel skips quiescent components cycle by cycle;
+// the event kernel additionally fast-forwards fully idle windows, which
+// pays on sparse pattern runs, finite workloads (WordsPerStream) and
+// scheduled bursts. The naive kernel evaluates everything and exists
+// for verification.
 func WithKernel(k Kernel) Option { return func(c *config) { c.kernel = k } }
+
+// withWorldObserver installs a test-only hook that receives a run's
+// simulation world after it finishes — fast-forward and activity
+// counters for kernel tests and benchmarks. Supported by the pattern
+// runs and the TDM runner; the observer must not mutate the world.
+func withWorldObserver(fn func(*sim.World)) Option {
+	return func(c *config) { c.worldObserver = fn }
+}
 
 // defaultLatencyWords is the latency sample count when unset.
 const defaultLatencyWords = 200
@@ -251,15 +269,16 @@ func (c config) latencySamples() int {
 }
 
 // simKernel maps the facade's kernel choice onto the kernel type the
-// internal simulation worlds take.
+// internal simulation worlds take. Unknown names cannot reach here:
+// validate rejects them via ParseKernel before any world is built.
 func (c config) simKernel() sim.Kernel {
 	switch c.kernel {
 	case KernelNaive:
 		return sim.KernelNaive
-	case KernelEvent:
-		return sim.KernelEvent
-	default:
+	case KernelGated:
 		return sim.KernelGated
+	default:
+		return sim.KernelEvent
 	}
 }
 

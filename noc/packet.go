@@ -36,6 +36,9 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	if sc.IsPattern() {
+		return runPacketPattern(f.cfg, sc)
+	}
 	if sc.IsWorkload() {
 		return nil, fmt.Errorf("noc: the packet-switched fabric does not support workload scenarios (use CircuitSwitched)")
 	}
@@ -45,7 +48,7 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 		Seed: sc.Seed, Kernel: f.cfg.simKernel(),
 		WordsPerStream: sc.WordsPerStream,
 	}
-	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
+	pat := traffic.Pattern{FlipProb: sc.Data.FlipProb, Load: sc.Data.Load}
 	tr, err := traffic.RunPacket(sc.trafficScenario(), pat, rc)
 	if err != nil {
 		return nil, err
@@ -77,7 +80,7 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 		// The contention harness needs three VCs; a narrower router
 		// still measures, just without background streams.
 		contended = contended && pp.VCs >= 3
-		lr, err := traffic.MeasurePacketLatency(pp, sc.Pattern.Load, n, contended,
+		lr, err := traffic.MeasurePacketLatency(pp, sc.Data.Load, n, contended,
 			sim.WithKernel(f.cfg.simKernel()))
 		if err != nil {
 			return nil, err

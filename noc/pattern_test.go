@@ -1,0 +1,257 @@
+package noc
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// patternScenario is the shared small pattern run of these tests.
+func patternScenario() Scenario {
+	return Scenario{
+		Name: "pat", Pattern: "hotspot:0.6", MeshWidth: 4, MeshHeight: 4,
+		Cycles: 2500, Seed: 3,
+		Injection: &Injection{Process: "poisson", Rate: 0.05},
+	}
+}
+
+// runJSON runs the scenario on the fabric and returns the Result JSON.
+func runJSON(t *testing.T, f Fabric, sc Scenario) []byte {
+	t.Helper()
+	r, err := f.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestPatternScenarioAllFabrics: a pattern scenario runs on all three
+// fabrics and produces traffic, power and latency.
+func TestPatternScenarioAllFabrics(t *testing.T) {
+	sim, err := NewSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sim.Run(patternScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.WordsDelivered == 0 {
+			t.Errorf("%s: nothing delivered", r.Fabric)
+		}
+		if r.Power == nil || r.Power.TotalUW <= 0 {
+			t.Errorf("%s: no power estimate", r.Fabric)
+		}
+		if r.Latency == nil || r.Latency.Words == 0 {
+			t.Errorf("%s: no latency measurement", r.Fabric)
+		}
+		if r.FlowsRequested == 0 || r.FlowsEstablished == 0 {
+			t.Errorf("%s: no flows (%d/%d)", r.Fabric, r.FlowsEstablished, r.FlowsRequested)
+		}
+	}
+	// The hotspot pattern on a circuit fabric is admission-limited:
+	// some flows must be rejected, and the packet fabric admits all.
+	if rs[0].FlowsEstablished >= rs[0].FlowsRequested {
+		t.Errorf("circuit admitted all %d hotspot flows; expected lane blocking", rs[0].FlowsRequested)
+	}
+}
+
+// TestPatternKernelEquivalence: pattern runs are byte-identical across
+// the three kernels on every fabric.
+func TestPatternKernelEquivalence(t *testing.T) {
+	sc := patternScenario()
+	build := []func(...Option) Fabric{CircuitSwitched, PacketSwitched, AetherealTDM}
+	for _, mk := range build {
+		naive := runJSON(t, mk(WithKernel(KernelNaive)), sc)
+		gated := runJSON(t, mk(WithKernel(KernelGated)), sc)
+		event := runJSON(t, mk(WithKernel(KernelEvent)), sc)
+		kind := mk().Kind()
+		if !bytes.Equal(naive, gated) {
+			t.Errorf("%s: naive vs gated results differ", kind)
+		}
+		if !bytes.Equal(naive, event) {
+			t.Errorf("%s: naive vs event results differ", kind)
+		}
+	}
+}
+
+// TestPatternSparse16x16EventSpeedup is the acceptance check of the
+// pattern subsystem: a sparse-injection (0.05 flits/cycle/node, under
+// the 0.1 ceiling) 16×16 uniform pattern with finite flows must (a)
+// produce byte-identical Results under naive, gated and event kernels
+// and (b) cut the event kernel's per-cycle component visits at least
+// 5× below the gated kernel's, via fast-forward. The visit count is a
+// deterministic proxy for wall-clock speed — the wall-clock comparison
+// lives in the pattern kernel benchmarks (BENCH_ci).
+func TestPatternSparse16x16EventSpeedup(t *testing.T) {
+	sc := Scenario{
+		Name: "sparse16", Pattern: "uniform", MeshWidth: 16, MeshHeight: 16,
+		Cycles: 20000, Seed: 9, WordsPerStream: 4,
+		Injection: &Injection{Process: "bernoulli", Rate: 0.05},
+	}
+	naive := runJSON(t, CircuitSwitched(WithKernel(KernelNaive)), sc)
+	gated := runJSON(t, CircuitSwitched(WithKernel(KernelGated)), sc)
+	event := runJSON(t, CircuitSwitched(WithKernel(KernelEvent)), sc)
+	if !bytes.Equal(naive, gated) {
+		t.Error("naive vs gated results differ")
+	}
+	if !bytes.Equal(naive, event) {
+		t.Error("naive vs event results differ")
+	}
+
+	// Work proxy: the gated kernel visits every component every cycle
+	// (to poll quiescence); the event kernel only visits components on
+	// live cycles plus one O(components) replay per fast-forward
+	// window.
+	var ffWindows, ffCycles, cycles uint64
+	r, err := CircuitSwitched(WithKernel(KernelEvent), withWorldObserver(func(w *sim.World) {
+		ffWindows, ffCycles = w.FastForwards()
+		cycles = w.Cycle()
+	})).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WordsSent == 0 || r.WordsDelivered != r.WordsSent {
+		t.Fatalf("finite run did not drain: sent %d delivered %d", r.WordsSent, r.WordsDelivered)
+	}
+	if cycles == 0 {
+		t.Fatal("observer saw no cycles")
+	}
+	gatedVisits := float64(cycles)
+	eventVisits := float64(cycles-ffCycles) + float64(ffWindows)
+	if speedup := gatedVisits / eventVisits; speedup < 5 {
+		t.Errorf("event kernel visit reduction %.1fx < 5x (ff %d cycles in %d windows of %d)",
+			speedup, ffCycles, ffWindows, cycles)
+	}
+}
+
+// TestTDMPowerIdenticalAcrossKernels verifies the folded meter tick:
+// with the every-cycle meter Func replaced by the router's own
+// IdleTick/IdleWindow bookkeeping, TDM power totals stay bit-identical
+// across all three kernels on classic stream scenarios — including a
+// finite run whose drained tail the event kernel fast-forwards.
+func TestTDMPowerIdenticalAcrossKernels(t *testing.T) {
+	base, err := PaperScenario("IV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Cycles = 4000
+	finite := base
+	finite.WordsPerStream = 50
+	for _, sc := range []Scenario{base, finite} {
+		naive := runJSON(t, AetherealTDM(WithKernel(KernelNaive)), sc)
+		gated := runJSON(t, AetherealTDM(WithKernel(KernelGated)), sc)
+		event := runJSON(t, AetherealTDM(WithKernel(KernelEvent)), sc)
+		if !bytes.Equal(naive, gated) || !bytes.Equal(naive, event) {
+			t.Errorf("words_per_stream=%d: TDM results differ across kernels", sc.WordsPerStream)
+		}
+	}
+}
+
+// TestTDMFiniteRunFastForwards: with the meter tick folded into the
+// router and stream drivers componentized, a drained TDM scenario
+// fast-forwards (the ROADMAP's "TDM meter tick without a monitor").
+func TestTDMFiniteRunFastForwards(t *testing.T) {
+	sc, err := PaperScenario("II")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Cycles = 50000
+	sc.WordsPerStream = 20
+	var ffCycles uint64
+	_, err = AetherealTDM(WithKernel(KernelEvent), withWorldObserver(func(w *sim.World) {
+		_, ffCycles = w.FastForwards()
+	})).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(ffCycles) < 0.8*float64(sc.Cycles) {
+		t.Errorf("TDM finite run fast-forwarded only %d of %d cycles", ffCycles, sc.Cycles)
+	}
+}
+
+// TestPatternSweepDeterminism: a pattern grid sweep is byte-identical
+// across worker counts and across kernels.
+func TestPatternSweepDeterminism(t *testing.T) {
+	spec := SweepSpec{
+		Fabrics: []FabricSpec{{Kind: KindCircuit}, {Kind: KindPacket}, {Kind: KindTDM}},
+		Grid: &Grid{
+			Patterns:       []string{"hotspot", "transpose"},
+			MeshSizes:      []int{4},
+			InjectionRates: []float64{0.02, 0.08},
+			Cycles:         []int{1200},
+		},
+		Seed: 5,
+	}
+	out := func(workers int, kernel string) []byte {
+		s := spec
+		s.Workers = workers
+		s.Kernel = kernel
+		var buf bytes.Buffer
+		if err := SweepJSON(context.Background(), s, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	w1 := out(1, "")
+	w8 := out(8, "")
+	if !bytes.Equal(w1, w8) {
+		t.Error("pattern sweep differs between 1 and 8 workers")
+	}
+	for _, k := range []string{"gated", "naive"} {
+		if !bytes.Equal(w1, out(4, k)) {
+			t.Errorf("pattern sweep differs between event and %s kernels", k)
+		}
+	}
+	if !bytes.Contains(w1, []byte(`"pattern"`)) {
+		t.Error("sweep output carries no pattern field")
+	}
+}
+
+// TestPatternSweepBurstinessAxis: the burstiness axis switches cells to
+// the on-off process and expands the grid.
+func TestPatternSweepBurstinessAxis(t *testing.T) {
+	spec := SweepSpec{
+		Fabrics: []FabricSpec{{Kind: KindPacket}},
+		Grid: &Grid{
+			Patterns:   []string{"uniform"},
+			Burstiness: []float64{2, 8},
+			Cycles:     []int{800},
+		},
+		Seed: 1,
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if c.Scenario.Injection == nil || c.Scenario.Injection.Process != "onoff" {
+			t.Errorf("cell %d: burstiness axis did not select onoff (%+v)", c.Index, c.Scenario.Injection)
+		}
+	}
+	// The struct entry point takes the same onoff burstiness default as
+	// the string parser, so the equivalent JSON spec validates too.
+	sc := Scenario{Pattern: "uniform", Injection: &Injection{Process: "onoff", Rate: 0.1}}
+	if err := sc.withDefaults().Validate(); err != nil {
+		t.Errorf("onoff without burstiness rejected on the struct path: %v", err)
+	}
+	// Axis misuse fails loudly.
+	bad := SweepSpec{Grid: &Grid{Burstiness: []float64{2}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("burstiness without patterns accepted")
+	}
+	bad = SweepSpec{Grid: &Grid{Patterns: []string{"uniform"}, Workloads: []string{"drm"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("patterns+workloads accepted")
+	}
+}

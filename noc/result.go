@@ -194,8 +194,14 @@ type Result struct {
 	Channels   []Channel   `json:"channels,omitempty"`
 	Placements []Placement `json:"placements,omitempty"`
 	// LinkUtilization is the fraction of mesh lane capacity allocated
-	// (workload runs).
+	// (workload and circuit pattern runs).
 	LinkUtilization float64 `json:"link_utilization,omitempty"`
+	// FlowsRequested and FlowsEstablished describe pattern runs: how
+	// many flows the spatial pattern generated and how many the fabric
+	// admitted (lane paths on the circuit mesh, slot-table reservations
+	// on TDM; the packet router admits everything and queues instead).
+	FlowsRequested   int `json:"flows_requested,omitempty"`
+	FlowsEstablished int `json:"flows_established,omitempty"`
 	// NodeVCD is the captured waveform of node (0,0) when WithNodeTrace
 	// was requested on a workload run.
 	NodeVCD []byte `json:"node_vcd,omitempty"`

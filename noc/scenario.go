@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/pattern"
 	"repro/internal/traffic"
 )
 
@@ -83,6 +84,66 @@ type Pattern struct {
 // (50% bit flips) at 100% load.
 func DefaultPattern() Pattern { return Pattern{FlipProb: 0.5, Load: 1} }
 
+// Injection configures the temporal injection process of a synthetic
+// pattern scenario: which stochastic process times each node's words
+// and at what rate.
+type Injection struct {
+	// Process names the temporal process: "cbr", "bernoulli", "poisson"
+	// (the default) or "onoff". See InjectionProcesses.
+	Process string `json:"process,omitempty"`
+	// Rate is the mean injection rate in words per cycle per node, in
+	// (0,1].
+	Rate float64 `json:"rate"`
+	// Burstiness is the mean burst length in words for the onoff
+	// process (>= 1; zero selects the default of 4, matching
+	// ParseInjection); ignored by the others.
+	Burstiness float64 `json:"burstiness,omitempty"`
+}
+
+// DefaultInjection returns the default temporal process of a pattern
+// scenario: sparse Poisson arrivals at 0.05 words per cycle per node.
+func DefaultInjection() Injection { return Injection{Process: "poisson", Rate: 0.05} }
+
+// internal converts to the internal representation, validating. An
+// unset burstiness on the onoff process takes the same default as
+// ParseInjection, so the struct and string entry points accept the
+// same logical specs.
+func (i Injection) internal() (pattern.Injection, error) {
+	proc, err := pattern.ParseProcess(i.Process)
+	if err != nil {
+		return pattern.Injection{}, fmt.Errorf("noc: %w", err)
+	}
+	out := pattern.Injection{Proc: proc, Rate: i.Rate, Burstiness: i.Burstiness}
+	if out.Proc == pattern.OnOff && out.Burstiness == 0 {
+		out.Burstiness = pattern.DefaultBurstiness
+	}
+	if err := out.Validate(); err != nil {
+		return pattern.Injection{}, fmt.Errorf("noc: %w", err)
+	}
+	return out, nil
+}
+
+// ParseInjection parses an injection spec "process:rate[:burstiness]"
+// (e.g. "poisson:0.05", "onoff:0.1:8"); a bare rate selects Poisson.
+// It is the parser behind the nocbench -inject flag.
+func ParseInjection(s string) (Injection, error) {
+	inj, err := pattern.ParseInjection(s)
+	if err != nil {
+		return Injection{}, fmt.Errorf("noc: %w", err)
+	}
+	return Injection{Process: inj.Proc.String(), Rate: inj.Rate, Burstiness: inj.Burstiness}, nil
+}
+
+// Patterns lists the spatial traffic patterns a pattern Scenario can
+// use: "uniform", "transpose", "bitcomp", "bitrev", "hotspot" (optional
+// traffic fraction as "hotspot:0.7"), "neighbour" and "perm" (a seeded
+// random permutation).
+func Patterns() []string { return pattern.Names() }
+
+// InjectionProcesses lists the temporal injection processes: "cbr",
+// "bernoulli", "poisson", "onoff".
+func InjectionProcesses() []string { return pattern.ProcessNames() }
+
 // Scenario describes one simulation: either a single-router test (the
 // paper's Fig. 8 scenarios, or custom Streams) or — when Workloads is
 // set — a mesh run that maps whole wireless applications onto a W×H NoC.
@@ -95,43 +156,56 @@ type Scenario struct {
 	// Cycles is the simulated length (default 5000 for single-router
 	// runs — 200 µs at 25 MHz — and 20000 for workload runs).
 	Cycles int `json:"cycles"`
-	// Pattern is the data pattern driving the streams. The zero value
-	// means DefaultPattern.
-	Pattern Pattern `json:"pattern"`
+	// Data is the data pattern driving the streams (bit-flip fraction
+	// and offered load). The zero value means DefaultPattern.
+	Data Pattern `json:"data"`
 	// Streams are the concurrently active streams of a single-router
 	// scenario. Empty with no Workloads reproduces scenario I (the
 	// static offset measurement).
 	Streams []Stream `json:"streams,omitempty"`
 	// MeshWidth and MeshHeight give the NoC dimensions of a workload
-	// run (default 4×3).
+	// or pattern run (default 4×3 for workloads, 8×8 for patterns).
 	MeshWidth  int `json:"mesh_width,omitempty"`
 	MeshHeight int `json:"mesh_height,omitempty"`
 	// Workloads names the applications to map concurrently onto the
 	// mesh: "hiperlan2", "umts", "drm". Setting it switches the
 	// scenario to a mesh workload run.
 	Workloads []string `json:"workloads,omitempty"`
+	// Pattern names a synthetic spatial traffic pattern (see Patterns).
+	// Setting it switches the scenario to a pattern run: the circuit
+	// fabric simulates the whole MeshWidth×MeshHeight mesh with one
+	// single-lane circuit per pattern flow, while the packet and TDM
+	// fabrics (single-router models) are driven with the port-to-port
+	// traffic the pattern XY-routes through the mesh-centre router.
+	// Mutually exclusive with Streams and Workloads.
+	Pattern string `json:"pattern,omitempty"`
+	// Injection is the temporal process timing each node's words in a
+	// pattern run; nil means DefaultInjection.
+	Injection *Injection `json:"injection,omitempty"`
 	// Seed is the run-level base seed mixed into every stream source's
 	// RNG. Zero selects the paper-default seeding (sources seeded by
 	// stream id alone). The Sweep engine assigns each cell a
 	// deterministic seed derived from the spec seed and the cell index,
 	// so sweep results are reproducible regardless of scheduling.
 	Seed uint64 `json:"seed,omitempty"`
-	// WordsPerStream caps the words each stream source emits; 0 means
-	// unlimited (the paper's open-loop scenarios). With a cap the run is
-	// a finite workload: sources retire once their budget is spent and
-	// the network drains. Applies to single-router scenarios on all
-	// three fabrics (the packet fabric rounds the cap up to its 16-word
-	// packet boundary, since a wormhole packet must close with its Tail
-	// flit); on the circuit fabric the event kernel additionally
-	// fast-forwards the drained tail of the run — the packet and TDM
-	// runners keep every-cycle stimulus components, which by the monitor
-	// contract disable fast-forward. Ignored by workload runs, whose
-	// channels are rate-driven.
+	// WordsPerStream caps the words each stream source (or, in a
+	// pattern run, each flow source) emits; 0 means unlimited (the
+	// paper's open-loop scenarios). With a cap the run is a finite
+	// workload: sources retire once their budget is spent, the network
+	// drains, and the event kernel fast-forwards the drained tail on
+	// every fabric — stream and pattern drivers alike are first-class
+	// quiescent components (the packet fabrics round the cap up to
+	// their packet boundary, since a wormhole packet must close with
+	// its Tail flit). Ignored by workload runs, whose channels are
+	// rate-driven.
 	WordsPerStream uint64 `json:"words_per_stream,omitempty"`
 }
 
 // IsWorkload reports whether the scenario is a mesh workload run.
 func (s Scenario) IsWorkload() bool { return len(s.Workloads) > 0 }
+
+// IsPattern reports whether the scenario is a synthetic-pattern run.
+func (s Scenario) IsPattern() bool { return s.Pattern != "" }
 
 // withDefaults fills unset knobs with the paper's defaults.
 func (s Scenario) withDefaults() Scenario {
@@ -145,8 +219,8 @@ func (s Scenario) withDefaults() Scenario {
 			s.Cycles = 5000
 		}
 	}
-	if s.Pattern == (Pattern{}) {
-		s.Pattern = DefaultPattern()
+	if s.Data == (Pattern{}) {
+		s.Data = DefaultPattern()
 	}
 	if s.IsWorkload() {
 		if s.MeshWidth == 0 {
@@ -154,6 +228,18 @@ func (s Scenario) withDefaults() Scenario {
 		}
 		if s.MeshHeight == 0 {
 			s.MeshHeight = 3
+		}
+	}
+	if s.IsPattern() {
+		if s.MeshWidth == 0 {
+			s.MeshWidth = 8
+		}
+		if s.MeshHeight == 0 {
+			s.MeshHeight = 8
+		}
+		if s.Injection == nil {
+			inj := DefaultInjection()
+			s.Injection = &inj
 		}
 	}
 	return s
@@ -168,12 +254,30 @@ func (s Scenario) Validate() error {
 	if s.Cycles < 1 {
 		return fmt.Errorf("noc: scenario %q: need at least 1 cycle", s.Name)
 	}
-	if s.Pattern.FlipProb < 0 || s.Pattern.FlipProb > 1 {
+	if s.Data.FlipProb < 0 || s.Data.FlipProb > 1 {
 		return fmt.Errorf("noc: scenario %q: flip probability %v out of [0,1]",
-			s.Name, s.Pattern.FlipProb)
+			s.Name, s.Data.FlipProb)
 	}
-	if s.Pattern.Load <= 0 || s.Pattern.Load > 1 {
-		return fmt.Errorf("noc: scenario %q: load %v out of (0,1]", s.Name, s.Pattern.Load)
+	if s.Data.Load <= 0 || s.Data.Load > 1 {
+		return fmt.Errorf("noc: scenario %q: load %v out of (0,1]", s.Name, s.Data.Load)
+	}
+	if s.IsPattern() {
+		if len(s.Streams) > 0 || s.IsWorkload() {
+			return fmt.Errorf("noc: scenario %q: pattern is mutually exclusive with streams and workloads", s.Name)
+		}
+		if _, err := pattern.ParseSpatial(s.Pattern); err != nil {
+			return fmt.Errorf("noc: scenario %q: %w", s.Name, err)
+		}
+		if s.MeshWidth < 2 || s.MeshHeight < 2 {
+			return fmt.Errorf("noc: scenario %q: pattern mesh must be at least 2x2, have %dx%d",
+				s.Name, s.MeshWidth, s.MeshHeight)
+		}
+		if s.Injection != nil {
+			if _, err := s.Injection.internal(); err != nil {
+				return fmt.Errorf("noc: scenario %q: %w", s.Name, err)
+			}
+		}
+		return nil
 	}
 	if s.IsWorkload() {
 		if len(s.Streams) > 0 {
@@ -239,6 +343,26 @@ func PaperScenario(name string) (Scenario, error) {
 		}
 	}
 	return Scenario{}, fmt.Errorf("noc: unknown paper scenario %q (have I..IV)", name)
+}
+
+// patternSetup resolves a pattern scenario's spatial pattern and
+// injection process to their internal representations. Call after
+// withDefaults.
+func (s Scenario) patternSetup() (pattern.Spatial, pattern.Injection, error) {
+	sp, err := pattern.ParseSpatial(s.Pattern)
+	if err != nil {
+		return pattern.Spatial{}, pattern.Injection{}, fmt.Errorf("noc: scenario %q: %w", s.Name, err)
+	}
+	injSpec := s.Injection
+	if injSpec == nil {
+		def := DefaultInjection()
+		injSpec = &def
+	}
+	inj, err := injSpec.internal()
+	if err != nil {
+		return pattern.Spatial{}, pattern.Injection{}, fmt.Errorf("noc: scenario %q: %w", s.Name, err)
+	}
+	return sp, inj, nil
 }
 
 // trafficScenario converts to the internal representation.

@@ -40,9 +40,10 @@ type FabricSpec struct {
 	// LatencyWords overrides the latency sample count; nil keeps the
 	// default, 0 disables the latency measurement (WithLatencyWords).
 	LatencyWords *int `json:"latency_words,omitempty"`
-	// Kernel selects the simulation kernel: "gated" (default) or
-	// "naive" (WithKernel). Results are byte-identical under both; the
-	// CI equivalence check runs the same sweep under each and compares.
+	// Kernel selects the simulation kernel: "event" (default), "gated"
+	// or "naive" (WithKernel). Results are byte-identical under all
+	// three; the CI equivalence check runs the same sweep under each
+	// and compares. Unknown names are rejected at spec validation.
 	Kernel string `json:"kernel,omitempty"`
 }
 
@@ -115,10 +116,23 @@ type Grid struct {
 	// entry is a comma-separated application list mapped concurrently
 	// (e.g. "hiperlan2,umts,drm") and becomes one base scenario.
 	Workloads []string `json:"workloads,omitempty"`
-	// MeshSizes sweeps the workload mesh as N×N placements — the
-	// large-mesh axis the event kernel's fast-forward makes affordable.
-	// Requires Workloads.
+	// Patterns switches the grid to synthetic-pattern scenarios: each
+	// entry is a spatial pattern name (see Patterns()), e.g. "uniform"
+	// or "hotspot:0.7", and becomes one base scenario. Mutually
+	// exclusive with Scenarios and Workloads.
+	Patterns []string `json:"patterns,omitempty"`
+	// MeshSizes sweeps the mesh as N×N placements — the large-mesh
+	// axis the event kernel's fast-forward makes affordable. Requires
+	// Workloads or Patterns.
 	MeshSizes []int `json:"mesh_sizes,omitempty"`
+	// InjectionRates sweeps the pattern injection rate in words per
+	// cycle per node (the process shape comes from the base scenario's
+	// Injection, default Poisson). Requires Patterns.
+	InjectionRates []float64 `json:"injection_rates,omitempty"`
+	// Burstiness sweeps the on-off burst length: each value switches
+	// the injection process to "onoff" with that mean burst length.
+	// Requires Patterns.
+	Burstiness []float64 `json:"burstiness,omitempty"`
 	// FreqsMHz sweeps the network clock.
 	FreqsMHz []float64 `json:"freqs_mhz,omitempty"`
 	// Loads sweeps the offered load fraction.
@@ -130,12 +144,33 @@ type Grid struct {
 }
 
 // bases returns the grid's base scenarios: the named paper scenarios,
-// or one workload scenario per Workloads entry.
+// one workload scenario per Workloads entry, or one pattern scenario
+// per Patterns entry.
 func (g Grid) bases() ([]Scenario, error) {
-	if len(g.Workloads) > 0 {
-		if len(g.Scenarios) > 0 {
-			return nil, fmt.Errorf("noc: sweep: grid scenarios and workloads are mutually exclusive")
+	kinds := 0
+	for _, populated := range []bool{len(g.Scenarios) > 0, len(g.Workloads) > 0, len(g.Patterns) > 0} {
+		if populated {
+			kinds++
 		}
+	}
+	if kinds > 1 {
+		return nil, fmt.Errorf("noc: sweep: grid scenarios, workloads and patterns are mutually exclusive")
+	}
+	if len(g.Patterns) == 0 && (len(g.InjectionRates) > 0 || len(g.Burstiness) > 0) {
+		return nil, fmt.Errorf("noc: sweep: injection_rates and burstiness require patterns")
+	}
+	if len(g.Patterns) > 0 {
+		var out []Scenario
+		for _, p := range g.Patterns {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return nil, fmt.Errorf("noc: sweep: empty pattern entry")
+			}
+			out = append(out, Scenario{Name: "pat:" + p, Pattern: p})
+		}
+		return out, nil
+	}
+	if len(g.Workloads) > 0 {
 		var out []Scenario
 		for _, entry := range g.Workloads {
 			var apps []string
@@ -152,7 +187,7 @@ func (g Grid) bases() ([]Scenario, error) {
 		return out, nil
 	}
 	if len(g.MeshSizes) > 0 {
-		return nil, fmt.Errorf("noc: sweep: mesh_sizes requires workloads")
+		return nil, fmt.Errorf("noc: sweep: mesh_sizes requires workloads or patterns")
 	}
 	names := g.Scenarios
 	if len(names) == 0 {
@@ -183,14 +218,31 @@ func (g Grid) expand() ([]Scenario, error) {
 		scs = expandIntAxis(scs, g.MeshSizes, "mesh", func(sc *Scenario, v int) {
 			sc.MeshWidth, sc.MeshHeight = v, v
 		})
+		scs = expandAxis(scs, g.InjectionRates, "inj", func(sc *Scenario, v float64) {
+			inj := DefaultInjection()
+			if sc.Injection != nil {
+				inj = *sc.Injection
+			}
+			inj.Rate = v
+			sc.Injection = &inj
+		})
+		scs = expandAxis(scs, g.Burstiness, "burst", func(sc *Scenario, v float64) {
+			inj := DefaultInjection()
+			if sc.Injection != nil {
+				inj = *sc.Injection
+			}
+			inj.Process = "onoff"
+			inj.Burstiness = v
+			sc.Injection = &inj
+		})
 		scs = expandAxis(scs, g.FreqsMHz, "f", func(sc *Scenario, v float64) {
 			sc.FreqMHz = v
 		})
 		scs = expandAxis(scs, g.Loads, "load", func(sc *Scenario, v float64) {
-			sc.Pattern.Load = v
+			sc.Data.Load = v
 		})
 		scs = expandAxis(scs, g.FlipProbs, "flip", func(sc *Scenario, v float64) {
-			sc.Pattern.FlipProb = v
+			sc.Data.FlipProb = v
 		})
 		scs = expandIntAxis(scs, g.Cycles, "cycles", func(sc *Scenario, v int) {
 			sc.Cycles = v
@@ -261,8 +313,10 @@ type SweepSpec struct {
 	// identical for any worker count.
 	Seed uint64 `json:"seed,omitempty"`
 	// Kernel is the default simulation kernel for every fabric that does
-	// not choose its own: "gated" (default) or "naive". The
-	// `nocbench -kernel` flag sets it from the command line.
+	// not choose its own: "event" (default), "gated" or "naive". The
+	// `nocbench -kernel` flag sets it from the command line; unknown
+	// names are rejected at spec validation with the valid kernels
+	// listed.
 	Kernel string `json:"kernel,omitempty"`
 }
 
@@ -476,10 +530,23 @@ func SweepJSON(ctx context.Context, spec SweepSpec, w io.Writer) error {
 // sweepCSVHeader is the column set of SweepCSV.
 var sweepCSVHeader = []string{
 	"index", "fabric", "scenario", "freq_mhz", "cycles", "load",
-	"flip_prob", "seed", "words_sent", "words_delivered",
-	"throughput_mbps", "power_total_uw", "power_dynamic_uw_per_mhz",
-	"power_components", "latency_mean_cycles", "latency_jitter_cycles",
-	"error",
+	"flip_prob", "pattern", "injection", "seed", "words_sent",
+	"words_delivered", "throughput_mbps", "power_total_uw",
+	"power_dynamic_uw_per_mhz", "power_components",
+	"latency_mean_cycles", "latency_jitter_cycles", "error",
+}
+
+// injectionCSV renders a pattern scenario's injection process as one
+// CSV cell ("poisson:0.05", "onoff:0.1:8"); empty for non-pattern runs.
+func injectionCSV(sc Scenario) string {
+	if !sc.IsPattern() || sc.Injection == nil {
+		return ""
+	}
+	inj, err := sc.Injection.internal()
+	if err != nil {
+		return ""
+	}
+	return inj.String()
 }
 
 // componentsCSV flattens the per-component attribution into one cell:
@@ -529,8 +596,10 @@ func SweepCSV(ctx context.Context, spec SweepSpec, w io.Writer) error {
 			sc.Name,
 			ff(sc.FreqMHz),
 			strconv.Itoa(sc.Cycles),
-			ff(sc.Pattern.Load),
-			ff(sc.Pattern.FlipProb),
+			ff(sc.Data.Load),
+			ff(sc.Data.FlipProb),
+			sc.Pattern,
+			injectionCSV(sc),
 			strconv.FormatUint(c.Seed, 10),
 			sent,
 			delivered,

@@ -241,7 +241,7 @@ func TestSweepGridExpansion(t *testing.T) {
 			t.Errorf("cell %d name = %q, want %q", i, names[i], want[i])
 		}
 	}
-	if cells[1].Scenario.FreqMHz != 50 || cells[1].Scenario.Pattern.Load != 0.25 {
+	if cells[1].Scenario.FreqMHz != 50 || cells[1].Scenario.Data.Load != 0.25 {
 		t.Errorf("cell 1 parameters not applied: %+v", cells[1].Scenario)
 	}
 }

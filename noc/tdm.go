@@ -41,6 +41,9 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	if sc.IsPattern() {
+		return runTDMPattern(f.cfg, sc)
+	}
 	if sc.IsWorkload() {
 		return nil, fmt.Errorf("noc: the Aethereal TDM fabric does not support workload scenarios (use CircuitSwitched)")
 	}
@@ -86,7 +89,7 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 				if r.Table.Entry(s, out) != aethereal.NoInput {
 					continue
 				}
-				if inputBusy(r.Table, p, s, in) {
+				if r.Table.InputBusy(s, in) {
 					continue
 				}
 				if err := r.Table.Reserve(s, in, out); err != nil {
@@ -108,82 +111,55 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 	}
 
 	meter := power.NewMeter(aethereal.Netlist(p, lib), lib, sc.FreqMHz)
+	// The router ticks the meter itself (Commit, IdleTick and batched
+	// IdleWindow), replacing the every-cycle monitor Func that used to
+	// pin every kernel to every cycle — with componentized stream
+	// drivers below, finite TDM scenarios now fast-forward.
+	r.BindMeter(meter)
 	w := sim.NewWorld(sim.WithKernel(f.cfg.simKernel()))
 	w.Add(r)
 
 	// The average toggling bits per forwarded word under the pattern's
 	// flip probability, split over register, crossbar and link nets.
-	toggleBits := int(sc.Pattern.FlipProb*wordBits + 0.5)
+	toggleBits := int(sc.Data.FlipProb*wordBits + 0.5)
 
 	var (
 		sources []*traffic.Source
+		flows   []*traffic.TDMFlow
 		lat     stats.Series
-
-		delivered uint64
 	)
-	pat := traffic.Pattern{FlipProb: sc.Pattern.FlipProb, Load: sc.Pattern.Load}
+	pat := traffic.Pattern{FlipProb: sc.Data.FlipProb, Load: sc.Data.Load}
 	for i, st := range sc.Streams {
 		rv := reservations[i]
 		src := traffic.NewSourceSeeded(pat, st.ID, sc.Seed)
 		sources = append(sources, src)
 
-		data := new(uint32)
-		valid := new(bool)
-		r.ConnectIn(rv.in, data, valid)
-
 		reserved := make([]bool, p.Slots)
 		for _, s := range rv.slots {
 			reserved[s] = true
 		}
-		type pending struct {
-			word  uint32
-			cycle uint64
-		}
-		var queue, inFlight []pending
-		out := rv.out
-		in := rv.in
-		w.Add(&sim.Func{OnEval: func() {
-			// Observe the registered output first: the value visible
-			// now was committed from the previous cycle's slot. A word
-			// only counts as delivered — and only then records its
-			// latency and pays its toggle energy — once it has actually
-			// crossed the crossbar into the output register.
-			prev := (r.Slot() - 1 + p.Slots) % p.Slots
-			if r.OutValid[out] && r.Table.Entry(prev, out) == in && len(inFlight) > 0 {
-				head := inFlight[0]
-				inFlight = inFlight[1:]
-				delivered++
-				lat.Add(float64(w.Cycle() - head.cycle))
-				meter.AddToggles(power.ToggleReg, toggleBits)
-				meter.AddToggles(power.ToggleGate, toggleBits)
-				meter.AddToggles(power.ToggleLink, toggleBits)
-			}
-			// Offer words at the lane rate, gated by the load knob. A
-			// retired source (word budget exhausted) stops drawing from
-			// the load gate, mirroring the other fabrics' runners.
-			if w.Cycle()%wordPeriod == 0 &&
-				(sc.WordsPerStream == 0 || src.Sent() < sc.WordsPerStream) {
-				if word, ok := src.Offer(); ok {
-					queue = append(queue, pending{word: uint32(word.Data), cycle: w.Cycle()})
-				}
-			}
-			// The router's next Eval uses the slot after the current
-			// one; present a word iff that slot is ours.
-			*valid = false
-			upcoming := (r.Slot() + 1) % p.Slots
-			if reserved[upcoming] && len(queue) > 0 {
-				head := queue[0]
-				queue = queue[1:]
-				*data = head.word
-				*valid = true
-				inFlight = append(inFlight, head)
-			}
-		}})
+		// Offerer first, presenter second: a word offered this cycle is
+		// presentable this cycle, exactly as in the single-component
+		// harness this pair replaces. One stream per input port (checked
+		// above), so each stream gets its own presenter.
+		pres := traffic.NewTDMPresenter(r, rv.in)
+		flow := pres.AddFlow(rv.out, reserved, &lat, toggleBits, meter)
+		flows = append(flows, flow)
+		w.Add(&tdmOffer{
+			src: src, flow: flow, limit: sc.WordsPerStream,
+			wordPeriod: wordPeriod,
+		}, pres)
 	}
-	w.Add(&sim.Func{OnEval: meter.Tick})
 
 	w.Run(sc.Cycles)
+	if f.cfg.worldObserver != nil {
+		f.cfg.worldObserver(w)
+	}
 
+	var delivered uint64
+	for _, fl := range flows {
+		delivered += fl.Delivered()
+	}
 	breakdown := meter.Report("aethereal / scenario " + sc.Name)
 	res := &Result{
 		Fabric:         KindTDM,
@@ -202,13 +178,53 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 	return res, nil
 }
 
-// inputBusy reports whether the input already feeds some output in the
-// slot (the no-multicast invariant of the functional model).
-func inputBusy(t *aethereal.SlotTable, p aethereal.Params, s, in int) bool {
-	for o := 0; o < p.Ports; o++ {
-		if t.Entry(s, o) == in {
-			return true
+// tdmOffer drives one Table-3 stream's source: it offers words at the
+// lane rate through the load gate and enqueues them on the stream's
+// traffic.TDMFlow, whose TDMPresenter (the single shared
+// implementation of the slot presentation/delivery algorithm) does the
+// rest. It is a first-class component rather than a bare sim.Func so
+// the kernel can retire it: while the source is live the offerer runs
+// every cycle (the load gate draws once per offer opportunity, part of
+// the cross-kernel byte-identity contract), but once the word budget is
+// spent it goes quiescent forever, the presenter drains, and the event
+// kernel fast-forwards the rest of the run.
+type tdmOffer struct {
+	src        *traffic.Source
+	flow       *traffic.TDMFlow
+	limit      uint64 // emitted-word budget; 0 = unlimited
+	wordPeriod int
+	cycle      uint64
+}
+
+// Eval implements sim.Clocked: offer words at the lane rate, gated by
+// the load knob. A retired source (word budget exhausted) stops drawing
+// from the load gate, mirroring the other fabrics' runners.
+func (s *tdmOffer) Eval() {
+	if s.cycle%uint64(s.wordPeriod) == 0 &&
+		(s.limit == 0 || s.src.Sent() < s.limit) {
+		if word, ok := s.src.Offer(); ok {
+			s.flow.Enqueue(uint32(word.Data), s.cycle)
 		}
 	}
-	return false
 }
+
+// Commit implements sim.Clocked.
+func (s *tdmOffer) Commit() { s.cycle++ }
+
+// Quiescent implements sim.Quiescer: only a retired source is
+// skippable — a live one's load gate must draw every period. Drained
+// queues are the presenter's quiescence condition, not the offerer's.
+func (s *tdmOffer) Quiescent() bool {
+	return s.limit > 0 && s.src.Sent() >= s.limit
+}
+
+// IdleTick implements sim.IdleTicker: the local clock tracks skipped
+// cycles (only reachable after retirement, where it is no longer read,
+// but kept exact regardless).
+func (s *tdmOffer) IdleTick() { s.cycle++ }
+
+// IdleWindow implements sim.IdleWindower.
+func (s *tdmOffer) IdleWindow(n uint64) { s.cycle += n }
+
+var _ sim.IdleWindower = (*tdmOffer)(nil)
+var _ sim.Quiescer = (*tdmOffer)(nil)

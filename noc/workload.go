@@ -3,6 +3,7 @@ package noc
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -71,6 +72,124 @@ func placementsOf(workload string, mp *ccn.Mapping) []Placement {
 // kept up.
 const inFlightAllowance = 32
 
+// rateScale is the fixed-point denominator of the channel drivers' rate
+// accumulators. Integer accrual makes a window of n skipped cycles
+// algebraically identical to n single cycles — the property the event
+// kernel's fast-forward replay needs — where a float accumulator would
+// round differently.
+const rateScale = 1 << 32
+
+// chanSource drives one guaranteed-throughput channel at its required
+// word rate. It replaces the every-cycle sim.Func channel driver: as a
+// first-class quiescent component with a rate-derived NextEvent, it
+// lets underloaded mesh runs fast-forward between words instead of
+// pinning the kernel to every cycle (the ROADMAP's "workload channels
+// as Timed sources" item).
+type chanSource struct {
+	gtx     *core.GangTx
+	num     uint64 // words per cycle in 2^-32 units (exact integer rate)
+	acc     uint64 // fractional word accumulator, < rateScale
+	credits uint64 // whole words due but not yet accepted by the gang
+	n       uint16 // data word counter
+	offered uint64
+	cycle   uint64 // local clock, always equal to the world clock
+}
+
+func newChanSource(gtx *core.GangTx, wordsPerCycle float64) *chanSource {
+	num := uint64(math.Round(wordsPerCycle * rateScale))
+	if num == 0 {
+		num = 1
+	}
+	return &chanSource{gtx: gtx, num: num}
+}
+
+// accrue advances the rate accumulator by one cycle.
+func (s *chanSource) accrue() {
+	s.acc += s.num
+	s.credits += s.acc >> 32
+	s.acc &= rateScale - 1
+}
+
+// Eval implements sim.Clocked: accrue this cycle's words and push as
+// many due words as the gang accepts (backpressure lets credits bank,
+// exactly like the float accumulator it replaces).
+func (s *chanSource) Eval() {
+	s.accrue()
+	for s.credits >= 1 && s.gtx.Ready() {
+		if !s.gtx.Push(core.DataWord(s.n)) {
+			break
+		}
+		s.n++
+		s.credits--
+		s.offered++
+	}
+}
+
+// Commit implements sim.Clocked.
+func (s *chanSource) Commit() { s.cycle++ }
+
+// Quiescent implements sim.Quiescer: no word due now and none banked.
+func (s *chanSource) Quiescent() bool {
+	return s.credits == 0 && (s.acc+s.num)>>32 == 0
+}
+
+// IdleTick implements sim.IdleTicker: the accumulator advances on
+// skipped cycles too (by the Quiescent contract it cannot produce a
+// credit there).
+func (s *chanSource) IdleTick() {
+	s.accrue()
+	s.cycle++
+}
+
+// IdleWindow implements sim.IdleWindower: integer accrual commutes, so
+// one call is exactly n IdleTicks.
+func (s *chanSource) IdleWindow(n uint64) {
+	s.acc += n * s.num
+	s.credits += s.acc >> 32
+	s.acc &= rateScale - 1
+	s.cycle += n
+}
+
+// NextEvent implements sim.Timed: the cycle the accumulator next
+// crosses a whole word, which ends the source's quiescence with no
+// external stimulus.
+func (s *chanSource) NextEvent() (uint64, bool) {
+	if s.credits > 0 {
+		return s.cycle, true
+	}
+	k := (rateScale - s.acc + s.num - 1) / s.num // accruals until a credit
+	return s.cycle + k - 1, true
+}
+
+// chanSink drains one channel's receive gang on behalf of the
+// destination tile. Popping an empty gang is a no-op, so skipping the
+// sink while nothing is buffered is exact.
+type chanSink struct {
+	grx *core.GangRx
+}
+
+// Eval implements sim.Clocked.
+func (d *chanSink) Eval() {
+	for {
+		if _, ok := d.grx.Pop(); !ok {
+			break
+		}
+	}
+}
+
+// Commit implements sim.Clocked.
+func (d *chanSink) Commit() {}
+
+// Quiescent implements sim.Quiescer: the next word in stripe order has
+// not arrived.
+func (d *chanSink) Quiescent() bool { return !d.grx.Available() }
+
+var (
+	_ sim.IdleWindower = (*chanSource)(nil)
+	_ sim.Timed        = (*chanSource)(nil)
+	_ sim.Quiescer     = (*chanSink)(nil)
+)
+
 // runCircuitWorkload maps the scenario's applications onto a W×H
 // circuit-switched mesh via the CCN, drives every guaranteed-throughput
 // channel at its required rate and measures delivery, aggregate power
@@ -93,8 +212,8 @@ func runCircuitWorkload(cfg config, sc Scenario) (*Result, error) {
 		workload string
 		ch       kpn.Channel
 		conn     *ccn.Connection
-		received *uint64
-		offered  *uint64
+		src      *chanSource
+		sink     *chanSink
 	}
 	var states []chanState
 	world := m.World()
@@ -114,12 +233,8 @@ func runCircuitWorkload(cfg config, sc Scenario) (*Result, error) {
 			conn := mp.Connections[ch.Name]
 			src := m.At(conn.Src)
 			dst := m.At(conn.Dst)
-			received := new(uint64)
-			offered := new(uint64)
 			// Words per cycle required across the ganged lanes.
 			wordsPerCycle := ch.BandwidthMbps / sc.FreqMHz / wordBits
-			acc := 0.0
-			n := uint16(0)
 			txLanes := make([]int, 0, conn.Lanes)
 			rxLanes := make([]int, 0, conn.Lanes)
 			for _, lane := range conn.Segments {
@@ -130,26 +245,11 @@ func runCircuitWorkload(cfg config, sc Scenario) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("noc: channel %s/%s: %w", wl, ch.Name, err)
 			}
-			world.Add(&sim.Func{OnEval: func() {
-				acc += wordsPerCycle
-				for acc >= 1 && gtx.Ready() {
-					if !gtx.Push(core.DataWord(n)) {
-						break
-					}
-					n++
-					acc--
-					*offered++
-				}
-				for {
-					if _, ok := grx.Pop(); !ok {
-						break
-					}
-					*received++
-				}
-			}})
+			driver := newChanSource(gtx, wordsPerCycle)
+			sink := &chanSink{grx: grx}
+			world.Add(driver, sink)
 			states = append(states, chanState{
-				workload: wl, ch: ch, conn: conn,
-				received: received, offered: offered,
+				workload: wl, ch: ch, conn: conn, src: driver, sink: sink,
 			})
 		}
 	}
@@ -169,7 +269,8 @@ func runCircuitWorkload(cfg config, sc Scenario) (*Result, error) {
 	m.Run(sc.Cycles)
 
 	for _, st := range states {
-		achieved := stats.Rate(*st.received, wordBits, uint64(sc.Cycles), sc.FreqMHz)
+		received := st.sink.grx.Received()
+		achieved := stats.Rate(received, wordBits, uint64(sc.Cycles), sc.FreqMHz)
 		res.Channels = append(res.Channels, Channel{
 			Workload:       st.workload,
 			Name:           st.ch.Name,
@@ -177,11 +278,11 @@ func runCircuitWorkload(cfg config, sc Scenario) (*Result, error) {
 			Hops:           len(st.conn.Route) - 1,
 			RequiredMbps:   st.ch.BandwidthMbps,
 			AchievedMbps:   achieved,
-			WordsDelivered: *st.received,
-			Met:            *st.received+inFlightAllowance >= *st.offered,
+			WordsDelivered: received,
+			Met:            received+inFlightAllowance >= st.src.offered,
 		})
-		res.WordsSent += *st.offered
-		res.WordsDelivered += *st.received
+		res.WordsSent += st.src.offered
+		res.WordsDelivered += received
 	}
 	res.ThroughputMbps = stats.Rate(res.WordsDelivered, wordBits, uint64(sc.Cycles), sc.FreqMHz)
 	res.LinkUtilization = mgr.LinkUtilization()
