@@ -1,0 +1,27 @@
+# Convenience targets; CI runs the same commands.
+
+NOCVET := $(CURDIR)/bin/nocvet
+
+.PHONY: build test race vet nocvet bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# vet runs the stock vet plus the repo's own determinism/kernel-contract
+# analyzers (cmd/nocvet) over every package.
+vet: nocvet
+	go vet ./...
+	go vet -vettool=$(NOCVET) ./...
+
+nocvet:
+	@mkdir -p bin
+	go build -o $(NOCVET) ./cmd/nocvet
+
+bench:
+	go test -bench . -benchtime 1x -run '^$$' ./...

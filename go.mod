@@ -1,3 +1,10 @@
 module repro
 
 go 1.22
+
+// golang.org/x/tools is vendored under third_party/ (the go/analysis
+// subset shipped with the Go toolchain) so the nocvet analyzers build
+// without network access. The version pin matches the toolchain vendor.
+require golang.org/x/tools v0.28.1
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

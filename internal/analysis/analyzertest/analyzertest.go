@@ -1,0 +1,263 @@
+// Package analyzertest is a minimal golden-file test harness for the
+// nocvet analyzers, standing in for golang.org/x/tools/go/analysis/analysistest
+// (which needs go/packages and is not part of the toolchain-vendored
+// x/tools subset this repo builds against).
+//
+// Layout and conventions follow analysistest: test packages live under
+// testdata/src/<pkg>/, and every line expecting a diagnostic carries a
+// trailing comment of the form
+//
+//	// want "regexp"
+//
+// (multiple quoted regexps allowed). The harness parses and type-checks
+// the package — resolving imports first against sibling testdata
+// packages, then against the standard library from source — runs the
+// analyzer with its inspect dependency satisfied, and fails the test on
+// any unmatched diagnostic or unfulfilled expectation.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Run analyzes testdata/src/<pkg> for each named package with a and
+// checks the reported diagnostics against the // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := newLoader(root)
+	for _, pkg := range pkgs {
+		p, err := ld.load(pkg)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkg, err)
+		}
+		runOne(t, a, ld.fset, p)
+	}
+}
+
+// loaded is one type-checked testdata package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves imports against testdata siblings first, then the
+// standard library (compiled from GOROOT source, since the toolchain
+// ships no prebuilt export data).
+type loader struct {
+	root  string
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*loaded
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:  root,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*loaded),
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.root, path)); err == nil && st.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &loaded{pkg: pkg, files: files, info: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+// runOne executes the analyzer over one loaded package and diffs the
+// diagnostics against the // want expectations.
+func runOne(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, p *loaded) {
+	t.Helper()
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      p.files,
+		Pkg:        p.pkg,
+		TypesInfo:  p.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Report:     func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	for _, req := range a.Requires {
+		if req == inspect.Analyzer {
+			pass.ResultOf[inspect.Analyzer] = inspector.New(p.files)
+		} else {
+			t.Fatalf("analyzer %s requires unsupported dependency %s", a.Name, req.Name)
+		}
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s failed on %s: %v", a.Name, p.pkg.Path(), err)
+	}
+
+	want := expectations(t, fset, p.files)
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		matched := false
+		for i, rx := range want[key] {
+			if rx != nil && rx.MatchString(d.Message) {
+				want[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, rx := range want[k] {
+			if rx != nil {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, rx)
+			}
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// expectations collects the // want "rx" comments, keyed by file:line.
+func expectations(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	want := make(map[string][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, q := range quotedStrings(m[1]) {
+					rx, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, q, err)
+					}
+					want[key] = append(want[key], rx)
+				}
+			}
+		}
+	}
+	return want
+}
+
+// quotedStrings extracts consecutive Go-quoted strings ("…" or `…`).
+func quotedStrings(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			q, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return out
+			}
+			out = append(out, q)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+		default:
+			return out
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package evalpure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/evalpure"
+)
+
+func TestEvalPure(t *testing.T) {
+	analyzertest.Run(t, evalpure.Analyzer, "a")
+}

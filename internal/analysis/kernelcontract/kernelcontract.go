@@ -1,0 +1,74 @@
+// Package kernelcontract implements the nocvet analyzer that checks the
+// sim.Clocked implementation matrix of every component type:
+//
+//   - A component implementing sim.Quiescer must also implement
+//     sim.IdleTicker (or sim.IdleWindower, which embeds it). A quiescer
+//     without idle replay either has no per-cycle bookkeeping — in which
+//     case an explicit no-op IdleTick documents that — or it has some and
+//     silently desyncs power accounting under fast-forward.
+//   - A component implementing sim.Timed must also implement
+//     sim.Quiescer: the event kernel only polls NextEvent on fully
+//     quiescent cycles, so a non-quiescent Timed component blocks every
+//     fast-forward it schedules and its events are never honoured.
+//
+// Both checks apply to named non-interface types that implement
+// sim.Clocked. Matching is structural (against synthesized copies of the
+// kernel interfaces), so components are checked even in packages that
+// never import sim directly.
+package kernelcontract
+
+import (
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/nocvet"
+)
+
+// Analyzer checks Quiescer/IdleTicker/Timed implementation consistency.
+var Analyzer = &analysis.Analyzer{
+	Name: "kernelcontract",
+	Doc: "check sim.Clocked components implement consistent kernel contracts\n\n" +
+		"sim.Quiescer without sim.IdleTicker/IdleWindower desyncs idle bookkeeping " +
+		"under fast-forward; sim.Timed without sim.Quiescer blocks every fast-forward " +
+		"it schedules. Suppress with //nocvet:allow kernelcontract on the type declaration.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !nocvet.InScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	k := nocvet.Kernel()
+	sup := nocvet.CollectSuppressions(pass)
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if ok && !tn.IsAlias() {
+			checkType(pass, sup, tn, k)
+		}
+	}
+	return nil, nil
+}
+
+func checkType(pass *analysis.Pass, sup *nocvet.Suppressions, tn *types.TypeName, k nocvet.KernelIfaces) {
+	T := tn.Type()
+	if _, isIface := T.Underlying().(*types.Interface); isIface {
+		return
+	}
+	if !nocvet.Implements(T, k.Clocked) {
+		return
+	}
+	if nocvet.Implements(T, k.Quiescer) &&
+		!nocvet.Implements(T, k.IdleTicker) && !nocvet.Implements(T, k.IdleWindower) {
+		nocvet.Report(pass, sup, tn.Pos(),
+			"%s implements sim.Quiescer but not sim.IdleTicker or sim.IdleWindower: idle bookkeeping desyncs under fast-forward (add an IdleTick, a no-op one if the component has none)",
+			tn.Name())
+	}
+	if nocvet.Implements(T, k.Timed) && !nocvet.Implements(T, k.Quiescer) {
+		nocvet.Report(pass, sup, tn.Pos(),
+			"%s implements sim.Timed but not sim.Quiescer: a non-quiescent Timed component blocks every fast-forward it schedules",
+			tn.Name())
+	}
+}

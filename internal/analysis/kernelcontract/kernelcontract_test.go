@@ -1,0 +1,12 @@
+package kernelcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/kernelcontract"
+)
+
+func TestKernelContract(t *testing.T) {
+	analyzertest.Run(t, kernelcontract.Analyzer, "a")
+}

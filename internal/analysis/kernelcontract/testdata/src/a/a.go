@@ -1,0 +1,67 @@
+// Package a is kernelcontract golden-test input: component types with
+// consistent and inconsistent Quiescer/IdleTicker/Timed matrices. The
+// analyzer matches the kernel interfaces structurally, so no sim import
+// is needed.
+package a
+
+// Good is a quiescent component with idle bookkeeping — the full,
+// consistent contract.
+type Good struct{ cycle uint64 }
+
+func (g *Good) Eval()           {}
+func (g *Good) Commit()         {}
+func (g *Good) Quiescent() bool { return true }
+func (g *Good) IdleTick()       { g.cycle++ }
+
+// GoodWindower replays idle windows in one call.
+type GoodWindower struct{ cycle uint64 }
+
+func (g *GoodWindower) Eval()               {}
+func (g *GoodWindower) Commit()             {}
+func (g *GoodWindower) Quiescent() bool     { return true }
+func (g *GoodWindower) IdleTick()           { g.cycle++ }
+func (g *GoodWindower) IdleWindow(n uint64) { g.cycle += n }
+
+// BadQuiescer skips cycles but has no idle replay.
+type BadQuiescer struct{} // want `BadQuiescer implements sim\.Quiescer but not sim\.IdleTicker or sim\.IdleWindower`
+
+func (b *BadQuiescer) Eval()           {}
+func (b *BadQuiescer) Commit()         {}
+func (b *BadQuiescer) Quiescent() bool { return true }
+
+// BadTimed self-schedules events but can never be skipped, so it blocks
+// every fast-forward it schedules.
+type BadTimed struct{} // want `BadTimed implements sim\.Timed but not sim\.Quiescer`
+
+func (b *BadTimed) Eval()                     {}
+func (b *BadTimed) Commit()                   {}
+func (b *BadTimed) NextEvent() (uint64, bool) { return 0, false }
+
+// GoodTimed is the consistent Timed contract.
+type GoodTimed struct{ cycle uint64 }
+
+func (g *GoodTimed) Eval()                     {}
+func (g *GoodTimed) Commit()                   {}
+func (g *GoodTimed) Quiescent() bool           { return true }
+func (g *GoodTimed) IdleTick()                 { g.cycle++ }
+func (g *GoodTimed) NextEvent() (uint64, bool) { return 0, false }
+
+// NotAComponent has a Quiescent method but no Eval/Commit; the kernel
+// contracts do not apply.
+type NotAComponent struct{}
+
+func (n *NotAComponent) Quiescent() bool { return false }
+
+// Monitor is a plain every-cycle component — no optional interfaces, no
+// contract to violate.
+type Monitor struct{}
+
+func (m *Monitor) Eval()   {}
+func (m *Monitor) Commit() {}
+
+// Suppressed violates the Quiescer contract intentionally.
+type Suppressed struct{} //nocvet:allow kernelcontract -- stateless sink, nothing to replay
+
+func (s *Suppressed) Eval()           {}
+func (s *Suppressed) Commit()         {}
+func (s *Suppressed) Quiescent() bool { return true }

@@ -1,0 +1,229 @@
+// Package maporder implements the nocvet analyzer that flags
+// order-sensitive work performed while ranging over a map. Go randomizes
+// map iteration order per run, so a range-over-map body that appends to a
+// slice, writes to an encoder or stream, or accumulates floating-point
+// values produces output that differs run to run — the exact bug class
+// power.Meter.AttributionSorted exists to prevent, here checked
+// mechanically everywhere Result/CSV/JSON output is assembled.
+//
+// The sanctioned idiom is the one the repo already uses: collect the keys,
+// sort them, then index the map in sorted order. An append-only loop whose
+// enclosing function sorts afterwards (sort.* or slices.Sort*) is
+// recognized as that idiom and not flagged; encoder writes and float
+// accumulation cannot be repaired by sorting after the fact and are always
+// flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/nocvet"
+)
+
+// Analyzer flags order-sensitive bodies of range-over-map loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive work inside range-over-map loops in simulation packages\n\n" +
+		"Map iteration order is randomized per run; appending to a slice without a " +
+		"subsequent sort, writing to an encoder, or accumulating floats inside such a " +
+		"loop breaks byte-identical output. Collect and sort the keys first " +
+		"(the power.AttributionSorted idiom). Suppress with //nocvet:allow maporder.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// writerMethods are method or function names whose call inside a
+// range-over-map body emits bytes in iteration order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !nocvet.InScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	sup := nocvet.CollectSuppressions(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		rs := n.(*ast.RangeStmt)
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		appendPos := findAppend(pass, rs)
+		if sortsAfter(pass, nocvet.EnclosingFunc(stack), rs) {
+			appendPos = token.NoPos
+		}
+		if appendPos.IsValid() {
+			nocvet.Report(pass, sup, appendPos,
+				"append inside range over map without a later key sort: iteration order is randomized per run; collect and sort the keys first")
+		}
+		if pos, name := findWriter(pass, rs); pos.IsValid() {
+			nocvet.Report(pass, sup, pos,
+				"%s inside range over map emits bytes in randomized iteration order; collect and sort the keys first", name)
+		}
+		if pos := findFloatAccum(pass, rs); pos.IsValid() {
+			nocvet.Report(pass, sup, pos,
+				"floating-point accumulation inside range over map is order-sensitive (float addition is not associative); iterate sorted keys instead")
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// findAppend returns the position of the first append to a variable
+// declared outside the loop; such an append is repairable by sorting
+// afterwards, which the caller checks with sortsAfter.
+func findAppend(pass *analysis.Pass, rs *ast.RangeStmt) token.Pos {
+	var pos token.Pos
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return true
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			return true
+		}
+		if len(call.Args) > 0 && outsideLoop(pass, call.Args[0], rs) && !pos.IsValid() {
+			pos = call.Pos()
+		}
+		return true
+	})
+	return pos
+}
+
+// outsideLoop reports whether the root variable of expr was declared
+// outside the range statement (appending to a loop-local slice is
+// harmless — its order dies with the iteration).
+func outsideLoop(pass *analysis.Pass, expr ast.Expr, rs *ast.RangeStmt) bool {
+	root := rootIdent(expr)
+	if root == nil {
+		return true
+	}
+	obj := pass.TypesInfo.ObjectOf(root)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// rootIdent unwraps selector/index/paren/star chains to the base
+// identifier, or nil for non-identifier roots.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// findWriter returns the first call to an encoder/stream write inside the
+// loop body.
+func findWriter(pass *analysis.Pass, rs *ast.RangeStmt) (token.Pos, string) {
+	var pos token.Pos
+	var name string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !writerMethods[sel.Sel.Name] {
+			return true
+		}
+		if !pos.IsValid() {
+			pos, name = call.Pos(), sel.Sel.Name
+		}
+		return true
+	})
+	return pos, name
+}
+
+// findFloatAccum returns the first compound assignment (+=, -=, *=, /=)
+// accumulating into a float declared outside the loop.
+func findFloatAccum(pass *analysis.Pass, rs *ast.RangeStmt) token.Pos {
+	var pos token.Pos
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			t := pass.TypesInfo.TypeOf(lhs)
+			if t == nil {
+				continue
+			}
+			b, ok := t.Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsFloat == 0 {
+				continue
+			}
+			if outsideLoop(pass, lhs, rs) && !pos.IsValid() {
+				pos = as.Pos()
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// sortsAfter reports whether the enclosing function calls into package
+// sort or slices lexically after the loop — the collect-then-sort idiom.
+func sortsAfter(pass *analysis.Pass, fn ast.Node, rs *ast.RangeStmt) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+			if p := obj.Pkg().Path(); p == "sort" || p == "slices" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analyzertest.Run(t, maporder.Analyzer, "a")
+}

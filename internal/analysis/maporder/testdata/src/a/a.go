@@ -1,0 +1,92 @@
+// Package a is maporder golden-test input: order-sensitive work inside
+// range-over-map loops, plus the sanctioned collect-then-sort idiom.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside range over map without a later key sort`
+	}
+	return out
+}
+
+// goodSortedKeys is the sanctioned idiom: collect, sort, then index.
+func goodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badWriter(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v) // want `Fprintf inside range over map emits bytes in randomized iteration order`
+	}
+}
+
+func badFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation inside range over map is order-sensitive`
+	}
+	return sum
+}
+
+// badFloatSortAfter shows a later sort excuses the append but cannot
+// repair the float accumulation, which already happened in map order.
+func badFloatSortAfter(m map[string]float64) (float64, []string) {
+	var sum float64
+	var keys []string
+	for k, v := range m {
+		keys = append(keys, k)
+		sum += v // want `floating-point accumulation inside range over map`
+	}
+	sort.Strings(keys)
+	return sum, keys
+}
+
+// goodLocal appends only to a loop-local slice and accumulates an int —
+// neither escapes the iteration in an order-sensitive way.
+func goodLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// goodSlice ranges over a slice, not a map.
+func goodSlice(s []string, sb *strings.Builder) {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+		fmt.Fprintln(sb, v)
+	}
+}
+
+// goodMapWrite builds another map — map writes are order-insensitive.
+func goodMapWrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //nocvet:allow maporder -- consumer sorts
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package nocvet_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestNocvetOnRepo is the acceptance smoke test: cmd/nocvet builds, and
+// `go vet -vettool=nocvet ./...` exits 0 on the repo itself — zero
+// unsuppressed findings. Run with -short to skip (it shells out to the
+// go command over every package).
+func TestNocvetOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping repo-wide vet in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go command not available")
+	}
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "nocvet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/nocvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/nocvet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	vet.Env = os.Environ()
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("nocvet found unsuppressed findings (or failed): %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,25 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/nocvet"
+	"repro/internal/analysis/nondeterm"
+)
+
+func TestNondeterm(t *testing.T) {
+	analyzertest.Run(t, nondeterm.Analyzer, "a")
+}
+
+// TestSanctionedAnchor pins the nondeterm allowlist to its single named
+// anchor: the value-type PRNG in internal/bitvec is the only sanctioned
+// randomness source in simulation code (see internal/bitvec/rand.go).
+func TestSanctionedAnchor(t *testing.T) {
+	if nocvet.SanctionedRNG != "repro/internal/bitvec" {
+		t.Fatalf("sanctioned RNG anchor moved: %s", nocvet.SanctionedRNG)
+	}
+	if !nocvet.InScope(nocvet.SanctionedRNG) {
+		t.Fatalf("the sanctioned RNG package must itself be in nocvet scope")
+	}
+}

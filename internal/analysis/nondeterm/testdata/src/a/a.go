@@ -1,0 +1,44 @@
+// Package a is nondeterm golden-test input: every entropy read below is
+// the kind of wall-clock or global-RNG dependence that breaks
+// byte-identical replay in simulation code.
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want `time\.Now: wall-clock read in simulation package breaks deterministic replay`
+	_ = time.Since(time.Time{})        // want `time\.Since: wall-clock read`
+	time.Sleep(1)                      // want `time\.Sleep: wall-clock stall`
+	_ = time.NewTicker(1)              // want `time\.NewTicker: wall-clock timer`
+	_ = rand.Intn(4)                   // want `math/rand\.Intn: globally seeded RNG`
+	_ = rand.Float64()                 // want `math/rand\.Float64: globally seeded RNG`
+	rand.Shuffle(2, func(i, j int) {}) // want `math/rand\.Shuffle: globally seeded RNG`
+	_ = randv2.IntN(3)                 // want `math/rand/v2\.IntN: globally seeded RNG`
+	var buf [8]byte
+	_, _ = crand.Read(buf[:]) // want `crypto/rand\.Read: hardware entropy`
+	_ = crand.Reader          // want `crypto/rand\.Reader: hardware entropy`
+	_ = os.Getpid()           // want `os\.Getpid: process entropy`
+}
+
+func good() {
+	// Explicitly seeded construction is allowed: the determinism sin is
+	// reading the process-global stream, not building a seeded one.
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(4) // method on a seeded *rand.Rand, not the global stream
+	r2 := randv2.New(randv2.NewPCG(1, 2))
+	_ = r2.IntN(4)
+	_ = os.Getenv("HOME") // not an entropy source
+	_ = time.Duration(5)  // a type conversion, not a clock read
+}
+
+func suppressed() {
+	//nocvet:allow nondeterm
+	_ = time.Now()
+	_ = time.Now() //nocvet:allow nondeterm -- wall time wanted here
+}

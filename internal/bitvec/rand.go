@@ -4,6 +4,15 @@ package bitvec
 // (xorshift64*). The NoC simulations must be reproducible run to run, and we
 // frequently need one independent stream per traffic source, so a tiny
 // value-type PRNG is preferable to sharing a math/rand source.
+//
+// This is the only sanctioned randomness source in simulation code: every
+// stream is constructed from an explicit seed, so a run is a pure function
+// of its scenario and seed, which is what the byte-identical kernel,
+// sweep-worker and idle-replay guarantees rest on. Wall-clock reads,
+// global math/rand, and OS/hardware entropy are rejected in simulation
+// packages by the nondeterm analyzer (cmd/nocvet), whose allowlist is
+// anchored on this package (nocvet.SanctionedRNG); see
+// TestXorShift64IsTheSanctionedSource.
 type XorShift64 struct {
 	state uint64
 }

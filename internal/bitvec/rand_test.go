@@ -1,0 +1,39 @@
+package bitvec
+
+import "testing"
+
+// TestXorShift64IsTheSanctionedSource asserts the properties that make
+// XorShift64 the single sanctioned randomness source in simulation code
+// (the nondeterm analyzer's allowlist anchor): construction from an
+// explicit seed fully determines the stream, equal seeds yield equal
+// streams, and the zero-seed remap is itself fixed. If this contract
+// ever weakens, the byte-identical replay guarantees go with it.
+func TestXorShift64IsTheSanctionedSource(t *testing.T) {
+	a, b := NewXorShift64(12345), NewXorShift64(12345)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("equal seeds diverged at draw %d: %x != %x", i, av, bv)
+		}
+	}
+
+	// The stream is a pure function of the seed: pin the first draws of
+	// seed 1 so an accidental algorithm change cannot slip through.
+	want := []uint64{0x47E4CE4B896CDD1D, 0xABCFA6A8E079651D, 0xB9D10D8FEB731F57}
+	h := NewXorShift64(1)
+	for i, w := range want {
+		if v := h.Uint64(); v != w {
+			t.Fatalf("seed-1 stream changed at draw %d: got %x, want %x", i, v, w)
+		}
+	}
+
+	// Zero seeds remap to a fixed constant, never to entropy.
+	z1, z2 := NewXorShift64(0), NewXorShift64(0)
+	if z1.Uint64() != z2.Uint64() {
+		t.Fatal("zero-seed streams differ: remap must be a constant, not entropy")
+	}
+
+	// Distinct seeds give distinct streams (independence across sources).
+	if NewXorShift64(1).Uint64() == NewXorShift64(2).Uint64() {
+		t.Fatal("seeds 1 and 2 produced identical first draws")
+	}
+}

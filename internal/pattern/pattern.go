@@ -369,12 +369,22 @@ func PortFlows(sp Spatial, w, h, obs int, seed uint64) []PortFlow {
 	n := w * h
 	acc := map[[2]core.Port]float64{}
 	for src := 0; src < n; src++ {
-		for dst, p := range sp.ProbWeights(src, w, h, seed) {
+		ws := sp.ProbWeights(src, w, h, seed)
+		// Accumulate in sorted destination order: distinct destinations can
+		// fold into the same port pair, and float addition is not
+		// associative, so ranging the map directly would make the low bits
+		// of the flow weights depend on iteration order.
+		dsts := make([]int, 0, len(ws))
+		for dst := range ws {
+			dsts = append(dsts, dst)
+		}
+		sort.Ints(dsts)
+		for _, dst := range dsts {
 			in, out, ok := portsThrough(src, dst, obs, w)
 			if !ok {
 				continue
 			}
-			acc[[2]core.Port{in, out}] += p
+			acc[[2]core.Port{in, out}] += ws[dst]
 		}
 	}
 	keys := make([][2]core.Port, 0, len(acc))
