@@ -2,7 +2,11 @@
 
 NOCVET := $(CURDIR)/bin/nocvet
 
-.PHONY: build test race vet nocvet bench
+# BENCH_BASE is the tracked benchmark baseline the regression gate
+# compares against; bump the number when re-baselining on purpose.
+BENCH_BASE := BENCH_7.json
+
+.PHONY: build test race vet nocvet bench bench-json benchdiff
 
 build:
 	go build ./...
@@ -25,3 +29,25 @@ nocvet:
 
 bench:
 	go test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-json runs the gating 1x pass plus the measured kernel, event,
+# pattern and sweep passes, then folds the combined text into the
+# canonical BENCH_ci.json (cmd/benchdiff -parse keeps the
+# best-measured line per benchmark). CI archives the file and gates it
+# against $(BENCH_BASE) via `make benchdiff`.
+bench-json:
+	go test -bench . -benchtime 1x -run '^$$' ./... | tee bench.txt
+	go test -bench '(Mesh|Scenario).*Kernel' -benchtime 20000x -run '^$$' . | tee -a bench.txt
+	go test -bench 'FiniteWorkload|BEBurst' -benchtime 50x -run '^$$' . | tee -a bench.txt
+	go test -bench 'Pattern16|PatternSource' -benchtime 5x -run '^$$' . | tee -a bench.txt
+	go test -bench 'Sweep(Single|Replicated)' -benchtime 20x -run '^$$' . | tee -a bench.txt
+	go run ./cmd/benchdiff -parse bench.txt -out BENCH_ci.json
+
+# benchdiff gates the current canonical figures against the tracked
+# baseline: >15% ns/op growth (or a vanished benchmark) on the
+# kernel/sweep/pattern benchmarks fails. Every kernel and pattern
+# benchmark name ends in "Kernel"; the two sweep-engine benchmarks are
+# named explicitly. Experiment benchmarks measured only at 1x (table/
+# figure regeneration) are too noisy to gate and stay out.
+benchdiff:
+	go run ./cmd/benchdiff -base $(BENCH_BASE) -cur BENCH_ci.json -match 'Kernel$$|SweepSingleRun|SweepReplicated'

@@ -1,0 +1,150 @@
+// Command benchdiff turns `go test -bench` output into the repo's
+// canonical benchmark JSON and gates the current figures against a
+// tracked baseline. It is the benchmark-regression gate CI runs on
+// every PR: the tracked BENCH_<n>.json files record the simulator's
+// perf trajectory in-repo, and a kernel/sweep/pattern benchmark that
+// slows down past the threshold fails the build.
+//
+// Usage:
+//
+//	go test -bench . | benchdiff -parse - -out BENCH_ci.json
+//	benchdiff -parse bench.txt -out BENCH_ci.json
+//	benchdiff -base BENCH_7.json -cur BENCH_ci.json
+//	benchdiff -base BENCH_7.json -cur BENCH_ci.json -threshold 0.15 -match 'Kernel|Sweep|Pattern'
+//
+// -parse reads bench text (or stdin with "-") and writes the canonical
+// file: benchmarks sorted, duplicates resolved to the best-measured
+// run, schema-versioned. -base/-cur compares two canonical files and
+// exits non-zero when any base benchmark matching -match is missing
+// from the current file or its ns/op grew by more than -threshold
+// (default 0.15 = 15%). Benchmarks only in the current file are listed
+// as new and never gate, so adding benchmarks cannot break the build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// errGate marks a gate failure (regressions found), distinct from
+// operational errors; both exit non-zero.
+var errGate = fmt.Errorf("benchmark gate failed")
+
+// run executes one benchdiff invocation; tests drive it directly.
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	parse := fs.String("parse", "", `parse 'go test -bench' text from this file ("-" = stdin) into canonical JSON`)
+	out := fs.String("out", "", "with -parse: write the canonical JSON here instead of stdout")
+	base := fs.String("base", "", "tracked baseline canonical JSON (the committed BENCH_<n>.json)")
+	cur := fs.String("cur", "", "current canonical JSON to gate against the baseline")
+	threshold := fs.Float64("threshold", 0.15, "allowed ns/op growth fraction before a benchmark fails the gate")
+	match := fs.String("match", "", "regexp selecting which baseline benchmarks gate (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *parse != "" && (*base != "" || *cur != ""):
+		return fmt.Errorf("-parse and -base/-cur are mutually exclusive")
+	case *parse != "":
+		return runParse(w, *parse, *out)
+	case *base != "" && *cur != "":
+		return runCompare(w, *base, *cur, *threshold, *match)
+	default:
+		return fmt.Errorf("need either -parse, or both -base and -cur")
+	}
+}
+
+// runParse converts bench text to the canonical file.
+func runParse(w io.Writer, in, out string) error {
+	var r io.Reader
+	if in == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	parsed, err := benchfmt.Parse(r)
+	if err != nil {
+		return err
+	}
+	b, err := parsed.Encode()
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err = w.Write(b)
+		return err
+	}
+	return os.WriteFile(out, b, 0o644)
+}
+
+// runCompare gates cur against base and prints the delta table.
+func runCompare(w io.Writer, basePath, curPath string, threshold float64, match string) error {
+	var filter *regexp.Regexp
+	if match != "" {
+		var err error
+		if filter, err = regexp.Compile(match); err != nil {
+			return fmt.Errorf("bad -match: %w", err)
+		}
+	}
+	base, err := decodeFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := decodeFile(curPath)
+	if err != nil {
+		return err
+	}
+	deltas, ok := benchfmt.Compare(base, cur, threshold, filter)
+	if len(deltas) == 0 {
+		return fmt.Errorf("no baseline benchmarks match %q", match)
+	}
+	fmt.Fprintf(w, "%-45s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	for _, d := range deltas {
+		switch {
+		case d.Missing:
+			fmt.Fprintf(w, "%-45s %14.1f %14s %9s  MISSING\n", d.Name, d.BaseNs, "-", "-")
+		case d.Regressed:
+			fmt.Fprintf(w, "%-45s %14.1f %14.1f %+8.1f%%  REGRESSED\n",
+				d.Name, d.BaseNs, d.CurNs, (d.Ratio-1)*100)
+		default:
+			fmt.Fprintf(w, "%-45s %14.1f %14.1f %+8.1f%%\n",
+				d.Name, d.BaseNs, d.CurNs, (d.Ratio-1)*100)
+		}
+	}
+	if !ok {
+		return fmt.Errorf("%w: ns/op grew >%.0f%% (or a gated benchmark vanished); see table above",
+			errGate, threshold*100)
+	}
+	fmt.Fprintf(w, "gate passed: %d benchmarks within %.0f%%\n", len(deltas), threshold*100)
+	return nil
+}
+
+// decodeFile reads and decodes one canonical benchmark file.
+func decodeFile(path string) (*benchfmt.File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := benchfmt.Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

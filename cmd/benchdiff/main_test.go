@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops content into a temp file and returns its path.
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkMeshSparseGatedKernel-8 	   20000	      1000 ns/op
+BenchmarkSweepReplicated-8 	      50	    400000 ns/op
+PASS
+ok  	repro	1.0s
+`
+
+// slowerText is the same run with the kernel benchmark 20% slower —
+// past the 15% gate.
+const slowerText = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkMeshSparseGatedKernel-8 	   20000	      1200 ns/op
+BenchmarkSweepReplicated-8 	      50	    410000 ns/op
+PASS
+ok  	repro	1.0s
+`
+
+// parseTo runs benchdiff -parse and returns the canonical file's path.
+func parseTo(t *testing.T, text, name string) string {
+	t.Helper()
+	in := write(t, name+".txt", text)
+	out := filepath.Join(t.TempDir(), name+".json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-parse", in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParseWritesCanonicalJSON(t *testing.T) {
+	out := parseTo(t, benchText, "base")
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": 1`, `"BenchmarkMeshSparseGatedKernel"`, `"ns_per_op": 1000`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("canonical output missing %q:\n%s", want, b)
+		}
+	}
+}
+
+// TestGateFailsOnRegression is the end-to-end fixture the acceptance
+// criteria name: a >15% ns/op regression must exit non-zero.
+func TestGateFailsOnRegression(t *testing.T) {
+	base := parseTo(t, benchText, "base")
+	cur := parseTo(t, slowerText, "cur")
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-base", base, "-cur", cur})
+	if !errors.Is(err, errGate) {
+		t.Fatalf("gate error = %v, want errGate", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Fatalf("delta table missing REGRESSED marker:\n%s", buf.String())
+	}
+}
+
+func TestGatePassesOnIdenticalRun(t *testing.T) {
+	base := parseTo(t, benchText, "base")
+	cur := parseTo(t, benchText, "cur")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-base", base, "-cur", cur}); err != nil {
+		t.Fatalf("identical runs failed the gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "gate passed") {
+		t.Fatalf("no pass line:\n%s", buf.String())
+	}
+}
+
+func TestGateMatchFilterAndMissing(t *testing.T) {
+	base := parseTo(t, benchText, "base")
+	// Current run lost the sweep benchmark entirely.
+	curText := `pkg: repro
+BenchmarkMeshSparseGatedKernel-8 	   20000	      1000 ns/op
+`
+	cur := parseTo(t, curText, "cur")
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-base", base, "-cur", cur})
+	if !errors.Is(err, errGate) || !strings.Contains(buf.String(), "MISSING") {
+		t.Fatalf("missing benchmark not gated: %v\n%s", err, buf.String())
+	}
+	// Filtered to the kernel benchmark only, the gate passes.
+	buf.Reset()
+	if err := run(&buf, []string{"-base", base, "-cur", cur, "-match", "MeshSparse"}); err != nil {
+		t.Fatalf("filtered gate failed: %v\n%s", err, buf.String())
+	}
+	// A filter matching nothing is an error, not a silent pass.
+	if err := run(&buf, []string{"-base", base, "-cur", cur, "-match", "NoSuchBenchmark"}); err == nil {
+		t.Fatal("empty gate passed silently")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, nil); err == nil {
+		t.Fatal("no-mode invocation accepted")
+	}
+	if err := run(&buf, []string{"-parse", "x", "-base", "y", "-cur", "z"}); err == nil {
+		t.Fatal("conflicting modes accepted")
+	}
+	if err := run(&buf, []string{"-base", "only"}); err == nil {
+		t.Fatal("-base without -cur accepted")
+	}
+}

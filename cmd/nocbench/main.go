@@ -15,7 +15,9 @@
 //	nocbench -sweep spec.json -csv same, as CSV
 //	nocbench -sweep spec.json -workers 4
 //	nocbench -sweep spec.json -kernel naive
+//	nocbench -sweep spec.json -reps 8
 //	nocbench -pattern hotspot:0.7 -inject poisson:0.05 -mesh 16
+//	nocbench -pattern uniform -reps 8 -warmup auto
 //	nocbench -run fig9 -cpuprofile cpu.pprof
 //
 // A sweep spec is a JSON-encoded noc.SweepSpec: a set of fabrics crossed
@@ -32,6 +34,13 @@
 // simulates the whole mesh; the packet and TDM fabrics are driven with
 // the pattern's projection onto the mesh-centre router. Output is one
 // JSON result per fabric.
+//
+// -reps runs every cell of a -sweep, or every fabric of a -pattern run,
+// that many times with independent replication seeds and attaches
+// mean/min/max/CI95 aggregates to each result (the "replication" JSON
+// object, or the *_mean/*_ci95 CSV columns). -warmup truncates a
+// -pattern run's measurement window: an explicit cycle count, or "auto"
+// for MSER steady-state detection.
 //
 // -kernel selects the simulation kernel of a -sweep or -pattern run:
 // "event" (the default: fully quiescent windows are fast-forwarded),
@@ -57,6 +66,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/noc"
@@ -86,6 +96,8 @@ func run() (err error) {
 	inject := flag.String("inject", "", `with -pattern: injection process as "process:rate[:burstiness]" (e.g. "poisson:0.05", "onoff:0.1:8")`)
 	meshSize := flag.Int("mesh", 0, "with -pattern: mesh size N for an NxN mesh (default 8)")
 	cycles := flag.Int("cycles", 0, "with -pattern: simulated cycles (default 5000)")
+	reps := flag.Int("reps", 0, "with -sweep/-pattern: replications per cell, aggregated as mean/CI95 (default single run)")
+	warmup := flag.String("warmup", "", `with -pattern: warm-up truncation, a cycle count or "auto" (MSER steady-state detection)`)
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -98,6 +110,15 @@ func run() (err error) {
 	}
 	if (*inject != "" || *meshSize != 0 || *cycles != 0) && *patternName == "" {
 		return fmt.Errorf("-inject, -mesh and -cycles only apply to -pattern runs")
+	}
+	if *reps < 0 {
+		return fmt.Errorf("-reps must be non-negative, got %d", *reps)
+	}
+	if *reps != 0 && *sweepFile == "" && *patternName == "" {
+		return fmt.Errorf("-reps only applies to -sweep and -pattern runs")
+	}
+	if *warmup != "" && *patternName == "" {
+		return fmt.Errorf("-warmup only applies to -pattern runs")
 	}
 
 	if *cpuProfile != "" {
@@ -138,10 +159,10 @@ func run() (err error) {
 	}
 
 	if *sweepFile != "" {
-		return runSweep(w, *sweepFile, *workers, *csvOut, *kernel)
+		return runSweep(w, *sweepFile, *workers, *csvOut, *kernel, *reps)
 	}
 	if *patternName != "" {
-		return runPattern(w, *patternName, *inject, *meshSize, *cycles, *kernel)
+		return runPattern(w, *patternName, *inject, *meshSize, *cycles, *kernel, *reps, *warmup)
 	}
 
 	var ids []string
@@ -206,7 +227,7 @@ func writeHeapProfile(path string) error {
 
 // runPattern executes one synthetic-pattern scenario on all three
 // fabrics and emits one JSON result per fabric.
-func runPattern(w io.Writer, name, inject string, meshSize, cycles int, kernel string) error {
+func runPattern(w io.Writer, name, inject string, meshSize, cycles int, kernel string, reps int, warmup string) error {
 	sc := noc.Scenario{Name: "pattern:" + name, Pattern: name}
 	if inject != "" {
 		inj, err := noc.ParseInjection(inject)
@@ -219,6 +240,18 @@ func runPattern(w io.Writer, name, inject string, meshSize, cycles int, kernel s
 		sc.MeshWidth, sc.MeshHeight = meshSize, meshSize
 	}
 	sc.Cycles = cycles
+	sc.Replications = reps
+	if warmup != "" {
+		if warmup == "auto" {
+			sc.WarmupAuto = true
+		} else {
+			n, err := strconv.Atoi(warmup)
+			if err != nil || n < 0 {
+				return fmt.Errorf(`-warmup must be "auto" or a non-negative cycle count, got %q`, warmup)
+			}
+			sc.WarmupCycles = n
+		}
+	}
 	k, err := noc.ParseKernel(kernel)
 	if err != nil {
 		return err
@@ -255,7 +288,7 @@ func runPattern(w io.Writer, name, inject string, meshSize, cycles int, kernel s
 
 // runSweep loads a noc.SweepSpec from the file and streams the cells to
 // w. Ctrl-C cancels the sweep cleanly mid-run.
-func runSweep(w io.Writer, path string, workers int, asCSV bool, kernel string) error {
+func runSweep(w io.Writer, path string, workers int, asCSV bool, kernel string, reps int) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -269,6 +302,9 @@ func runSweep(w io.Writer, path string, workers int, asCSV bool, kernel string) 
 	}
 	if kernel != "" {
 		spec.Kernel = kernel
+	}
+	if reps != 0 {
+		spec.Replications = reps
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -42,6 +42,17 @@ type PatternConfig struct {
 	// sources retire, and once the network drains the event kernel
 	// fast-forwards the rest of the run.
 	WordsPerFlow uint64
+	// WarmupCycles truncates the measurement window: words injected or
+	// delivered before this cycle are excluded from the aggregate
+	// counts and the latency distribution (per-flow counts stay
+	// full-run), so open-loop statistics are not biased by the
+	// empty-network startup transient. Throughput should be computed
+	// over the MeasuredCycles the result reports.
+	WarmupCycles int
+	// WarmupAuto detects the warm-up automatically with the MSER-5
+	// steady-state rule over the delivery-latency sequence. Mutually
+	// exclusive with WarmupCycles.
+	WarmupAuto bool
 	// Params overrides the router geometry (nil: paper defaults).
 	Params *core.Params
 	// Kernel selects the simulation kernel.
@@ -67,6 +78,12 @@ func (c PatternConfig) Validate() error {
 	}
 	if err := c.Injection.Validate(); err != nil {
 		return err
+	}
+	if c.WarmupCycles < 0 || c.WarmupCycles >= c.Cycles {
+		return fmt.Errorf("mesh: warm-up %d out of [0, cycles=%d)", c.WarmupCycles, c.Cycles)
+	}
+	if c.WarmupCycles > 0 && c.WarmupAuto {
+		return fmt.Errorf("mesh: explicit warm-up and auto-detection are mutually exclusive")
 	}
 	if c.Params != nil {
 		if err := c.Params.Validate(); err != nil {
@@ -96,11 +113,21 @@ type PatternResult struct {
 	// FlowsRequested and FlowsEstablished count the pattern's flows and
 	// how many the lane allocator could route.
 	FlowsRequested, FlowsEstablished int
-	// WordsSent and WordsDelivered aggregate all flows.
+	// WordsSent and WordsDelivered aggregate all flows over the
+	// measurement window (the whole run without warm-up truncation).
 	WordsSent, WordsDelivered uint64
 	// Latency is the word-delivery latency distribution across all
-	// established flows (source push to destination pop).
+	// established flows (source push to destination pop), over the
+	// measurement window.
 	Latency stats.Series
+	// WarmupCycles is the effective warm-up: the explicit
+	// configuration, or the MSER-detected truncation cycle. The
+	// aggregate counts and Latency cover only [WarmupCycles, Cycles);
+	// per-flow counts remain full-run.
+	WarmupCycles uint64
+	// MeasuredCycles is Cycles minus the warm-up — the window
+	// throughput figures must divide by.
+	MeasuredCycles uint64
 	// Power aggregates every node meter; PerNode keeps them separate in
 	// row-major order.
 	Power   power.Breakdown
@@ -280,11 +307,15 @@ func (a *laneAlloc) utilization() float64 {
 // patternSink drains one flow's receive converter and records each
 // word's delivery latency. It is a first-class quiescent component:
 // while the converter buffer is empty, popping is a no-op and the
-// kernel skips the sink, so a drained mesh quiesces end to end.
+// kernel skips the sink, so a drained mesh quiesces end to end. With
+// warm-up accounting on, samples go to the cycle-stamped recorder so
+// the transient can be truncated after the run; otherwise they
+// accumulate directly.
 type patternSink struct {
 	rx     *core.RxConverter
 	stamps *[]uint64
 	lat    *stats.Series
+	rec    *stats.TimedSeries // non-nil when warm-up accounting is on
 	cycle  uint64
 	popped uint64
 }
@@ -293,7 +324,12 @@ type patternSink struct {
 func (d *patternSink) Eval() {
 	if _, ok := d.rx.Pop(); ok {
 		if len(*d.stamps) > 0 {
-			d.lat.Add(float64(d.cycle - (*d.stamps)[0]))
+			lat := float64(d.cycle - (*d.stamps)[0])
+			if d.rec != nil {
+				d.rec.Add(d.cycle, lat)
+			} else {
+				d.lat.Add(lat)
+			}
 			*d.stamps = (*d.stamps)[1:]
 		}
 		d.popped++
@@ -336,6 +372,16 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 	flows := cfg.Spatial.Flows(cfg.W, cfg.H, cfg.Seed)
 	res.FlowsRequested = len(flows)
 
+	// Warm-up accounting: cycle-stamped latency samples and injection
+	// stamps, collected only when a measurement window is requested so
+	// the default path stays allocation-free.
+	warmup := cfg.WarmupCycles > 0 || cfg.WarmupAuto
+	var latRec *stats.TimedSeries
+	var sentCycles []uint64
+	if warmup {
+		latRec = &stats.TimedSeries{}
+	}
+
 	type liveFlow struct {
 		src  *pattern.Source
 		sink *patternSink
@@ -369,9 +415,12 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 				return false
 			}
 			*stamps = append(*stamps, src.Cycle())
+			if warmup {
+				sentCycles = append(sentCycles, src.Cycle())
+			}
 			return true
 		}
-		sink := &patternSink{rx: rx, stamps: stamps, lat: &res.Latency}
+		sink := &patternSink{rx: rx, stamps: stamps, lat: &res.Latency, rec: latRec}
 		m.World().Add(src, sink)
 		live = append(live, liveFlow{src: src, sink: sink, idx: len(res.Flows)})
 		res.Flows = append(res.Flows, pf)
@@ -388,6 +437,30 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 		pf.WordsDelivered = lf.sink.popped
 		res.WordsSent += pf.WordsSent
 		res.WordsDelivered += pf.WordsDelivered
+	}
+	res.MeasuredCycles = uint64(cfg.Cycles)
+	if warmup {
+		// Resolve the effective warm-up cycle — configured, or the
+		// MSER-5 steady-state truncation of the delivery-latency
+		// sequence — then recompute the aggregate statistics over the
+		// measurement window. Per-flow counts stay full-run.
+		w := uint64(cfg.WarmupCycles)
+		start := latRec.TruncateCycle(w)
+		if cfg.WarmupAuto && latRec.Len() > 0 {
+			start = latRec.SteadyStateIndex(stats.MSERBatch)
+			w = latRec.CycleAt(start)
+		}
+		res.Latency = latRec.SeriesFrom(start)
+		res.WarmupCycles = w
+		res.MeasuredCycles = uint64(cfg.Cycles) - w
+		res.WordsDelivered = uint64(latRec.Len() - start)
+		var sent uint64
+		for _, c := range sentCycles {
+			if c >= w {
+				sent++
+			}
+		}
+		res.WordsSent = sent
 	}
 	res.LaneUtilization = alloc.utilization()
 	res.Power = dom.Report(fmt.Sprintf("pattern %v x %v", cfg.Spatial, cfg.Injection))

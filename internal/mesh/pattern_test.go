@@ -162,3 +162,111 @@ func TestRunPatternSparseFastForwards(t *testing.T) {
 		t.Errorf("fast-forwarded only %d of %d cycles", ffCycles, cfg.Cycles)
 	}
 }
+
+// TestRunPatternWarmupExplicit pins the explicit measurement window:
+// warm-up truncation drops the startup observations from the aggregate
+// counts and latency distribution, reports the window, and stays
+// byte-identical across kernels.
+func TestRunPatternWarmupExplicit(t *testing.T) {
+	full, err := RunPattern(patternCfg(sim.KernelEvent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := patternCfg(sim.KernelEvent)
+	cfg.WarmupCycles = 1000
+	warm, err := RunPattern(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.WarmupCycles != 1000 || warm.MeasuredCycles != 2000 {
+		t.Fatalf("window = warmup %d / measured %d, want 1000/2000",
+			warm.WarmupCycles, warm.MeasuredCycles)
+	}
+	if full.WarmupCycles != 0 || full.MeasuredCycles != 3000 {
+		t.Fatalf("full-run window = %d/%d, want 0/3000", full.WarmupCycles, full.MeasuredCycles)
+	}
+	if warm.WordsSent >= full.WordsSent || warm.WordsDelivered >= full.WordsDelivered {
+		t.Fatalf("truncated counts (%d/%d) should be below full-run (%d/%d)",
+			warm.WordsSent, warm.WordsDelivered, full.WordsSent, full.WordsDelivered)
+	}
+	if warm.Latency.N() >= full.Latency.N() || warm.Latency.N() == 0 {
+		t.Fatalf("truncated latency N = %d, full = %d", warm.Latency.N(), full.Latency.N())
+	}
+	// Per-flow counts stay full-run: their sum must match the
+	// untruncated aggregate.
+	var flowSent uint64
+	for _, f := range warm.Flows {
+		flowSent += f.WordsSent
+	}
+	if flowSent != full.WordsSent {
+		t.Fatalf("per-flow sent sum %d, want full-run %d", flowSent, full.WordsSent)
+	}
+
+	// Kernel equivalence holds under truncation too.
+	for _, k := range []sim.Kernel{sim.KernelNaive, sim.KernelGated} {
+		cfg := patternCfg(k)
+		cfg.WarmupCycles = 1000
+		other, err := RunPattern(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if fingerprint(t, other) != fingerprint(t, warm) {
+			t.Fatalf("kernel %v diverges under warm-up truncation", k)
+		}
+		if other.WarmupCycles != warm.WarmupCycles {
+			t.Fatalf("kernel %v warm-up %d, want %d", k, other.WarmupCycles, warm.WarmupCycles)
+		}
+	}
+}
+
+// TestRunPatternWarmupAuto exercises MSER steady-state detection: the
+// detected window is deterministic, within the run, and identical
+// across kernels.
+func TestRunPatternWarmupAuto(t *testing.T) {
+	cfg := patternCfg(sim.KernelEvent)
+	cfg.WarmupAuto = true
+	first, err := RunPattern(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.WarmupCycles >= uint64(cfg.Cycles) {
+		t.Fatalf("auto warm-up %d exceeds the run", first.WarmupCycles)
+	}
+	if first.MeasuredCycles != uint64(cfg.Cycles)-first.WarmupCycles {
+		t.Fatalf("measured %d, want cycles-warmup", first.MeasuredCycles)
+	}
+	if first.Latency.N() == 0 {
+		t.Fatal("auto warm-up truncated every observation")
+	}
+	for _, k := range []sim.Kernel{sim.KernelEvent, sim.KernelNaive, sim.KernelGated} {
+		cfg := patternCfg(k)
+		cfg.WarmupAuto = true
+		again, err := RunPattern(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if again.WarmupCycles != first.WarmupCycles || fingerprint(t, again) != fingerprint(t, first) {
+			t.Fatalf("auto warm-up not deterministic under kernel %v (%d vs %d)",
+				k, again.WarmupCycles, first.WarmupCycles)
+		}
+	}
+}
+
+// TestPatternConfigWarmupValidation pins the config errors.
+func TestPatternConfigWarmupValidation(t *testing.T) {
+	cfg := patternCfg(sim.KernelEvent)
+	cfg.WarmupCycles = cfg.Cycles
+	if _, err := RunPattern(cfg); err == nil {
+		t.Fatal("warm-up >= cycles should be rejected")
+	}
+	cfg = patternCfg(sim.KernelEvent)
+	cfg.WarmupCycles = -1
+	if _, err := RunPattern(cfg); err == nil {
+		t.Fatal("negative warm-up should be rejected")
+	}
+	cfg = patternCfg(sim.KernelEvent)
+	cfg.WarmupCycles, cfg.WarmupAuto = 10, true
+	if _, err := RunPattern(cfg); err == nil {
+		t.Fatal("explicit + auto warm-up should be rejected")
+	}
+}

@@ -63,13 +63,48 @@ func (s *Series) Variance() float64 {
 // StdDev returns the population standard deviation.
 func (s *Series) StdDev() float64 { return math.Sqrt(s.Variance()) }
 
-// CI95 returns the half width of the normal-approximation 95% confidence
-// interval of the mean.
+// SampleVariance returns the Bessel-corrected (n-1) sample variance, the
+// estimator confidence intervals are built on. It is 0 for n < 2 (with
+// fewer than two observations the spread is undefined; 0 keeps every
+// downstream JSON encoding finite) and exactly 0 for a zero-variance
+// series, never negative: numerical noise is clamped like Variance.
+func (s *Series) SampleVariance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.Variance() * float64(s.n) / float64(s.n-1)
+}
+
+// SampleStdDev returns the sample standard deviation (0 for n < 2).
+func (s *Series) SampleStdDev() float64 { return math.Sqrt(s.SampleVariance()) }
+
+// tCrit95 holds the two-sided 97.5% Student-t critical values for
+// 1..30 degrees of freedom; beyond 30 the normal approximation (1.96)
+// is within 2%.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half width of the 95% confidence interval of the
+// mean: t(n-1) * s / sqrt(n) with the Student-t critical value for
+// small samples (the replication counts of a sweep are typically
+// single-digit) and the normal 1.96 beyond 30 degrees of freedom.
+//
+// Edge cases are defined, not accidental: n < 2 returns exactly 0 (a
+// confidence interval needs at least two observations; 0 rather than
+// NaN so aggregated results stay JSON-encodable), and a zero-variance
+// series — R identical replications — returns exactly 0.
 func (s *Series) CI95() float64 {
 	if s.n < 2 {
 		return 0
 	}
-	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+	t := 1.96
+	if df := s.n - 1; df <= len(tCrit95) {
+		t = tCrit95[df-1]
+	}
+	return t * s.SampleStdDev() / math.Sqrt(float64(s.n))
 }
 
 // String summarizes the series.

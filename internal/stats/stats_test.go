@@ -29,6 +29,115 @@ func TestSeriesEmpty(t *testing.T) {
 	}
 }
 
+// TestCI95EdgeCases pins the defined behavior of the confidence
+// interval: n < 2 is exactly 0 (not NaN, not garbage — aggregated
+// results must stay JSON-encodable), a zero-variance series is exactly
+// 0, and small samples use the Student-t critical value, not the
+// normal approximation.
+func TestCI95EdgeCases(t *testing.T) {
+	var one Series
+	one.Add(42)
+	if got := one.CI95(); got != 0 {
+		t.Fatalf("CI95 with n=1 = %v, want exactly 0", got)
+	}
+	if got := one.SampleVariance(); got != 0 {
+		t.Fatalf("SampleVariance with n=1 = %v, want exactly 0", got)
+	}
+
+	var flat Series
+	for i := 0; i < 8; i++ {
+		flat.Add(3.25)
+	}
+	if got := flat.CI95(); got != 0 {
+		t.Fatalf("CI95 of zero-variance series = %v, want exactly 0", got)
+	}
+	if math.IsNaN(flat.CI95()) || math.IsInf(flat.CI95(), 0) {
+		t.Fatal("CI95 must always be finite")
+	}
+
+	// Two observations: df=1, t = 12.706, s = |a-b|/sqrt(2).
+	var two Series
+	two.Add(1)
+	two.Add(3)
+	want := 12.706 * math.Sqrt2 / math.Sqrt2 // s = sqrt(2), /sqrt(n)=sqrt(2)
+	if got := two.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 with n=2 = %v, want %v (Student-t, sample variance)", got, want)
+	}
+
+	// Large n falls back to the normal 1.96.
+	var big Series
+	for i := 0; i < 100; i++ {
+		big.Add(float64(i % 2))
+	}
+	sd := big.SampleStdDev()
+	want = 1.96 * sd / 10
+	if got := big.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 with n=100 = %v, want %v", got, want)
+	}
+}
+
+func TestMSER(t *testing.T) {
+	// A constant series needs no truncation.
+	flat := make([]float64, 50)
+	for i := range flat {
+		flat[i] = 7
+	}
+	if got := MSER(flat, MSERBatch); got != 0 {
+		t.Fatalf("MSER of constant series = %d, want 0", got)
+	}
+	// An inflated head (startup transient) is truncated at a batch
+	// boundary covering the transient.
+	trans := make([]float64, 100)
+	for i := range trans {
+		if i < 20 {
+			trans[i] = 100 - float64(i)*4 // decaying transient
+		} else {
+			trans[i] = 10 + float64(i%2) // noisy steady state
+		}
+	}
+	got := MSER(trans, MSERBatch)
+	if got < 15 || got > 50 {
+		t.Fatalf("MSER truncation = %d, want the ~20-sample transient cut (and at most half)", got)
+	}
+	if got%MSERBatch != 0 {
+		t.Fatalf("MSER truncation %d not a batch multiple", got)
+	}
+	// Fewer than two batches: nothing to compare.
+	if got := MSER([]float64{1, 2, 3}, MSERBatch); got != 0 {
+		t.Fatalf("MSER of tiny series = %d, want 0", got)
+	}
+	// Truncation never exceeds half the batches.
+	if got := MSER(trans, MSERBatch); got > len(trans)/2 {
+		t.Fatalf("MSER truncated %d of %d samples", got, len(trans))
+	}
+}
+
+func TestTimedSeries(t *testing.T) {
+	var ts TimedSeries
+	for i := 0; i < 10; i++ {
+		ts.Add(uint64(i*10), float64(i))
+	}
+	if ts.Len() != 10 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	if got := ts.TruncateCycle(35); got != 4 {
+		t.Fatalf("TruncateCycle(35) = %d, want 4", got)
+	}
+	if got := ts.TruncateCycle(0); got != 0 {
+		t.Fatalf("TruncateCycle(0) = %d, want 0", got)
+	}
+	if got := ts.TruncateCycle(1000); got != 10 {
+		t.Fatalf("TruncateCycle past end = %d, want Len", got)
+	}
+	s := ts.SeriesFrom(4)
+	if s.N() != 6 || s.Min() != 4 || s.Max() != 9 {
+		t.Fatalf("SeriesFrom(4) = %s", s.String())
+	}
+	if got := ts.CycleAt(4); got != 40 {
+		t.Fatalf("CycleAt(4) = %d, want 40", got)
+	}
+}
+
 func TestSeriesMeanBoundsProperty(t *testing.T) {
 	f := func(vs []float64) bool {
 		var s Series

@@ -1,0 +1,114 @@
+package stats
+
+import "sort"
+
+// This file holds the warm-up (initial-transient) machinery of the
+// replication subsystem: a cycle-stamped observation series and the
+// MSER truncation rule that picks a steady-state measurement window, so
+// confidence intervals over replicated open-loop runs are not biased by
+// the empty-network startup transient.
+
+// MSERBatch is the conventional batch size of the MSER-5 rule.
+const MSERBatch = 5
+
+// MSER applies the Marginal Standard Error Rule to the observation
+// sequence: it returns the truncation index d (a multiple of batch)
+// that minimizes the marginal standard error of the mean of the
+// remaining batch means,
+//
+//	MSER(d) = Var(batchMeans[d:]) / (nb - d),
+//
+// the standard steady-state detection rule for discrete-event
+// simulation output (MSER-5 with batch = 5). The search is restricted
+// to truncating at most half the batches — the usual guard against the
+// statistic's instability on short tails — and ties pick the smallest
+// truncation. Fewer than two full batches return 0 (nothing to
+// compare), and the result is deterministic for a given sequence.
+func MSER(obs []float64, batch int) int {
+	if batch < 1 {
+		batch = 1
+	}
+	nb := len(obs) / batch
+	if nb < 2 {
+		return 0
+	}
+	means := make([]float64, nb)
+	for i := range means {
+		sum := 0.0
+		for _, v := range obs[i*batch : (i+1)*batch] {
+			sum += v
+		}
+		means[i] = sum / float64(batch)
+	}
+	best, bestD := 0.0, 0
+	for d := 0; d <= nb/2; d++ {
+		rest := means[d:]
+		m := 0.0
+		for _, v := range rest {
+			m += v
+		}
+		m /= float64(len(rest))
+		ss := 0.0
+		for _, v := range rest {
+			ss += (v - m) * (v - m)
+		}
+		stat := ss / float64(len(rest)*len(rest))
+		if d == 0 || stat < best {
+			best, bestD = stat, d
+		}
+	}
+	return bestD * batch
+}
+
+// TimedSample is one observation stamped with the simulation cycle it
+// was taken at.
+type TimedSample struct {
+	Cycle uint64
+	Value float64
+}
+
+// TimedSeries accumulates cycle-stamped observations in simulation
+// order. Cycles must be nondecreasing (the simulator appends samples as
+// the clock advances); TruncateCycle relies on that ordering.
+type TimedSeries struct {
+	samples []TimedSample
+}
+
+// Add records an observation taken at the given cycle.
+func (t *TimedSeries) Add(cycle uint64, v float64) {
+	t.samples = append(t.samples, TimedSample{Cycle: cycle, Value: v})
+}
+
+// Len returns the number of observations.
+func (t *TimedSeries) Len() int { return len(t.samples) }
+
+// CycleAt returns the cycle stamp of observation i.
+func (t *TimedSeries) CycleAt(i int) uint64 { return t.samples[i].Cycle }
+
+// TruncateCycle returns the index of the first observation taken at or
+// after the given cycle (Len() if none), so samples[idx:] is the
+// post-warm-up measurement window.
+func (t *TimedSeries) TruncateCycle(cycle uint64) int {
+	return sort.Search(len(t.samples), func(i int) bool {
+		return t.samples[i].Cycle >= cycle
+	})
+}
+
+// SteadyStateIndex applies MSER with the given batch size to the
+// observation values and returns the truncation index.
+func (t *TimedSeries) SteadyStateIndex(batch int) int {
+	vals := make([]float64, len(t.samples))
+	for i, s := range t.samples {
+		vals[i] = s.Value
+	}
+	return MSER(vals, batch)
+}
+
+// SeriesFrom summarizes the observations from index i on as a Series.
+func (t *TimedSeries) SeriesFrom(i int) Series {
+	var s Series
+	for _, smp := range t.samples[i:] {
+		s.Add(smp.Value)
+	}
+	return s
+}

@@ -45,12 +45,43 @@ type PatternRunResult struct {
 	// an observable endpoint.
 	WordsSent, WordsDelivered uint64
 	// Latency is the in-run delivery latency distribution (injection to
-	// observable delivery), in cycles.
+	// observable delivery), in cycles, over the measurement window.
 	Latency stats.Series
+	// WarmupCycles is the effective warm-up of the latency
+	// distribution: the configured truncation, or the MSER-detected
+	// steady-state cycle. The single-router projections truncate
+	// latency observations only; word counts stay full-run.
+	WarmupCycles uint64
 	// FlowsRequested and FlowsEstablished count the projected port
 	// flows and how many the fabric could admit (slot-table capacity on
 	// TDM; the packet router admits everything and queues instead).
 	FlowsRequested, FlowsEstablished int
+}
+
+// latWarmupRec returns the cycle-stamped recorder a pattern run needs
+// for warm-up truncation, or nil when no truncation was requested.
+func latWarmupRec(cfg RunConfig) *stats.TimedSeries {
+	if cfg.WarmupCycles > 0 || cfg.WarmupAuto {
+		return &stats.TimedSeries{}
+	}
+	return nil
+}
+
+// applyLatWarmup resolves the effective warm-up cycle — configured, or
+// MSER-5 steady-state detection — and replaces the aggregate latency
+// distribution with the truncated window. No-op without a recorder.
+func applyLatWarmup(cfg RunConfig, rec *stats.TimedSeries, lat *stats.Series) uint64 {
+	if rec == nil {
+		return 0
+	}
+	w := uint64(cfg.WarmupCycles)
+	start := rec.TruncateCycle(w)
+	if cfg.WarmupAuto && rec.Len() > 0 {
+		start = rec.SteadyStateIndex(stats.MSERBatch)
+		w = rec.CycleAt(start)
+	}
+	*lat = rec.SeriesFrom(start)
+	return w
 }
 
 // flowRate converts a projected port-flow weight into this flow's
@@ -171,11 +202,14 @@ func (d *flitFeeder) IdleTick() {}
 func (d *flitFeeder) IdleWindow(n uint64) {}
 
 // patternDrain pops the router's tile ejection queue, counting data
-// words and closing the latency measurement on tagged head flits.
+// words and closing the latency measurement on tagged head flits. With
+// warm-up accounting on, latency samples go to the cycle-stamped
+// recorder so the transient can be truncated after the run.
 type patternDrain struct {
 	r         *packetsw.Router
 	stamps    map[int]*[]uint64
 	lat       *stats.Series
+	rec       *stats.TimedSeries // non-nil when warm-up accounting is on
 	delivered uint64
 	cycle     uint64
 }
@@ -189,7 +223,12 @@ func (d *patternDrain) Eval() {
 		case packetsw.Head, packetsw.HeadTail:
 			tag := int(f.Data >> 3)
 			if q, ok := d.stamps[tag]; ok && len(*q) > 0 {
-				d.lat.Add(float64(d.cycle - (*q)[0]))
+				lat := float64(d.cycle - (*q)[0])
+				if d.rec != nil {
+					d.rec.Add(d.cycle, lat)
+				} else {
+					d.lat.Add(lat)
+				}
 				*q = (*q)[1:]
 			}
 		}
@@ -241,7 +280,8 @@ func RunPacketPattern(flows []pattern.PortFlow, inj pattern.Injection, flipProb 
 	var res PatternRunResult
 	res.FlowsRequested = len(flows)
 
-	drain := &patternDrain{r: r, stamps: map[int]*[]uint64{}, lat: &res.Latency}
+	latRec := latWarmupRec(cfg)
+	drain := &patternDrain{r: r, stamps: map[int]*[]uint64{}, lat: &res.Latency, rec: latRec}
 
 	// One driver per distinct input port, in flow order (which is
 	// port-major, so drivers come up in a deterministic order).
@@ -320,6 +360,7 @@ func RunPacketPattern(flows []pattern.PortFlow, inj pattern.Injection, flipProb 
 		res.WordsSent += s.Sent() * PatternPacketWords
 	}
 	res.WordsDelivered = drain.delivered
+	res.WarmupCycles = applyLatWarmup(cfg, latRec, &res.Latency)
 	res.Power = meter.Report("packet switched / pattern")
 	res.Attribution = meter.AttributionSorted()
 	return res, nil
@@ -355,11 +396,17 @@ type TDMFlow struct {
 	queue    []tdmPending
 	inFlight []tdmPending
 	lat      *stats.Series
+	rec      *stats.TimedSeries // non-nil when warm-up accounting is on
 	toggles  int
 	meter    *power.Meter
 
 	delivered uint64
 }
+
+// RecordTimed routes this flow's latency observations into a
+// cycle-stamped recorder (for post-run warm-up truncation) instead of
+// the aggregate series.
+func (f *TDMFlow) RecordTimed(rec *stats.TimedSeries) { f.rec = rec }
 
 // Enqueue queues one word for presentation, stamped with its injection
 // cycle for the latency measurement.
@@ -429,7 +476,12 @@ func (p *TDMPresenter) Eval() {
 			head := f.inFlight[0]
 			f.inFlight = f.inFlight[1:]
 			f.delivered++
-			f.lat.Add(float64(p.cycle - head.stamp))
+			lat := float64(p.cycle - head.stamp)
+			if f.rec != nil {
+				f.rec.Add(p.cycle, lat)
+			} else {
+				f.lat.Add(lat)
+			}
 			f.meter.AddToggles(power.ToggleReg, f.toggles)
 			f.meter.AddToggles(power.ToggleGate, f.toggles)
 			f.meter.AddToggles(power.ToggleLink, f.toggles)
@@ -503,6 +555,7 @@ func RunTDMPattern(ap aethereal.Params, flows []pattern.PortFlow, inj pattern.In
 	var res PatternRunResult
 	res.FlowsRequested = len(flows)
 	toggleBits := int(flipProb*patternWordBits + 0.5)
+	latRec := latWarmupRec(cfg)
 
 	presenters := map[int]*TDMPresenter{}
 	var presenterOrder []*TDMPresenter
@@ -553,6 +606,9 @@ func RunTDMPattern(ap aethereal.Params, flows []pattern.PortFlow, inj pattern.In
 			w.Add(pres)
 		}
 		fs := pres.AddFlow(out, reserved, &res.Latency, toggleBits, meter)
+		if latRec != nil {
+			fs.RecordTimed(latRec)
+		}
 
 		gen := bitvec.NewFlipGen(patternWordBits, flipProb, flowSeed(cfg.Seed, i)^0xDA7A)
 		src := pattern.NewSource(flowInjection(inj, rate), flowSeed(cfg.Seed, i), cfg.WordsPerStream, nil)
@@ -584,6 +640,7 @@ func RunTDMPattern(ap aethereal.Params, flows []pattern.PortFlow, inj pattern.In
 			res.WordsDelivered += f.Delivered()
 		}
 	}
+	res.WarmupCycles = applyLatWarmup(cfg, latRec, &res.Latency)
 	res.Power = meter.Report("aethereal / pattern")
 	res.Attribution = meter.AttributionSorted()
 	return res, nil

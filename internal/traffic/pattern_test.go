@@ -118,3 +118,80 @@ func TestPortFlowsFeedTileAndMeshPorts(t *testing.T) {
 		t.Fatalf("degenerate projection: tileOut=%d tileIn=%d mesh=%d", tileOut, tileIn, mesh)
 	}
 }
+
+// TestPatternWarmupTruncatesLatency pins the projections' warm-up
+// behavior: the latency distribution is truncated to the measurement
+// window (word counts stay full-run), the effective warm-up is
+// reported, and results stay identical across kernels.
+func TestPatternWarmupTruncatesLatency(t *testing.T) {
+	inj := pattern.Injection{Proc: pattern.Poisson, Rate: 0.1}
+	for _, fabric := range []struct {
+		name string
+		run  func(rc RunConfig) (PatternRunResult, error)
+	}{
+		{"packet", func(rc RunConfig) (PatternRunResult, error) {
+			return RunPacketPattern(testFlows(), inj, 0.5, rc)
+		}},
+		{"tdm", func(rc RunConfig) (PatternRunResult, error) {
+			return RunTDMPattern(aethereal.DefaultParams(), testFlows(), inj, 0.5, rc)
+		}},
+	} {
+		rc := patternRC(sim.KernelEvent)
+		full, err := fabric.run(rc)
+		if err != nil {
+			t.Fatalf("%s full: %v", fabric.name, err)
+		}
+		rc.WarmupCycles = 800
+		warm, err := fabric.run(rc)
+		if err != nil {
+			t.Fatalf("%s warm: %v", fabric.name, err)
+		}
+		if warm.WarmupCycles != 800 {
+			t.Fatalf("%s: warm-up %d, want 800", fabric.name, warm.WarmupCycles)
+		}
+		if warm.Latency.N() >= full.Latency.N() || warm.Latency.N() == 0 {
+			t.Fatalf("%s: truncated latency N = %d, full = %d",
+				fabric.name, warm.Latency.N(), full.Latency.N())
+		}
+		if warm.WordsSent != full.WordsSent || warm.WordsDelivered != full.WordsDelivered {
+			t.Fatalf("%s: projection counts must stay full-run", fabric.name)
+		}
+		// Identical across kernels, auto mode included.
+		for _, auto := range []bool{false, true} {
+			var base PatternRunResult
+			for i, k := range []sim.Kernel{sim.KernelEvent, sim.KernelNaive, sim.KernelGated} {
+				rc := patternRC(k)
+				if auto {
+					rc.WarmupAuto = true
+				} else {
+					rc.WarmupCycles = 800
+				}
+				got, err := fabric.run(rc)
+				if err != nil {
+					t.Fatalf("%s %v: %v", fabric.name, k, err)
+				}
+				if i == 0 {
+					base = got
+					continue
+				}
+				if got.WarmupCycles != base.WarmupCycles || got.Latency != base.Latency {
+					t.Fatalf("%s: kernel %v diverges under warm-up (auto=%v)", fabric.name, k, auto)
+				}
+			}
+		}
+	}
+}
+
+// TestRunConfigWarmupValidation pins the config errors.
+func TestRunConfigWarmupValidation(t *testing.T) {
+	rc := patternRC(sim.KernelEvent)
+	rc.WarmupCycles = rc.Cycles
+	if err := rc.Validate(); err == nil {
+		t.Fatal("warm-up >= cycles should be rejected")
+	}
+	rc = patternRC(sim.KernelEvent)
+	rc.WarmupCycles, rc.WarmupAuto = 5, true
+	if err := rc.Validate(); err == nil {
+		t.Fatal("explicit + auto warm-up should be rejected")
+	}
+}

@@ -47,6 +47,16 @@ type RunConfig struct {
 	// completes — kernel diagnostics (fast-forward windows, per-component
 	// activity) for tests and benchmarks. It must not mutate the world.
 	Observe func(*sim.World)
+	// WarmupCycles excludes delivery-latency observations taken before
+	// this cycle from a pattern run's Latency distribution, so the
+	// startup transient does not bias replication confidence
+	// intervals. The single-router projections truncate the latency
+	// distribution only; word counts stay full-run (the mesh pattern
+	// runner truncates its whole measurement window).
+	WarmupCycles int
+	// WarmupAuto detects the warm-up automatically with the MSER-5
+	// steady-state rule. Mutually exclusive with WarmupCycles.
+	WarmupAuto bool
 }
 
 // DefaultRunConfig mirrors the paper's power-estimation setup: 5000 cycles
@@ -72,6 +82,12 @@ func (c RunConfig) Validate() error {
 		if err := c.PSParams.Validate(); err != nil {
 			return err
 		}
+	}
+	if c.WarmupCycles < 0 || c.WarmupCycles >= c.Cycles {
+		return fmt.Errorf("traffic: warm-up %d out of [0, cycles=%d)", c.WarmupCycles, c.Cycles)
+	}
+	if c.WarmupCycles > 0 && c.WarmupAuto {
+		return fmt.Errorf("traffic: explicit warm-up and auto-detection are mutually exclusive")
 	}
 	return nil
 }

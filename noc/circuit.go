@@ -45,6 +45,9 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	if sc.Replications > 1 {
+		return runReplicated(f, sc)
+	}
 	if sc.IsPattern() {
 		return runCircuitPattern(f.cfg, sc)
 	}

@@ -36,6 +36,9 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	if sc.Replications > 1 {
+		return runReplicated(f, sc)
+	}
 	if sc.IsPattern() {
 		return runPacketPattern(f.cfg, sc)
 	}

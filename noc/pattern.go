@@ -32,7 +32,8 @@ func runCircuitPattern(cfg config, sc Scenario) (*Result, error) {
 		FlipProb: sc.Data.FlipProb,
 		Seed:     sc.Seed, WordsPerFlow: sc.WordsPerStream,
 		Params: cfg.coreParams(), Kernel: cfg.simKernel(),
-		Observe: cfg.worldObserver,
+		Observe:      cfg.worldObserver,
+		WarmupCycles: sc.WarmupCycles, WarmupAuto: sc.WarmupAuto,
 	})
 	if err != nil {
 		return nil, err
@@ -42,9 +43,10 @@ func runCircuitPattern(cfg config, sc Scenario) (*Result, error) {
 		Scenario:         sc.Name,
 		FreqMHz:          sc.FreqMHz,
 		Cycles:           sc.Cycles,
+		WarmupCycles:     pr.WarmupCycles,
 		WordsSent:        pr.WordsSent,
 		WordsDelivered:   pr.WordsDelivered,
-		ThroughputMbps:   stats.Rate(pr.WordsDelivered, wordBits, uint64(sc.Cycles), sc.FreqMHz),
+		ThroughputMbps:   stats.Rate(pr.WordsDelivered, wordBits, pr.MeasuredCycles, sc.FreqMHz),
 		Power:            powerFrom(pr.Power),
 		PerComponent:     nodeComponents(pr.PerNode, sc.MeshWidth),
 		Latency:          latencyFrom(pr.Latency),
@@ -70,6 +72,7 @@ func patternResult(kind Kind, sc Scenario, tr traffic.PatternRunResult) *Result 
 		Scenario:         sc.Name,
 		FreqMHz:          sc.FreqMHz,
 		Cycles:           sc.Cycles,
+		WarmupCycles:     tr.WarmupCycles,
 		WordsSent:        tr.WordsSent,
 		WordsDelivered:   tr.WordsDelivered,
 		ThroughputMbps:   stats.Rate(tr.WordsDelivered, wordBits, uint64(sc.Cycles), sc.FreqMHz),
@@ -94,6 +97,7 @@ func runPacketPattern(cfg config, sc Scenario) (*Result, error) {
 		Seed: sc.Seed, Kernel: cfg.simKernel(),
 		WordsPerStream: sc.WordsPerStream,
 		Observe:        cfg.worldObserver,
+		WarmupCycles:   sc.WarmupCycles, WarmupAuto: sc.WarmupAuto,
 	}
 	tr, err := traffic.RunPacketPattern(patternPortFlows(sc, sp), inj, sc.Data.FlipProb, rc)
 	if err != nil {
@@ -115,6 +119,7 @@ func runTDMPattern(cfg config, sc Scenario) (*Result, error) {
 		Seed: sc.Seed, Kernel: cfg.simKernel(),
 		WordsPerStream: sc.WordsPerStream,
 		Observe:        cfg.worldObserver,
+		WarmupCycles:   sc.WarmupCycles, WarmupAuto: sc.WarmupAuto,
 	}
 	tr, err := traffic.RunTDMPattern(cfg.tdmParams(), patternPortFlows(sc, sp), inj, sc.Data.FlipProb, rc)
 	if err != nil {

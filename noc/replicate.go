@@ -1,0 +1,163 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// This file is the replication axis of the façade: Scenario.Replications
+// runs a scenario R times with independent seeds and aggregates every
+// Result metric into mean/min/max/CI95, so the paper-reproduction
+// figures rest on interval estimates instead of single seeded runs.
+// Fabric.Run dispatches here for a standalone replicated scenario; the
+// Sweep engine fans the replications of every cell through its worker
+// pool as individual jobs and aggregates with the same code.
+
+// replicationSalt separates the per-replication seed stream from the
+// sweep engine's per-cell stream: a cell's base seed is XORed with this
+// constant before the SplitMix64 step, so the R replication seeds of a
+// cell can never collide with the per-cell seeds of neighbouring cells
+// derived from the same sweep seed.
+const replicationSalt = 0xC2B2AE3D27D4EB4F
+
+// ReplicationSeed returns replication rep's RNG seed for a run whose
+// base seed is base: one SplitMix64 step over the salted base, golden-
+// ratio strided by the replication index. Exported so tests can pin the
+// stream's disjointness from the sweep engine's per-cell seeds.
+func ReplicationSeed(base uint64, rep int) uint64 {
+	return sweep.Mix64((base ^ replicationSalt) + uint64(rep)*0x9E3779B97F4A7C15)
+}
+
+// replicaScenario returns replication rep's scenario: the same knobs
+// with the seed drawn from the replication stream and Replications
+// cleared, so the fabric runs it exactly once.
+func replicaScenario(sc Scenario, rep int) Scenario {
+	sc.Seed = ReplicationSeed(sc.Seed, rep)
+	sc.Replications = 0
+	return sc
+}
+
+// Metric summarizes one Result metric across the replications of a
+// run: the across-replication mean, extremes and the half width of the
+// 95% confidence interval of the mean (Student-t for the single-digit
+// replication counts a sweep typically uses; exactly 0 for fewer than
+// two observations or a zero-variance metric).
+type Metric struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	CI95 float64 `json:"ci95"`
+}
+
+// metricFrom converts an accumulated series.
+func metricFrom(s *stats.Series) Metric {
+	return Metric{Mean: s.Mean(), Min: s.Min(), Max: s.Max(), CI95: s.CI95()}
+}
+
+// ReplicationStats aggregates every Result metric across a replicated
+// run. Optional metrics (power, latency, pattern blocking) are nil when
+// no replication measured them.
+type ReplicationStats struct {
+	// Replications is the number of aggregated runs.
+	Replications int `json:"replications"`
+	// WordsSent and WordsDelivered aggregate the word counters.
+	WordsSent      Metric `json:"words_sent"`
+	WordsDelivered Metric `json:"words_delivered"`
+	// ThroughputMbps aggregates the delivered bandwidth.
+	ThroughputMbps Metric `json:"throughput_mbps"`
+	// PowerTotalUW and PowerDynamicUWPerMHz aggregate the power
+	// estimate.
+	PowerTotalUW         *Metric `json:"power_total_uw,omitempty"`
+	PowerDynamicUWPerMHz *Metric `json:"power_dynamic_uw_per_mhz,omitempty"`
+	// LatencyMeanCycles and LatencyJitterCycles aggregate the per-run
+	// latency distribution summaries: the mean of per-run means, not a
+	// pooled distribution — each replication is one independent
+	// observation of the run-level statistic.
+	LatencyMeanCycles   *Metric `json:"latency_mean_cycles,omitempty"`
+	LatencyJitterCycles *Metric `json:"latency_jitter_cycles,omitempty"`
+	// LinkUtilization aggregates the allocated lane fraction of mesh
+	// runs.
+	LinkUtilization *Metric `json:"link_utilization,omitempty"`
+	// FlowsEstablished and BlockingFraction aggregate a pattern run's
+	// admission outcome; the blocking fraction is
+	// (requested-established)/requested, the headline blocking metric.
+	FlowsEstablished *Metric `json:"flows_established,omitempty"`
+	BlockingFraction *Metric `json:"blocking_fraction,omitempty"`
+}
+
+// aggregateResults merges the per-replication Results of one scenario:
+// replication 0's Result with the across-replication aggregates
+// attached. The inputs must all come from the same fabric × scenario.
+func aggregateResults(results []*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("noc: no replications to aggregate")
+	}
+	var sent, delivered, tput, powTot, powDyn, latMean, latJit, util, est, blocked stats.Series
+	havePower, haveLat, haveUtil, havePat := false, false, false, false
+	for _, r := range results {
+		sent.Add(float64(r.WordsSent))
+		delivered.Add(float64(r.WordsDelivered))
+		tput.Add(r.ThroughputMbps)
+		if r.Power != nil {
+			havePower = true
+			powTot.Add(r.Power.TotalUW)
+			powDyn.Add(r.Power.DynamicUWPerMHz)
+		}
+		if r.Latency != nil {
+			haveLat = true
+			latMean.Add(r.Latency.MeanCycles)
+			latJit.Add(r.Latency.JitterCycles)
+		}
+		if r.LinkUtilization != 0 {
+			haveUtil = true
+		}
+		util.Add(r.LinkUtilization)
+		if r.FlowsRequested > 0 {
+			havePat = true
+			est.Add(float64(r.FlowsEstablished))
+			blocked.Add(float64(r.FlowsRequested-r.FlowsEstablished) / float64(r.FlowsRequested))
+		}
+	}
+	agg := *results[0]
+	rs := &ReplicationStats{
+		Replications:   len(results),
+		WordsSent:      metricFrom(&sent),
+		WordsDelivered: metricFrom(&delivered),
+		ThroughputMbps: metricFrom(&tput),
+	}
+	if havePower {
+		pt, pd := metricFrom(&powTot), metricFrom(&powDyn)
+		rs.PowerTotalUW, rs.PowerDynamicUWPerMHz = &pt, &pd
+	}
+	if haveLat {
+		lm, lj := metricFrom(&latMean), metricFrom(&latJit)
+		rs.LatencyMeanCycles, rs.LatencyJitterCycles = &lm, &lj
+	}
+	if haveUtil {
+		lu := metricFrom(&util)
+		rs.LinkUtilization = &lu
+	}
+	if havePat {
+		fe, bf := metricFrom(&est), metricFrom(&blocked)
+		rs.FlowsEstablished, rs.BlockingFraction = &fe, &bf
+	}
+	agg.Replication = rs
+	return &agg, nil
+}
+
+// runReplicated executes a replicated scenario on one fabric,
+// sequentially, and aggregates. Sweep parallelizes the same work by
+// fanning replications through its worker pool instead.
+func runReplicated(f Fabric, sc Scenario) (*Result, error) {
+	results := make([]*Result, sc.Replications)
+	for rep := range results {
+		r, err := f.Run(replicaScenario(sc, rep))
+		if err != nil {
+			return nil, fmt.Errorf("noc: replication %d: %w", rep, err)
+		}
+		results[rep] = r
+	}
+	return aggregateResults(results)
+}

@@ -164,6 +164,13 @@ type Result struct {
 	// FreqMHz and Cycles echo the operating point.
 	FreqMHz float64 `json:"freq_mhz"`
 	Cycles  int     `json:"cycles"`
+	// WarmupCycles is the effective warm-up of a pattern run: the
+	// scenario's explicit truncation, or the MSER-detected steady-state
+	// cycle when WarmupAuto was set. Statistics cover the measurement
+	// window [WarmupCycles, Cycles); on the circuit mesh that includes
+	// the word counts and the throughput window, on the packet/TDM
+	// projections the latency distribution.
+	WarmupCycles uint64 `json:"warmup_cycles,omitempty"`
 	// WordsSent and WordsDelivered count 16-bit data words offered by
 	// all sources and delivered at an observable endpoint. The circuit-
 	// and packet-switched routers can only observe streams terminating
@@ -205,6 +212,11 @@ type Result struct {
 	// NodeVCD is the captured waveform of node (0,0) when WithNodeTrace
 	// was requested on a workload run.
 	NodeVCD []byte `json:"node_vcd,omitempty"`
+	// Replication carries the mean/min/max/CI95 aggregates across a
+	// replicated run (Scenario.Replications > 1). The point fields
+	// above echo replication 0; the aggregates are the statistically
+	// meaningful figures.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // MetAllRequirements reports whether every channel of a workload run met

@@ -188,6 +188,28 @@ type Scenario struct {
 	// deterministic seed derived from the spec seed and the cell index,
 	// so sweep results are reproducible regardless of scheduling.
 	Seed uint64 `json:"seed,omitempty"`
+	// Replications runs the scenario R times with independent seeds
+	// drawn from a SplitMix64 replication stream (disjoint from the
+	// sweep engine's per-cell seed stream) and aggregates every Result
+	// metric into mean/min/max/CI95 — Result.Replication carries the
+	// aggregates, and the point fields echo replication 0. 0 and 1
+	// both mean a single run. The Sweep engine fans the replications
+	// of every cell through its worker pool as individual jobs, so a
+	// replicated sweep parallelizes at replication granularity while
+	// output stays byte-identical for any worker count.
+	Replications int `json:"replications,omitempty"`
+	// WarmupCycles truncates a pattern run's measurement window: words
+	// injected or delivered during the first WarmupCycles are excluded
+	// from the reported statistics, so replication confidence
+	// intervals are not biased by the empty-network startup transient.
+	// The circuit mesh truncates counts, latency and the throughput
+	// window; the packet/TDM single-router projections truncate the
+	// latency distribution. Pattern scenarios only.
+	WarmupCycles int `json:"warmup_cycles,omitempty"`
+	// WarmupAuto detects the warm-up automatically with the MSER-5
+	// steady-state rule over the delivery-latency sequence. Mutually
+	// exclusive with WarmupCycles; pattern scenarios only.
+	WarmupAuto bool `json:"warmup_auto,omitempty"`
 	// WordsPerStream caps the words each stream source (or, in a
 	// pattern run, each flow source) emits; 0 means unlimited (the
 	// paper's open-loop scenarios). With a cap the run is a finite
@@ -260,6 +282,21 @@ func (s Scenario) Validate() error {
 	}
 	if s.Data.Load <= 0 || s.Data.Load > 1 {
 		return fmt.Errorf("noc: scenario %q: load %v out of (0,1]", s.Name, s.Data.Load)
+	}
+	if s.Replications < 0 {
+		return fmt.Errorf("noc: scenario %q: negative replication count %d", s.Name, s.Replications)
+	}
+	if s.WarmupCycles != 0 || s.WarmupAuto {
+		if !s.IsPattern() {
+			return fmt.Errorf("noc: scenario %q: warm-up truncation applies to pattern scenarios only", s.Name)
+		}
+		if s.WarmupCycles < 0 || s.WarmupCycles >= s.Cycles {
+			return fmt.Errorf("noc: scenario %q: warm-up %d out of [0, cycles=%d)",
+				s.Name, s.WarmupCycles, s.Cycles)
+		}
+		if s.WarmupCycles > 0 && s.WarmupAuto {
+			return fmt.Errorf("noc: scenario %q: explicit warm-up and auto-detection are mutually exclusive", s.Name)
+		}
 	}
 	if s.IsPattern() {
 		if len(s.Streams) > 0 || s.IsWorkload() {

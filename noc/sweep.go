@@ -312,6 +312,15 @@ type SweepSpec struct {
 	// deterministic seed from it and the cell index, so results are
 	// identical for any worker count.
 	Seed uint64 `json:"seed,omitempty"`
+	// Replications is the default replication count for every cell whose
+	// scenario does not set its own: each cell runs that many times with
+	// independent seeds (drawn from the replication stream salted off
+	// the cell seed) and its Result carries mean/min/max/CI95 aggregates.
+	// The replications fan through the worker pool as individual jobs,
+	// so a replicated sweep parallelizes across replications as well as
+	// cells; 0 or 1 means single runs, exactly the pre-replication
+	// behaviour.
+	Replications int `json:"replications,omitempty"`
 	// Kernel is the default simulation kernel for every fabric that does
 	// not choose its own: "event" (default), "gated" or "naive". The
 	// `nocbench -kernel` flag sets it from the command line; unknown
@@ -387,6 +396,9 @@ func (s SweepSpec) Cells() ([]SweepCell, error) {
 	if s.Workers < 0 {
 		return nil, fmt.Errorf("noc: sweep: negative worker count %d", s.Workers)
 	}
+	if s.Replications < 0 {
+		return nil, fmt.Errorf("noc: sweep: negative replication count %d", s.Replications)
+	}
 	if len(s.Scenarios) > 0 && s.Grid != nil {
 		return nil, fmt.Errorf("noc: sweep: scenarios and grid are mutually exclusive")
 	}
@@ -425,6 +437,11 @@ func (s SweepSpec) Cells() ([]SweepCell, error) {
 				cell.Seed = cellSeed(s.Seed, idx)
 				cell.Scenario.Seed = cell.Seed
 			}
+			// The spec-level replication default applies to every cell
+			// whose scenario does not choose its own count.
+			if cell.Scenario.Replications == 0 && s.Replications > 0 {
+				cell.Scenario.Replications = s.Replications
+			}
 			cells = append(cells, cell)
 		}
 	}
@@ -437,22 +454,53 @@ func cellSeed(base uint64, index int) uint64 {
 	return sweep.Mix64(base + uint64(index)*0x9E3779B97F4A7C15)
 }
 
+// cellReps is a cell's job multiplicity in the sweep's fan-out.
+func cellReps(sc Scenario) int {
+	if sc.Replications > 1 {
+		return sc.Replications
+	}
+	return 1
+}
+
 // Sweep executes the spec's cells across a bounded worker pool (default
 // GOMAXPROCS) and streams each completed cell to fn in Index order, so
 // any output assembled from the cells is byte-identical for any worker
-// count. A cell whose run fails carries the error in SweepCell.Error
-// and does not abort the sweep; Sweep itself returns an error only for
-// an invalid spec, a cancelled context or a non-nil error from fn.
+// count. A replicated cell (Scenario.Replications > 1, possibly from
+// the spec default) fans its replications through the pool as
+// individual jobs — cell-major, so the pool's in-order delivery hands
+// the replications of each cell back consecutively and the aggregation
+// is a streaming fold over at most one cell's worth of Results. A cell
+// whose run fails carries the error in SweepCell.Error and does not
+// abort the sweep; Sweep itself returns an error only for an invalid
+// spec, a cancelled context or a non-nil error from fn.
 func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error {
 	cells, err := spec.Cells()
 	if err != nil {
 		return err
 	}
-	return sweep.Run(ctx, len(cells), spec.Workers,
-		func(ctx context.Context, i int) (SweepCell, error) {
-			cell := cells[i]
+	type job struct {
+		cell, rep int
+	}
+	type repOut struct {
+		res     *Result
+		errText string
+	}
+	var jobs []job
+	for i := range cells {
+		for rep := 0; rep < cellReps(cells[i].Scenario); rep++ {
+			jobs = append(jobs, job{cell: i, rep: rep})
+		}
+	}
+	// Streaming per-cell fold state: replications arrive consecutively
+	// and in order, so one accumulator suffices.
+	var pending []*Result
+	var pendingErr string
+	return sweep.Run(ctx, len(jobs), spec.Workers,
+		func(ctx context.Context, i int) (repOut, error) {
+			j := jobs[i]
+			cell := cells[j.cell]
 			if err := ctx.Err(); err != nil {
-				return cell, err
+				return repOut{}, err
 			}
 			// The sweep-level kernel is applied at run time, not stored in
 			// the cell, so gated and naive runs of the same spec emit
@@ -464,21 +512,52 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 			}
 			f, err := fs.Fabric()
 			if err != nil {
-				cell.Error = err.Error()
-				return cell, nil
+				return repOut{errText: err.Error()}, nil
 			}
-			res, err := f.Run(cell.Scenario)
+			sc := cell.Scenario
+			replicated := sc.Replications > 1
+			if replicated {
+				// One replication per job; the fold below aggregates.
+				sc = replicaScenario(sc, j.rep)
+			}
+			res, err := f.Run(sc)
 			if err != nil {
-				cell.Error = err.Error()
-				return cell, nil
+				if replicated {
+					err = fmt.Errorf("noc: replication %d: %w", j.rep, err)
+				}
+				return repOut{errText: err.Error()}, nil
 			}
-			cell.Result = res
-			return cell, nil
+			return repOut{res: res}, nil
 		},
-		func(_ int, cell SweepCell, err error) error {
+		func(i int, out repOut, err error) error {
 			if err != nil {
 				return err
 			}
+			j := jobs[i]
+			if out.res != nil {
+				pending = append(pending, out.res)
+			}
+			if out.errText != "" && pendingErr == "" {
+				pendingErr = out.errText
+			}
+			if j.rep < cellReps(cells[j.cell].Scenario)-1 {
+				return nil
+			}
+			cell := cells[j.cell]
+			switch {
+			case pendingErr != "":
+				cell.Error = pendingErr
+			case len(pending) == 1:
+				cell.Result = pending[0]
+			default:
+				agg, err := aggregateResults(pending)
+				if err != nil {
+					cell.Error = err.Error()
+				} else {
+					cell.Result = agg
+				}
+			}
+			pending, pendingErr = pending[:0], ""
 			return fn(cell)
 		})
 }
@@ -527,13 +606,21 @@ func SweepJSON(ctx context.Context, spec SweepSpec, w io.Writer) error {
 	return err
 }
 
-// sweepCSVHeader is the column set of SweepCSV.
+// sweepCSVHeader is the column set of SweepCSV. The point columns come
+// from replication 0 of a replicated cell; the *_mean/*_ci95 pairs and
+// the replications count are the across-replication aggregates, blank
+// for single runs. warmup_cycles is the effective warm-up truncation of
+// a pattern run, blank when no warm-up applied.
 var sweepCSVHeader = []string{
 	"index", "fabric", "scenario", "freq_mhz", "cycles", "load",
 	"flip_prob", "pattern", "injection", "seed", "words_sent",
 	"words_delivered", "throughput_mbps", "power_total_uw",
 	"power_dynamic_uw_per_mhz", "power_components",
 	"latency_mean_cycles", "latency_jitter_cycles", "error",
+	"replications", "warmup_cycles",
+	"throughput_mbps_mean", "throughput_mbps_ci95",
+	"power_total_uw_mean", "power_total_uw_ci95",
+	"latency_mean_cycles_mean", "latency_mean_cycles_ci95",
 }
 
 // injectionCSV renders a pattern scenario's injection process as one
@@ -576,6 +663,8 @@ func SweepCSV(ctx context.Context, spec SweepSpec, w io.Writer) error {
 		// Columns appended in sweepCSVHeader order; absent measurements
 		// stay blank.
 		var sent, delivered, tput, totalUW, dynUW, comps, meanLat, jitter string
+		var repsN, warm string
+		var tputMean, tputCI, powMean, powCI, latMean, latCI string
 		if r := c.Result; r != nil {
 			sent = strconv.FormatUint(r.WordsSent, 10)
 			delivered = strconv.FormatUint(r.WordsDelivered, 10)
@@ -588,6 +677,22 @@ func SweepCSV(ctx context.Context, spec SweepSpec, w io.Writer) error {
 			if r.Latency != nil {
 				meanLat = ff(r.Latency.MeanCycles)
 				jitter = ff(r.Latency.JitterCycles)
+			}
+			if r.WarmupCycles != 0 {
+				warm = strconv.FormatUint(r.WarmupCycles, 10)
+			}
+			if rs := r.Replication; rs != nil {
+				repsN = strconv.Itoa(rs.Replications)
+				tputMean = ff(rs.ThroughputMbps.Mean)
+				tputCI = ff(rs.ThroughputMbps.CI95)
+				if rs.PowerTotalUW != nil {
+					powMean = ff(rs.PowerTotalUW.Mean)
+					powCI = ff(rs.PowerTotalUW.CI95)
+				}
+				if rs.LatencyMeanCycles != nil {
+					latMean = ff(rs.LatencyMeanCycles.Mean)
+					latCI = ff(rs.LatencyMeanCycles.CI95)
+				}
 			}
 		}
 		return cw.Write([]string{
@@ -610,6 +715,14 @@ func SweepCSV(ctx context.Context, spec SweepSpec, w io.Writer) error {
 			meanLat,
 			jitter,
 			c.Error,
+			repsN,
+			warm,
+			tputMean,
+			tputCI,
+			powMean,
+			powCI,
+			latMean,
+			latCI,
 		})
 	})
 	if err != nil {

@@ -41,6 +41,9 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	if sc.Replications > 1 {
+		return runReplicated(f, sc)
+	}
 	if sc.IsPattern() {
 		return runTDMPattern(f.cfg, sc)
 	}

@@ -1,0 +1,54 @@
+package repro_test
+
+// Benchmarks of the parallel sweep engine, the third leg of the
+// benchdiff regression gate next to the kernel and pattern benchmarks:
+// a small fixed spec run end to end through noc.Sweep's worker pool,
+// once as single runs and once fanned out over replications. Both use
+// one worker so the figure measures engine plus simulation cost, not
+// the host's core count.
+
+import (
+	"context"
+	"testing"
+
+	"repro/noc"
+)
+
+// benchSweep runs the spec to completion, discarding cells.
+func benchSweep(b *testing.B, spec noc.SweepSpec) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := noc.Sweep(context.Background(), spec, func(c noc.SweepCell) error {
+			if c.Error != "" {
+				b.Fatal(c.Error)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sweepBenchSpec is the gate's fixed workload: two scenarios on the
+// circuit fabric, short runs, deterministic seed.
+func sweepBenchSpec() noc.SweepSpec {
+	return noc.SweepSpec{
+		Fabrics: []noc.FabricSpec{{Kind: noc.KindCircuit}},
+		Grid: &noc.Grid{
+			Scenarios: []string{"I", "IV"},
+			Cycles:    []int{500},
+		},
+		Workers: 1,
+		Seed:    1,
+	}
+}
+
+func BenchmarkSweepSingleRun(b *testing.B) {
+	benchSweep(b, sweepBenchSpec())
+}
+
+func BenchmarkSweepReplicated(b *testing.B) {
+	spec := sweepBenchSpec()
+	spec.Replications = 4
+	benchSweep(b, spec)
+}
