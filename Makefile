@@ -4,7 +4,7 @@ NOCVET := $(CURDIR)/bin/nocvet
 
 # BENCH_BASE is the tracked benchmark baseline the regression gate
 # compares against; bump the number when re-baselining on purpose.
-BENCH_BASE := BENCH_7.json
+BENCH_BASE := BENCH_8.json
 
 .PHONY: build test race vet nocvet bench bench-json benchdiff
 
@@ -41,6 +41,7 @@ bench-json:
 	go test -bench 'FiniteWorkload|BEBurst' -benchtime 50x -run '^$$' . | tee -a bench.txt
 	go test -bench 'Pattern16|PatternSource' -benchtime 5x -run '^$$' . | tee -a bench.txt
 	go test -bench 'Sweep(Single|Replicated)' -benchtime 20x -run '^$$' . | tee -a bench.txt
+	go test -bench 'Hotspot(16x16|64x64)' -benchtime 2x -run '^$$' . | tee -a bench.txt
 	go run ./cmd/benchdiff -parse bench.txt -out BENCH_ci.json
 
 # benchdiff gates the current canonical figures against the tracked

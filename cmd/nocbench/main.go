@@ -15,6 +15,7 @@
 //	nocbench -sweep spec.json -csv same, as CSV
 //	nocbench -sweep spec.json -workers 4
 //	nocbench -sweep spec.json -kernel naive
+//	nocbench -sweep spec.json -kernel active -simworkers 8
 //	nocbench -sweep spec.json -reps 8
 //	nocbench -pattern hotspot:0.7 -inject poisson:0.05 -mesh 16
 //	nocbench -pattern uniform -reps 8 -warmup auto
@@ -44,11 +45,15 @@
 //
 // -kernel selects the simulation kernel of a -sweep or -pattern run:
 // "event" (the default: fully quiescent windows are fast-forwarded),
-// "gated" (activity tracking only) or "naive" (evaluate everything).
-// Results are byte-identical under all three — the CI equivalence job
-// runs the same sweep under each and byte-compares. The experiments
-// (-run/-parallel) always use the default, so the flag is rejected
-// without -sweep or -pattern rather than silently ignored.
+// "gated" (activity tracking only), "naive" (evaluate everything) or
+// "active" (explicit active/parked component lists with a sharded
+// parallel Eval sweep; -simworkers N bounds the goroutine pool, 0
+// means GOMAXPROCS). Results are byte-identical under all of them —
+// the CI equivalence job runs the same sweep under each and
+// byte-compares, including the active kernel at different worker
+// counts. The experiments (-run/-parallel) always use the default, so
+// the flags are rejected without -sweep or -pattern rather than
+// silently ignored.
 //
 // -cpuprofile / -memprofile write pprof profiles covering the whole run
 // (flushed on errors and Ctrl-C too), so kernel work is measurable
@@ -91,7 +96,8 @@ func run() (err error) {
 	workers := flag.Int("workers", 0, "worker pool size for -sweep and -parallel (default GOMAXPROCS)")
 	parallel := flag.Bool("parallel", false, "measure experiments on all cores (text output unchanged)")
 	csvOut := flag.Bool("csv", false, "with -sweep: emit CSV instead of JSON")
-	kernel := flag.String("kernel", "", `with -sweep/-pattern: simulation kernel, "event" (default), "gated" or "naive"`)
+	kernel := flag.String("kernel", "", `with -sweep/-pattern: simulation kernel, "event" (default), "gated", "naive" or "active"`)
+	simWorkers := flag.Int("simworkers", 0, `with -sweep/-pattern: active-kernel Eval shard bound (default GOMAXPROCS)`)
 	patternName := flag.String("pattern", "", `run a synthetic traffic pattern on all three fabrics (e.g. "uniform", "hotspot:0.7")`)
 	inject := flag.String("inject", "", `with -pattern: injection process as "process:rate[:burstiness]" (e.g. "poisson:0.05", "onoff:0.1:8")`)
 	meshSize := flag.Int("mesh", 0, "with -pattern: mesh size N for an NxN mesh (default 8)")
@@ -107,6 +113,12 @@ func run() (err error) {
 	}
 	if *kernel != "" && *sweepFile == "" && *patternName == "" {
 		return fmt.Errorf("-kernel only applies to -sweep and -pattern runs (experiments always use the default)")
+	}
+	if *simWorkers < 0 {
+		return fmt.Errorf("-simworkers must be non-negative, got %d", *simWorkers)
+	}
+	if *simWorkers != 0 && *sweepFile == "" && *patternName == "" {
+		return fmt.Errorf("-simworkers only applies to -sweep and -pattern runs")
 	}
 	if (*inject != "" || *meshSize != 0 || *cycles != 0) && *patternName == "" {
 		return fmt.Errorf("-inject, -mesh and -cycles only apply to -pattern runs")
@@ -159,10 +171,10 @@ func run() (err error) {
 	}
 
 	if *sweepFile != "" {
-		return runSweep(w, *sweepFile, *workers, *csvOut, *kernel, *reps)
+		return runSweep(w, *sweepFile, *workers, *csvOut, *kernel, *simWorkers, *reps)
 	}
 	if *patternName != "" {
-		return runPattern(w, *patternName, *inject, *meshSize, *cycles, *kernel, *reps, *warmup)
+		return runPattern(w, *patternName, *inject, *meshSize, *cycles, *kernel, *simWorkers, *reps, *warmup)
 	}
 
 	var ids []string
@@ -227,7 +239,7 @@ func writeHeapProfile(path string) error {
 
 // runPattern executes one synthetic-pattern scenario on all three
 // fabrics and emits one JSON result per fabric.
-func runPattern(w io.Writer, name, inject string, meshSize, cycles int, kernel string, reps int, warmup string) error {
+func runPattern(w io.Writer, name, inject string, meshSize, cycles int, kernel string, simWorkers, reps int, warmup string) error {
 	sc := noc.Scenario{Name: "pattern:" + name, Pattern: name}
 	if inject != "" {
 		inj, err := noc.ParseInjection(inject)
@@ -257,9 +269,9 @@ func runPattern(w io.Writer, name, inject string, meshSize, cycles int, kernel s
 		return err
 	}
 	sim, err := noc.NewSimulator(
-		noc.CircuitSwitched(noc.WithKernel(k)),
-		noc.PacketSwitched(noc.WithKernel(k)),
-		noc.AetherealTDM(noc.WithKernel(k)),
+		noc.CircuitSwitched(noc.WithKernel(k), noc.WithParallelism(simWorkers)),
+		noc.PacketSwitched(noc.WithKernel(k), noc.WithParallelism(simWorkers)),
+		noc.AetherealTDM(noc.WithKernel(k), noc.WithParallelism(simWorkers)),
 	)
 	if err != nil {
 		return err
@@ -288,7 +300,7 @@ func runPattern(w io.Writer, name, inject string, meshSize, cycles int, kernel s
 
 // runSweep loads a noc.SweepSpec from the file and streams the cells to
 // w. Ctrl-C cancels the sweep cleanly mid-run.
-func runSweep(w io.Writer, path string, workers int, asCSV bool, kernel string, reps int) error {
+func runSweep(w io.Writer, path string, workers int, asCSV bool, kernel string, simWorkers, reps int) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -302,6 +314,9 @@ func runSweep(w io.Writer, path string, workers int, asCSV bool, kernel string, 
 	}
 	if kernel != "" {
 		spec.Kernel = kernel
+	}
+	if simWorkers != 0 {
+		spec.SimWorkers = simWorkers
 	}
 	if reps != 0 {
 		spec.Replications = reps

@@ -10,6 +10,12 @@
 //     sim.Quiescer: the event kernel only polls NextEvent on fully
 //     quiescent cycles, so a non-quiescent Timed component blocks every
 //     fast-forward it schedules and its events are never honoured.
+//   - A component implementing sim.Timed must also implement
+//     sim.IdleWindower (the parking contract): the active kernel parks
+//     timed components between events and replays the skipped stretch as
+//     one batched IdleWindow when they unpark. With only a per-cycle
+//     IdleTick the batched replay is unavailable, so parking would
+//     silently change the component's idle bookkeeping.
 //
 // Both checks apply to named non-interface types that implement
 // sim.Clocked. Matching is structural (against synthesized copies of the
@@ -69,6 +75,11 @@ func checkType(pass *analysis.Pass, sup *nocvet.Suppressions, tn *types.TypeName
 	if nocvet.Implements(T, k.Timed) && !nocvet.Implements(T, k.Quiescer) {
 		nocvet.Report(pass, sup, tn.Pos(),
 			"%s implements sim.Timed but not sim.Quiescer: a non-quiescent Timed component blocks every fast-forward it schedules",
+			tn.Name())
+	}
+	if nocvet.Implements(T, k.Timed) && !nocvet.Implements(T, k.IdleWindower) {
+		nocvet.Report(pass, sup, tn.Pos(),
+			"%s implements sim.Timed but not sim.IdleWindower: the active kernel parks timed components and replays skipped cycles as one batched IdleWindow (add one, typically cycle += n)",
 			tn.Name())
 	}
 }

@@ -31,20 +31,33 @@ func (b *BadQuiescer) Quiescent() bool { return true }
 
 // BadTimed self-schedules events but can never be skipped, so it blocks
 // every fast-forward it schedules.
-type BadTimed struct{} // want `BadTimed implements sim\.Timed but not sim\.Quiescer`
+type BadTimed struct{} // want `BadTimed implements sim\.Timed but not sim\.Quiescer` `BadTimed implements sim\.Timed but not sim\.IdleWindower`
 
 func (b *BadTimed) Eval()                     {}
 func (b *BadTimed) Commit()                   {}
 func (b *BadTimed) NextEvent() (uint64, bool) { return 0, false }
 
-// GoodTimed is the consistent Timed contract.
+// GoodTimed is the consistent Timed contract: quiescent, with batched
+// idle replay so the active kernel can park it between events.
 type GoodTimed struct{ cycle uint64 }
 
 func (g *GoodTimed) Eval()                     {}
 func (g *GoodTimed) Commit()                   {}
 func (g *GoodTimed) Quiescent() bool           { return true }
 func (g *GoodTimed) IdleTick()                 { g.cycle++ }
+func (g *GoodTimed) IdleWindow(n uint64)       { g.cycle += n }
 func (g *GoodTimed) NextEvent() (uint64, bool) { return 0, false }
+
+// BadTimedTicker schedules events and is quiescent, but only replays
+// idle time cycle by cycle — the active kernel cannot park it without
+// desyncing its bookkeeping.
+type BadTimedTicker struct{ cycle uint64 } // want `BadTimedTicker implements sim\.Timed but not sim\.IdleWindower`
+
+func (b *BadTimedTicker) Eval()                     {}
+func (b *BadTimedTicker) Commit()                   {}
+func (b *BadTimedTicker) Quiescent() bool           { return true }
+func (b *BadTimedTicker) IdleTick()                 { b.cycle++ }
+func (b *BadTimedTicker) NextEvent() (uint64, bool) { return 0, false }
 
 // NotAComponent has a Quiescent method but no Eval/Commit; the kernel
 // contracts do not apply.

@@ -17,10 +17,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // Schema is the canonical file's schema version; bump on incompatible
@@ -82,6 +84,18 @@ func Parse(r io.Reader) (*File, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
+		// JSON strings are UTF-8: the encoder silently rewrites invalid
+		// bytes as replacement runes, so a retained line carrying them
+		// would not survive a canonical round trip. Reject such lines up
+		// front (a fuzzing find); lines the parser ignores may carry
+		// anything.
+		if !utf8.ValidString(line) &&
+			(strings.HasPrefix(line, "Benchmark") ||
+				strings.HasPrefix(line, "goos: ") ||
+				strings.HasPrefix(line, "goarch: ") ||
+				strings.HasPrefix(line, "pkg: ")) {
+			return nil, fmt.Errorf("benchfmt: invalid UTF-8 in line %q", line)
+		}
 		switch {
 		case strings.HasPrefix(line, "goos: "):
 			f.Goos = strings.TrimPrefix(line, "goos: ")
@@ -121,6 +135,12 @@ func Parse(r io.Reader) (*File, error) {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				return nil, fmt.Errorf("benchfmt: bad value in %q: %v", line, err)
+			}
+			// ParseFloat accepts NaN and ±Inf, which a real bench log
+			// never contains and JSON cannot encode — reject them here so
+			// every parsed file is encodable (a fuzzing find).
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("benchfmt: non-finite value in %q", line)
 			}
 			switch fields[i+1] {
 			case "ns/op":

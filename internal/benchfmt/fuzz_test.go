@@ -1,0 +1,91 @@
+package benchfmt
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRoundTrip drives Parse with arbitrary text and checks the
+// package's contract on every input it accepts: parsing is
+// deterministic, the parsed file satisfies the canonical-form
+// invariants (sorted, de-duplicated, positive procs, finite ns/op), and
+// Encode → Decode → Encode is a fixed point byte for byte. Inputs Parse
+// rejects are fine — the property under test is that it never panics
+// and never accepts something it cannot re-encode. CI runs this as a
+// short -fuzztime smoke on top of the seeded corpus.
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("goos: linux\ngoarch: amd64\npkg: repro/noc\nBenchmarkMesh16-8   100   123456 ns/op   2048 B/op   12 allocs/op\nPASS\n")
+	f.Add("BenchmarkX 1 5 ns/op\n")
+	f.Add("BenchmarkX/case=3-16 2000 17.5 ns/op\nBenchmarkX/case=3-16 4000 16.5 ns/op\n")
+	f.Add("pkg: a\nBenchmarkA-2 10 1 ns/op\npkg: b\nBenchmarkA-2 10 2 ns/op\n")
+	f.Add("Benchmark 1 1 ns/op\n")
+	f.Add("BenchmarkX 1 NaN ns/op\n")
+	f.Add("BenchmarkX 1 +Inf ns/op\n")
+	f.Add("BenchmarkX 9999999999999999999999 1 ns/op\n")
+	f.Add("BenchmarkX 1 5 ns/op trailing\n")
+	f.Add("ok  \trepro/noc\t1.2s\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		parsed, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return // rejected input; the parser just must not panic
+		}
+
+		// Parsing the same bytes again yields the same file.
+		again, err := Parse(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("second parse failed: %v", err)
+		}
+		if !reflect.DeepEqual(parsed, again) {
+			t.Fatalf("parse not deterministic:\n%+v\n%+v", parsed, again)
+		}
+
+		// Canonical-form invariants.
+		if len(parsed.Benchmarks) == 0 {
+			t.Fatal("accepted input produced no benchmarks")
+		}
+		seen := map[string]bool{}
+		for i, b := range parsed.Benchmarks {
+			if b.Procs < 1 {
+				t.Fatalf("benchmark %d has procs %d", i, b.Procs)
+			}
+			if b.Iterations < 0 {
+				t.Fatalf("benchmark %d has negative iterations %d", i, b.Iterations)
+			}
+			if seen[b.key()] {
+				t.Fatalf("duplicate benchmark %q survived de-duplication", b.key())
+			}
+			seen[b.key()] = true
+			if i > 0 {
+				p := parsed.Benchmarks[i-1]
+				if p.Pkg > b.Pkg || (p.Pkg == b.Pkg && p.Name > b.Name) {
+					t.Fatalf("benchmarks out of order: %q/%q before %q/%q",
+						p.Pkg, p.Name, b.Pkg, b.Name)
+				}
+			}
+		}
+
+		// Everything Parse accepts must round-trip through the canonical
+		// encoding unchanged.
+		enc, err := parsed.Encode()
+		if err != nil {
+			t.Fatalf("accepted input failed to encode: %v", err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(parsed, dec) {
+			t.Fatalf("decode diverged:\n%+v\n%+v", parsed, dec)
+		}
+		enc2, err := dec.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode not a fixed point:\n%s\n%s", enc, enc2)
+		}
+	})
+}

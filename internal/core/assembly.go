@@ -237,6 +237,14 @@ func (a *Assembly) Quiescent() bool {
 	return true
 }
 
+// Asleep implements sim.Sleeper, exposing the latched fast path: while
+// asleep the unconfigured crossbar and disabled converters ignore every
+// input register, so only a staging mutator — which runs the wake
+// closure and clears the latch — can end the assembly's quiescence. The
+// active kernel parks asleep assemblies without any upstream
+// declaration; committing neighbours need not (and do not) wake them.
+func (a *Assembly) Asleep() bool { return a.asleep }
+
 // anyConverterEnabled reports whether any tile converter is enabled.
 func (a *Assembly) anyConverterEnabled() bool {
 	for _, tx := range a.Tx {
@@ -307,6 +315,7 @@ var _ sim.Quiescer = (*TxConverter)(nil)
 var _ sim.Quiescer = (*RxConverter)(nil)
 
 var _ sim.Waker = (*Assembly)(nil)
+var _ sim.Sleeper = (*Assembly)(nil)
 var _ sim.Waker = (*Router)(nil)
 var _ sim.Waker = (*TxConverter)(nil)
 var _ sim.Waker = (*RxConverter)(nil)

@@ -58,6 +58,12 @@ func New(w, h int, p core.Params, opt core.AssemblyOptions, wopts ...sim.WorldOp
 			}
 		}
 	}
+	// No DependsOn declarations for the assemblies: an assembly with any
+	// configured lane or enabled converter must watch its neighbour
+	// wires every cycle (so it stays active, exactly like the gated
+	// kernel), while a dormant assembly certifies input-deafness through
+	// sim.Sleeper and parks with no upstream set at all — committing
+	// neighbours stream past it without waking it.
 	return m
 }
 

@@ -2,6 +2,7 @@ package mesh
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
@@ -57,9 +58,18 @@ type PatternConfig struct {
 	Params *core.Params
 	// Kernel selects the simulation kernel.
 	Kernel sim.Kernel
+	// SimWorkers bounds the goroutine pool the active kernel shards its
+	// Eval sweep over (0 = GOMAXPROCS, 1 = sequential). Results are
+	// byte-identical for every value; other kernels ignore it.
+	SimWorkers int
 	// Observe, when non-nil, receives the world after the run — kernel
 	// diagnostics for tests and benchmarks. It must not mutate it.
 	Observe func(*sim.World)
+	// RetainLatency keeps the raw per-word latency observations on the
+	// result's Latency series (Samples), so replicated runs can pool
+	// them into one distribution. Off by default: a plain run only needs
+	// the summary moments.
+	RetainLatency bool
 }
 
 // Validate checks the configuration.
@@ -304,40 +314,80 @@ func (a *laneAlloc) utilization() float64 {
 	return float64(used) / float64(total)
 }
 
+// flowStamps carries one flow's injection timestamps from its source to
+// its sink. Both endpoints touch it during the Eval phase — the source
+// appends from Emit, the sink pops — and under the active kernel's
+// sharded sweep those Evals may run concurrently, so the queue carries
+// its own lock. Per-flow FIFO order is exact: the flow is a single
+// circuit lane, words cannot overtake.
+type flowStamps struct {
+	mu sync.Mutex
+	q  []uint64
+}
+
+func (s *flowStamps) push(c uint64) {
+	s.mu.Lock()
+	s.q = append(s.q, c)
+	s.mu.Unlock()
+}
+
+func (s *flowStamps) pop() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.q) == 0 {
+		return 0, false
+	}
+	c := s.q[0]
+	s.q = s.q[1:]
+	return c, true
+}
+
 // patternSink drains one flow's receive converter and records each
 // word's delivery latency. It is a first-class quiescent component:
 // while the converter buffer is empty, popping is a no-op and the
 // kernel skips the sink, so a drained mesh quiesces end to end. With
 // warm-up accounting on, samples go to the cycle-stamped recorder so
 // the transient can be truncated after the run; otherwise they
-// accumulate directly.
+// accumulate directly. The recorder and series are shared by every
+// sink in the run, so samples are recorded in the sequential Commit
+// phase — in registration order, the same accumulation order under
+// every kernel and shard count — never in the (possibly parallel)
+// Eval phase.
 type patternSink struct {
 	rx     *core.RxConverter
-	stamps *[]uint64
+	stamps *flowStamps
 	lat    *stats.Series
 	rec    *stats.TimedSeries // non-nil when warm-up accounting is on
 	cycle  uint64
 	popped uint64
+
+	pendingLat float64
+	hasPending bool
 }
 
 // Eval implements sim.Clocked.
 func (d *patternSink) Eval() {
 	if _, ok := d.rx.Pop(); ok {
-		if len(*d.stamps) > 0 {
-			lat := float64(d.cycle - (*d.stamps)[0])
-			if d.rec != nil {
-				d.rec.Add(d.cycle, lat)
-			} else {
-				d.lat.Add(lat)
-			}
-			*d.stamps = (*d.stamps)[1:]
+		if c, ok := d.stamps.pop(); ok {
+			d.pendingLat = float64(d.cycle - c)
+			d.hasPending = true
 		}
 		d.popped++
 	}
 }
 
 // Commit implements sim.Clocked.
-func (d *patternSink) Commit() { d.cycle++ }
+func (d *patternSink) Commit() {
+	if d.hasPending {
+		if d.rec != nil {
+			d.rec.Add(d.cycle, d.pendingLat)
+		} else {
+			d.lat.Add(d.pendingLat)
+		}
+		d.hasPending = false
+	}
+	d.cycle++
+}
 
 // Quiescent implements sim.Quiescer: nothing buffered, nothing to pop.
 func (d *patternSink) Quiescent() bool { return d.rx.Available() == 0 }
@@ -364,20 +414,29 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 	if cfg.Params != nil {
 		p = *cfg.Params
 	}
-	m := New(cfg.W, cfg.H, p, core.DefaultAssemblyOptions(), sim.WithKernel(cfg.Kernel))
+	m := New(cfg.W, cfg.H, p, core.DefaultAssemblyOptions(),
+		sim.WithKernel(cfg.Kernel), sim.WithParallelism(cfg.SimWorkers))
 	dom := m.BindMeters(cfg.Lib, cfg.FreqMHz, cfg.Gated)
 	alloc := newLaneAlloc(m)
 
 	res := &PatternResult{}
+	if cfg.RetainLatency {
+		// The sinks feed res.Latency directly; under warm-up accounting
+		// the series is rebuilt from the timed record, which always
+		// retains.
+		res.Latency.Retain()
+	}
 	flows := cfg.Spatial.Flows(cfg.W, cfg.H, cfg.Seed)
 	res.FlowsRequested = len(flows)
 
 	// Warm-up accounting: cycle-stamped latency samples and injection
 	// stamps, collected only when a measurement window is requested so
-	// the default path stays allocation-free.
+	// the default path stays allocation-free. Injection stamps are
+	// collected per flow (each source's Eval appends to its own slice,
+	// so the sharded sweep races on nothing) and only counted after the
+	// run.
 	warmup := cfg.WarmupCycles > 0 || cfg.WarmupAuto
 	var latRec *stats.TimedSeries
-	var sentCycles []uint64
 	if warmup {
 		latRec = &stats.TimedSeries{}
 	}
@@ -385,6 +444,7 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 	type liveFlow struct {
 		src  *pattern.Source
 		sink *patternSink
+		sent *[]uint64
 		idx  int
 	}
 	var live []liveFlow
@@ -405,7 +465,8 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 		// both derive from the run seed and the flow's source node.
 		flowSeed := sweep.Mix64(cfg.Seed + uint64(f.Src)*0x9E3779B97F4A7C15)
 		gen := bitvec.NewFlipGen(16, cfg.FlipProb, flowSeed^0xDA7A)
-		stamps := new([]uint64)
+		stamps := &flowStamps{}
+		sentCycles := new([]uint64)
 		src := pattern.NewSource(cfg.Injection, flowSeed, cfg.WordsPerFlow, nil)
 		src.Emit = func() bool {
 			if !tx.Ready() {
@@ -414,15 +475,21 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 			if !tx.Push(core.DataWord(uint16(gen.Next()))) {
 				return false
 			}
-			*stamps = append(*stamps, src.Cycle())
+			stamps.push(src.Cycle())
 			if warmup {
-				sentCycles = append(sentCycles, src.Cycle())
+				*sentCycles = append(*sentCycles, src.Cycle())
 			}
 			return true
 		}
 		sink := &patternSink{rx: rx, stamps: stamps, lat: &res.Latency, rec: latRec}
 		m.World().Add(src, sink)
-		live = append(live, liveFlow{src: src, sink: sink, idx: len(res.Flows)})
+		// Parking contract: the source is self-scheduled (woken only by
+		// its own NextEvent), the sink's quiescence ends only when its
+		// destination assembly commits a delivery into the receive
+		// converter.
+		m.World().DependsOn(src)
+		m.World().DependsOn(sink, m.At(dstC))
+		live = append(live, liveFlow{src: src, sink: sink, sent: sentCycles, idx: len(res.Flows)})
 		res.Flows = append(res.Flows, pf)
 	}
 
@@ -455,9 +522,11 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 		res.MeasuredCycles = uint64(cfg.Cycles) - w
 		res.WordsDelivered = uint64(latRec.Len() - start)
 		var sent uint64
-		for _, c := range sentCycles {
-			if c >= w {
-				sent++
+		for _, lf := range live {
+			for _, c := range *lf.sent {
+				if c >= w {
+					sent++
+				}
 			}
 		}
 		res.WordsSent = sent

@@ -67,15 +67,33 @@ func TestRunPatternKernelEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v event: %v", sp, err)
 		}
+		cfg.Kernel = sim.KernelActive
+		cfg.SimWorkers = 1
+		active1, err := RunPattern(cfg)
+		if err != nil {
+			t.Fatalf("%v active: %v", sp, err)
+		}
+		cfg.SimWorkers = 8
+		active8, err := RunPattern(cfg)
+		if err != nil {
+			t.Fatalf("%v active/8: %v", sp, err)
+		}
 		if naive.WordsDelivered == 0 {
 			t.Fatalf("%v: nothing delivered", sp)
 		}
 		fn, fg, fe := fingerprint(t, naive), fingerprint(t, gated), fingerprint(t, event)
+		fa1, fa8 := fingerprint(t, active1), fingerprint(t, active8)
 		if fn != fg {
 			t.Errorf("%v: naive vs gated differ\n%s\n%s", sp, fn, fg)
 		}
 		if fn != fe {
 			t.Errorf("%v: naive vs event differ\n%s\n%s", sp, fn, fe)
+		}
+		if fn != fa1 {
+			t.Errorf("%v: naive vs active differ\n%s\n%s", sp, fn, fa1)
+		}
+		if fa1 != fa8 {
+			t.Errorf("%v: active workers 1 vs 8 differ\n%s\n%s", sp, fa1, fa8)
 		}
 	}
 }

@@ -1,0 +1,655 @@
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// This file implements KernelActive: the O(active) kernel with optional
+// sharded parallel Eval.
+//
+// # Active and parked lists
+//
+// The event kernel removed the O(components·cycles) term for windows in
+// which the *whole* world is idle, but on any cycle it cannot
+// fast-forward it still polls Quiescent on every component. KernelActive
+// removes that term per component: the world is split into an active
+// list (polled and evaluated every cycle, exactly like the gated kernel)
+// and a parked list (not visited at all). A component may be parked only
+// when it is provably inert until an external stimulus:
+//
+//   - it was quiescent this cycle, and
+//   - it is parkable: its complete set of upstream signal drivers was
+//     declared with DependsOn, so the kernel knows every way its
+//     quiescence can end — an upstream component committing (its
+//     registered outputs change), one of its own staging mutators being
+//     invoked (which calls the wake function every Waker already
+//     receives), a pending WakeAt timer firing, or its own self-scheduled
+//     NextEvent cycle arriving (sim.Timed).
+//
+// There is a second, declaration-free route into the parked list: a
+// component implementing Sleeper parks on any cycle Asleep() is true.
+// Asleep certifies input-deafness — no register the component reads can
+// end its quiescence, only its own staging mutators can — so the kernel
+// needs no upstream set at all and sends it no commit notifications;
+// the wake closure is its sole re-activation channel. This is how mesh
+// assemblies park: a dormant assembly (unconfigured crossbar, disabled
+// converters) latches asleep and leaves the sweep, while a configured
+// one is never parked and watches its neighbour wires every cycle,
+// exactly like the gated kernel. Declaring neighbour links with
+// DependsOn instead would be sound but slow: every commit of a
+// streaming assembly would wake its parked neighbours into a
+// poll/re-park churn.
+//
+// Components with neither a DependsOn declaration nor a Sleeper
+// implementation are never parked and behave exactly as under the gated
+// kernel, so the kernel is conservative by construction: declaring
+// nothing costs only speed, never correctness.
+//
+// Parked components are re-activated through exactly the channels above:
+//
+//   - wake calls (staged mutators Push/Inject/PushConfig/Pop) unpark at
+//     once when they arrive during the Eval phase, and are queued for the
+//     next cycle when they arrive between cycles;
+//   - a committing component unparks its declared downstream components
+//     for the next cycle — the earliest cycle on which the commit's
+//     register changes are visible to their Quiescent polls;
+//   - a WakeAt timer coming due unparks every parked component (timers
+//     are world-global and rare; one conservative full poll per timer
+//     keeps them exact);
+//   - a parked Timed component's NextEvent, cached at park time, unparks
+//     it when the clock reaches it. While parked the component's state
+//     is frozen, so the cached value stays valid — the "stable NextEvent"
+//     half of the parking contract, checked structurally by the
+//     kernelcontract analyzer (a Timed component must be an IdleWindower
+//     so its parked window replays in one batch).
+//
+// A parked component receives no per-cycle bookkeeping at all; the idle
+// cycles it owes are replayed in one IdleWindow batch when it unparks
+// (or when the world flushes at a Run/Step boundary), exactly as
+// fast-forward replays them today. By the same fixed-point argument —
+// a parked component's registers cannot change, and nothing it reads
+// changes while every declared upstream is parked or quiescent — the
+// replay is exact and results stay byte-identical to the naive, gated
+// and event kernels.
+//
+// # Two-phase sweep with a wake queue
+//
+// Unlike the gated kernel's interleaved poll-then-eval sweep, the active
+// kernel polls the whole active list first (pass 1) and then evaluates
+// the non-quiescent components (pass 2). The split is what makes pass 2
+// data-parallel: during pass 1 no Eval runs, so no staging mutator can
+// fire, and every Quiescent poll observes the same committed pre-edge
+// state; during pass 2 every staged mutation lands in staging fields
+// that no Eval reads (the two-phase contract the wake mechanism already
+// relies on). A mutator invoked during pass 2 therefore cannot change
+// any Eval's outcome — it only changes the target's *next* quiescence —
+// so its wake is appended to a queue instead of running the missed Eval
+// inline. After pass 2 the queue is drained: sorted by registration
+// index, deduplicated, and each still-skipped (or parked) target runs
+// its missed Eval sequentially, chaining further wakes inline. The drain
+// order is deterministic, so results are byte-identical no matter how
+// the scheduler interleaved pass 2.
+//
+// # Sharded parallel Eval
+//
+// With the sweep split as above, both passes shard over a bounded set of
+// goroutines (WithParallelism, default GOMAXPROCS): pass 1 writes only
+// the per-component skip flags and shard-local poll counters, pass 2
+// runs disjoint Evals whose only cross-component writes are staging
+// fields no concurrent reader touches. Everything order-sensitive —
+// the wake-queue drain, the Commit sweep, the evals/skips counter folds,
+// the park decisions — runs sequentially in registration order, the
+// same in-order fold that makes the sweep pool deterministic. Output is
+// byte-identical for any shard count, including 1; worlds below
+// parallelMinActive active components skip the goroutine hand-off
+// entirely and run both passes on the caller.
+
+// parallelMinActive is the active-list size below which the sharded
+// sweep is not worth the goroutine hand-off and both passes run on the
+// calling goroutine. The cutover does not affect results: the sharded
+// and sequential sweeps execute the same two passes over the same list.
+const parallelMinActive = 256
+
+// WithParallelism bounds the goroutine pool the active kernel shards
+// its Eval sweep over: n == 1 keeps the sweep on the calling
+// goroutine, n <= 0 (the default) means GOMAXPROCS, larger values
+// allow up to n shards (capped by the active-list size). Results are
+// byte-identical for every value. The option only affects
+// KernelActive; the other kernels are single-threaded by design.
+func WithParallelism(n int) WorldOption {
+	return func(w *World) { w.parallelism = n }
+}
+
+// DependsOn declares component c's complete upstream set: the
+// components whose Commit can change a signal c reads. Under
+// KernelActive the declaration makes c parkable — on any cycle c is
+// quiescent it leaves the per-cycle sweep entirely, and it is woken by
+// its staging mutators, by a pending timer, by its own NextEvent, or by
+// any declared upstream committing. The declaration is a contract: an
+// undeclared upstream whose commit can end c's quiescence would desync
+// c, exactly like a Quiescent that ignores staged work. Components
+// never passed to DependsOn are never parked. All components involved
+// must already be registered with Add.
+func (w *World) DependsOn(c Clocked, upstreams ...Clocked) {
+	ci := w.mustIndexOf(c)
+	w.parkable[ci] = true
+	for _, u := range upstreams {
+		ui := w.mustIndexOf(u)
+		w.downstream[ui] = append(w.downstream[ui], ci)
+	}
+}
+
+// mustIndexOf resolves a registered component's index.
+func (w *World) mustIndexOf(c Clocked) int {
+	if i, ok := w.index[c]; ok {
+		return i
+	}
+	panic("sim: DependsOn on a component not registered with Add")
+}
+
+// Parked returns the number of currently parked components. Outside
+// KernelActive it is always zero.
+func (w *World) Parked() int { return w.parkedCount }
+
+// Activations returns how many times a parked component was returned to
+// the active list — the unpark count, the activity churn the parking
+// heuristics are judged by.
+func (w *World) Activations() uint64 { return w.activations }
+
+// Polls returns the number of Quiescent() polls executed so far, across
+// all kernels — the per-cycle overhead term the active kernel exists to
+// shrink.
+func (w *World) Polls() uint64 { return w.polls }
+
+// eventEntry is one cached NextEvent of a parked Timed component.
+type eventEntry struct {
+	cycle uint64
+	idx   int
+}
+
+// eventHeap is a binary min-heap of cached NextEvent cycles, ordered by
+// cycle then registration index so ties unpark in registration order.
+type eventHeap struct {
+	heap []eventEntry
+}
+
+func (h *eventHeap) less(a, b eventEntry) bool {
+	return a.cycle < b.cycle || (a.cycle == b.cycle && a.idx < b.idx)
+}
+
+func (h *eventHeap) push(e eventEntry) {
+	h.heap = append(h.heap, e)
+	i := len(h.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.heap[i], h.heap[parent]) {
+			break
+		}
+		h.heap[parent], h.heap[i] = h.heap[i], h.heap[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) peek() (eventEntry, bool) {
+	if len(h.heap) == 0 {
+		return eventEntry{}, false
+	}
+	return h.heap[0], true
+}
+
+func (h *eventHeap) pop() {
+	n := len(h.heap) - 1
+	h.heap[0] = h.heap[n]
+	h.heap = h.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(h.heap[l], h.heap[small]) {
+			small = l
+		}
+		if r < n && h.less(h.heap[r], h.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.heap[i], h.heap[small] = h.heap[small], h.heap[i]
+		i = small
+	}
+}
+
+// activeState is the KernelActive bookkeeping attached to a World. It is
+// nil under every other kernel, so they carry no overhead.
+type activeState struct {
+	active   []int // sorted registration indices of unparked components
+	scratch  []int // commit-phase compaction buffer
+	joinNew  []int // components Added since the last cycle began
+	joined   []int // unparked mid-cycle (wake drain), merged before Commit
+	pending  []int // unpark requests for the next cycle
+	events   eventHeap
+	sharding shardState
+
+	wakeMu sync.Mutex
+	wakeQ  []int // wakes collected during the parallel Eval pass
+}
+
+// shardState is the scratch the sharded passes fold from.
+type shardState struct {
+	polls []uint64 // per-shard Quiescent poll counts
+}
+
+// parkedPendingSkips returns the skipped cycles currently deferred on
+// parked components — the correction the counter accessors apply so
+// Skips and ComponentActivity read exactly as under the gated kernel
+// even mid-run.
+func (w *World) parkedPendingSkips() uint64 {
+	if w.parkedCount == 0 {
+		return 0
+	}
+	return uint64(w.parkedCount)*w.cycle - w.sumParkedAt
+}
+
+// park removes component i from the active sweep, starting with the next
+// cycle. Called from the Commit phase after i was skipped; the current
+// cycle's bookkeeping has already been done the normal way.
+func (w *World) park(i int) {
+	w.parked[i] = true
+	w.parkedAt[i] = w.cycle + 1
+	w.parkedCount++
+	w.sumParkedAt += w.parkedAt[i]
+	if td := w.timed[i]; td != nil {
+		// Cache the component's self-scheduled horizon; its state is
+		// frozen while parked, so the value cannot drift (the parking
+		// contract). A stale entry left by an earlier wake-unpark is
+		// harmless: it triggers one spurious poll.
+		if c, ok := td.NextEvent(); ok {
+			w.as.events.push(eventEntry{cycle: c, idx: i})
+		}
+	}
+}
+
+// settleParked replays the idle cycles component i owes up to the
+// current cycle: the deferred skip counters and one IdleWindow batch
+// (or per-cycle IdleTicks). The component stays parked; unparking is
+// the caller's business.
+func (w *World) settleParked(i int) {
+	owed := w.cycle - w.parkedAt[i]
+	if owed == 0 {
+		return
+	}
+	w.skips += owed
+	w.skipsBy[i] += owed
+	w.sumParkedAt += owed
+	w.parkedAt[i] = w.cycle
+	if w.windowers[i] != nil {
+		w.windowers[i].IdleWindow(owed)
+		return
+	}
+	if w.idlers[i] != nil {
+		for k := uint64(0); k < owed; k++ {
+			w.idlers[i].IdleTick()
+		}
+	}
+}
+
+// unpark settles component i's deferred bookkeeping and removes it from
+// the parked set. The caller must re-insert i into the active list (or
+// the joined buffer when mid-cycle).
+func (w *World) unpark(i int) {
+	w.settleParked(i)
+	w.parked[i] = false
+	w.parkedCount--
+	w.sumParkedAt -= w.parkedAt[i]
+	w.activations++
+}
+
+// flushParked settles every parked component's deferred bookkeeping
+// without unparking it, so all externally visible state — power meters,
+// cycle counters, activity statistics — reads exactly as under the
+// gated kernel. Called at every public Step, at Run return and before
+// every RunUntil predicate evaluation.
+func (w *World) flushParked() {
+	if w.parkedCount == 0 {
+		return
+	}
+	for i := range w.components {
+		if w.parked[i] {
+			w.settleParked(i)
+		}
+	}
+}
+
+// mergeActive inserts the sorted-unique index set add into the sorted
+// active list in place.
+func (w *World) mergeActive(add []int) {
+	if len(add) == 0 {
+		return
+	}
+	a := w.as
+	dst := a.scratch[:0]
+	act := a.active
+	i, j := 0, 0
+	for i < len(act) || j < len(add) {
+		switch {
+		case j == len(add) || (i < len(act) && act[i] < add[j]):
+			dst = append(dst, act[i])
+			i++
+		case i == len(act) || add[j] < act[i]:
+			dst = append(dst, add[j])
+			j++
+		default: // equal; keep one
+			dst = append(dst, act[i])
+			i, j = i+1, j+1
+		}
+	}
+	a.scratch = act[:0]
+	a.active = dst
+}
+
+// sortedUnique sorts s ascending and removes duplicates in place.
+func sortedUnique(s []int) []int {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Ints(s)
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// beginCycleActive processes everything that re-activates components at
+// the top of a cycle: components Added since the last cycle, queued
+// unpark requests (downstream commits, between-cycle wakes), cached
+// NextEvent cycles that have come due, and — conservatively — a pending
+// WakeAt timer, which unparks everything for one full poll.
+func (w *World) beginCycleActive() {
+	a := w.as
+	var due []int
+	if len(a.joinNew) > 0 {
+		due = append(due, a.joinNew...)
+		a.joinNew = a.joinNew[:0]
+	}
+	if len(a.pending) > 0 {
+		for _, i := range a.pending {
+			if w.parked[i] {
+				w.unpark(i)
+				due = append(due, i)
+			}
+		}
+		a.pending = a.pending[:0]
+	}
+	for {
+		e, ok := a.events.peek()
+		if !ok || e.cycle > w.cycle {
+			break
+		}
+		a.events.pop()
+		if w.parked[e.idx] {
+			w.unpark(e.idx)
+			due = append(due, e.idx)
+		}
+	}
+	w.dropSpentTimers()
+	if t, ok := w.timers.peek(); ok && t <= w.cycle && w.parkedCount > 0 {
+		// A timer fires this cycle: some driver staged work for it, and
+		// that work may concern any component. Poll everything once.
+		for i := range w.components {
+			if w.parked[i] {
+				w.unpark(i)
+				due = append(due, i)
+			}
+		}
+	}
+	w.mergeActive(sortedUnique(due))
+}
+
+// shardCount resolves how many goroutines the parallel passes use for
+// the current active-list size.
+func (w *World) shardCount() int {
+	n := len(w.as.active)
+	if n < parallelMinActive {
+		return 1
+	}
+	p := w.parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// pollActive is pass 1: the quiescence poll over the active list. It
+// only writes per-component skip flags and shard-local poll counters,
+// so the shards race on nothing.
+func (w *World) pollActive(shards int) {
+	a := w.as
+	act := a.active
+	poll := func(lo, hi int) uint64 {
+		var polls uint64
+		for _, i := range act[lo:hi] {
+			if w.quiescers[i] != nil {
+				polls++
+				w.skipped[i] = w.quiescers[i].Quiescent()
+			} else {
+				w.skipped[i] = false
+			}
+		}
+		return polls
+	}
+	if shards == 1 {
+		w.polls += poll(0, len(act))
+		return
+	}
+	if cap(a.sharding.polls) < shards {
+		a.sharding.polls = make([]uint64, shards)
+	}
+	counts := a.sharding.polls[:shards]
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * len(act) / shards
+		hi := (s + 1) * len(act) / shards
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			counts[s] = poll(lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for _, c := range counts {
+		w.polls += c
+	}
+}
+
+// evalActive is pass 2: Eval every non-quiescent active component.
+// Sequentially it tracks evalPos so wake calls into already-passed slots
+// run inline while later slots are left for the sweep itself, mirroring
+// the gated kernel exactly; in parallel every wake is queued
+// (parallelEval mode) and drained afterwards. See the package comment
+// for why the queue is sufficient.
+func (w *World) evalActive(shards int) {
+	act := w.as.active
+	if shards == 1 {
+		for _, i := range act {
+			w.evalPos = i
+			if !w.skipped[i] {
+				w.components[i].Eval()
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * len(act) / shards
+		hi := (s + 1) * len(act) / shards
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, i := range act[lo:hi] {
+				if !w.skipped[i] {
+					w.components[i].Eval()
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// drainWakes runs the missed Evals of every component woken during pass
+// 2, in registration order. Chained wakes (a drained Eval staging work
+// into yet another skipped component) execute inline through the normal
+// sequential wake path.
+func (w *World) drainWakes() {
+	a := w.as
+	if len(a.wakeQ) == 0 {
+		return
+	}
+	q := sortedUnique(a.wakeQ)
+	for _, i := range q {
+		w.wakeActiveKernel(i)
+	}
+	a.wakeQ = a.wakeQ[:0]
+}
+
+// wakeActiveKernel is the sequential wake path of the active kernel,
+// used by wakes during the sequential pass-2 sweep, during the drain,
+// and by chained wakes. A parked target unparks and runs its missed
+// Eval (it is outside the active list, so nothing re-evals it); an
+// active-but-skipped target runs the missed Eval inline only if its
+// sweep slot already passed — a later slot just clears the skip flag
+// and lets the sweep eval it in order, exactly like a gated-kernel poll
+// observing staged work. Either way the target commits normally.
+func (w *World) wakeActiveKernel(i int) {
+	if w.parked[i] {
+		w.unpark(i)
+		w.skipped[i] = false
+		w.components[i].Eval()
+		w.as.joined = append(w.as.joined, i)
+		return
+	}
+	if !w.skipped[i] {
+		return
+	}
+	w.skipped[i] = false
+	if i <= w.evalPos {
+		w.components[i].Eval()
+	}
+}
+
+// horizonActive is the active kernel's fast-forward bound. Unlike the
+// event kernel's horizon it never scans the whole world: parked Timed
+// components already cached their NextEvent in the unpark heap, so only
+// the (quiescent) active components need a live poll — O(active), and
+// O(1) once everything is parked.
+func (w *World) horizonActive(end uint64) uint64 {
+	h := end
+	w.dropSpentTimers()
+	if t, ok := w.timers.peek(); ok && t < h {
+		h = t
+	}
+	if e, ok := w.as.events.peek(); ok && e.cycle < h {
+		h = e.cycle
+	}
+	for _, i := range w.as.active {
+		if td := w.timed[i]; td != nil {
+			if c, ok := td.NextEvent(); ok && c < h {
+				h = c
+			}
+		}
+	}
+	if h < w.cycle {
+		h = w.cycle
+	}
+	return h
+}
+
+// runActive is Run's loop for KernelActive: per-cycle stepping over the
+// active list, fast-forwarding fully quiescent windows like the event
+// kernel (parked components are left untouched by fast-forward — their
+// deferred window simply grows), and a final flush so every parked
+// component's bookkeeping is settled when Run returns.
+func (w *World) runActive(n int) {
+	end := w.cycle + uint64(n)
+	for w.cycle < end {
+		w.stepActive()
+		if w.allSkipped && w.cycle < end {
+			if ff := w.horizonActive(end) - w.cycle; ff > 0 {
+				w.fastForward(ff)
+			}
+		}
+	}
+	w.flushParked()
+}
+
+// stepActive advances a KernelActive world by one cycle.
+func (w *World) stepActive() {
+	w.beginCycleActive()
+	a := w.as
+	n0 := len(w.components) // components Added mid-cycle join next cycle
+
+	shards := w.shardCount()
+	w.inEval = true
+	w.evalPos = -1 // no slot passed yet; Quiescent may not invoke mutators
+	w.pollActive(shards)
+	if shards > 1 {
+		w.parallelEval = true
+		w.evalActive(shards)
+		w.parallelEval = false
+	} else {
+		w.evalActive(1)
+	}
+	w.evalPos = n0 - 1 // every slot has passed: drained wakes eval inline
+	w.drainWakes()
+	w.inEval = false
+
+	w.mergeActive(sortedUnique(a.joined))
+	a.joined = a.joined[:0]
+
+	// Commit phase: sequential, in registration order, exactly like the
+	// gated kernel — counters, idle bookkeeping, park decisions and
+	// downstream unparks all fold deterministically here.
+	all := len(w.components) > 0
+	keep := a.scratch[:0]
+	for _, i := range a.active {
+		if w.skipped[i] {
+			w.skips++
+			w.skipsBy[i]++
+			if w.idlers[i] != nil {
+				w.idlers[i].IdleTick()
+			}
+			if w.parkable[i] || (w.sleepers[i] != nil && w.sleepers[i].Asleep()) {
+				w.park(i)
+				continue
+			}
+			keep = append(keep, i)
+			continue
+		}
+		all = false
+		w.evals++
+		w.evalsBy[i]++
+		w.components[i].Commit()
+		keep = append(keep, i)
+		// Unconditionally: a dependent later in this same sweep may not
+		// have parked yet — the next cycle's intake ignores entries that
+		// are not parked by then.
+		a.pending = append(a.pending, w.downstream[i]...)
+	}
+	a.scratch = a.active[:0]
+	a.active = keep
+	if len(w.components) != n0 {
+		all = false // a mid-cycle Add must be polled before fast-forward
+	}
+	w.allSkipped = all
+	w.cycle++
+}

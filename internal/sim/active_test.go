@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// quietPulse is a quiescent, self-scheduled pulse: inert until cycle at,
+// where it drives its registered output to 1 for one cycle, then inert
+// forever. The shape of a scheduled traffic burst, and the canonical
+// upstream for parking tests: it commits exactly twice (raise, lower).
+type quietPulse struct {
+	out, next int
+	at        uint64
+	world     *World
+	idles     uint64
+	windows   uint64
+}
+
+func (p *quietPulse) Eval() {
+	p.next = 0
+	if p.world.Cycle() == p.at {
+		p.next = 1
+	}
+}
+func (p *quietPulse) Commit() {}
+func (p *quietPulse) Quiescent() bool {
+	c := p.world.Cycle()
+	return !(c == p.at || c == p.at+1)
+}
+func (p *quietPulse) IdleTick()           { p.idles++ }
+func (p *quietPulse) IdleWindow(n uint64) { p.windows += n }
+func (p *quietPulse) NextEvent() (uint64, bool) {
+	if c := p.world.Cycle(); c <= p.at {
+		return p.at, true
+	} else if c == p.at+1 {
+		return c, true
+	}
+	return 0, false
+}
+
+// commitPulse is quietPulse with the output actually latched (split so
+// Commit stays trivial to reason about in the quiescence predicate).
+type commitPulse struct{ quietPulse }
+
+func (p *commitPulse) Commit() { p.out = p.next }
+
+// activeWatcher observes an upstream register; quiescent while it reads
+// zero. Parked variants declare the upstream with DependsOn.
+type activeWatcher struct {
+	src     *int
+	seen    int
+	staged  int
+	idles   uint64
+	windows uint64
+}
+
+func (w *activeWatcher) Eval() {
+	w.staged = w.seen
+	if *w.src != 0 {
+		w.staged++
+	}
+}
+func (w *activeWatcher) Commit()             { w.seen = w.staged }
+func (w *activeWatcher) Quiescent() bool     { return *w.src == 0 }
+func (w *activeWatcher) IdleTick()           { w.idles++ }
+func (w *activeWatcher) IdleWindow(n uint64) { w.windows += n }
+
+// TestActiveKernelEquivalenceChain runs a commit-propagation chain —
+// self-scheduled pulse, watcher woken purely by the upstream commit —
+// under all four kernels and demands identical observable state and
+// identical eval/skip counters on every cycle.
+func TestActiveKernelEquivalenceChain(t *testing.T) {
+	build := func(k Kernel) (*World, *commitPulse, *activeWatcher) {
+		w := NewWorld(WithKernel(k))
+		p := &commitPulse{quietPulse{at: 40}}
+		p.world = w
+		wt := &activeWatcher{src: &p.out}
+		w.Add(p, wt)
+		w.DependsOn(p)
+		w.DependsOn(wt, p)
+		return w, p, wt
+	}
+	type snap struct {
+		seen         int
+		evals, skips uint64
+		cycle        uint64
+	}
+	run := func(k Kernel) []snap {
+		w, _, wt := build(k)
+		var out []snap
+		for i := 0; i < 100; i++ {
+			w.Step()
+			e0, s0 := w.ComponentActivity(0)
+			e1, s1 := w.ComponentActivity(1)
+			out = append(out, snap{wt.seen, e0 + e1, s0 + s1, w.Cycle()})
+			if e0+e1 != w.Evals() || s0+s1 != w.Skips() {
+				t.Fatalf("%v cycle %d: per-component (%d,%d) vs world (%d,%d)",
+					k, i, e0+e1, s0+s1, w.Evals(), w.Skips())
+			}
+		}
+		return out
+	}
+	naive := run(KernelNaive)
+	ref := run(KernelGated)
+	for i := range ref {
+		// Observable state matches the naive kernel; the eval/skip split
+		// differs by design (naive never skips).
+		if ref[i].seen != naive[i].seen || ref[i].cycle != naive[i].cycle {
+			t.Fatalf("gated diverged from naive at cycle %d: %+v vs %+v", i, ref[i], naive[i])
+		}
+	}
+	for _, k := range []Kernel{KernelEvent, KernelActive} {
+		got := run(k)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%v diverged at cycle %d: %+v vs gated %+v", k, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestActiveKernelParksDeclaredComponents: in a world of declared inert
+// components the active list drains, Parked() reports it, fast-forward
+// still engages, and the deferred idle bookkeeping settles to exactly
+// the elapsed cycles when Run returns.
+func TestActiveKernelParksDeclaredComponents(t *testing.T) {
+	w := NewWorld(WithKernel(KernelActive))
+	comps := make([]*tickerComp, 8)
+	for i := range comps {
+		comps[i] = &tickerComp{quiet: true}
+		w.Add(comps[i])
+		w.DependsOn(comps[i])
+	}
+	w.Run(1000)
+	if w.Cycle() != 1000 {
+		t.Fatalf("cycle = %d", w.Cycle())
+	}
+	if w.Parked() != len(comps) {
+		t.Fatalf("Parked = %d, want %d", w.Parked(), len(comps))
+	}
+	for i, c := range comps {
+		if c.total() != 1000 {
+			t.Fatalf("comp %d bookkeeping covers %d of 1000 cycles", i, c.total())
+		}
+	}
+	if w.Skips() != 8000 || w.Evals() != 0 {
+		t.Fatalf("skips=%d evals=%d, want 8000/0", w.Skips(), w.Evals())
+	}
+	// A parked world polls each component at most a handful of times
+	// (until it parks), not once per cycle.
+	if w.Polls() > 100 {
+		t.Fatalf("Polls = %d; parked components are still being polled", w.Polls())
+	}
+}
+
+// TestActiveKernelTimedUnpark: a parked Timed component is woken by its
+// own cached NextEvent at exactly the right cycle.
+func TestActiveKernelTimedUnpark(t *testing.T) {
+	w := NewWorld(WithKernel(KernelActive))
+	c := &timedComp{world: w, due: 700}
+	w.Add(c)
+	w.DependsOn(c)
+	w.Run(2000)
+	if c.fired != 1 {
+		t.Fatalf("timed component fired %d times, want 1", c.fired)
+	}
+	if c.total() != 2000 {
+		t.Fatalf("bookkeeping covers %d of 2000 cycles", c.total())
+	}
+	if w.Activations() == 0 {
+		t.Fatal("component never unparked")
+	}
+}
+
+// TestActiveKernelWakeUnparks: a staging mutator invoked during the Eval
+// phase unparks its parked target and the staged value commits on the
+// same clock edge as under the naive kernel; a mutator invoked between
+// cycles is observed on the next cycle, also like the naive kernel.
+func TestActiveKernelWakeUnparks(t *testing.T) {
+	for _, k := range []Kernel{KernelNaive, KernelGated, KernelEvent, KernelActive} {
+		s := &sleeper{}
+		w := NewWorld(WithKernel(k))
+		w.Add(s)
+		w.DependsOn(s)
+		w.Add(&Func{OnEval: func() {
+			if w.Cycle() == 3 {
+				s.Set(42)
+			}
+		}})
+		for i := 0; i < 3; i++ {
+			w.Step()
+		}
+		if s.cur != 0 {
+			t.Fatalf("%v: early commit: cur=%d", k, s.cur)
+		}
+		w.Step()
+		if s.cur != 42 {
+			t.Fatalf("%v: staged value not committed on the wake cycle: cur=%d", k, s.cur)
+		}
+		// Between-cycles mutation: the wake arrives outside the Eval
+		// phase and must be honoured on the next cycle.
+		s.Set(77)
+		w.Step()
+		if s.cur != 77 {
+			t.Fatalf("%v: between-cycle staged value not committed: cur=%d", k, s.cur)
+		}
+	}
+}
+
+// TestActiveKernelTimerUnparksAll: a WakeAt timer forces its cycle to be
+// a real poll of every parked component.
+func TestActiveKernelTimerUnparksAll(t *testing.T) {
+	w := NewWorld(WithKernel(KernelActive))
+	c := &tickerComp{quiet: true}
+	w.Add(c)
+	w.DependsOn(c)
+	if err := w.WakeAt(500); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(1000)
+	if w.Activations() == 0 {
+		t.Fatal("timer did not unpark the parked component")
+	}
+	if c.total() != 1000 {
+		t.Fatalf("bookkeeping covers %d of 1000 cycles", c.total())
+	}
+	if n := w.PendingTimers(); n != 0 {
+		t.Fatalf("timer still pending: %d", n)
+	}
+}
+
+// TestActiveKernelRunUntilSettled: RunUntil evaluates its predicate on
+// every cycle with all parked bookkeeping settled, so a predicate
+// reading counters or component state observes exactly what the gated
+// kernel would show.
+func TestActiveKernelRunUntilSettled(t *testing.T) {
+	w := NewWorld(WithKernel(KernelActive))
+	c := &tickerComp{quiet: true}
+	w.Add(c)
+	w.DependsOn(c)
+	checks := 0
+	ok := w.RunUntil(func() bool {
+		checks++
+		if got, want := c.total(), w.Cycle(); got != want {
+			t.Fatalf("cycle %d: settled bookkeeping covers %d cycles", want, got)
+		}
+		if w.Skips() != w.Cycle() {
+			t.Fatalf("cycle %d: Skips = %d", w.Cycle(), w.Skips())
+		}
+		return w.Cycle() >= 50
+	}, 200)
+	if !ok || checks != 50 {
+		t.Fatalf("ok=%v checks=%d, want true/50", ok, checks)
+	}
+}
+
+// TestAddMidRun: components Added after a run has started — including
+// from inside the Eval phase — join on the next cycle boundary with
+// working wake closures, under every kernel.
+func TestAddMidRun(t *testing.T) {
+	for _, k := range []Kernel{KernelNaive, KernelGated, KernelEvent, KernelActive} {
+		t.Run(k.String(), func(t *testing.T) {
+			w := NewWorld(WithKernel(k))
+			base := &counter{}
+			w.Add(base)
+			w.Run(5)
+
+			// Add between runs: must behave like a fresh component.
+			late := &sleeper{}
+			w.Add(late)
+			w.DependsOn(late)
+
+			// Add from inside the Eval phase: the kernel must not commit
+			// the new component this cycle (it was never evaluated).
+			var mid *sleeper
+			w.Add(&Func{OnEval: func() {
+				switch w.Cycle() {
+				case 7:
+					mid = &sleeper{}
+					w.Add(mid)
+					w.DependsOn(mid)
+				case 9:
+					late.Set(1)
+					mid.Set(2)
+				}
+			}})
+			w.Run(10)
+			if base.cur != 15 {
+				t.Fatalf("base counter = %d, want 15", base.cur)
+			}
+			if late.cur != 1 || mid.cur != 2 {
+				t.Fatalf("staged values lost: late=%d mid=%d", late.cur, mid.cur)
+			}
+			// Under the skipping kernels the wake closure produced exactly
+			// one commit each, on the staging cycle. (The naive kernel
+			// commits every cycle a component exists, by design.)
+			if k != KernelNaive && (late.commit != 1 || mid.commit != 1) {
+				t.Fatalf("commits late=%d mid=%d, want 1/1", late.commit, mid.commit)
+			}
+		})
+	}
+}
+
+// TestActiveKernelParallelismIdentical builds a world large enough to
+// engage the sharded sweep (>= parallelMinActive active components) with
+// commit-driven wake chains and mutator-driven wake chains, and demands
+// byte-identical component state and counters across parallelism 1, 2
+// and 8 — and against the gated kernel.
+func TestActiveKernelParallelismIdentical(t *testing.T) {
+	const nPairs = 300 // 600 components: above the parallel threshold
+	type world struct {
+		w        *World
+		watchers []*activeWatcher
+		sleepers []*sleeper
+	}
+	build := func(k Kernel, par int) *world {
+		wd := &world{w: NewWorld(WithKernel(k), WithParallelism(par))}
+		for i := 0; i < nPairs; i++ {
+			p := &commitPulse{quietPulse{at: uint64(10 + i%37)}}
+			p.world = wd.w
+			wt := &activeWatcher{src: &p.out}
+			wd.w.Add(p, wt)
+			wd.w.DependsOn(p)
+			wd.w.DependsOn(wt, p)
+			wd.watchers = append(wd.watchers, wt)
+		}
+		// Mutator-driven chains: a stimulus stages into parked sleepers
+		// at staggered cycles, exercising the wake queue under shards.
+		for i := 0; i < 64; i++ {
+			s := &sleeper{}
+			wd.w.Add(s)
+			wd.w.DependsOn(s)
+			wd.sleepers = append(wd.sleepers, s)
+			at, v := uint64(20+i), i+1
+			wd.w.Add(&Func{OnEval: func() {
+				if wd.w.Cycle() == at {
+					s.Set(v)
+				}
+			}})
+		}
+		return wd
+	}
+	fingerprint := func(wd *world) string {
+		sum := 0
+		for _, wt := range wd.watchers {
+			sum += wt.seen
+		}
+		vals := 0
+		for _, s := range wd.sleepers {
+			vals += s.cur
+		}
+		return fmt.Sprintf("seen=%d vals=%d evals=%d skips=%d cycle=%d",
+			sum, vals, wd.w.Evals(), wd.w.Skips(), wd.w.Cycle())
+	}
+	run := func(k Kernel, par int) string {
+		wd := build(k, par)
+		wd.w.Run(200)
+		return fingerprint(wd)
+	}
+	ref := run(KernelGated, 1)
+	for _, par := range []int{1, 2, 8} {
+		if got := run(KernelActive, par); got != ref {
+			t.Fatalf("parallelism %d diverged:\n  active: %s\n  gated:  %s", par, got, ref)
+		}
+	}
+}
+
+// TestDependsOnUnregisteredPanics: declaring dependencies for a
+// component the world has never seen is a wiring bug and fails fast.
+func TestDependsOnUnregisteredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w := NewWorld()
+	w.DependsOn(&counter{})
+}

@@ -124,6 +124,11 @@ func (w *World) horizon(end uint64) uint64 {
 // fixed-point argument in the package comment the replay is exact.
 func (w *World) fastForward(n uint64) {
 	for i := range w.components {
+		if w.parked[i] {
+			// A parked component's deferred window simply grows; its
+			// bookkeeping is settled in one batch at unpark or flush.
+			continue
+		}
 		w.skipsBy[i] += n
 		if w.windowers[i] != nil {
 			w.windowers[i].IdleWindow(n)
@@ -135,7 +140,7 @@ func (w *World) fastForward(n uint64) {
 			}
 		}
 	}
-	w.skips += n * uint64(len(w.components))
+	w.skips += n * uint64(len(w.components)-w.parkedCount)
 	w.cycle += n
 	w.ffWindows++
 	w.ffCycles += n

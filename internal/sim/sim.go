@@ -75,6 +75,18 @@
 // declaration either — fast-forward never crosses a Run boundary. Timers
 // (WakeAt) exist for drivers that stage future work inside a Run window,
 // e.g. the BE network's scheduled configuration bursts.
+//
+// # O(active) scheduling and parallel Eval
+//
+// The event kernel still polls every component on any cycle it cannot
+// fast-forward. The active kernel (KernelActive) splits the world into
+// an active list and a parked list: components whose complete upstream
+// set was declared with DependsOn leave the sweep entirely while
+// provably inert, and the remaining active list is polled and evaluated
+// in a two-pass sweep that can shard across a bounded goroutine pool
+// (WithParallelism). Results are byte-identical to every other kernel
+// for any shard count; the full design and determinism argument live in
+// active.go.
 package sim
 
 // Clocked is a synchronous hardware component.
@@ -141,6 +153,20 @@ type Waker interface {
 	SetWake(func())
 }
 
+// Sleeper is optionally implemented by Wakers that can certify a
+// stronger form of quiescence: Asleep must be true only while no change
+// on any input register the component reads can end its quiescence —
+// only one of its own staging mutators (which call the wake function)
+// can. Under KernelActive an asleep component parks without a DependsOn
+// declaration and receives no upstream-commit notifications; the wake
+// closure is its sole re-activation channel, so the component must clear
+// the asleep condition before (or upon) the wake function running. The
+// other kernels ignore the interface.
+type Sleeper interface {
+	Waker
+	Asleep() bool
+}
+
 // Kernel selects the scheduling strategy of a World.
 type Kernel int
 
@@ -157,6 +183,14 @@ const (
 	// replaying idle bookkeeping in O(components). Byte-identical to
 	// both other kernels.
 	KernelEvent
+	// KernelActive is the O(active) kernel: components whose complete
+	// upstream set was declared with DependsOn are parked while
+	// provably inert and leave the per-cycle sweep entirely, and the
+	// remaining active list is polled/evaluated in a two-pass sweep
+	// that optionally shards across a bounded goroutine pool
+	// (WithParallelism). Byte-identical to every other kernel for any
+	// shard count; see active.go.
+	KernelActive
 )
 
 // String names the kernel.
@@ -168,6 +202,8 @@ func (k Kernel) String() string {
 		return "naive"
 	case KernelEvent:
 		return "event"
+	case KernelActive:
+		return "active"
 	default:
 		return "kernel(?)"
 	}
@@ -205,14 +241,36 @@ type World struct {
 	timers     timerWheel // pending WakeAt cycles (event kernel)
 	ffWindows  uint64     // fast-forward windows taken
 	ffCycles   uint64     // cycles covered by fast-forward
+
+	polls uint64 // Quiescent() polls executed (all kernels)
+
+	// KernelActive state; the parallel slices are maintained under every
+	// kernel so DependsOn declarations are kernel-independent, and the
+	// per-run scratch lives in as (nil outside KernelActive). See
+	// active.go.
+	index        map[Clocked]int // component -> registration index
+	parkable     []bool          // parallel; DependsOn declared
+	sleepers     []Sleeper       // parallel; nil unless the component is a Sleeper
+	downstream   [][]int         // parallel; declared dependents
+	parked       []bool          // parallel; currently parked
+	parkedAt     []uint64        // parallel; first unsettled parked cycle
+	parkedCount  int
+	sumParkedAt  uint64 // sum of parkedAt over parked components
+	activations  uint64 // unpark count
+	parallelism  int    // WithParallelism bound; 0 = GOMAXPROCS
+	parallelEval bool   // inside the sharded Eval pass: wakes are queued
+	as           *activeState
 }
 
 // NewWorld returns an empty world. Without options it uses the
 // activity-tracked gated kernel.
 func NewWorld(opts ...WorldOption) *World {
-	w := &World{}
+	w := &World{index: make(map[Clocked]int)}
 	for _, o := range opts {
 		o(w)
+	}
+	if w.kernel == KernelActive {
+		w.as = &activeState{}
 	}
 	return w
 }
@@ -240,6 +298,20 @@ func (w *World) Add(cs ...Clocked) {
 		w.skipped = append(w.skipped, false)
 		w.evalsBy = append(w.evalsBy, 0)
 		w.skipsBy = append(w.skipsBy, 0)
+		w.parkable = append(w.parkable, false)
+		sl, _ := c.(Sleeper)
+		w.sleepers = append(w.sleepers, sl)
+		w.downstream = append(w.downstream, nil)
+		w.parked = append(w.parked, false)
+		w.parkedAt = append(w.parkedAt, 0)
+		w.index[c] = idx
+		if w.as != nil {
+			// The active kernel sweeps its own list; a component Added
+			// mid-run (even mid-cycle) joins it at the next cycle
+			// boundary, which is also when the stepping kernels first
+			// visit it.
+			w.as.joinNew = append(w.as.joinNew, idx)
+		}
 		if wk, ok := c.(Waker); ok {
 			wk.SetWake(w.wakeFn(idx))
 		}
@@ -250,12 +322,35 @@ func (w *World) Add(cs ...Clocked) {
 // slot has already passed this cycle and it was skipped, run the missed
 // Eval now so the staged work commits this cycle, exactly as it would have
 // under the naive kernel. In every other situation the Quiescent poll
-// observes the staged work itself and the wake is a no-op.
+// observes the staged work itself and the wake is a no-op — except under
+// KernelActive, where a wake also (a) queues the target when raised from
+// the sharded Eval pass, (b) unparks a parked target immediately during
+// the sweep or drain, and (c) records an unpark request for the next
+// cycle when a driver stages work between cycles. The closure captures
+// the registration index, which is stable for the world's lifetime even
+// when components are Added mid-run.
 func (w *World) wakeFn(i int) func() {
 	return func() {
-		if w.inEval && i <= w.evalPos && w.skipped[i] {
-			w.skipped[i] = false
-			w.components[i].Eval()
+		if w.parallelEval {
+			a := w.as
+			a.wakeMu.Lock()
+			a.wakeQ = append(a.wakeQ, i)
+			a.wakeMu.Unlock()
+			return
+		}
+		if w.inEval {
+			if w.kernel == KernelActive {
+				w.wakeActiveKernel(i)
+				return
+			}
+			if i <= w.evalPos && w.skipped[i] {
+				w.skipped[i] = false
+				w.components[i].Eval()
+			}
+			return
+		}
+		if w.kernel == KernelActive && w.parked[i] {
+			w.as.pending = append(w.as.pending, i)
 		}
 	}
 }
@@ -270,14 +365,21 @@ func (w *World) Cycle() uint64 { return w.cycle }
 func (w *World) Evals() uint64 { return w.evals }
 
 // Skips returns the number of Eval/Commit pairs the activity-tracked
-// kernels skipped, including cycles covered by fast-forward.
-func (w *World) Skips() uint64 { return w.skips }
+// kernels skipped, including cycles covered by fast-forward and cycles
+// deferred on parked components that have not been settled yet, so the
+// count reads identically under every kernel at any time.
+func (w *World) Skips() uint64 { return w.skips + w.parkedPendingSkips() }
 
 // ComponentActivity returns the Eval/Commit pairs executed and skipped for
 // the i-th registered component (registration order) — the per-component
-// activity factor a finer-grained power attribution is keyed by.
+// activity factor a finer-grained power attribution is keyed by. Skips
+// deferred on a parked component are included.
 func (w *World) ComponentActivity(i int) (evals, skips uint64) {
-	return w.evalsBy[i], w.skipsBy[i]
+	skips = w.skipsBy[i]
+	if w.parked[i] {
+		skips += w.cycle - w.parkedAt[i]
+	}
+	return w.evalsBy[i], skips
 }
 
 // FastForwards returns how many fast-forward windows the event kernel has
@@ -288,22 +390,43 @@ func (w *World) FastForwards() (windows, cycles uint64) {
 
 // Step advances the world by one clock cycle: Eval on every active
 // component, then Commit on every active component (IdleTick on the
-// skipped ones).
+// skipped ones). Under KernelActive the cycle additionally settles every
+// parked component's deferred bookkeeping before returning, so external
+// observers of a stepped world read the same state as under the gated
+// kernel.
 func (w *World) Step() {
+	w.step()
+	if w.parkedCount > 0 {
+		w.flushParked()
+	}
+}
+
+// step advances one cycle without settling parked components; Run flushes
+// once at the end instead of every cycle.
+func (w *World) step() {
+	if w.kernel == KernelActive {
+		w.stepActive()
+		return
+	}
 	gated := w.kernel != KernelNaive
+	n0 := len(w.components) // components Added mid-cycle join next cycle
 	w.inEval = true
-	for i, c := range w.components {
+	for i := 0; i < n0; i++ {
+		c := w.components[i]
 		w.evalPos = i
-		if gated && w.quiescers[i] != nil && w.quiescers[i].Quiescent() {
-			w.skipped[i] = true
-			continue
+		if gated && w.quiescers[i] != nil {
+			w.polls++
+			if w.quiescers[i].Quiescent() {
+				w.skipped[i] = true
+				continue
+			}
 		}
 		w.skipped[i] = false
 		c.Eval()
 	}
 	w.inEval = false
 	all := len(w.components) > 0
-	for i, c := range w.components {
+	for i := 0; i < n0; i++ {
 		if w.skipped[i] {
 			w.skips++
 			w.skipsBy[i]++
@@ -315,7 +438,10 @@ func (w *World) Step() {
 		all = false
 		w.evals++
 		w.evalsBy[i]++
-		c.Commit()
+		w.components[i].Commit()
+	}
+	if len(w.components) != n0 {
+		all = false // a mid-cycle Add must be polled before fast-forward
 	}
 	w.allSkipped = all
 	w.cycle++
@@ -324,24 +450,29 @@ func (w *World) Step() {
 // Run advances the world by n cycles. Under the event kernel, windows in
 // which every component is quiescent are fast-forwarded to the next
 // pending timer, self-scheduled component event or the end of the window,
-// with the skipped cycles' idle bookkeeping replayed exactly.
+// with the skipped cycles' idle bookkeeping replayed exactly. The active
+// kernel does the same over its active list and settles all parked
+// bookkeeping before returning.
 func (w *World) Run(n int) {
 	if n <= 0 {
 		return
 	}
-	if w.kernel != KernelEvent {
-		for i := 0; i < n; i++ {
-			w.Step()
-		}
-		return
-	}
-	end := w.cycle + uint64(n)
-	for w.cycle < end {
-		w.Step()
-		if w.allSkipped && w.cycle < end {
-			if ff := w.horizon(end) - w.cycle; ff > 0 {
-				w.fastForward(ff)
+	switch w.kernel {
+	case KernelActive:
+		w.runActive(n)
+	case KernelEvent:
+		end := w.cycle + uint64(n)
+		for w.cycle < end {
+			w.step()
+			if w.allSkipped && w.cycle < end {
+				if ff := w.horizon(end) - w.cycle; ff > 0 {
+					w.fastForward(ff)
+				}
 			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			w.step()
 		}
 	}
 }

@@ -10,12 +10,27 @@ import (
 	"strings"
 )
 
-// Series accumulates scalar observations.
+// Series accumulates scalar observations. By default only the running
+// moments are kept; Retain switches on sample retention for consumers
+// that need the full distribution afterwards (pooled percentiles across
+// replicated runs).
 type Series struct {
 	n          int
 	sum, sumSq float64
 	min, max   float64
+	retain     bool
+	samples    []float64
 }
+
+// Retain makes every subsequent Add keep its observation, retrievable
+// through Samples. Call it before the run; observations recorded
+// earlier are not reconstructed.
+func (s *Series) Retain() { s.retain = true }
+
+// Samples returns the observations retained since Retain was called, in
+// insertion order — the simulator's deterministic delivery order, so
+// two identical runs produce identical slices. Nil without Retain.
+func (s *Series) Samples() []float64 { return s.samples }
 
 // Add records an observation.
 func (s *Series) Add(v float64) {
@@ -28,6 +43,9 @@ func (s *Series) Add(v float64) {
 	s.n++
 	s.sum += v
 	s.sumSq += v * v
+	if s.retain {
+		s.samples = append(s.samples, v)
+	}
 }
 
 // N returns the number of observations.
@@ -181,6 +199,17 @@ func (h *Hist) String() string {
 	}
 	fmt.Fprintf(&b, " overflow: %d\n", h.over)
 	return b.String()
+}
+
+// Percentile returns the q-quantile (0 < q <= 1) of the ascending
+// sorted observations by the nearest-rank method: the smallest element
+// whose cumulative rank reaches ceil(q·n). NaN for an empty slice or an
+// out-of-range q.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	return sorted[int(math.Ceil(q*float64(len(sorted))))-1]
 }
 
 // Rate converts a count over elapsed cycles at a clock into a Mbit/s

@@ -105,8 +105,12 @@ func (t *TimedSeries) SteadyStateIndex(batch int) int {
 }
 
 // SeriesFrom summarizes the observations from index i on as a Series.
+// The result retains its samples (the timed series already holds them
+// all, so the projection keeps the distribution poolable at no extra
+// asymptotic cost).
 func (t *TimedSeries) SeriesFrom(i int) Series {
 	var s Series
+	s.Retain()
 	for _, smp := range t.samples[i:] {
 		s.Add(smp.Value)
 	}

@@ -48,6 +48,10 @@ func MeasureCircuitLatency(p core.Params, load float64, words int, wopts ...sim.
 
 	src := NewSource(Pattern{FlipProb: 0.5, Load: load}, 1)
 	var res LatencyResult
+	// The harness measures a few hundred words at most; retaining them
+	// keeps the distribution poolable across replications at no
+	// meaningful cost.
+	res.Cycles.Retain()
 	pushTimes := map[uint16]uint64{}
 	seq := uint16(0)
 	skipped := 0
@@ -109,6 +113,7 @@ func MeasurePacketLatency(pp packetsw.Params, load float64, words int, backgroun
 	period := core.DefaultParams().PacketNibbles() // 1 word / 5 cycles = a lane's rate
 	src := NewSource(Pattern{FlipProb: 0.5, Load: load}, 1)
 	var res LatencyResult
+	res.Cycles.Retain() // poolable, same as the circuit harness
 	sent := 0
 	// Jitter the send instants by ±1 cycle around the mean period: a
 	// strictly periodic source phase-locks with the arbiter rotation and

@@ -274,11 +274,16 @@ func RunPacketPattern(flows []pattern.PortFlow, inj pattern.Injection, flipProb 
 	meter := power.NewMeter(packetsw.Netlist(pp, cfg.Lib), cfg.Lib, cfg.FreqMHz)
 	r.BindMeter(meter)
 
-	w := sim.NewWorld(sim.WithKernel(cfg.Kernel))
+	w := sim.NewWorld(cfg.worldOpts()...)
 	w.Add(r)
 
 	var res PatternRunResult
 	res.FlowsRequested = len(flows)
+	if cfg.RetainLatency {
+		// Warm-up accounting rebuilds the series from the timed record,
+		// which always retains; this covers the direct path.
+		res.Latency.Retain()
+	}
 
 	latRec := latWarmupRec(cfg)
 	drain := &patternDrain{r: r, stamps: map[int]*[]uint64{}, lat: &res.Latency, rec: latRec}
@@ -392,13 +397,15 @@ type tdmPending struct {
 // through the crossbar, and the flow's measurement sinks.
 type TDMFlow struct {
 	out      int
-	reserved []bool // per slot: this flow owns the slot
+	reserved []bool       // per slot: this flow owns the slot
+	staged   []tdmPending // enqueued this cycle; merged into queue at Commit
 	queue    []tdmPending
 	inFlight []tdmPending
 	lat      *stats.Series
 	rec      *stats.TimedSeries // non-nil when warm-up accounting is on
 	toggles  int
 	meter    *power.Meter
+	wake     func() // the owning presenter's wake, set by AddFlow
 
 	delivered uint64
 }
@@ -409,20 +416,31 @@ type TDMFlow struct {
 func (f *TDMFlow) RecordTimed(rec *stats.TimedSeries) { f.rec = rec }
 
 // Enqueue queues one word for presentation, stamped with its injection
-// cycle for the latency measurement.
+// cycle for the latency measurement. It is a staging mutator in the
+// sim.Waker sense — sources invoke it from their Eval, so the word
+// lands in a staging slice the presenter's Eval never reads (the
+// two-phase contract), is merged at the presenter's Commit the same
+// cycle whatever order the components were registered in, and becomes
+// presentable the next cycle. The wake revises a skip decision already
+// taken this cycle so that Commit actually runs.
 func (f *TDMFlow) Enqueue(word uint32, stamp uint64) {
-	f.queue = append(f.queue, tdmPending{word: word, stamp: stamp})
+	f.staged = append(f.staged, tdmPending{word: word, stamp: stamp})
+	if f.wake != nil {
+		f.wake()
+	}
 }
 
 // Backlog returns the number of words queued but not yet presented.
-func (f *TDMFlow) Backlog() int { return len(f.queue) }
+func (f *TDMFlow) Backlog() int { return len(f.staged) + len(f.queue) }
 
 // Delivered returns the words observed crossing into the output
 // register.
 func (f *TDMFlow) Delivered() uint64 { return f.delivered }
 
-// idle reports nothing queued and nothing in flight.
-func (f *TDMFlow) idle() bool { return len(f.queue) == 0 && len(f.inFlight) == 0 }
+// idle reports nothing staged, queued or in flight.
+func (f *TDMFlow) idle() bool {
+	return len(f.staged) == 0 && len(f.queue) == 0 && len(f.inFlight) == 0
+}
 
 // TDMPresenter owns one TDM input port's data/valid registers and
 // multiplexes its flows onto their reserved slots. It also observes
@@ -441,7 +459,14 @@ type TDMPresenter struct {
 	valid *bool
 	flows []*TDMFlow
 	cycle uint64
+	wake  func()
 }
+
+// SetWake implements sim.Waker: Enqueue is a staging mutator invoked
+// from a source component's Eval, so a skip decision already taken this
+// cycle must be revised for the enqueued word to be presented on its
+// own cycle, whatever order the components were registered in.
+func (p *TDMPresenter) SetWake(fn func()) { p.wake = fn }
 
 // NewTDMPresenter wires a presenter to the router's input port in and
 // returns it; register it with the simulation world after the router.
@@ -458,6 +483,11 @@ func NewTDMPresenter(r *aethereal.Router, in int) *TDMPresenter {
 func (p *TDMPresenter) AddFlow(out int, reserved []bool, lat *stats.Series,
 	toggleBits int, meter *power.Meter) *TDMFlow {
 	f := &TDMFlow{out: out, reserved: reserved, lat: lat, toggles: toggleBits, meter: meter}
+	f.wake = func() {
+		if p.wake != nil {
+			p.wake()
+		}
+	}
 	p.flows = append(p.flows, f)
 	return f
 }
@@ -504,8 +534,19 @@ func (p *TDMPresenter) Eval() {
 	}
 }
 
-// Commit implements sim.Clocked.
-func (p *TDMPresenter) Commit() { p.cycle++ }
+// Commit implements sim.Clocked: words staged by Enqueue during this
+// cycle's Eval phase become queued — visible to the next cycle's
+// presentation — in the sequential commit sweep, so the hand-off is
+// deterministic under every kernel and any Eval shard count.
+func (p *TDMPresenter) Commit() {
+	for _, f := range p.flows {
+		if len(f.staged) > 0 {
+			f.queue = append(f.queue, f.staged...)
+			f.staged = f.staged[:0]
+		}
+	}
+	p.cycle++
+}
 
 // Quiescent implements sim.Quiescer: nothing queued or in flight on any
 // flow. The valid register is always cleared before the port drains to
@@ -549,11 +590,16 @@ func RunTDMPattern(ap aethereal.Params, flows []pattern.PortFlow, inj pattern.In
 	meter := power.NewMeter(aethereal.Netlist(ap, cfg.Lib), cfg.Lib, cfg.FreqMHz)
 	r.BindMeter(meter)
 
-	w := sim.NewWorld(sim.WithKernel(cfg.Kernel))
+	w := sim.NewWorld(cfg.worldOpts()...)
 	w.Add(r)
 
 	var res PatternRunResult
 	res.FlowsRequested = len(flows)
+	if cfg.RetainLatency {
+		// Same arrangement as the packet harness: the direct path needs
+		// retention switched on, the warm-up path always retains.
+		res.Latency.Retain()
+	}
 	toggleBits := int(flipProb*patternWordBits + 0.5)
 	latRec := latWarmupRec(cfg)
 
@@ -651,4 +697,5 @@ var (
 	_ sim.Quiescer     = (*flitFeeder)(nil)
 	_ sim.IdleWindower = (*patternDrain)(nil)
 	_ sim.IdleWindower = (*TDMPresenter)(nil)
+	_ sim.Waker        = (*TDMPresenter)(nil)
 )

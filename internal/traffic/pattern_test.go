@@ -174,7 +174,7 @@ func TestPatternWarmupTruncatesLatency(t *testing.T) {
 					base = got
 					continue
 				}
-				if got.WarmupCycles != base.WarmupCycles || got.Latency != base.Latency {
+				if got.WarmupCycles != base.WarmupCycles || !reflect.DeepEqual(got.Latency, base.Latency) {
 					t.Fatalf("%s: kernel %v diverges under warm-up (auto=%v)", fabric.name, k, auto)
 				}
 			}

@@ -38,6 +38,9 @@ type RunConfig struct {
 	// activity-tracked gated kernel; results are byte-identical under
 	// both, so sim.KernelNaive exists for verification and benchmarking.
 	Kernel sim.Kernel
+	// SimWorkers bounds the goroutine pool the active kernel shards its
+	// Eval sweep over; 0 means GOMAXPROCS. The other kernels ignore it.
+	SimWorkers int
 	// WordsPerStream caps each stream source's emitted words; 0 means
 	// unlimited (the paper's open-loop scenarios). With a cap, exhausted
 	// sources go quiescent, the gated kernel retires them, and the event
@@ -57,6 +60,11 @@ type RunConfig struct {
 	// WarmupAuto detects the warm-up automatically with the MSER-5
 	// steady-state rule. Mutually exclusive with WarmupCycles.
 	WarmupAuto bool
+	// RetainLatency keeps the raw per-word latency observations on the
+	// result's Latency series (Samples), so replicated runs can pool
+	// them into one distribution. Off by default: a plain run only needs
+	// the summary moments.
+	RetainLatency bool
 }
 
 // DefaultRunConfig mirrors the paper's power-estimation setup: 5000 cycles
@@ -100,6 +108,12 @@ func (c RunConfig) coreParams() core.Params {
 	return core.DefaultParams()
 }
 
+// worldOpts returns the simulation-world options the run configuration
+// selects: the kernel and, for the active kernel, the Eval parallelism.
+func (c RunConfig) worldOpts() []sim.WorldOption {
+	return []sim.WorldOption{sim.WithKernel(c.Kernel), sim.WithParallelism(c.SimWorkers)}
+}
+
 // psParams returns the packet-switched configuration to simulate.
 func (c RunConfig) psParams() packetsw.Params {
 	if c.PSParams != nil {
@@ -141,7 +155,7 @@ func RunCircuit(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 	// Open-loop measurement, as in the paper's scenarios: the destination
 	// always consumes, no acknowledgements are configured.
 	opt := core.AssemblyOptions{Flow: core.FlowParams{}, RxBufCap: 64}
-	cw := newCircuitWorld(p, opt, sim.WithKernel(cfg.Kernel))
+	cw := newCircuitWorld(p, opt, cfg.worldOpts()...)
 	a := cw.A
 	meter := power.NewMeter(core.Netlist(p, cfg.Lib), cfg.Lib, cfg.FreqMHz)
 	a.BindMeter(meter, cfg.Lib, cfg.Gated)
@@ -207,7 +221,7 @@ func RunPacket(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 	meter := power.NewMeter(packetsw.Netlist(pp, cfg.Lib), cfg.Lib, cfg.FreqMHz)
 	r.BindMeter(meter)
 
-	w := sim.NewWorld(sim.WithKernel(cfg.Kernel))
+	w := sim.NewWorld(cfg.worldOpts()...)
 	w.Add(r)
 
 	wordPeriod := cp.PacketNibbles() // 5 cycles per word at full lane load

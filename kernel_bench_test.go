@@ -313,6 +313,65 @@ func BenchmarkPattern16x16EventKernel(b *testing.B) { benchPattern16(b, sim.Kern
 // BenchmarkPattern16x16GatedKernel is the per-cycle-polling baseline.
 func BenchmarkPattern16x16GatedKernel(b *testing.B) { benchPattern16(b, sim.KernelGated) }
 
+// benchPatternHotspot runs the admission-limited sparse hotspot
+// pattern under the given kernel: hotspot:1 routes every flow at the
+// mesh centre, whose lanes admit only a handful, so most of the mesh
+// holds no circuit and latches asleep. The continuous low-rate
+// injection never drains, so the event kernel cannot fast-forward and
+// must poll the full component sweep every cycle — while the active
+// kernel parks the dormant assemblies and sweeps only the live rim.
+// TestPatternSparse16x16ActivePolls (noc package) pins the ≥5× poll
+// reduction deterministically; these benchmarks record the wall-clock
+// counterpart at both mesh scales.
+func benchPatternHotspot(b *testing.B, w, h, cycles int, k sim.Kernel, workers int) {
+	for i := 0; i < b.N; i++ {
+		res, err := mesh.RunPattern(mesh.PatternConfig{
+			W: w, H: h, Cycles: cycles, FreqMHz: 25,
+			Lib:       experiments.Lib(),
+			Spatial:   pattern.Spatial{Kind: pattern.Hotspot, Alpha: 1},
+			Injection: pattern.Injection{Proc: pattern.Bernoulli, Rate: 0.05},
+			FlipProb:  0.5, Seed: 9, Kernel: k,
+			SimWorkers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WordsDelivered == 0 {
+			b.Fatal("pattern run delivered nothing")
+		}
+	}
+}
+
+// BenchmarkHotspot16x16ActiveKernel is the active-kernel side of the
+// 16×16 parked-list comparison (worker pool at GOMAXPROCS).
+func BenchmarkHotspot16x16ActiveKernel(b *testing.B) {
+	benchPatternHotspot(b, 16, 16, 10000, sim.KernelActive, 0)
+}
+
+// BenchmarkHotspot16x16EventKernel is its full-sweep baseline.
+func BenchmarkHotspot16x16EventKernel(b *testing.B) {
+	benchPatternHotspot(b, 16, 16, 10000, sim.KernelEvent, 0)
+}
+
+// BenchmarkHotspot64x64ActiveKernel is the acceptance benchmark at the
+// large scale: 4096 assemblies, nearly all parked. It must beat its
+// event twin by ≥4× wall-clock (the parked list alone delivers that
+// serially; the sharded Eval widens it on multi-core runners).
+func BenchmarkHotspot64x64ActiveKernel(b *testing.B) {
+	benchPatternHotspot(b, 64, 64, 20000, sim.KernelActive, 0)
+}
+
+// BenchmarkHotspot64x64ActiveSerialKernel pins the workers=1
+// configuration, isolating the parked-list win from the sharding win.
+func BenchmarkHotspot64x64ActiveSerialKernel(b *testing.B) {
+	benchPatternHotspot(b, 64, 64, 20000, sim.KernelActive, 1)
+}
+
+// BenchmarkHotspot64x64EventKernel is the 64×64 full-sweep baseline.
+func BenchmarkHotspot64x64EventKernel(b *testing.B) {
+	benchPatternHotspot(b, 64, 64, 20000, sim.KernelEvent, 0)
+}
+
 // benchPatternSource measures one event-scheduled source alone: the
 // per-cycle cost of the generator layer itself, per simulated cycle.
 func benchPatternSource(b *testing.B, k sim.Kernel, inj pattern.Injection) {

@@ -3,7 +3,6 @@ package noc
 import (
 	"fmt"
 
-	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -54,12 +53,15 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 	if sc.IsWorkload() {
 		return runCircuitWorkload(f.cfg, sc)
 	}
+	var ks *KernelStats
 	rc := traffic.RunConfig{
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
 		Lib: f.cfg.mustLib(), Gated: f.cfg.gated,
 		Params: f.cfg.coreParams(), Seed: sc.Seed,
 		Kernel:         f.cfg.simKernel(),
+		SimWorkers:     f.cfg.parallelism,
 		WordsPerStream: sc.WordsPerStream,
+		Observe:        f.cfg.observeKernel(&ks),
 	}
 	pat := traffic.Pattern{FlipProb: sc.Data.FlipProb, Load: sc.Data.Load}
 	tr, err := traffic.RunCircuit(sc.trafficScenario(), pat, rc)
@@ -76,10 +78,11 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 		ThroughputMbps: stats.Rate(tr.WordsDelivered, wordBits, uint64(sc.Cycles), sc.FreqMHz),
 		Power:          powerFrom(tr.Power),
 		PerComponent:   attributionComponents(tr.Attribution, tr.Power.StaticUW),
+		Kernel:         ks,
 	}
 	if n := f.cfg.latencySamples(); n > 0 && len(sc.Streams) > 0 {
 		lr, err := traffic.MeasureCircuitLatency(f.cfg.resolvedCoreParams(), sc.Data.Load, n,
-			sim.WithKernel(f.cfg.simKernel()))
+			f.cfg.worldOpts()...)
 		if err != nil {
 			return nil, err
 		}

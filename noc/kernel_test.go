@@ -24,10 +24,10 @@ func kernelCases() []kernelCase {
 	}
 }
 
-// allKernels is the three-way equivalence set: the gated kernel is the
-// reference, and both the naive and the event kernel must match it byte
-// for byte.
-var allKernels = []Kernel{KernelGated, KernelNaive, KernelEvent}
+// allKernels is the four-way equivalence set: the gated kernel is the
+// reference, and the naive, event and active kernels must match it
+// byte for byte.
+var allKernels = []Kernel{KernelGated, KernelNaive, KernelEvent, KernelActive}
 
 // TestKernelEquivalenceScenarios: the activity-tracked kernels must
 // produce byte-identical Result JSON to the naive kernel on every paper
@@ -139,11 +139,14 @@ func TestParseKernel(t *testing.T) {
 	if k, err := ParseKernel("naive"); err != nil || k != KernelNaive {
 		t.Fatalf("ParseKernel(naive) = %v, %v", k, err)
 	}
+	if k, err := ParseKernel("active"); err != nil || k != KernelActive {
+		t.Fatalf("ParseKernel(active) = %v, %v", k, err)
+	}
 	_, err := ParseKernel("warp")
 	if err == nil {
 		t.Fatal("ParseKernel accepted an unknown kernel")
 	}
-	for _, name := range []string{"gated", "naive", "event"} {
+	for _, name := range []string{"gated", "naive", "event", "active"} {
 		if !strings.Contains(err.Error(), name) {
 			t.Errorf("ParseKernel error %q does not list %q", err, name)
 		}

@@ -34,6 +34,15 @@ const (
 	// whenever the world is genuinely idle and costs nothing when it
 	// is not.
 	KernelEvent Kernel = "event"
+	// KernelActive keeps explicit active/parked component lists: a
+	// component that is provably inert until external stimulus — parked
+	// routers, drained converters, self-scheduled sources between
+	// emissions — leaves the per-cycle sweep entirely and is
+	// re-activated by the event that touches it. The remaining active
+	// list's Eval sweep is sharded across a bounded goroutine pool
+	// (WithParallelism). Results stay byte-identical to the other
+	// kernels for every worker count.
+	KernelActive Kernel = "active"
 )
 
 // ParseKernel resolves a kernel name; the empty string means the
@@ -48,9 +57,11 @@ func ParseKernel(s string) (Kernel, error) {
 		return KernelGated, nil
 	case KernelNaive:
 		return KernelNaive, nil
+	case KernelActive:
+		return KernelActive, nil
 	default:
-		return "", fmt.Errorf("noc: unknown kernel %q (have %s, %s, %s)",
-			s, KernelGated, KernelNaive, KernelEvent)
+		return "", fmt.Errorf("noc: unknown kernel %q (have %s, %s, %s, %s)",
+			s, KernelGated, KernelNaive, KernelEvent, KernelActive)
 	}
 }
 
@@ -75,6 +86,7 @@ type config struct {
 	latencyWords int    // latency sample count; -1 default, 0 disables
 	traceCycles  int    // workload runs: VCD capture depth for node (0,0)
 	kernel       Kernel // simulation kernel; "" means event
+	parallelism  int    // active kernel: Eval shard pool; 0 means GOMAXPROCS
 
 	worldObserver func(*sim.World) // test hook: kernel diagnostics after a run
 }
@@ -140,6 +152,12 @@ func WithNodeTrace(cycles int) Option { return func(c *config) { c.traceCycles =
 // scheduled bursts. The naive kernel evaluates everything and exists
 // for verification.
 func WithKernel(k Kernel) Option { return func(c *config) { c.kernel = k } }
+
+// WithParallelism bounds the goroutine pool KernelActive shards its
+// Eval sweep over: 1 keeps the simulation single-threaded, 0 (the
+// default) means GOMAXPROCS. Results are byte-identical for every
+// value; the other kernels ignore it.
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
 // withWorldObserver installs a test-only hook that receives a run's
 // simulation world after it finishes — fast-forward and activity
@@ -277,8 +295,29 @@ func (c config) simKernel() sim.Kernel {
 		return sim.KernelNaive
 	case KernelGated:
 		return sim.KernelGated
+	case KernelActive:
+		return sim.KernelActive
 	default:
 		return sim.KernelEvent
+	}
+}
+
+// worldOpts returns the simulation-world options the fabric's worlds
+// are built with: the kernel choice plus the active kernel's Eval
+// parallelism bound.
+func (c config) worldOpts() []sim.WorldOption {
+	return []sim.WorldOption{sim.WithKernel(c.simKernel()), sim.WithParallelism(c.parallelism)}
+}
+
+// observeKernel builds the Observe hook the runners install on their
+// simulation worlds: it captures the world's scheduling diagnostics
+// into *ks for Result.Kernel and chains the test-only world observer.
+func (c config) observeKernel(ks **KernelStats) func(*sim.World) {
+	return func(w *sim.World) {
+		*ks = &KernelStats{Parked: w.Parked(), Activations: w.Activations(), Polls: w.Polls()}
+		if c.worldObserver != nil {
+			c.worldObserver(w)
+		}
 	}
 }
 

@@ -3,7 +3,6 @@ package noc
 import (
 	"fmt"
 
-	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -45,11 +44,13 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 	if sc.IsWorkload() {
 		return nil, fmt.Errorf("noc: the packet-switched fabric does not support workload scenarios (use CircuitSwitched)")
 	}
+	var ks *KernelStats
 	rc := traffic.RunConfig{
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
 		Lib: f.cfg.mustLib(), PSParams: f.cfg.psParams(),
-		Seed: sc.Seed, Kernel: f.cfg.simKernel(),
+		Seed: sc.Seed, Kernel: f.cfg.simKernel(), SimWorkers: f.cfg.parallelism,
 		WordsPerStream: sc.WordsPerStream,
+		Observe:        f.cfg.observeKernel(&ks),
 	}
 	pat := traffic.Pattern{FlipProb: sc.Data.FlipProb, Load: sc.Data.Load}
 	tr, err := traffic.RunPacket(sc.trafficScenario(), pat, rc)
@@ -66,6 +67,7 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 		ThroughputMbps: stats.Rate(tr.WordsDelivered, wordBits, uint64(sc.Cycles), sc.FreqMHz),
 		Power:          powerFrom(tr.Power),
 		PerComponent:   attributionComponents(tr.Attribution, tr.Power.StaticUW),
+		Kernel:         ks,
 	}
 	if n := f.cfg.latencySamples(); n > 0 && len(sc.Streams) > 0 {
 		// With several streams converging on one output port the
@@ -84,7 +86,7 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 		// still measures, just without background streams.
 		contended = contended && pp.VCs >= 3
 		lr, err := traffic.MeasurePacketLatency(pp, sc.Data.Load, n, contended,
-			sim.WithKernel(f.cfg.simKernel()))
+			f.cfg.worldOpts()...)
 		if err != nil {
 			return nil, err
 		}

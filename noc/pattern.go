@@ -24,6 +24,7 @@ func runCircuitPattern(cfg config, sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var ks *KernelStats
 	pr, err := mesh.RunPattern(mesh.PatternConfig{
 		W: sc.MeshWidth, H: sc.MeshHeight,
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
@@ -32,8 +33,11 @@ func runCircuitPattern(cfg config, sc Scenario) (*Result, error) {
 		FlipProb: sc.Data.FlipProb,
 		Seed:     sc.Seed, WordsPerFlow: sc.WordsPerStream,
 		Params: cfg.coreParams(), Kernel: cfg.simKernel(),
-		Observe:      cfg.worldObserver,
-		WarmupCycles: sc.WarmupCycles, WarmupAuto: sc.WarmupAuto,
+		SimWorkers:    cfg.parallelism,
+		Observe:       cfg.observeKernel(&ks),
+		WarmupCycles:  sc.WarmupCycles,
+		WarmupAuto:    sc.WarmupAuto,
+		RetainLatency: sc.poolLatency,
 	})
 	if err != nil {
 		return nil, err
@@ -53,6 +57,7 @@ func runCircuitPattern(cfg config, sc Scenario) (*Result, error) {
 		LinkUtilization:  pr.LaneUtilization,
 		FlowsRequested:   pr.FlowsRequested,
 		FlowsEstablished: pr.FlowsEstablished,
+		Kernel:           ks,
 	}
 	return res, nil
 }
@@ -91,19 +96,23 @@ func runPacketPattern(cfg config, sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var ks *KernelStats
 	rc := traffic.RunConfig{
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
 		Lib: cfg.mustLib(), PSParams: cfg.psParams(),
-		Seed: sc.Seed, Kernel: cfg.simKernel(),
+		Seed: sc.Seed, Kernel: cfg.simKernel(), SimWorkers: cfg.parallelism,
 		WordsPerStream: sc.WordsPerStream,
-		Observe:        cfg.worldObserver,
+		Observe:        cfg.observeKernel(&ks),
 		WarmupCycles:   sc.WarmupCycles, WarmupAuto: sc.WarmupAuto,
+		RetainLatency: sc.poolLatency,
 	}
 	tr, err := traffic.RunPacketPattern(patternPortFlows(sc, sp), inj, sc.Data.FlipProb, rc)
 	if err != nil {
 		return nil, err
 	}
-	return patternResult(KindPacket, sc, tr), nil
+	res := patternResult(KindPacket, sc, tr)
+	res.Kernel = ks
+	return res, nil
 }
 
 // runTDMPattern drives the Æthereal-style TDM single-router model with
@@ -113,17 +122,21 @@ func runTDMPattern(cfg config, sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var ks *KernelStats
 	rc := traffic.RunConfig{
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
 		Lib:  cfg.mustLib(),
-		Seed: sc.Seed, Kernel: cfg.simKernel(),
+		Seed: sc.Seed, Kernel: cfg.simKernel(), SimWorkers: cfg.parallelism,
 		WordsPerStream: sc.WordsPerStream,
-		Observe:        cfg.worldObserver,
+		Observe:        cfg.observeKernel(&ks),
 		WarmupCycles:   sc.WarmupCycles, WarmupAuto: sc.WarmupAuto,
+		RetainLatency: sc.poolLatency,
 	}
 	tr, err := traffic.RunTDMPattern(cfg.tdmParams(), patternPortFlows(sc, sp), inj, sc.Data.FlipProb, rc)
 	if err != nil {
 		return nil, err
 	}
-	return patternResult(KindTDM, sc, tr), nil
+	res := patternResult(KindTDM, sc, tr)
+	res.Kernel = ks
+	return res, nil
 }

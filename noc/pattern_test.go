@@ -3,6 +3,7 @@ package noc
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"testing"
 
 	"repro/internal/sim"
@@ -72,12 +73,20 @@ func TestPatternKernelEquivalence(t *testing.T) {
 		naive := runJSON(t, mk(WithKernel(KernelNaive)), sc)
 		gated := runJSON(t, mk(WithKernel(KernelGated)), sc)
 		event := runJSON(t, mk(WithKernel(KernelEvent)), sc)
+		active1 := runJSON(t, mk(WithKernel(KernelActive), WithParallelism(1)), sc)
+		active8 := runJSON(t, mk(WithKernel(KernelActive), WithParallelism(8)), sc)
 		kind := mk().Kind()
 		if !bytes.Equal(naive, gated) {
 			t.Errorf("%s: naive vs gated results differ", kind)
 		}
 		if !bytes.Equal(naive, event) {
 			t.Errorf("%s: naive vs event results differ", kind)
+		}
+		if !bytes.Equal(naive, active1) {
+			t.Errorf("%s: naive vs active results differ", kind)
+		}
+		if !bytes.Equal(active1, active8) {
+			t.Errorf("%s: active results differ between 1 and 8 workers", kind)
 		}
 	}
 }
@@ -129,6 +138,96 @@ func TestPatternSparse16x16EventSpeedup(t *testing.T) {
 	if speedup := gatedVisits / eventVisits; speedup < 5 {
 		t.Errorf("event kernel visit reduction %.1fx < 5x (ff %d cycles in %d windows of %d)",
 			speedup, ffCycles, ffWindows, cycles)
+	}
+}
+
+// TestPatternSparse16x16ActivePolls is the acceptance check of the
+// active kernel's parked list: on the same sparse 16×16 pattern run it
+// must (a) stay byte-identical to the event kernel, (b) actually park
+// and re-activate components, and (c) issue at most a fifth of the
+// event kernel's Quiescent() polls — the event kernel re-polls every
+// component on every live cycle, the active kernel only polls the
+// active list. The all-to-hotspot pattern is admission-limited on the
+// circuit fabric: only the few flows that win lanes into the centre
+// establish, so most of the mesh holds no circuit, latches asleep
+// (sim.Sleeper) and parks, while the sustained low-rate injection keeps
+// the event kernel from ever fast-forwarding past the live circuits.
+// The poll count is a deterministic proxy for wall-clock speed; the
+// measured comparison lives in the pattern kernel benchmarks
+// (BENCH_active).
+func TestPatternSparse16x16ActivePolls(t *testing.T) {
+	sc := Scenario{
+		Name: "sparse16", Pattern: "hotspot:1", MeshWidth: 16, MeshHeight: 16,
+		Cycles: 5000, Seed: 9,
+		Injection: &Injection{Process: "bernoulli", Rate: 0.05},
+	}
+	event, err := CircuitSwitched(WithKernel(KernelEvent)).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, err := CircuitSwitched(WithKernel(KernelActive)).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := json.Marshal(event)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := json.Marshal(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(be, ba) {
+		t.Errorf("event vs active results differ\n%s\n%s", be, ba)
+	}
+	if event.Kernel == nil || active.Kernel == nil {
+		t.Fatal("runs attached no kernel diagnostics")
+	}
+	if active.Kernel.Parked == 0 {
+		t.Error("active kernel run ended with nothing parked")
+	}
+	if active.Kernel.Activations == 0 {
+		t.Error("active kernel run performed no activations")
+	}
+	if ep, ap := event.Kernel.Polls, active.Kernel.Polls; ap*5 > ep {
+		t.Errorf("active kernel polls %d > 1/5 of event kernel polls %d (%.1fx reduction)",
+			ap, ep, float64(ep)/float64(ap))
+	}
+}
+
+// TestSweepActiveWorkerCountByteIdentical pins the worker-count
+// determinism contract at the sweep level, the same comparison the CI
+// -simworkers byte-compare job performs with nocbench: one sweep spec
+// run under the active kernel with 1 and 8 Eval workers must emit
+// byte-identical JSON.
+func TestSweepActiveWorkerCountByteIdentical(t *testing.T) {
+	spec := SweepSpec{
+		Name:    "active-workers",
+		Fabrics: []FabricSpec{{Kind: KindCircuit}, {Kind: KindPacket}, {Kind: KindTDM}},
+		Grid: &Grid{
+			Patterns:       []string{"uniform", "transpose"},
+			MeshSizes:      []int{4},
+			InjectionRates: []float64{0.05},
+			Cycles:         []int{1500},
+		},
+		Kernel: string(KernelActive),
+		Seed:   7,
+	}
+	var out1, out8 bytes.Buffer
+	spec.SimWorkers = 1
+	if err := SweepJSON(context.Background(), spec, &out1); err != nil {
+		t.Fatal(err)
+	}
+	spec.SimWorkers = 8
+	if err := SweepJSON(context.Background(), spec, &out8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out8.Bytes()) {
+		t.Errorf("sweep JSON differs between 1 and 8 workers\n%s\n%s",
+			out1.Bytes(), out8.Bytes())
+	}
+	if out1.Len() == 0 {
+		t.Fatal("sweep emitted nothing")
 	}
 }
 

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -32,10 +33,15 @@ func ReplicationSeed(base uint64, rep int) uint64 {
 
 // replicaScenario returns replication rep's scenario: the same knobs
 // with the seed drawn from the replication stream and Replications
-// cleared, so the fabric runs it exactly once.
+// cleared, so the fabric runs it exactly once. Each replication also
+// retains its raw latency samples so the aggregation can pool them into
+// one distribution (retention changes no measured statistic — the same
+// observations feed the same summary — so replicated point results stay
+// byte-identical to standalone runs of the same seed).
 func replicaScenario(sc Scenario, rep int) Scenario {
 	sc.Seed = ReplicationSeed(sc.Seed, rep)
 	sc.Replications = 0
+	sc.poolLatency = true
 	return sc
 }
 
@@ -85,6 +91,75 @@ type ReplicationStats struct {
 	// (requested-established)/requested, the headline blocking metric.
 	FlowsEstablished *Metric `json:"flows_established,omitempty"`
 	BlockingFraction *Metric `json:"blocking_fraction,omitempty"`
+	// PooledLatency is the word-level latency distribution pooled across
+	// all replications — every replication's raw per-word observations
+	// concatenated in replication order and summarized as one
+	// distribution. It complements LatencyMeanCycles, which describes
+	// the across-replication spread of the run-level mean: percentiles
+	// and tail shape only make sense on the pooled word population. Nil
+	// when no replication retained latency samples.
+	PooledLatency *LatencyPool `json:"latency_pooled,omitempty"`
+}
+
+// LatencyPool summarizes a pooled word-latency distribution, in cycles.
+type LatencyPool struct {
+	// Words is the pooled observation count — the sum of the per-
+	// replication Latency.Words.
+	Words int `json:"words"`
+	// MeanCycles through MaxCycles are the pooled moments.
+	MeanCycles   float64 `json:"mean_cycles"`
+	StdDevCycles float64 `json:"stddev_cycles"`
+	MinCycles    float64 `json:"min_cycles"`
+	MaxCycles    float64 `json:"max_cycles"`
+	// P50Cycles, P95Cycles and P99Cycles are nearest-rank percentiles of
+	// the pooled population.
+	P50Cycles float64 `json:"p50_cycles"`
+	P95Cycles float64 `json:"p95_cycles"`
+	P99Cycles float64 `json:"p99_cycles"`
+	// HistBounds and HistCounts render the pooled histogram:
+	// HistCounts[i] counts observations <= HistBounds[i] (and above the
+	// previous bound); the final extra count is the overflow beyond the
+	// last bound.
+	HistBounds []float64 `json:"hist_bounds"`
+	HistCounts []int     `json:"hist_counts"`
+}
+
+// latencyPoolBounds are the pooled histogram's bucket upper bounds:
+// power-of-two cycle counts spanning a single-hop register delay up to
+// deep congestion backlogs, with the overflow bucket catching anything
+// beyond.
+var latencyPoolBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// poolLatencySamples summarizes the concatenated per-replication
+// latency observations; nil for an empty pool.
+func poolLatencySamples(samples []float64) *LatencyPool {
+	if len(samples) == 0 {
+		return nil
+	}
+	var s stats.Series
+	h := stats.NewHist(latencyPoolBounds...)
+	for _, v := range samples {
+		s.Add(v)
+		h.Add(v)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	counts := make([]int, len(latencyPoolBounds)+1)
+	for i := range counts {
+		counts[i] = h.Count(i)
+	}
+	return &LatencyPool{
+		Words:        s.N(),
+		MeanCycles:   s.Mean(),
+		StdDevCycles: s.StdDev(),
+		MinCycles:    s.Min(),
+		MaxCycles:    s.Max(),
+		P50Cycles:    stats.Percentile(sorted, 0.50),
+		P95Cycles:    stats.Percentile(sorted, 0.95),
+		P99Cycles:    stats.Percentile(sorted, 0.99),
+		HistBounds:   append([]float64(nil), latencyPoolBounds...),
+		HistCounts:   counts,
+	}
 }
 
 // aggregateResults merges the per-replication Results of one scenario:
@@ -96,6 +171,7 @@ func aggregateResults(results []*Result) (*Result, error) {
 	}
 	var sent, delivered, tput, powTot, powDyn, latMean, latJit, util, est, blocked stats.Series
 	havePower, haveLat, haveUtil, havePat := false, false, false, false
+	var pooled []float64
 	for _, r := range results {
 		sent.Add(float64(r.WordsSent))
 		delivered.Add(float64(r.WordsDelivered))
@@ -109,6 +185,7 @@ func aggregateResults(results []*Result) (*Result, error) {
 			haveLat = true
 			latMean.Add(r.Latency.MeanCycles)
 			latJit.Add(r.Latency.JitterCycles)
+			pooled = append(pooled, r.Latency.Samples...)
 		}
 		if r.LinkUtilization != 0 {
 			haveUtil = true
@@ -134,6 +211,7 @@ func aggregateResults(results []*Result) (*Result, error) {
 	if haveLat {
 		lm, lj := metricFrom(&latMean), metricFrom(&latJit)
 		rs.LatencyMeanCycles, rs.LatencyJitterCycles = &lm, &lj
+		rs.PooledLatency = poolLatencySamples(pooled)
 	}
 	if haveUtil {
 		lu := metricFrom(&util)

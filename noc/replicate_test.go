@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -214,6 +215,97 @@ func TestSingleReplicationMatchesPlainRun(t *testing.T) {
 	}
 	if plain.Replication != nil {
 		t.Fatal("single run grew replication aggregates")
+	}
+}
+
+// TestPooledLatencyDeterministic pins the pooled-latency contract: a
+// replicated run carries a pooled word-level latency distribution that
+// is (a) internally consistent, (b) exactly the concatenation of the
+// per-replication distributions, (c) byte-identical across repeated
+// runs and across all four kernels, and (d) absent — along with any
+// retained samples — from plain unreplicated runs.
+func TestPooledLatencyDeterministic(t *testing.T) {
+	sc := Scenario{
+		Name: "pool", Pattern: "uniform", MeshWidth: 4, MeshHeight: 4,
+		Cycles: 600, Seed: 11, Replications: 4,
+		Injection: &Injection{Process: "bernoulli", Rate: 0.2},
+	}
+	run := func(k Kernel) *LatencyPool {
+		res, err := AetherealTDM(WithKernel(k)).Run(sc)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if res.Replication == nil || res.Replication.PooledLatency == nil {
+			t.Fatalf("%v: no pooled latency: %+v", k, res.Replication)
+		}
+		return res.Replication.PooledLatency
+	}
+
+	ref := run(KernelGated)
+	if ref.Words <= 0 {
+		t.Fatalf("empty pool: %+v", ref)
+	}
+	// Internal consistency: histogram counts cover the population and
+	// the order statistics are ordered.
+	if len(ref.HistCounts) != len(ref.HistBounds)+1 {
+		t.Fatalf("histogram shape: %d counts for %d bounds", len(ref.HistCounts), len(ref.HistBounds))
+	}
+	total := 0
+	for _, c := range ref.HistCounts {
+		total += c
+	}
+	if total != ref.Words {
+		t.Fatalf("histogram counts sum to %d, pool has %d words", total, ref.Words)
+	}
+	if !(ref.MinCycles <= ref.P50Cycles && ref.P50Cycles <= ref.P95Cycles &&
+		ref.P95Cycles <= ref.P99Cycles && ref.P99Cycles <= ref.MaxCycles) {
+		t.Fatalf("order statistics out of order: %+v", ref)
+	}
+
+	// The pool is exactly the per-replication populations concatenated:
+	// its word count is the sum of the individually-run replications'.
+	want := 0
+	for rep := 0; rep < sc.Replications; rep++ {
+		r, err := AetherealTDM().Run(replicaScenario(sc, rep))
+		if err != nil {
+			t.Fatalf("replication %d: %v", rep, err)
+		}
+		if r.Latency != nil {
+			want += r.Latency.Words
+		}
+	}
+	if ref.Words != want {
+		t.Fatalf("pooled %d words, replications measured %d", ref.Words, want)
+	}
+
+	// Determinism: a repeated run and every other kernel reproduce the
+	// pool byte for byte.
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Kernel{KernelGated, KernelNaive, KernelEvent, KernelActive} {
+		b, err := json.Marshal(run(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refJSON, b) {
+			t.Fatalf("pooled latency diverges under %v:\n ref %s\n got %s", k, refJSON, b)
+		}
+	}
+
+	// A plain unreplicated run neither retains samples nor grows a pool.
+	plain := sc
+	plain.Replications = 0
+	res, err := AetherealTDM().Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replication != nil {
+		t.Fatal("plain run grew replication aggregates")
+	}
+	if res.Latency != nil && res.Latency.Samples != nil {
+		t.Fatal("plain run retained latency samples")
 	}
 }
 

@@ -105,6 +105,11 @@ type Latency struct {
 	// JitterCycles is max minus min — zero for an established circuit,
 	// the paper's bounded-latency guarantee in its strongest form.
 	JitterCycles float64 `json:"jitter_cycles"`
+	// Samples holds the raw per-word latency observations when the run
+	// was asked to retain them (replicated runs pool these into
+	// Replication.PooledLatency). Excluded from the wire format: the
+	// summary above is the stable cross-kernel contract.
+	Samples []float64 `json:"-"`
 }
 
 // latencyFrom converts a measured series.
@@ -113,6 +118,7 @@ func latencyFrom(s stats.Series) *Latency {
 		return nil
 	}
 	return &Latency{
+		Samples:      s.Samples(),
 		Words:        s.N(),
 		MeanCycles:   s.Mean(),
 		MinCycles:    s.Min(),
@@ -217,6 +223,24 @@ type Result struct {
 	// above echo replication 0; the aggregates are the statistically
 	// meaningful figures.
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Kernel carries scheduling diagnostics of the simulation world the
+	// run executed on. It is excluded from the JSON encoding so Result
+	// output stays byte-identical across kernels and worker counts (the
+	// property the CI equivalence compares enforce); consume it
+	// programmatically, in kernel tests and benchmarks.
+	Kernel *KernelStats `json:"-"`
+}
+
+// KernelStats is the scheduling diagnostic a run's simulation world
+// reports: Parked counts the components sitting on the active kernel's
+// parked list when the run ended, Activations the park exits it
+// performed, and Polls the Quiescent() invocations the kernel issued —
+// the work proxy the active-vs-event comparison is judged by. Parked
+// and Activations are zero outside KernelActive.
+type KernelStats struct {
+	Parked      int
+	Activations uint64
+	Polls       uint64
 }
 
 // MetAllRequirements reports whether every channel of a workload run met

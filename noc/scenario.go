@@ -221,6 +221,13 @@ type Scenario struct {
 	// its Tail flit). Ignored by workload runs, whose channels are
 	// rate-driven.
 	WordsPerStream uint64 `json:"words_per_stream,omitempty"`
+
+	// poolLatency asks the run to retain its raw per-word latency
+	// samples so a replicated run can pool them into one distribution
+	// (Replication.PooledLatency). Set by replicaScenario; not part of
+	// the wire format — a single run's JSON output is identical with or
+	// without it.
+	poolLatency bool
 }
 
 // IsWorkload reports whether the scenario is a mesh workload run.

@@ -40,11 +40,15 @@ type FabricSpec struct {
 	// LatencyWords overrides the latency sample count; nil keeps the
 	// default, 0 disables the latency measurement (WithLatencyWords).
 	LatencyWords *int `json:"latency_words,omitempty"`
-	// Kernel selects the simulation kernel: "event" (default), "gated"
-	// or "naive" (WithKernel). Results are byte-identical under all
-	// three; the CI equivalence check runs the same sweep under each
-	// and compares. Unknown names are rejected at spec validation.
+	// Kernel selects the simulation kernel: "event" (default), "gated",
+	// "naive" or "active" (WithKernel). Results are byte-identical under
+	// all of them; the CI equivalence check runs the same sweep under
+	// each and compares. Unknown names are rejected at spec validation.
 	Kernel string `json:"kernel,omitempty"`
+	// SimWorkers bounds the active kernel's Eval shard pool
+	// (WithParallelism); 0 means GOMAXPROCS. Results are byte-identical
+	// for every value, which the CI worker-count byte-compare checks.
+	SimWorkers int `json:"sim_workers,omitempty"`
 }
 
 // options converts the spec into the functional options it describes.
@@ -79,6 +83,9 @@ func (fs FabricSpec) options() []Option {
 	}
 	if fs.Kernel != "" {
 		opts = append(opts, WithKernel(Kernel(fs.Kernel)))
+	}
+	if fs.SimWorkers != 0 {
+		opts = append(opts, WithParallelism(fs.SimWorkers))
 	}
 	return opts
 }
@@ -322,11 +329,16 @@ type SweepSpec struct {
 	// behaviour.
 	Replications int `json:"replications,omitempty"`
 	// Kernel is the default simulation kernel for every fabric that does
-	// not choose its own: "event" (default), "gated" or "naive". The
-	// `nocbench -kernel` flag sets it from the command line; unknown
-	// names are rejected at spec validation with the valid kernels
-	// listed.
+	// not choose its own: "event" (default), "gated", "naive" or
+	// "active". The `nocbench -kernel` flag sets it from the command
+	// line; unknown names are rejected at spec validation with the valid
+	// kernels listed.
 	Kernel string `json:"kernel,omitempty"`
+	// SimWorkers is the default Eval shard bound for every fabric that
+	// does not choose its own; 0 means GOMAXPROCS. Only the active
+	// kernel uses it. The `nocbench -simworkers` flag sets it from the
+	// command line.
+	SimWorkers int `json:"sim_workers,omitempty"`
 }
 
 // ParseSweepSpec decodes a JSON sweep spec (the `nocbench -sweep`
@@ -509,6 +521,9 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 			fs := cell.Fabric
 			if fs.Kernel == "" {
 				fs.Kernel = spec.Kernel
+			}
+			if fs.SimWorkers == 0 {
+				fs.SimWorkers = spec.SimWorkers
 			}
 			f, err := fs.Fabric()
 			if err != nil {

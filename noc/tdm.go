@@ -119,7 +119,7 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 	// pin every kernel to every cycle — with componentized stream
 	// drivers below, finite TDM scenarios now fast-forward.
 	r.BindMeter(meter)
-	w := sim.NewWorld(sim.WithKernel(f.cfg.simKernel()))
+	w := sim.NewWorld(f.cfg.worldOpts()...)
 	w.Add(r)
 
 	// The average toggling bits per forwarded word under the pattern's
@@ -131,6 +131,9 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 		flows   []*traffic.TDMFlow
 		lat     stats.Series
 	)
+	if sc.poolLatency {
+		lat.Retain()
+	}
 	pat := traffic.Pattern{FlipProb: sc.Data.FlipProb, Load: sc.Data.Load}
 	for i, st := range sc.Streams {
 		rv := reservations[i]
@@ -141,10 +144,11 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 		for _, s := range rv.slots {
 			reserved[s] = true
 		}
-		// Offerer first, presenter second: a word offered this cycle is
-		// presentable this cycle, exactly as in the single-component
-		// harness this pair replaces. One stream per input port (checked
-		// above), so each stream gets its own presenter.
+		// A word offered this cycle is staged through Enqueue, merged at
+		// the presenter's Commit and presentable the next cycle — the
+		// registration order of offerer and presenter does not matter.
+		// One stream per input port (checked above), so each stream gets
+		// its own presenter.
 		pres := traffic.NewTDMPresenter(r, rv.in)
 		flow := pres.AddFlow(rv.out, reserved, &lat, toggleBits, meter)
 		flows = append(flows, flow)
@@ -155,9 +159,8 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 	}
 
 	w.Run(sc.Cycles)
-	if f.cfg.worldObserver != nil {
-		f.cfg.worldObserver(w)
-	}
+	var ks *KernelStats
+	f.cfg.observeKernel(&ks)(w)
 
 	var delivered uint64
 	for _, fl := range flows {
@@ -174,6 +177,7 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 		Power:          powerFrom(breakdown),
 		PerComponent:   attributionComponents(meter.AttributionSorted(), breakdown.StaticUW),
 		Latency:        latencyFrom(lat),
+		Kernel:         ks,
 	}
 	for _, s := range sources {
 		res.WordsSent += s.Sent()

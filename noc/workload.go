@@ -206,7 +206,7 @@ var (
 func runCircuitWorkload(cfg config, sc Scenario) (*Result, error) {
 	p := cfg.resolvedCoreParams()
 	m := mesh.New(sc.MeshWidth, sc.MeshHeight, p, core.DefaultAssemblyOptions(),
-		sim.WithKernel(cfg.simKernel()))
+		cfg.worldOpts()...)
 	dom := m.BindMeters(cfg.mustLib(), sc.FreqMHz, cfg.gated)
 	mgr := ccn.NewManager(m, sc.FreqMHz)
 
@@ -276,6 +276,7 @@ func runCircuitWorkload(cfg config, sc Scenario) (*Result, error) {
 	}
 
 	m.Run(sc.Cycles)
+	cfg.observeKernel(&res.Kernel)(world)
 
 	for _, st := range states {
 		received := st.sink.grx.Received()
