@@ -4,7 +4,7 @@ NOCVET := $(CURDIR)/bin/nocvet
 
 # BENCH_BASE is the tracked benchmark baseline the regression gate
 # compares against; bump the number when re-baselining on purpose.
-BENCH_BASE := BENCH_8.json
+BENCH_BASE := BENCH_9.json
 
 .PHONY: build test race vet nocvet bench bench-json benchdiff
 
@@ -41,14 +41,16 @@ bench-json:
 	go test -bench 'FiniteWorkload|BEBurst' -benchtime 50x -run '^$$' . | tee -a bench.txt
 	go test -bench 'Pattern16|PatternSource' -benchtime 5x -run '^$$' . | tee -a bench.txt
 	go test -bench 'Sweep(Single|Replicated)' -benchtime 20x -run '^$$' . | tee -a bench.txt
+	go test -bench 'SweepOverlap' -benchtime 5x -run '^$$' . | tee -a bench.txt
 	go test -bench 'Hotspot(16x16|64x64)' -benchtime 2x -run '^$$' . | tee -a bench.txt
 	go run ./cmd/benchdiff -parse bench.txt -out BENCH_ci.json
 
 # benchdiff gates the current canonical figures against the tracked
 # baseline: >15% ns/op growth (or a vanished benchmark) on the
 # kernel/sweep/pattern benchmarks fails. Every kernel and pattern
-# benchmark name ends in "Kernel"; the two sweep-engine benchmarks are
-# named explicitly. Experiment benchmarks measured only at 1x (table/
-# figure regeneration) are too noisy to gate and stay out.
+# benchmark name ends in "Kernel"; the sweep-engine benchmarks —
+# including the cache's warm/cold overlap pair — are named explicitly.
+# Experiment benchmarks measured only at 1x (table/figure regeneration)
+# are too noisy to gate and stay out.
 benchdiff:
-	go run ./cmd/benchdiff -base $(BENCH_BASE) -cur BENCH_ci.json -match 'Kernel$$|SweepSingleRun|SweepReplicated'
+	go run ./cmd/benchdiff -base $(BENCH_BASE) -cur BENCH_ci.json -match 'Kernel$$|SweepSingleRun|SweepReplicated|SweepOverlap'

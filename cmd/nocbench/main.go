@@ -104,6 +104,7 @@ func run() (err error) {
 	cycles := flag.Int("cycles", 0, "with -pattern: simulated cycles (default 5000)")
 	reps := flag.Int("reps", 0, "with -sweep/-pattern: replications per cell, aggregated as mean/CI95 (default single run)")
 	warmup := flag.String("warmup", "", `with -pattern: warm-up truncation, a cycle count or "auto" (MSER steady-state detection)`)
+	cacheDir := flag.String("cache", "", "with -sweep: serve cells from a content-addressed result cache in this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -131,6 +132,9 @@ func run() (err error) {
 	}
 	if *warmup != "" && *patternName == "" {
 		return fmt.Errorf("-warmup only applies to -pattern runs")
+	}
+	if *cacheDir != "" && *sweepFile == "" {
+		return fmt.Errorf("-cache only applies to -sweep runs")
 	}
 
 	if *cpuProfile != "" {
@@ -171,7 +175,7 @@ func run() (err error) {
 	}
 
 	if *sweepFile != "" {
-		return runSweep(w, *sweepFile, *workers, *csvOut, *kernel, *simWorkers, *reps)
+		return runSweep(w, *sweepFile, *workers, *csvOut, *kernel, *simWorkers, *reps, *cacheDir)
 	}
 	if *patternName != "" {
 		return runPattern(w, *patternName, *inject, *meshSize, *cycles, *kernel, *simWorkers, *reps, *warmup)
@@ -299,8 +303,11 @@ func runPattern(w io.Writer, name, inject string, meshSize, cycles int, kernel s
 }
 
 // runSweep loads a noc.SweepSpec from the file and streams the cells to
-// w. Ctrl-C cancels the sweep cleanly mid-run.
-func runSweep(w io.Writer, path string, workers int, asCSV bool, kernel string, simWorkers, reps int) error {
+// w. Ctrl-C cancels the sweep cleanly mid-run. With -cache the spec is
+// pointed at a content-addressed result cache directory and a traffic
+// summary goes to stderr — sweep output on stdout stays byte-identical
+// to an uncached run.
+func runSweep(w io.Writer, path string, workers int, asCSV bool, kernel string, simWorkers, reps int, cacheDir string) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -321,10 +328,26 @@ func runSweep(w io.Writer, path string, workers int, asCSV bool, kernel string, 
 	if reps != 0 {
 		spec.Replications = reps
 	}
+	if cacheDir != "" {
+		spec.Cache = true
+		spec.CacheDir = cacheDir
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if asCSV {
-		return noc.SweepCSV(ctx, spec, w)
+	runErr := func() error {
+		if asCSV {
+			return noc.SweepCSV(ctx, spec, w)
+		}
+		return noc.SweepJSON(ctx, spec, w)
+	}()
+	if cacheDir != "" {
+		// OpenCache deduplicates per directory, so this reads the
+		// instance the sweep just used.
+		if c, cerr := noc.OpenCache(spec.CacheDir); cerr == nil {
+			s := c.Counters()
+			fmt.Fprintf(os.Stderr, "nocbench: cache hits=%d misses=%d puts=%d warm_hits=%d warm_stores=%d\n",
+				s.Hits, s.Misses, s.Puts, s.WarmHits, s.WarmStores)
+		}
 	}
-	return noc.SweepJSON(ctx, spec, w)
+	return runErr
 }

@@ -1,0 +1,27 @@
+package bitvec
+
+// Stream-position accessors for the warm-start checkpoint layer: a
+// snapshot captures exactly where a generator is in its deterministic
+// sequence, so a restored run continues the identical stream.
+
+// State returns the generator's raw xorshift state.
+func (x *XorShift64) State() uint64 { return x.state }
+
+// SetState restores a state previously read with State. A zero value is
+// remapped like a zero seed, preserving the never-zero invariant.
+func (x *XorShift64) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	x.state = s
+}
+
+// State returns the flip generator's dynamic state: its RNG position and
+// the previously emitted word.
+func (g *FlipGen) State() (rng, prev uint64) { return g.rng.State(), g.prev }
+
+// SetState restores a state previously read with State.
+func (g *FlipGen) SetState(rng, prev uint64) {
+	g.rng.SetState(rng)
+	g.prev = prev
+}

@@ -1,0 +1,236 @@
+// Package cellcache is a content-addressed store for encoded sweep-cell
+// results. Keys are SHA-256 digests of canonical key material (the
+// fully-resolved scenario, its seed and a code-version fingerprint —
+// derived by the caller); values are opaque encoded payloads. Because a
+// sweep cell's bytes are a pure function of that key material, a hit can
+// be substituted for a simulation run without changing a single output
+// byte — the store never needs to validate payloads against anything but
+// its own integrity framing.
+//
+// The store is two-level: a bounded in-memory LRU in front of an optional
+// on-disk directory. Disk entries are written atomically (temp file +
+// rename) and framed with a magic, version, length and CRC32 so a
+// truncated or corrupted file degrades to a miss, never to a wrong
+// result.
+package cellcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key addresses one cached payload: the SHA-256 of the caller's canonical
+// key material.
+type Key [sha256.Size]byte
+
+// KeyOf digests canonical key material into a Key.
+func KeyOf(material []byte) Key { return sha256.Sum256(material) }
+
+// String renders the key as lowercase hex (also the on-disk file stem).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Stats counts the store's traffic since construction.
+type Stats struct {
+	// Hits and Misses count Get outcomes (a disk hit counts as a hit).
+	Hits, Misses uint64
+	// Puts counts stored payloads.
+	Puts uint64
+}
+
+// DefaultMaxEntries bounds the in-memory LRU when the caller passes a
+// non-positive capacity.
+const DefaultMaxEntries = 4096
+
+// Store is a bounded in-memory LRU, optionally backed by a directory.
+// All methods are safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	mem   map[Key]*list.Element
+	lru   list.List // front = most recent; values are *entry
+	dir   string
+	stats Stats
+}
+
+// entry is one resident cache line.
+type entry struct {
+	k Key
+	v []byte
+}
+
+// New returns a memory-only store holding at most maxEntries payloads.
+func New(maxEntries int) *Store {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	s := &Store{cap: maxEntries, mem: make(map[Key]*list.Element)}
+	s.lru.Init()
+	return s
+}
+
+// NewDir returns a store backed by dir (created if missing). Evicted and
+// restarted entries survive on disk; reads promote them back into memory.
+func NewDir(dir string, maxEntries int) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("cellcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cellcache: %w", err)
+	}
+	s := New(maxEntries)
+	s.dir = dir
+	return s, nil
+}
+
+// Dir returns the backing directory ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the payload stored under k. The boolean reports whether the
+// key was found (in memory or on disk); the returned slice is a copy the
+// caller may keep.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.mem[k]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.Hits++
+		return clone(el.Value.(*entry).v), true
+	}
+	if s.dir != "" {
+		if v, err := s.readDisk(k); err == nil {
+			s.insert(k, v)
+			s.stats.Hits++
+			return clone(v), true
+		}
+	}
+	s.stats.Misses++
+	return nil, false
+}
+
+// Put stores payload under k, overwriting any previous value. The store
+// keeps its own copy. Disk write failures are swallowed: the cache is an
+// accelerator, never a correctness dependency.
+func (s *Store) Put(k Key, payload []byte) {
+	v := clone(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Puts++
+	if el, ok := s.mem[k]; ok {
+		el.Value.(*entry).v = v
+		s.lru.MoveToFront(el)
+	} else {
+		s.insert(k, v)
+	}
+	if s.dir != "" {
+		s.writeDisk(k, v)
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// insert adds a fresh entry and evicts past capacity. Callers hold mu.
+func (s *Store) insert(k Key, v []byte) {
+	s.mem[k] = s.lru.PushFront(&entry{k: k, v: v})
+	for s.lru.Len() > s.cap {
+		back := s.lru.Back()
+		delete(s.mem, back.Value.(*entry).k)
+		s.lru.Remove(back)
+	}
+}
+
+// path returns the on-disk file for k.
+func (s *Store) path(k Key) string { return filepath.Join(s.dir, k.String()+".cell") }
+
+// readDisk loads and verifies one entry file.
+func (s *Store) readDisk(k Key) ([]byte, error) {
+	b, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeEntry(b)
+}
+
+// writeDisk persists one entry atomically: a unique temp file in the same
+// directory, then rename. A concurrent writer of the same key races to an
+// identical payload (content addressing), so last-rename-wins is safe.
+func (s *Store) writeDisk(k Key, v []byte) {
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(EncodeEntry(v))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, s.path(k)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Entry framing: magic "nocc", a format version byte, the payload length,
+// the payload's CRC32 (IEEE) and the payload itself. Length and checksum
+// make truncation and bit rot detectable, so DecodeEntry fails closed.
+const (
+	entryMagic   = "nocc"
+	entryVersion = 1
+	entryHeader  = len(entryMagic) + 1 + 4 + 4
+)
+
+// EncodeEntry frames a payload for disk.
+func EncodeEntry(payload []byte) []byte {
+	out := make([]byte, 0, entryHeader+len(payload))
+	out = append(out, entryMagic...)
+	out = append(out, entryVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// DecodeEntry unframes a disk entry, verifying magic, version, length and
+// checksum. Any mismatch — short file, trailing garbage, flipped bit —
+// returns an error, which the store treats as a miss.
+func DecodeEntry(b []byte) ([]byte, error) {
+	if len(b) < entryHeader {
+		return nil, fmt.Errorf("cellcache: entry truncated at %d bytes", len(b))
+	}
+	if string(b[:len(entryMagic)]) != entryMagic {
+		return nil, errors.New("cellcache: bad entry magic")
+	}
+	if v := b[len(entryMagic)]; v != entryVersion {
+		return nil, fmt.Errorf("cellcache: unsupported entry version %d", v)
+	}
+	n := binary.LittleEndian.Uint32(b[len(entryMagic)+1:])
+	sum := binary.LittleEndian.Uint32(b[len(entryMagic)+5:])
+	payload := b[entryHeader:]
+	if uint64(len(payload)) != uint64(n) {
+		return nil, fmt.Errorf("cellcache: entry length %d, want %d", len(payload), n)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, errors.New("cellcache: entry checksum mismatch")
+	}
+	return clone(payload), nil
+}
+
+// clone copies a byte slice (nil-preserving for empty payload symmetry).
+func clone(b []byte) []byte {
+	if len(b) == 0 {
+		return []byte{}
+	}
+	return append([]byte(nil), b...)
+}

@@ -70,6 +70,28 @@ type PatternConfig struct {
 	// them into one distribution. Off by default: a plain run only needs
 	// the summary moments.
 	RetainLatency bool
+	// Warm, when non-nil, connects the run to the warm-start checkpoint
+	// layer: before simulating, Lookup is consulted for a checkpoint of
+	// this exact configuration prefix (everything but the run length);
+	// a hit restores it and simulates only the remaining cycles, with
+	// results byte-identical to a full run by the snapshot exactness
+	// contract. After the run the final state is offered to Store. Any
+	// snapshot or restore failure falls back silently to full
+	// simulation.
+	Warm *WarmHook
+}
+
+// WarmHook is the checkpoint exchange of a warm-started pattern run. The
+// caller owns keying: both callbacks are already scoped to one
+// configuration prefix (same mesh, pattern, injection, seed, retention —
+// different run length), so the hook only speaks cycles and bytes.
+type WarmHook struct {
+	// Lookup returns a stored checkpoint taken at cycle <= maxCycle,
+	// preferring the latest, and whether one exists.
+	Lookup func(maxCycle uint64) (data []byte, cycle uint64, ok bool)
+	// Store persists a checkpoint taken at the given cycle. Implementations
+	// decide retention; Store may be nil.
+	Store func(cycle uint64, data []byte)
 }
 
 // Validate checks the configuration.
@@ -171,7 +193,22 @@ func (a *laneAlloc) idx(c Coord) int { return c.Y*a.m.W + c.X }
 
 // establish reserves and configures a single-lane circuit along the
 // XY route (falling back to YX) and returns the endpoint converters.
+//
+// Endpoint admission runs first: both candidate routes start at the
+// source's tile input and end at the destination's tile output, so a
+// flow that cannot get either lane cannot be established on any route.
+// Rejecting it here costs O(1) instead of two O(route) probes with
+// their reservation bookkeeping — the cost that used to dominate short
+// saturated pattern runs (a 64×64 hotspot run probes the full
+// mesh-radius route twice for every one of ~4k doomed flows before
+// failing at the same exhausted destination port every time).
 func (a *laneAlloc) establish(src, dst Coord) (*core.TxConverter, *core.RxConverter, int, error) {
+	if a.freeTileIn(src) < 0 {
+		return nil, nil, 0, fmt.Errorf("mesh: no free tile input lane at %v", src)
+	}
+	if a.freeLane(dst, core.Tile) < 0 {
+		return nil, nil, 0, fmt.Errorf("mesh: no free tile output lane at %v", dst)
+	}
 	routes := [][]Coord{XYPath(src, dst), yxPath(src, dst)}
 	var lastErr error
 	for _, route := range routes {
@@ -214,13 +251,7 @@ func (a *laneAlloc) tryRoute(route []Coord) (*core.TxConverter, *core.RxConverte
 
 	// Source tile input lane.
 	srcIdx := a.idx(route[0])
-	tin := -1
-	for l, used := range a.tileIn[srcIdx] {
-		if !used {
-			tin = l
-			break
-		}
-	}
+	tin := a.freeTileIn(route[0])
 	if tin < 0 {
 		return nil, nil, fmt.Errorf("mesh: no free tile input lane at %v", route[0])
 	}
@@ -284,6 +315,17 @@ func (a *laneAlloc) tryRoute(route []Coord) (*core.TxConverter, *core.RxConverte
 		}
 	}
 	return a.m.At(route[0]).Tx[tin], a.m.At(dstC).Rx[l], nil
+}
+
+// freeTileIn returns a free tile input (transmit converter) lane index
+// at the node, or -1.
+func (a *laneAlloc) freeTileIn(node Coord) int {
+	for l, used := range a.tileIn[a.idx(node)] {
+		if !used {
+			return l
+		}
+	}
+	return -1
 }
 
 // freeLane returns a free lane index on the node's port, or -1.
@@ -398,15 +440,49 @@ func (d *patternSink) IdleTick() { d.cycle++ }
 // IdleWindow implements sim.IdleWindower.
 func (d *patternSink) IdleWindow(n uint64) { d.cycle += n }
 
-// RunPattern simulates the pattern on a W×H circuit-switched mesh. Each
-// flow of the spatial pattern gets a single-lane circuit (XY then YX
-// probing); flows the allocator cannot route are reported as not
-// established — the circuit fabric's admission-time answer to
-// overload. Established flows are driven by event-scheduled
-// pattern.Sources and drained by quiescent sinks, so a sparse run
-// fast-forwards between words under sim.KernelEvent with results
-// byte-identical to the gated and naive kernels.
-func RunPattern(cfg PatternConfig) (*PatternResult, error) {
+// patternSource drives one established flow: the event-scheduled
+// injection source plus the flow-local stream state its Emit closure
+// feeds — the data-word generator, the in-flight injection stamps and
+// the warm-up injection record. Embedding *pattern.Source forwards the
+// kernel interfaces (sim.Clocked, Quiescer, IdleWindower, Timed); the
+// wrapper adds sim.Snapshotter over the whole flow-head state so a
+// warm-start checkpoint captures the flow exactly.
+type patternSource struct {
+	*pattern.Source
+	gen    *bitvec.FlipGen
+	stamps *flowStamps
+	sent   []uint64 // injection stamps, warm-up accounting only
+}
+
+// liveFlow is one established flow's simulation handles.
+type liveFlow struct {
+	src  *patternSource
+	sink *patternSink
+	idx  int
+}
+
+// patternSim is one pattern run split into phases so the warm-start
+// layer can interpose: setup (mesh construction, metering, lane
+// establishment, component registration), run (cold, or
+// restore-then-continue from a checkpoint) and finish (counts, warm-up
+// truncation, power reports).
+type patternSim struct {
+	cfg    PatternConfig
+	m      *Mesh
+	dom    *PowerDomain
+	alloc  *laneAlloc
+	res    *PatternResult
+	warmup bool
+	latRec *stats.TimedSeries // non-nil when warm-up accounting is on
+	live   []liveFlow
+}
+
+// newPatternSim validates the configuration and builds the fully
+// established world, stopping just short of simulating. Establishment
+// happens here — before any checkpoint restore — because lane setup is
+// an instantaneous, deterministic function of the configuration, so the
+// restored state was produced by an identical establishment.
+func newPatternSim(cfg PatternConfig) (*patternSim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -414,12 +490,18 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 	if cfg.Params != nil {
 		p = *cfg.Params
 	}
-	m := New(cfg.W, cfg.H, p, core.DefaultAssemblyOptions(),
-		sim.WithKernel(cfg.Kernel), sim.WithParallelism(cfg.SimWorkers))
+	ps := &patternSim{
+		cfg: cfg,
+		m: New(cfg.W, cfg.H, p, core.DefaultAssemblyOptions(),
+			sim.WithKernel(cfg.Kernel), sim.WithParallelism(cfg.SimWorkers)),
+		res:    &PatternResult{},
+		warmup: cfg.WarmupCycles > 0 || cfg.WarmupAuto,
+	}
+	m, res := ps.m, ps.res
 	dom := m.BindMeters(cfg.Lib, cfg.FreqMHz, cfg.Gated)
 	alloc := newLaneAlloc(m)
+	ps.dom, ps.alloc = dom, alloc
 
-	res := &PatternResult{}
 	if cfg.RetainLatency {
 		// The sinks feed res.Latency directly; under warm-up accounting
 		// the series is rebuilt from the timed record, which always
@@ -435,19 +517,12 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 	// collected per flow (each source's Eval appends to its own slice,
 	// so the sharded sweep races on nothing) and only counted after the
 	// run.
-	warmup := cfg.WarmupCycles > 0 || cfg.WarmupAuto
-	var latRec *stats.TimedSeries
+	warmup := ps.warmup
 	if warmup {
-		latRec = &stats.TimedSeries{}
+		ps.latRec = &stats.TimedSeries{}
 	}
+	latRec := ps.latRec
 
-	type liveFlow struct {
-		src  *pattern.Source
-		sink *patternSink
-		sent *[]uint64
-		idx  int
-	}
-	var live []liveFlow
 	for _, f := range flows {
 		srcC := Coord{X: f.Src % cfg.W, Y: f.Src / cfg.W}
 		dstC := Coord{X: f.Dst % cfg.W, Y: f.Dst / cfg.W}
@@ -464,41 +539,46 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 		// Per-flow deterministic streams: data words and arrival times
 		// both derive from the run seed and the flow's source node.
 		flowSeed := sweep.Mix64(cfg.Seed + uint64(f.Src)*0x9E3779B97F4A7C15)
-		gen := bitvec.NewFlipGen(16, cfg.FlipProb, flowSeed^0xDA7A)
-		stamps := &flowStamps{}
-		sentCycles := new([]uint64)
+		ms := &patternSource{
+			gen:    bitvec.NewFlipGen(16, cfg.FlipProb, flowSeed^0xDA7A),
+			stamps: &flowStamps{},
+		}
 		src := pattern.NewSource(cfg.Injection, flowSeed, cfg.WordsPerFlow, nil)
 		src.Emit = func() bool {
 			if !tx.Ready() {
 				return false
 			}
-			if !tx.Push(core.DataWord(uint16(gen.Next()))) {
+			if !tx.Push(core.DataWord(uint16(ms.gen.Next()))) {
 				return false
 			}
-			stamps.push(src.Cycle())
+			ms.stamps.push(src.Cycle())
 			if warmup {
-				*sentCycles = append(*sentCycles, src.Cycle())
+				ms.sent = append(ms.sent, src.Cycle())
 			}
 			return true
 		}
-		sink := &patternSink{rx: rx, stamps: stamps, lat: &res.Latency, rec: latRec}
-		m.World().Add(src, sink)
+		ms.Source = src
+		sink := &patternSink{rx: rx, stamps: ms.stamps, lat: &res.Latency, rec: latRec}
+		m.World().Add(ms, sink)
 		// Parking contract: the source is self-scheduled (woken only by
 		// its own NextEvent), the sink's quiescence ends only when its
 		// destination assembly commits a delivery into the receive
 		// converter.
-		m.World().DependsOn(src)
+		m.World().DependsOn(ms)
 		m.World().DependsOn(sink, m.At(dstC))
-		live = append(live, liveFlow{src: src, sink: sink, sent: sentCycles, idx: len(res.Flows)})
+		ps.live = append(ps.live, liveFlow{src: ms, sink: sink, idx: len(res.Flows)})
 		res.Flows = append(res.Flows, pf)
 	}
+	return ps, nil
+}
 
-	m.Run(cfg.Cycles)
+// finish reads the post-run world into the result.
+func (ps *patternSim) finish() (*PatternResult, error) {
+	cfg, res := ps.cfg, ps.res
 	if cfg.Observe != nil {
-		cfg.Observe(m.World())
+		cfg.Observe(ps.m.World())
 	}
-
-	for _, lf := range live {
+	for _, lf := range ps.live {
 		pf := &res.Flows[lf.idx]
 		pf.WordsSent = lf.src.Sent()
 		pf.WordsDelivered = lf.sink.popped
@@ -506,11 +586,12 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 		res.WordsDelivered += pf.WordsDelivered
 	}
 	res.MeasuredCycles = uint64(cfg.Cycles)
-	if warmup {
+	if ps.warmup {
 		// Resolve the effective warm-up cycle — configured, or the
 		// MSER-5 steady-state truncation of the delivery-latency
 		// sequence — then recompute the aggregate statistics over the
 		// measurement window. Per-flow counts stay full-run.
+		latRec := ps.latRec
 		w := uint64(cfg.WarmupCycles)
 		start := latRec.TruncateCycle(w)
 		if cfg.WarmupAuto && latRec.Len() > 0 {
@@ -522,8 +603,8 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 		res.MeasuredCycles = uint64(cfg.Cycles) - w
 		res.WordsDelivered = uint64(latRec.Len() - start)
 		var sent uint64
-		for _, lf := range live {
-			for _, c := range *lf.sent {
+		for _, lf := range ps.live {
+			for _, c := range lf.src.sent {
 				if c >= w {
 					sent++
 				}
@@ -531,10 +612,39 @@ func RunPattern(cfg PatternConfig) (*PatternResult, error) {
 		}
 		res.WordsSent = sent
 	}
-	res.LaneUtilization = alloc.utilization()
-	res.Power = dom.Report(fmt.Sprintf("pattern %v x %v", cfg.Spatial, cfg.Injection))
-	res.PerNode = dom.PerNode("pattern node")
+	res.LaneUtilization = ps.alloc.utilization()
+	res.Power = ps.dom.Report(fmt.Sprintf("pattern %v x %v", cfg.Spatial, cfg.Injection))
+	res.PerNode = ps.dom.PerNode("pattern node")
 	return res, nil
+}
+
+// RunPattern simulates the pattern on a W×H circuit-switched mesh. Each
+// flow of the spatial pattern gets a single-lane circuit (XY then YX
+// probing); flows the allocator cannot route are reported as not
+// established — the circuit fabric's admission-time answer to
+// overload. Established flows are driven by event-scheduled
+// pattern.Sources and drained by quiescent sinks, so a sparse run
+// fast-forwards between words under sim.KernelEvent with results
+// byte-identical to the gated and naive kernels.
+//
+// With cfg.Warm set, the run may start from a stored checkpoint of the
+// same configuration prefix and simulate only the remaining cycles; the
+// result is byte-identical either way by the snapshot exactness
+// contract, and any snapshot failure falls back to full simulation.
+func RunPattern(cfg PatternConfig) (*PatternResult, error) {
+	ps, err := newPatternSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !ps.runWarm() {
+		// A checkpoint restore failed partway and may have left the
+		// world tainted: rebuild from scratch and run cold.
+		if ps, err = newPatternSim(cfg); err != nil {
+			return nil, err
+		}
+		ps.m.Run(cfg.Cycles)
+	}
+	return ps.finish()
 }
 
 var _ sim.IdleWindower = (*patternSink)(nil)

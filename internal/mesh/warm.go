@@ -1,0 +1,233 @@
+package mesh
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/sim"
+)
+
+// This file is the mesh half of the warm-start checkpoint layer: the
+// Snapshotter implementations for the pattern harness components
+// (patternSource, patternSink) and the run-level envelope that bundles
+// the world snapshot with the shared accumulation state (the latency
+// series and, under warm-up accounting, the timed recorder) that lives
+// outside any single component.
+//
+// Exactness contract: a checkpoint taken at cycle C and restored into a
+// freshly established world of the same configuration prefix leaves
+// every simulated bit identical to a cold run paused at C, so
+// continuing to cycle N produces results byte-identical to a cold run
+// of N cycles. Any violation of the contract is detected structurally
+// (checksum, magic, flag and length checks) and falls back to full
+// simulation.
+
+// warmMagic guards the checkpoint envelope ("WARMCHK1").
+const warmMagic uint64 = 0x5741524D43484B31
+
+// Snapshot implements sim.Snapshotter for the flow head: the embedded
+// injection source, the data-word generator's RNG registers, the
+// in-flight injection stamps and the warm-up injection record.
+func (s *patternSource) Snapshot(buf []byte) []byte {
+	buf = s.Source.Snapshot(buf)
+	rng, prev := s.gen.State()
+	buf = sim.AppendU64(buf, rng)
+	buf = sim.AppendU64(buf, prev)
+	buf = sim.AppendU64(buf, uint64(len(s.stamps.q)))
+	for _, c := range s.stamps.q {
+		buf = sim.AppendU64(buf, c)
+	}
+	buf = sim.AppendU64(buf, uint64(len(s.sent)))
+	for _, c := range s.sent {
+		buf = sim.AppendU64(buf, c)
+	}
+	return buf
+}
+
+// Restore implements sim.Snapshotter.
+func (s *patternSource) Restore(data []byte) ([]byte, error) {
+	data, err := s.Source.Restore(data)
+	if err != nil {
+		return nil, err
+	}
+	var rng, prev uint64
+	if rng, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	if prev, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	s.gen.SetState(rng, prev)
+	var n uint64
+	if n, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	s.stamps.q = s.stamps.q[:0]
+	for i := uint64(0); i < n; i++ {
+		var c uint64
+		if c, data, err = sim.ReadU64(data); err != nil {
+			return nil, err
+		}
+		s.stamps.q = append(s.stamps.q, c)
+	}
+	if n, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	s.sent = s.sent[:0]
+	for i := uint64(0); i < n; i++ {
+		var c uint64
+		if c, data, err = sim.ReadU64(data); err != nil {
+			return nil, err
+		}
+		s.sent = append(s.sent, c)
+	}
+	return data, nil
+}
+
+// Snapshot implements sim.Snapshotter for the sink. The shared latency
+// series and timed recorder are run-level state serialized once in the
+// checkpoint envelope, not here; the in-flight stamps queue belongs to
+// the source. Only the sink's private registers remain.
+func (d *patternSink) Snapshot(buf []byte) []byte {
+	buf = sim.AppendU64(buf, d.cycle)
+	buf = sim.AppendU64(buf, d.popped)
+	buf = sim.AppendF64(buf, d.pendingLat)
+	buf = sim.AppendBool(buf, d.hasPending)
+	return buf
+}
+
+// Restore implements sim.Snapshotter.
+func (d *patternSink) Restore(data []byte) ([]byte, error) {
+	var err error
+	if d.cycle, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	if d.popped, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	if d.pendingLat, data, err = sim.ReadF64(data); err != nil {
+		return nil, err
+	}
+	if d.hasPending, data, err = sim.ReadBool(data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// runWarm advances the simulation to cfg.Cycles, using the Warm hook's
+// checkpoint exchange when configured. It returns false only when a
+// checkpoint restore failed after mutating the world — the caller must
+// then rebuild the simulation and run cold. Every other failure mode
+// (no hook, lookup miss, malformed or mismatched envelope detected
+// before mutation, snapshot refusal at store time) degrades silently to
+// the full run.
+func (ps *patternSim) runWarm() bool {
+	h := ps.cfg.Warm
+	cycles := uint64(ps.cfg.Cycles)
+	if h == nil || h.Lookup == nil {
+		ps.m.Run(ps.cfg.Cycles)
+		ps.storeCheckpoint()
+		return true
+	}
+	if data, cyc, ok := h.Lookup(cycles); ok && cyc <= cycles {
+		tainted, err := ps.restoreCheckpoint(data)
+		if err == nil {
+			if w := ps.m.World().Cycle(); w <= cycles {
+				ps.m.Run(int(cycles - w))
+				ps.storeCheckpoint()
+				return true
+			}
+			// The envelope's embedded cycle disagrees with Lookup's:
+			// the world is already mutated, rebuild.
+			return false
+		}
+		if tainted {
+			return false
+		}
+	}
+	ps.m.Run(ps.cfg.Cycles)
+	ps.storeCheckpoint()
+	return true
+}
+
+// storeCheckpoint offers the end-of-run state to the Warm hook. A
+// component that opts out of snapshotting makes World.Snapshot fail;
+// the checkpoint is simply not stored.
+func (ps *patternSim) storeCheckpoint() {
+	h := ps.cfg.Warm
+	if h == nil || h.Store == nil {
+		return
+	}
+	world, err := ps.m.World().Snapshot()
+	if err != nil {
+		return
+	}
+	payload := sim.AppendU64(nil, warmMagic)
+	payload = sim.AppendBool(payload, ps.cfg.RetainLatency)
+	payload = sim.AppendBool(payload, ps.latRec != nil)
+	payload = sim.AppendBytes(payload, world)
+	payload = ps.res.Latency.Snapshot(payload)
+	if ps.latRec != nil {
+		payload = ps.latRec.Snapshot(payload)
+	}
+	// The leading checksum lets restoreCheckpoint reject any corruption
+	// before touching the world — framing-valid bit flips included.
+	buf := sim.AppendU64(nil, uint64(crc32.ChecksumIEEE(payload)))
+	h.Store(ps.m.World().Cycle(), append(buf, payload...))
+}
+
+// restoreCheckpoint applies a stored envelope to the freshly
+// established simulation. All structural checks that can fail run
+// before the first mutation, so an early error leaves the world
+// pristine (tainted=false) and the caller can still run cold in place.
+func (ps *patternSim) restoreCheckpoint(data []byte) (tainted bool, err error) {
+	crc, data, err := sim.ReadU64(data)
+	if err != nil {
+		return false, err
+	}
+	if got := uint64(crc32.ChecksumIEEE(data)); got != crc {
+		return false, fmt.Errorf("mesh: checkpoint checksum %#x, want %#x", got, crc)
+	}
+	magic, data, err := sim.ReadU64(data)
+	if err != nil {
+		return false, err
+	}
+	if magic != warmMagic {
+		return false, fmt.Errorf("mesh: bad checkpoint magic %#x", magic)
+	}
+	var retain, hasRec bool
+	if retain, data, err = sim.ReadBool(data); err != nil {
+		return false, err
+	}
+	if retain != ps.cfg.RetainLatency {
+		return false, fmt.Errorf("mesh: checkpoint retention %v, run wants %v", retain, ps.cfg.RetainLatency)
+	}
+	if hasRec, data, err = sim.ReadBool(data); err != nil {
+		return false, err
+	}
+	if hasRec != (ps.latRec != nil) {
+		return false, fmt.Errorf("mesh: checkpoint warm-up accounting %v, run wants %v", hasRec, ps.latRec != nil)
+	}
+	var world []byte
+	if world, data, err = sim.ReadBytes(data); err != nil {
+		return false, err
+	}
+	if err = ps.m.World().Restore(world); err != nil {
+		return true, err
+	}
+	if data, err = ps.res.Latency.Restore(data); err != nil {
+		return true, err
+	}
+	if ps.latRec != nil {
+		if data, err = ps.latRec.Restore(data); err != nil {
+			return true, err
+		}
+	}
+	if len(data) != 0 {
+		return true, fmt.Errorf("mesh: %d trailing checkpoint bytes", len(data))
+	}
+	return false, nil
+}
+
+var _ sim.Snapshotter = (*patternSource)(nil)
+var _ sim.Snapshotter = (*patternSink)(nil)

@@ -1,0 +1,233 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// memHook is a single-slot in-memory WarmHook for tests: it keeps every
+// stored checkpoint and serves the newest one not past maxCycle.
+type memHook struct {
+	cycles []uint64
+	blobs  [][]byte
+	hits   int
+}
+
+func (h *memHook) hook() *WarmHook {
+	return &WarmHook{
+		Lookup: func(maxCycle uint64) ([]byte, uint64, bool) {
+			for i := len(h.blobs) - 1; i >= 0; i-- {
+				if h.cycles[i] <= maxCycle {
+					h.hits++
+					return h.blobs[i], h.cycles[i], true
+				}
+			}
+			return nil, 0, false
+		},
+		Store: func(cycle uint64, data []byte) {
+			h.cycles = append(h.cycles, cycle)
+			h.blobs = append(h.blobs, append([]byte(nil), data...))
+		},
+	}
+}
+
+// last returns the most recently stored checkpoint blob.
+func (h *memHook) last() []byte {
+	if len(h.blobs) == 0 {
+		return nil
+	}
+	return h.blobs[len(h.blobs)-1]
+}
+
+// TestWarmCheckpointDeterminism is the warm-start acceptance check on
+// the circuit-mesh pattern path: under every kernel, a run forked from
+// a mid-run checkpoint must equal a straight run — compared through the
+// result fingerprint AND through the end-of-run checkpoint envelope,
+// which serializes every simulated bit of the world.
+func TestWarmCheckpointDeterminism(t *testing.T) {
+	for _, k := range []sim.Kernel{sim.KernelNaive, sim.KernelGated, sim.KernelEvent, sim.KernelActive} {
+		cfg := patternCfg(k)
+		cfg.Cycles = 3000
+
+		straightHook := &memHook{}
+		cfgStraight := cfg
+		cfgStraight.Warm = straightHook.hook()
+		straight, err := RunPattern(cfgStraight)
+		if err != nil {
+			t.Fatalf("kernel %v: straight: %v", k, err)
+		}
+
+		// Prefix run to 1200 cycles stores the checkpoint the warm run
+		// forks from.
+		warmHook := &memHook{}
+		cfgShort := cfg
+		cfgShort.Cycles = 1200
+		cfgShort.Warm = warmHook.hook()
+		if _, err := RunPattern(cfgShort); err != nil {
+			t.Fatalf("kernel %v: prefix: %v", k, err)
+		}
+		if len(warmHook.blobs) != 1 {
+			t.Fatalf("kernel %v: prefix stored %d checkpoints, want 1", k, len(warmHook.blobs))
+		}
+
+		cfgWarm := cfg
+		cfgWarm.Warm = warmHook.hook()
+		warm, err := RunPattern(cfgWarm)
+		if err != nil {
+			t.Fatalf("kernel %v: warm: %v", k, err)
+		}
+		if warmHook.hits == 0 {
+			t.Fatalf("kernel %v: warm run never consulted the checkpoint", k)
+		}
+
+		if got, want := fingerprint(t, warm), fingerprint(t, straight); got != want {
+			t.Fatalf("kernel %v: warm fingerprint differs\nwarm:     %s\nstraight: %s", k, got, want)
+		}
+		// The end-of-run envelopes cover the full world state: byte
+		// equality means the forked world is exactly the straight one.
+		if string(warmHook.last()) != string(straightHook.last()) {
+			t.Fatalf("kernel %v: end-of-run checkpoints differ between warm fork and straight run", k)
+		}
+	}
+}
+
+// TestWarmCheckpointDeterminismWithWarmup repeats the fork check with
+// warm-up accounting and latency retention on — the configuration that
+// exercises the envelope's timed-recorder and retained-series paths.
+func TestWarmCheckpointDeterminismWithWarmup(t *testing.T) {
+	cfg := patternCfg(sim.KernelEvent)
+	cfg.Cycles = 3000
+	cfg.WarmupAuto = true
+	cfg.RetainLatency = true
+
+	straight, err := RunPattern(cfg)
+	if err != nil {
+		t.Fatalf("straight: %v", err)
+	}
+
+	h := &memHook{}
+	cfgShort := cfg
+	cfgShort.Cycles = 1000
+	cfgShort.Warm = h.hook()
+	if _, err := RunPattern(cfgShort); err != nil {
+		t.Fatalf("prefix: %v", err)
+	}
+	cfgWarm := cfg
+	cfgWarm.Warm = h.hook()
+	warm, err := RunPattern(cfgWarm)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if h.hits == 0 {
+		t.Fatal("warm run never consulted the checkpoint")
+	}
+	if got, want := fingerprint(t, warm), fingerprint(t, straight); got != want {
+		t.Fatalf("warm fingerprint differs\nwarm:     %s\nstraight: %s", got, want)
+	}
+	if warm.WarmupCycles != straight.WarmupCycles {
+		t.Fatalf("warm-up truncation differs: warm %d, straight %d",
+			warm.WarmupCycles, straight.WarmupCycles)
+	}
+	if warm.Latency.N() != straight.Latency.N() {
+		t.Fatalf("retained sample count differs: warm %d, straight %d",
+			warm.Latency.N(), straight.Latency.N())
+	}
+}
+
+// TestWarmCheckpointFallback covers the degraded paths: a hook serving
+// garbage, a mismatched envelope, and a corrupted world blob must all
+// fall back to full simulation with output identical to no hook at all.
+func TestWarmCheckpointFallback(t *testing.T) {
+	cfg := patternCfg(sim.KernelEvent)
+	cfg.Cycles = 2000
+	straight, err := RunPattern(cfg)
+	if err != nil {
+		t.Fatalf("straight: %v", err)
+	}
+	want := fingerprint(t, straight)
+
+	// A valid checkpoint to corrupt.
+	good := &memHook{}
+	cfgShort := cfg
+	cfgShort.Cycles = 800
+	cfgShort.Warm = good.hook()
+	if _, err := RunPattern(cfgShort); err != nil {
+		t.Fatalf("prefix: %v", err)
+	}
+	valid := good.last()
+
+	// A framing-valid checkpoint from a different world shape: the
+	// checksum and flags pass, World.Restore starts and fails on the
+	// component count — the tainted path that forces a rebuild.
+	foreign := &memHook{}
+	cfgForeign := cfgShort
+	cfgForeign.W = 5
+	cfgForeign.Warm = foreign.hook()
+	if _, err := RunPattern(cfgForeign); err != nil {
+		t.Fatalf("foreign prefix: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		cyc  uint64
+	}{
+		{"garbage", []byte("definitely not a checkpoint"), 800},
+		// A bit flip anywhere in the envelope fails the checksum before
+		// any mutation.
+		{"corrupt-world", corruptAt(valid, len(valid)/2), 800},
+		// Truncation inside the envelope header fails before mutation.
+		{"truncated", valid[:8], 800},
+		{"wrong-world-shape", foreign.last(), 800},
+	}
+	for _, tc := range cases {
+		served := false
+		cfgBad := cfg
+		cfgBad.Warm = &WarmHook{
+			Lookup: func(maxCycle uint64) ([]byte, uint64, bool) {
+				served = true
+				return tc.data, tc.cyc, true
+			},
+		}
+		res, err := RunPattern(cfgBad)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !served {
+			t.Fatalf("%s: hook never consulted", tc.name)
+		}
+		if got := fingerprint(t, res); got != want {
+			t.Fatalf("%s: fallback result differs\ngot:  %s\nwant: %s", tc.name, got, want)
+		}
+	}
+
+	// Envelope mismatch: a checkpoint stored without latency retention
+	// is rejected (pre-mutation) by a run that retains.
+	cfgRetain := cfg
+	cfgRetain.RetainLatency = true
+	straightRetain, err := RunPattern(cfgRetain)
+	if err != nil {
+		t.Fatalf("straight retain: %v", err)
+	}
+	cfgMismatch := cfgRetain
+	cfgMismatch.Warm = &WarmHook{
+		Lookup: func(maxCycle uint64) ([]byte, uint64, bool) {
+			return valid, 800, true
+		},
+	}
+	res, err := RunPattern(cfgMismatch)
+	if err != nil {
+		t.Fatalf("mismatch: %v", err)
+	}
+	if got, want := fingerprint(t, res), fingerprint(t, straightRetain); got != want {
+		t.Fatalf("mismatched-envelope fallback differs\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// corruptAt returns a copy of b with the byte at i inverted.
+func corruptAt(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xFF
+	return out
+}

@@ -1,0 +1,65 @@
+package pattern
+
+import "repro/internal/sim"
+
+// Snapshot appends the sampler's dynamic state: the RNG position, the
+// CBR phase accumulator and the remaining on-period length. The process
+// parameters are construction-time configuration.
+func (s *Sampler) Snapshot(buf []byte) []byte {
+	buf = sim.AppendU64(buf, s.rng.State())
+	buf = sim.AppendU64(buf, s.cbrAcc)
+	buf = sim.AppendU64(buf, s.burstLeft)
+	return buf
+}
+
+// Restore is the inverse of Snapshot; it returns the unread remainder.
+func (s *Sampler) Restore(data []byte) ([]byte, error) {
+	st, data, err := sim.ReadU64(data)
+	if err != nil {
+		return nil, err
+	}
+	s.rng.SetState(st)
+	if s.cbrAcc, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	if s.burstLeft, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Snapshot implements sim.Snapshotter: the source's injection position
+// (elapsed cycles, next arrival, accrued credits), its delivery counters
+// and the sampler's stream state. The word limit and the Emit hook are
+// construction-time configuration.
+func (s *Source) Snapshot(buf []byte) []byte {
+	buf = sim.AppendU64(buf, s.sent)
+	buf = sim.AppendU64(buf, s.cycle)
+	buf = sim.AppendU64(buf, s.next)
+	buf = sim.AppendU64(buf, s.credits)
+	buf = sim.AppendBool(buf, s.retired)
+	return s.s.Snapshot(buf)
+}
+
+// Restore implements sim.Snapshotter.
+func (s *Source) Restore(data []byte) ([]byte, error) {
+	var err error
+	if s.sent, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	if s.cycle, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	if s.next, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	if s.credits, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	if s.retired, data, err = sim.ReadBool(data); err != nil {
+		return nil, err
+	}
+	return s.s.Restore(data)
+}
+
+var _ sim.Snapshotter = (*Source)(nil)

@@ -1,0 +1,62 @@
+package power
+
+import "repro/internal/sim"
+
+// Snapshot appends the meter's dynamic accumulation state — cycle count,
+// the run-length-encoded clock-energy runs, the internal/switching
+// accumulators and the per-class toggle counters — in the sim.Snapshotter
+// byte format. Construction-time state (design, library, frequency) is
+// not serialized: a snapshot is restored into a meter built from the same
+// configuration.
+func (m *Meter) Snapshot(buf []byte) []byte {
+	buf = sim.AppendU64(buf, m.cycles)
+	buf = sim.AppendU64(buf, uint64(len(m.clockRuns)))
+	for _, r := range m.clockRuns {
+		buf = sim.AppendF64(buf, r.fj)
+		buf = sim.AppendU64(buf, r.n)
+	}
+	buf = sim.AppendF64(buf, m.internalFJ)
+	buf = sim.AppendF64(buf, m.switchingFJ)
+	for _, t := range m.toggles {
+		buf = sim.AppendU64(buf, t)
+	}
+	return buf
+}
+
+// Restore is the inverse of Snapshot; it returns the unread remainder of
+// data. Restored accumulators are bit-exact, including the RLE clock-run
+// boundaries, so a warm-started run's power report is byte-identical to
+// an uninterrupted one.
+func (m *Meter) Restore(data []byte) ([]byte, error) {
+	var err error
+	if m.cycles, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	var n uint64
+	if n, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	m.clockRuns = m.clockRuns[:0]
+	for i := uint64(0); i < n; i++ {
+		var r clockRun
+		if r.fj, data, err = sim.ReadF64(data); err != nil {
+			return nil, err
+		}
+		if r.n, data, err = sim.ReadU64(data); err != nil {
+			return nil, err
+		}
+		m.clockRuns = append(m.clockRuns, r)
+	}
+	if m.internalFJ, data, err = sim.ReadF64(data); err != nil {
+		return nil, err
+	}
+	if m.switchingFJ, data, err = sim.ReadF64(data); err != nil {
+		return nil, err
+	}
+	for i := range m.toggles {
+		if m.toggles[i], data, err = sim.ReadU64(data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}

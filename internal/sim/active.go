@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements KernelActive: the O(active) kernel with optional
@@ -98,7 +99,14 @@ import (
 // goroutines (WithParallelism, default GOMAXPROCS): pass 1 writes only
 // the per-component skip flags and shard-local poll counters, pass 2
 // runs disjoint Evals whose only cross-component writes are staging
-// fields no concurrent reader touches. Everything order-sensitive —
+// fields no concurrent reader touches. The goroutines claim work by
+// stealing fixed-size chunks off a shared atomic cursor rather than by a
+// static split, so a cluster of expensive active components (one hot
+// region of a mostly parked mesh) spreads across all workers instead of
+// serializing on whichever shard the static split dealt it to. Chunk
+// assignment is scheduler dependent, but every chunk runs exactly once
+// and all cross-chunk writes are disjoint, so nothing observable depends
+// on the interleaving. Everything order-sensitive —
 // the wake-queue drain, the Commit sweep, the evals/skips counter folds,
 // the park decisions — runs sequentially in registration order, the
 // same in-order fold that makes the sweep pool deterministic. Output is
@@ -238,7 +246,31 @@ type activeState struct {
 
 // shardState is the scratch the sharded passes fold from.
 type shardState struct {
-	polls []uint64 // per-shard Quiescent poll counts
+	polls  []uint64     // per-shard Quiescent poll counts
+	cursor atomic.Int64 // work-stealing chunk cursor, reset per pass
+}
+
+// stealChunk is the work-stealing grain of the sharded passes: each
+// goroutine claims this many consecutive active-list slots per cursor
+// bump. Small enough that a cluster of expensive components spreads
+// across workers, large enough that the atomic add amortizes to noise.
+const stealChunk = 64
+
+// stealRange claims the next chunk of the active list; ok is false when
+// the list is exhausted. Which goroutine claims which chunk is scheduler
+// dependent, but every chunk is claimed exactly once, so any per-chunk
+// work whose writes are disjoint (skip flags, Evals) and any total folded
+// from all chunks (poll counts) is deterministic.
+func (s *shardState) stealRange(n int) (lo, hi int, ok bool) {
+	lo = int(s.cursor.Add(stealChunk)) - stealChunk
+	if lo >= n {
+		return 0, 0, false
+	}
+	hi = lo + stealChunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi, true
 }
 
 // parkedPendingSkips returns the skipped cycles currently deferred on
@@ -456,15 +488,22 @@ func (w *World) pollActive(shards int) {
 		a.sharding.polls = make([]uint64, shards)
 	}
 	counts := a.sharding.polls[:shards]
+	a.sharding.cursor.Store(0)
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
-		lo := s * len(act) / shards
-		hi := (s + 1) * len(act) / shards
 		wg.Add(1)
-		go func(s, lo, hi int) {
+		go func(s int) {
 			defer wg.Done()
-			counts[s] = poll(lo, hi)
-		}(s, lo, hi)
+			var polls uint64
+			for {
+				lo, hi, ok := a.sharding.stealRange(len(act))
+				if !ok {
+					break
+				}
+				polls += poll(lo, hi)
+			}
+			counts[s] = polls
+		}(s)
 	}
 	wg.Wait()
 	for _, c := range counts {
@@ -489,19 +528,25 @@ func (w *World) evalActive(shards int) {
 		}
 		return
 	}
+	a := w.as
+	a.sharding.cursor.Store(0)
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
-		lo := s * len(act) / shards
-		hi := (s + 1) * len(act) / shards
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			for _, i := range act[lo:hi] {
-				if !w.skipped[i] {
-					w.components[i].Eval()
+			for {
+				lo, hi, ok := a.sharding.stealRange(len(act))
+				if !ok {
+					return
+				}
+				for _, i := range act[lo:hi] {
+					if !w.skipped[i] {
+						w.components[i].Eval()
+					}
 				}
 			}
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
 }

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Snapshotter is the opt-in checkpoint interface of the warm-start layer:
+// a component that can serialize its dynamic state (registers, counters,
+// RNG streams — everything that evolves under Eval/Commit) and later
+// restore it exactly. Static configuration fixed at construction time
+// (design parameters, wiring, retention flags) is deliberately excluded:
+// a snapshot is only ever restored into a world rebuilt from the same
+// configuration, so serializing statics would add bytes without adding
+// information.
+//
+// Snapshot appends the component's state to buf and returns the extended
+// slice (append-style, so a world snapshot is one allocation-friendly
+// pass). Restore consumes the component's state from the front of data
+// and returns the remainder; it must consume exactly what Snapshot wrote
+// and must leave the component in a state from which continued simulation
+// is byte-identical to never having been snapshotted.
+type Snapshotter interface {
+	Snapshot(buf []byte) []byte
+	Restore(data []byte) ([]byte, error)
+}
+
+// Binary helpers for Snapshotter implementations: fixed-width
+// little-endian framing with explicit error returns, so a truncated or
+// oversized blob fails closed instead of restoring garbage. Floats travel
+// as IEEE 754 bit patterns — bit-exact, NaN-preserving.
+
+// AppendU64 appends v little-endian.
+func AppendU64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+// ReadU64 consumes a u64 from the front of data.
+func ReadU64(data []byte) (uint64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("sim: snapshot truncated (need 8 bytes, have %d)", len(data))
+	}
+	return binary.LittleEndian.Uint64(data), data[8:], nil
+}
+
+// AppendF64 appends v as its IEEE 754 bit pattern.
+func AppendF64(buf []byte, v float64) []byte {
+	return AppendU64(buf, math.Float64bits(v))
+}
+
+// ReadF64 consumes a float64 from the front of data.
+func ReadF64(data []byte) (float64, []byte, error) {
+	u, rest, err := ReadU64(data)
+	return math.Float64frombits(u), rest, err
+}
+
+// AppendBool appends v as one byte.
+func AppendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// ReadBool consumes a bool from the front of data.
+func ReadBool(data []byte) (bool, []byte, error) {
+	if len(data) < 1 {
+		return false, nil, fmt.Errorf("sim: snapshot truncated (need 1 byte)")
+	}
+	switch data[0] {
+	case 0:
+		return false, data[1:], nil
+	case 1:
+		return true, data[1:], nil
+	default:
+		return false, nil, fmt.Errorf("sim: snapshot bool byte %#x", data[0])
+	}
+}
+
+// AppendBytes appends a length-prefixed byte string.
+func AppendBytes(buf, v []byte) []byte {
+	buf = AppendU64(buf, uint64(len(v)))
+	return append(buf, v...)
+}
+
+// ReadBytes consumes a length-prefixed byte string; the returned slice
+// aliases data.
+func ReadBytes(data []byte) ([]byte, []byte, error) {
+	n, rest, err := ReadU64(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, fmt.Errorf("sim: snapshot truncated (need %d bytes, have %d)", n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// snapMagic guards a world snapshot blob against being fed foreign bytes.
+const snapMagic uint64 = 0x314E4F43534E5053 // "SNSCON1" spelled backwards in spirit: sim snapshot v1
+
+// Snapshot serializes the world's dynamic state: the cycle counter, the
+// pending timer wheel, and every component's Snapshotter blob in
+// registration order. It fails — listing the offenders — when any
+// registered component does not implement Snapshotter, so callers can
+// fall back to a full re-simulation (which is byte-identical by the
+// determinism contract, just slower). Under the active kernel all parked
+// bookkeeping is settled first, so meters and skip accounting are
+// current; kernel scheduling state itself (active lists, cached events,
+// eval/skip diagnostics) is deliberately not serialized — Restore
+// conservatively re-activates everything and the kernels re-converge,
+// which changes no simulated byte because polling a quiescent component
+// is a no-op by contract.
+func (w *World) Snapshot() ([]byte, error) {
+	if w.inEval {
+		return nil, fmt.Errorf("sim: Snapshot called during Eval")
+	}
+	if w.parkedCount > 0 {
+		w.flushParked()
+	}
+	var missing []string
+	for i, c := range w.components {
+		if _, ok := c.(Snapshotter); !ok {
+			missing = append(missing, fmt.Sprintf("#%d %T", i, c))
+		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("sim: components without Snapshotter: %v", missing)
+	}
+
+	buf := AppendU64(nil, snapMagic)
+	buf = AppendU64(buf, w.cycle)
+	w.dropSpentTimers()
+	timers := append([]uint64(nil), w.timers.heap...)
+	sort.Slice(timers, func(i, j int) bool { return timers[i] < timers[j] })
+	buf = AppendU64(buf, uint64(len(timers)))
+	for _, t := range timers {
+		buf = AppendU64(buf, t)
+	}
+	buf = AppendU64(buf, uint64(len(w.components)))
+	var scratch []byte
+	for _, c := range w.components {
+		scratch = c.(Snapshotter).Snapshot(scratch[:0])
+		buf = AppendBytes(buf, scratch)
+	}
+	return buf, nil
+}
+
+// Restore loads a Snapshot blob into a world that was rebuilt from the
+// same configuration (same components, same registration order). The
+// cycle counter, timers and every component's state are restored exactly;
+// kernel bookkeeping is reset to the conservative all-active state and
+// re-converges within the next cycles. Diagnostics counters (Evals,
+// Skips, ComponentActivity, FastForwards) restart from zero — they are
+// off-wire observability, not simulated state.
+func (w *World) Restore(data []byte) error {
+	if w.inEval {
+		return fmt.Errorf("sim: Restore called during Eval")
+	}
+	magic, data, err := ReadU64(data)
+	if err != nil {
+		return err
+	}
+	if magic != snapMagic {
+		return fmt.Errorf("sim: not a world snapshot (magic %#x)", magic)
+	}
+	cycle, data, err := ReadU64(data)
+	if err != nil {
+		return err
+	}
+	nTimers, data, err := ReadU64(data)
+	if err != nil {
+		return err
+	}
+	timers := make([]uint64, 0, nTimers)
+	for i := uint64(0); i < nTimers; i++ {
+		var t uint64
+		t, data, err = ReadU64(data)
+		if err != nil {
+			return err
+		}
+		timers = append(timers, t)
+	}
+	nComp, data, err := ReadU64(data)
+	if err != nil {
+		return err
+	}
+	if int(nComp) != len(w.components) {
+		return fmt.Errorf("sim: snapshot has %d components, world has %d", nComp, len(w.components))
+	}
+	for i, c := range w.components {
+		snap, ok := c.(Snapshotter)
+		if !ok {
+			return fmt.Errorf("sim: component #%d %T has no Snapshotter", i, c)
+		}
+		var blob []byte
+		blob, data, err = ReadBytes(data)
+		if err != nil {
+			return fmt.Errorf("sim: component #%d: %w", i, err)
+		}
+		rest, rerr := snap.Restore(blob)
+		if rerr != nil {
+			return fmt.Errorf("sim: component #%d %T: %w", i, c, rerr)
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("sim: component #%d %T left %d unread snapshot bytes", i, c, len(rest))
+		}
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("sim: %d trailing snapshot bytes", len(data))
+	}
+
+	w.cycle = cycle
+	w.timers.heap = w.timers.heap[:0]
+	for _, t := range timers {
+		w.timers.push(t)
+	}
+	// Conservative kernel reset: everything active, nothing parked, no
+	// cached events. Quiescent components park or skip again on the next
+	// poll; by the Quiescer contract that re-convergence is a no-op on
+	// simulated state.
+	for i := range w.skipped {
+		w.skipped[i] = false
+	}
+	w.allSkipped = false
+	for i := range w.parked {
+		w.parked[i] = false
+		w.parkedAt[i] = 0
+	}
+	w.parkedCount = 0
+	w.sumParkedAt = 0
+	if w.as != nil {
+		a := w.as
+		a.active = a.active[:0]
+		for i := range w.components {
+			a.active = append(a.active, i)
+		}
+		a.joinNew = a.joinNew[:0]
+		a.joined = a.joined[:0]
+		a.pending = a.pending[:0]
+		a.events.heap = a.events.heap[:0]
+		a.wakeMu.Lock()
+		a.wakeQ = a.wakeQ[:0]
+		a.wakeMu.Unlock()
+	}
+	return nil
+}

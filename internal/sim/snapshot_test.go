@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// snapCounter is a counter that opts into the warm-start layer: its
+// register pair is its whole dynamic state.
+type snapCounter struct {
+	cur, next uint64
+}
+
+func (c *snapCounter) Eval()   { c.next = c.cur + 1 }
+func (c *snapCounter) Commit() { c.cur = c.next }
+
+func (c *snapCounter) Snapshot(buf []byte) []byte {
+	buf = AppendU64(buf, c.cur)
+	return AppendU64(buf, c.next)
+}
+
+func (c *snapCounter) Restore(data []byte) ([]byte, error) {
+	var err error
+	if c.cur, data, err = ReadU64(data); err != nil {
+		return nil, err
+	}
+	if c.next, data, err = ReadU64(data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// snapPulse is a self-scheduled periodic component: quiescent between
+// pulses, so the event and active kernels fast-forward across it — the
+// scheduling state a snapshot must survive.
+type snapPulse struct {
+	period uint64
+	cycle  uint64
+	fired  uint64
+}
+
+func (p *snapPulse) Eval() {}
+func (p *snapPulse) Commit() {
+	if p.cycle%p.period == 0 {
+		p.fired++
+	}
+	p.cycle++
+}
+func (p *snapPulse) Quiescent() bool     { return p.cycle%p.period != 0 }
+func (p *snapPulse) IdleTick()           { p.cycle++ }
+func (p *snapPulse) IdleWindow(n uint64) { p.cycle += n }
+func (p *snapPulse) NextEvent() (uint64, bool) {
+	next := p.cycle + (p.period-p.cycle%p.period)%p.period
+	return next, true
+}
+
+func (p *snapPulse) Snapshot(buf []byte) []byte {
+	buf = AppendU64(buf, p.cycle)
+	return AppendU64(buf, p.fired)
+}
+
+func (p *snapPulse) Restore(data []byte) ([]byte, error) {
+	var err error
+	if p.cycle, data, err = ReadU64(data); err != nil {
+		return nil, err
+	}
+	if p.fired, data, err = ReadU64(data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// snapWorld builds the test world: two counters and a sparse pulse.
+func snapWorld(k Kernel) (*World, *snapCounter, *snapCounter, *snapPulse) {
+	w := NewWorld(WithKernel(k))
+	a, b := &snapCounter{}, &snapCounter{}
+	p := &snapPulse{period: 7}
+	w.Add(a, b, p)
+	w.DependsOn(p)
+	return w, a, b, p
+}
+
+// TestWorldSnapshotRoundTrip checks the warm-start contract on every
+// kernel: run to N, snapshot, restore into a fresh world, continue to
+// M — the final state must be byte-identical to a straight M-cycle run
+// (compared via the worlds' own snapshots, which cover every simulated
+// bit).
+func TestWorldSnapshotRoundTrip(t *testing.T) {
+	const n, m = 53, 200
+	for _, k := range []Kernel{KernelNaive, KernelGated, KernelEvent, KernelActive} {
+		w1, _, _, _ := snapWorld(k)
+		w1.Run(n)
+		blob, err := w1.Snapshot()
+		if err != nil {
+			t.Fatalf("kernel %v: snapshot: %v", k, err)
+		}
+
+		w2, a2, b2, p2 := snapWorld(k)
+		if err := w2.Restore(blob); err != nil {
+			t.Fatalf("kernel %v: restore: %v", k, err)
+		}
+		if got := w2.Cycle(); got != n {
+			t.Fatalf("kernel %v: restored cycle %d, want %d", k, got, n)
+		}
+		w2.Run(m - n)
+
+		w3, a3, b3, p3 := snapWorld(k)
+		w3.Run(m)
+
+		if *a2 != *a3 || *b2 != *b3 || *p2 != *p3 {
+			t.Fatalf("kernel %v: resumed state %v/%v/%v, straight run %v/%v/%v",
+				k, *a2, *b2, *p2, *a3, *b3, *p3)
+		}
+		s2, err := w2.Snapshot()
+		if err != nil {
+			t.Fatalf("kernel %v: resumed snapshot: %v", k, err)
+		}
+		s3, err := w3.Snapshot()
+		if err != nil {
+			t.Fatalf("kernel %v: straight snapshot: %v", k, err)
+		}
+		if string(s2) != string(s3) {
+			t.Fatalf("kernel %v: resumed and straight snapshots differ", k)
+		}
+	}
+}
+
+// TestWorldSnapshotOptOut: a world holding any component without
+// Snapshotter refuses to snapshot, naming the offender, so callers fall
+// back to full simulation.
+func TestWorldSnapshotOptOut(t *testing.T) {
+	w := NewWorld()
+	w.Add(&snapCounter{}, &counter{})
+	if _, err := w.Snapshot(); err == nil {
+		t.Fatal("snapshot of a world with a non-Snapshotter component succeeded")
+	} else if !strings.Contains(err.Error(), "counter") {
+		t.Fatalf("error does not name the offending component: %v", err)
+	}
+}
+
+// TestWorldRestoreRejects covers the structural failure modes: foreign
+// bytes, truncation, and a component-count mismatch all fail closed.
+func TestWorldRestoreRejects(t *testing.T) {
+	w, _, _, _ := snapWorld(KernelEvent)
+	w.Run(10)
+	blob, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, _, _, _ := snapWorld(KernelEvent)
+	if err := fresh.Restore([]byte("not a snapshot")); err == nil {
+		t.Fatal("restore of foreign bytes succeeded")
+	}
+	if err := fresh.Restore(blob[:len(blob)-3]); err == nil {
+		t.Fatal("restore of truncated snapshot succeeded")
+	}
+	small := NewWorld()
+	small.Add(&snapCounter{})
+	if err := small.Restore(blob); err == nil {
+		t.Fatal("restore into a world with fewer components succeeded")
+	}
+	// The intact blob still restores after the failed attempts.
+	if err := fresh.Restore(blob); err != nil {
+		t.Fatalf("restore of intact snapshot: %v", err)
+	}
+	if got := fresh.Cycle(); got != 10 {
+		t.Fatalf("restored cycle %d, want 10", got)
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import "repro/internal/sim"
+
+// Snapshot appends the series' dynamic state — the moment accumulators,
+// the extremes and any retained samples — in the sim.Snapshotter byte
+// format. The retention flag itself is construction-time configuration
+// and is not serialized.
+func (s *Series) Snapshot(buf []byte) []byte {
+	buf = sim.AppendU64(buf, uint64(s.n))
+	buf = sim.AppendF64(buf, s.sum)
+	buf = sim.AppendF64(buf, s.sumSq)
+	buf = sim.AppendF64(buf, s.min)
+	buf = sim.AppendF64(buf, s.max)
+	buf = sim.AppendU64(buf, uint64(len(s.samples)))
+	for _, v := range s.samples {
+		buf = sim.AppendF64(buf, v)
+	}
+	return buf
+}
+
+// Restore is the inverse of Snapshot; it returns the unread remainder.
+func (s *Series) Restore(data []byte) ([]byte, error) {
+	n, data, err := sim.ReadU64(data)
+	if err != nil {
+		return nil, err
+	}
+	s.n = int(n)
+	if s.sum, data, err = sim.ReadF64(data); err != nil {
+		return nil, err
+	}
+	if s.sumSq, data, err = sim.ReadF64(data); err != nil {
+		return nil, err
+	}
+	if s.min, data, err = sim.ReadF64(data); err != nil {
+		return nil, err
+	}
+	if s.max, data, err = sim.ReadF64(data); err != nil {
+		return nil, err
+	}
+	var ns uint64
+	if ns, data, err = sim.ReadU64(data); err != nil {
+		return nil, err
+	}
+	s.samples = s.samples[:0]
+	for i := uint64(0); i < ns; i++ {
+		var v float64
+		if v, data, err = sim.ReadF64(data); err != nil {
+			return nil, err
+		}
+		s.samples = append(s.samples, v)
+	}
+	return data, nil
+}
+
+// Snapshot appends the timed series' samples in the sim.Snapshotter byte
+// format.
+func (t *TimedSeries) Snapshot(buf []byte) []byte {
+	buf = sim.AppendU64(buf, uint64(len(t.samples)))
+	for _, s := range t.samples {
+		buf = sim.AppendU64(buf, s.Cycle)
+		buf = sim.AppendF64(buf, s.Value)
+	}
+	return buf
+}
+
+// Restore is the inverse of Snapshot; it returns the unread remainder.
+func (t *TimedSeries) Restore(data []byte) ([]byte, error) {
+	n, data, err := sim.ReadU64(data)
+	if err != nil {
+		return nil, err
+	}
+	t.samples = t.samples[:0]
+	for i := uint64(0); i < n; i++ {
+		var s TimedSample
+		if s.Cycle, data, err = sim.ReadU64(data); err != nil {
+			return nil, err
+		}
+		if s.Value, data, err = sim.ReadF64(data); err != nil {
+			return nil, err
+		}
+		t.samples = append(t.samples, s)
+	}
+	return data, nil
+}

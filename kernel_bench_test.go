@@ -372,6 +372,16 @@ func BenchmarkHotspot64x64EventKernel(b *testing.B) {
 	benchPatternHotspot(b, 64, 64, 20000, sim.KernelEvent, 0)
 }
 
+// BenchmarkHotspot64x64ShortActiveKernel pins the short-run case where
+// setup, not simulation, is the bill: ~4k hotspot flows all probing
+// routes to the same saturated centre. The lane allocator's endpoint
+// admission check rejects a doomed flow in O(1) instead of walking two
+// mesh-radius routes, which cut this benchmark ~3× — the fixed cost
+// every cell of a short-cycle sweep pays.
+func BenchmarkHotspot64x64ShortActiveKernel(b *testing.B) {
+	benchPatternHotspot(b, 64, 64, 500, sim.KernelActive, 1)
+}
+
 // benchPatternSource measures one event-scheduled source alone: the
 // per-cycle cost of the generator layer itself, per simulated cycle.
 func benchPatternSource(b *testing.B, k sim.Kernel, inj pattern.Injection) {

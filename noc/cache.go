@@ -1,0 +1,405 @@
+package noc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"sync"
+
+	"repro/internal/cellcache"
+	"repro/internal/mesh"
+)
+
+// This file is the façade's content-addressed reuse layer. Level 1
+// keys every single run — a sweep cell, one replication of a
+// replicated cell, or a standalone Fabric.Run — by a canonical hash of
+// the fully resolved configuration (fabric knobs, defaulted scenario,
+// derived seed) plus a code-version fingerprint, and stores the encoded
+// Result in an internal/cellcache store. Determinism is the correctness
+// argument: the key material fully determines the run's bytes, so a
+// hit is byte-exact by construction, and sweeps are byte-identical for
+// any worker count, hit pattern or warm/cold state. Level 2 keeps
+// warm-start world checkpoints keyed by the configuration prefix
+// (everything but the run length and measurement window), so cells
+// that share a warm-up trajectory fork from one checkpoint instead of
+// re-simulating it.
+//
+// Deliberately excluded from the key: the kernel choice and the Eval
+// worker bound. Results are byte-identical across kernels and worker
+// counts — the contract the CI equivalence jobs enforce — so a result
+// computed under one kernel may serve a run requested under another.
+
+// cacheKeySchema versions the key material; bump it when the material
+// layout or the meaning of any field changes.
+const cacheKeySchema = 1
+
+// fingerprintOverride replaces the build-info fingerprint when
+// non-empty. Tests use it to pin golden keys and to model a code-version
+// change invalidating the cache.
+var fingerprintOverride string
+
+var (
+	fingerprintOnce sync.Once
+	fingerprintVal  string
+)
+
+// codeFingerprint identifies the code version that produced a cached
+// result: the main module's version plus a hash of the full build info
+// (module graph, VCS revision, build settings). Two binaries with the
+// same fingerprint compute the same results for the same key material,
+// which is what lets a disk cache outlive the process.
+func codeFingerprint() string {
+	if fingerprintOverride != "" {
+		return fingerprintOverride
+	}
+	fingerprintOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			fingerprintVal = "no-build-info"
+			return
+		}
+		sum := sha256.Sum256([]byte(bi.String()))
+		fingerprintVal = bi.Main.Version + "+" + hex.EncodeToString(sum[:8])
+	})
+	return fingerprintVal
+}
+
+// fabricKeyMaterial is the result-relevant fabric configuration, fully
+// resolved. Kernel and SimWorkers are deliberately absent (results are
+// byte-identical across them); the test-only world observer disables
+// caching instead of participating in the key.
+type fabricKeyMaterial struct {
+	Lanes        int    `json:"lanes"`
+	LaneWidth    int    `json:"lane_width"`
+	VCs          int    `json:"vcs"`
+	BufferDepth  int    `json:"buffer_depth"`
+	Slots        int    `json:"slots"`
+	BEDepth      int    `json:"be_depth"`
+	Gated        bool   `json:"gated"`
+	Corner       string `json:"corner"`
+	LatencyWords int    `json:"latency_words"`
+	TraceCycles  int    `json:"trace_cycles"`
+}
+
+// fabricKeyOf resolves the config into key material.
+func fabricKeyOf(cfg config) fabricKeyMaterial {
+	corner := cfg.corner
+	if corner == "" {
+		corner = "nominal"
+	}
+	return fabricKeyMaterial{
+		Lanes:        cfg.lanes,
+		LaneWidth:    cfg.laneWidth,
+		VCs:          cfg.vcs,
+		BufferDepth:  cfg.bufferDepth,
+		Slots:        cfg.slots,
+		BEDepth:      cfg.beDepth,
+		Gated:        cfg.gated,
+		Corner:       corner,
+		LatencyWords: cfg.latencySamples(),
+		TraceCycles:  cfg.traceCycles,
+	}
+}
+
+// cacheKeyMaterial is the canonical description hashed into a cell
+// key. The scenario is fully defaulted and carries the run's derived
+// seed; PoolLatency mirrors the unexported retention marker replicated
+// runs set (a pooled run retains raw latency samples, so its cached
+// envelope differs from a non-pooled one's).
+type cacheKeyMaterial struct {
+	Schema      int               `json:"schema"`
+	Fingerprint string            `json:"fingerprint"`
+	Kind        Kind              `json:"kind"`
+	Fabric      fabricKeyMaterial `json:"fabric"`
+	Scenario    Scenario          `json:"scenario"`
+	PoolLatency bool              `json:"pool_latency"`
+	WarmupOn    bool              `json:"warmup_on,omitempty"`
+}
+
+// cellKey hashes one run's canonical key material. The scenario must
+// already be defaulted (withDefaults) and carry its final seed.
+func cellKey(kind Kind, cfg config, sc Scenario) cellcache.Key {
+	m := cacheKeyMaterial{
+		Schema:      cacheKeySchema,
+		Fingerprint: codeFingerprint(),
+		Kind:        kind,
+		Fabric:      fabricKeyOf(cfg),
+		Scenario:    sc,
+		PoolLatency: sc.poolLatency,
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		// The material is plain data; marshalling cannot fail. Guard
+		// anyway so a future field type cannot silently collapse keys.
+		panic(fmt.Sprintf("noc: cache key material: %v", err))
+	}
+	return cellcache.KeyOf(b)
+}
+
+// warmPrefixKey hashes the configuration prefix two runs must share to
+// fork from the same warm-start checkpoint: everything in the cell key
+// except the run length, the measurement window and the display name —
+// none of which alter the simulated trajectory — plus a flag for
+// whether warm-up accounting is on at all, since that changes what the
+// run accumulates while simulating.
+func warmPrefixKey(kind Kind, cfg config, sc Scenario) cellcache.Key {
+	warmOn := sc.WarmupCycles > 0 || sc.WarmupAuto
+	pool := sc.poolLatency
+	sc.Name = ""
+	sc.Cycles = 0
+	sc.WarmupCycles = 0
+	sc.WarmupAuto = false
+	m := cacheKeyMaterial{
+		Schema:      cacheKeySchema,
+		Fingerprint: codeFingerprint(),
+		Kind:        kind,
+		Fabric:      fabricKeyOf(cfg),
+		Scenario:    sc,
+		PoolLatency: pool,
+		WarmupOn:    warmOn,
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("noc: warm prefix key material: %v", err))
+	}
+	return cellcache.KeyOf(b)
+}
+
+// cacheEnvelope is the stored form of a Result: its JSON wire encoding
+// plus the raw latency samples the wire format deliberately excludes,
+// so a hit can reattach them and replicated aggregation pools the same
+// observations a fresh run would have produced.
+type cacheEnvelope struct {
+	Result  json.RawMessage `json:"result"`
+	Samples []float64       `json:"samples,omitempty"`
+}
+
+// encodeResultEnvelope serializes a Result for the cache.
+func encodeResultEnvelope(r *Result) ([]byte, error) {
+	rb, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	env := cacheEnvelope{Result: rb}
+	if r.Latency != nil {
+		env.Samples = r.Latency.Samples
+	}
+	return json.Marshal(env)
+}
+
+// decodeResultEnvelope is the inverse of encodeResultEnvelope.
+func decodeResultEnvelope(b []byte) (*Result, error) {
+	var env cacheEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(env.Result, &r); err != nil {
+		return nil, err
+	}
+	if r.Latency != nil && len(env.Samples) > 0 {
+		r.Latency.Samples = env.Samples
+	}
+	return &r, nil
+}
+
+// CacheStats reports how the content-addressed cache handled one run.
+type CacheStats struct {
+	// Hit reports whether the Result was served from the cache.
+	Hit bool
+	// Key is the run's content address (hex SHA-256 of the canonical
+	// key material).
+	Key string
+}
+
+// warmCheckpoint is one stored warm-start checkpoint.
+type warmCheckpoint struct {
+	cycle uint64
+	data  []byte
+}
+
+const (
+	// warmKeepPerPrefix bounds the checkpoints kept per configuration
+	// prefix (distinct run lengths of the same trajectory).
+	warmKeepPerPrefix = 4
+	// warmKeepPrefixes bounds the distinct prefixes held in memory;
+	// the oldest prefix is dropped first. Checkpoints are a pure
+	// accelerator — dropping one costs time, never correctness.
+	warmKeepPrefixes = 64
+)
+
+// Cache is the façade's two-level reuse store: a content-addressed
+// Result cache (in-memory LRU, optionally mirrored to a directory) and
+// an in-memory registry of warm-start world checkpoints. One Cache is
+// safely shared by concurrent runs; instances are deduplicated per
+// directory within the process, so every fabric and sweep pointed at
+// the same directory shares one store.
+type Cache struct {
+	store *cellcache.Store
+
+	mu         sync.Mutex
+	warm       map[cellcache.Key][]warmCheckpoint
+	warmOrder  []cellcache.Key
+	warmHits   uint64
+	warmStores uint64
+}
+
+// CacheCounters is a point-in-time snapshot of a Cache's traffic.
+type CacheCounters struct {
+	// Hits, Misses and Puts count the Level-1 result cache's traffic.
+	Hits, Misses, Puts uint64
+	// WarmHits and WarmStores count warm-start checkpoint reuse.
+	WarmHits, WarmStores uint64
+}
+
+// Counters returns the cache's traffic counters.
+func (c *Cache) Counters() CacheCounters {
+	s := c.store.Stats()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheCounters{
+		Hits: s.Hits, Misses: s.Misses, Puts: s.Puts,
+		WarmHits: c.warmHits, WarmStores: c.warmStores,
+	}
+}
+
+// cacheRegistry deduplicates Cache instances: one process-wide
+// in-memory instance, plus one instance per cleaned directory path.
+var cacheRegistry struct {
+	mu    sync.Mutex
+	mem   *Cache
+	byDir map[string]*Cache
+}
+
+// OpenCache returns the shared cache instance for the given directory;
+// the empty string selects the process-wide in-memory cache. Opening
+// the same directory twice returns the same instance.
+func OpenCache(dir string) (*Cache, error) {
+	cacheRegistry.mu.Lock()
+	defer cacheRegistry.mu.Unlock()
+	if dir == "" {
+		if cacheRegistry.mem == nil {
+			cacheRegistry.mem = &Cache{
+				store: cellcache.New(cellcache.DefaultMaxEntries),
+				warm:  map[cellcache.Key][]warmCheckpoint{},
+			}
+		}
+		return cacheRegistry.mem, nil
+	}
+	dir = filepath.Clean(dir)
+	if c, ok := cacheRegistry.byDir[dir]; ok {
+		return c, nil
+	}
+	store, err := cellcache.NewDir(dir, cellcache.DefaultMaxEntries)
+	if err != nil {
+		return nil, fmt.Errorf("noc: cache: %w", err)
+	}
+	c := &Cache{store: store, warm: map[cellcache.Key][]warmCheckpoint{}}
+	if cacheRegistry.byDir == nil {
+		cacheRegistry.byDir = map[string]*Cache{}
+	}
+	cacheRegistry.byDir[dir] = c
+	return c, nil
+}
+
+// runThrough executes one single run (Replications <= 1, scenario
+// defaulted and validated) through the cache: a hit returns the stored
+// Result byte-identically; a miss runs and stores. A nil receiver means
+// caching is off. The test-only world observer bypasses the cache —
+// its contract is observing a real simulation.
+func (c *Cache) runThrough(kind Kind, cfg config, sc Scenario, run func() (*Result, error)) (*Result, error) {
+	if c == nil || cfg.worldObserver != nil {
+		return run()
+	}
+	key := cellKey(kind, cfg, sc)
+	if data, ok := c.store.Get(key); ok {
+		if res, err := decodeResultEnvelope(data); err == nil {
+			res.CacheStats = &CacheStats{Hit: true, Key: key.String()}
+			return res, nil
+		}
+		// An undecodable entry is treated as a miss; the fresh result
+		// overwrites it below.
+	}
+	res, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if data, err := encodeResultEnvelope(res); err == nil {
+		c.store.Put(key, data)
+	}
+	res.CacheStats = &CacheStats{Hit: false, Key: key.String()}
+	return res, nil
+}
+
+// lookupResult consults only the Level-1 store — the sweep engine's
+// pre-dispatch check. It never runs anything.
+func (c *Cache) lookupResult(key cellcache.Key) (*Result, bool) {
+	data, ok := c.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	res, err := decodeResultEnvelope(data)
+	if err != nil {
+		return nil, false
+	}
+	res.CacheStats = &CacheStats{Hit: true, Key: key.String()}
+	return res, true
+}
+
+// patternWarmHook returns the warm-start checkpoint exchange for a
+// circuit-mesh pattern run of the given configuration, or nil when the
+// receiver is nil. All runs sharing the configuration prefix exchange
+// checkpoints through the same slot; restores are byte-exact, so any
+// interleaving of concurrent runs yields identical results.
+func (c *Cache) patternWarmHook(kind Kind, cfg config, sc Scenario) *mesh.WarmHook {
+	if c == nil {
+		return nil
+	}
+	prefix := warmPrefixKey(kind, cfg, sc)
+	return &mesh.WarmHook{
+		Lookup: func(maxCycle uint64) ([]byte, uint64, bool) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			cps := c.warm[prefix]
+			for i := len(cps) - 1; i >= 0; i-- {
+				if cps[i].cycle <= maxCycle {
+					c.warmHits++
+					return cps[i].data, cps[i].cycle, true
+				}
+			}
+			return nil, 0, false
+		},
+		Store: func(cycle uint64, data []byte) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			cps := c.warm[prefix]
+			for i := range cps {
+				if cps[i].cycle == cycle {
+					// Determinism makes same-cycle checkpoints
+					// identical; keep the newer bytes regardless.
+					cps[i].data = data
+					c.warm[prefix] = cps
+					return
+				}
+			}
+			if _, known := c.warm[prefix]; !known {
+				c.warmOrder = append(c.warmOrder, prefix)
+				for len(c.warmOrder) > warmKeepPrefixes {
+					delete(c.warm, c.warmOrder[0])
+					c.warmOrder = c.warmOrder[1:]
+				}
+			}
+			cps = append(cps, warmCheckpoint{cycle: cycle, data: data})
+			sort.Slice(cps, func(i, j int) bool { return cps[i].cycle < cps[j].cycle })
+			if len(cps) > warmKeepPerPrefix {
+				cps = cps[len(cps)-warmKeepPerPrefix:]
+			}
+			c.warm[prefix] = cps
+			c.warmStores++
+		},
+	}
+}

@@ -33,9 +33,13 @@ func (f *circuitFabric) String() string {
 // Validate implements Fabric.
 func (f *circuitFabric) Validate() error { return f.cfg.validate(KindCircuit) }
 
+// setCache injects a resolved cache instance (sweep engine, tests).
+func (f *circuitFabric) setCache(c *Cache) { f.cfg.cache = c }
+
 // Run implements Fabric: single-router scenarios go through the traffic
 // runner of Figures 9/10; workload scenarios map applications onto a
-// mesh via the CCN.
+// mesh via the CCN. With caching enabled (WithCache), a single run is
+// served from the content-addressed cache when its key matches.
 func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
@@ -47,8 +51,21 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 	if sc.Replications > 1 {
 		return runReplicated(f, sc)
 	}
+	cache, err := f.cfg.resolveCache()
+	if err != nil {
+		return nil, err
+	}
+	return cache.runThrough(KindCircuit, f.cfg, sc, func() (*Result, error) {
+		return f.run(cache, sc)
+	})
+}
+
+// run executes one non-replicated, defaulted, validated scenario.
+func (f *circuitFabric) run(cache *Cache, sc Scenario) (*Result, error) {
 	if sc.IsPattern() {
-		return runCircuitPattern(f.cfg, sc)
+		cfg := f.cfg
+		cfg.cache = cache
+		return runCircuitPattern(cfg, sc)
 	}
 	if sc.IsWorkload() {
 		return runCircuitWorkload(f.cfg, sc)

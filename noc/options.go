@@ -89,6 +89,10 @@ type config struct {
 	parallelism  int    // active kernel: Eval shard pool; 0 means GOMAXPROCS
 
 	worldObserver func(*sim.World) // test hook: kernel diagnostics after a run
+
+	cacheOn  bool   // content-addressed result cache enabled
+	cacheDir string // cache directory; "" = process-wide in-memory cache
+	cache    *Cache // resolved instance (sweep engine / tests inject it)
 }
 
 func makeConfig(opts []Option) config {
@@ -158,6 +162,34 @@ func WithKernel(k Kernel) Option { return func(c *config) { c.kernel = k } }
 // default) means GOMAXPROCS. Results are byte-identical for every
 // value; the other kernels ignore it.
 func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithCache enables the content-addressed result cache: every single
+// run (including each replication of a replicated run) is keyed by a
+// canonical hash of its fully resolved configuration, seed and a
+// code-version fingerprint, and a repeated run is served from the cache
+// byte-identically instead of re-simulating. dir persists results on
+// disk across processes; the empty string keeps a process-wide
+// in-memory cache. Caches for the same directory are shared within the
+// process. Circuit-mesh pattern runs additionally exchange warm-start
+// world checkpoints, so runs differing only in length fork from a
+// common prefix. See also SweepSpec.Cache / SweepSpec.CacheDir and the
+// `nocbench -cache` flag.
+func WithCache(dir string) Option {
+	return func(c *config) { c.cacheOn, c.cacheDir = true, dir }
+}
+
+// resolveCache returns the cache instance the config selects: an
+// injected instance first, then the registry instance for the
+// configured directory, else nil (caching off).
+func (c config) resolveCache() (*Cache, error) {
+	if c.cache != nil {
+		return c.cache, nil
+	}
+	if !c.cacheOn {
+		return nil, nil
+	}
+	return OpenCache(c.cacheDir)
+}
 
 // withWorldObserver installs a test-only hook that receives a run's
 // simulation world after it finishes — fast-forward and activity

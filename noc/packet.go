@@ -25,8 +25,13 @@ func (f *packetFabric) String() string {
 // Validate implements Fabric.
 func (f *packetFabric) Validate() error { return f.cfg.validate(KindPacket) }
 
+// setCache injects a resolved cache instance (sweep engine, tests).
+func (f *packetFabric) setCache(c *Cache) { f.cfg.cache = c }
+
 // Run implements Fabric. Workload scenarios are not supported: the
 // paper's run-time mapped applications ride the circuit-switched NoC.
+// With caching enabled (WithCache), a single run is served from the
+// content-addressed cache when its key matches.
 func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
@@ -38,6 +43,17 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 	if sc.Replications > 1 {
 		return runReplicated(f, sc)
 	}
+	cache, err := f.cfg.resolveCache()
+	if err != nil {
+		return nil, err
+	}
+	return cache.runThrough(KindPacket, f.cfg, sc, func() (*Result, error) {
+		return f.run(sc)
+	})
+}
+
+// run executes one non-replicated, defaulted, validated scenario.
+func (f *packetFabric) run(sc Scenario) (*Result, error) {
 	if sc.IsPattern() {
 		return runPacketPattern(f.cfg, sc)
 	}

@@ -38,6 +38,7 @@ func runCircuitPattern(cfg config, sc Scenario) (*Result, error) {
 		WarmupCycles:  sc.WarmupCycles,
 		WarmupAuto:    sc.WarmupAuto,
 		RetainLatency: sc.poolLatency,
+		Warm:          cfg.cache.patternWarmHook(KindCircuit, cfg, sc),
 	})
 	if err != nil {
 		return nil, err

@@ -229,6 +229,11 @@ type Result struct {
 	// property the CI equivalence compares enforce); consume it
 	// programmatically, in kernel tests and benchmarks.
 	Kernel *KernelStats `json:"-"`
+	// CacheStats reports how the content-addressed result cache handled
+	// this run: nil when caching was off, otherwise the run's content
+	// address and whether it was served from the cache. Excluded from
+	// the wire format — cached and fresh results are byte-identical.
+	CacheStats *CacheStats `json:"-"`
 }
 
 // KernelStats is the scheduling diagnostic a run's simulation world

@@ -339,6 +339,32 @@ type SweepSpec struct {
 	// kernel uses it. The `nocbench -simworkers` flag sets it from the
 	// command line.
 	SimWorkers int `json:"sim_workers,omitempty"`
+	// Cache enables the content-addressed result cache: each cell (and
+	// each replication of a replicated cell) is keyed by its fully
+	// resolved configuration and served from the cache when a previous
+	// run already computed it. Hits are byte-exact, so sweep output is
+	// byte-identical with the cache on or off, warm or cold, for any
+	// worker count. With no CacheDir the cache is the process-wide
+	// in-memory store.
+	Cache bool `json:"cache,omitempty"`
+	// CacheDir mirrors the cache to a directory so it survives the
+	// process (the `nocbench -cache` flag). Setting it implies Cache.
+	CacheDir string `json:"cache_dir,omitempty"`
+}
+
+// cacheSettable lets the sweep engine hand its resolved cache instance
+// to the fabrics it builds, so per-run caching and the sweep's
+// pre-dispatch lookup share one store.
+type cacheSettable interface {
+	setCache(*Cache)
+}
+
+// resolveCache opens the spec's cache, if enabled.
+func (s SweepSpec) resolveCache() (*Cache, error) {
+	if !s.Cache && s.CacheDir == "" {
+		return nil, nil
+	}
+	return OpenCache(s.CacheDir)
 }
 
 // ParseSweepSpec decodes a JSON sweep spec (the `nocbench -sweep`
@@ -490,6 +516,10 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 	if err != nil {
 		return err
 	}
+	cache, err := spec.resolveCache()
+	if err != nil {
+		return err
+	}
 	type job struct {
 		cell, rep int
 	}
@@ -503,11 +533,39 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 			jobs = append(jobs, job{cell: i, rep: rep})
 		}
 	}
+	// jobScenario resolves job i's single-run scenario exactly as the
+	// fabric will see it — replication substitution first, then defaults
+	// — so the pre-dispatch lookup and the fabric-side cache compute
+	// identical keys.
+	jobScenario := func(i int) Scenario {
+		j := jobs[i]
+		sc := cells[j.cell].Scenario
+		if sc.Replications > 1 {
+			sc = replicaScenario(sc, j.rep)
+		}
+		return sc.withDefaults()
+	}
+	// lookup consults the Level-1 store before a job is dispatched to
+	// the pool; a hit skips the run entirely. The fabric's own
+	// runThrough stores fresh results, so RunCached's store is nil.
+	lookup := func(i int) (repOut, bool) {
+		if cache == nil {
+			return repOut{}, false
+		}
+		j := jobs[i]
+		fs := cells[j.cell].Fabric
+		cfg := makeConfig(fs.options())
+		res, ok := cache.lookupResult(cellKey(fs.Kind, cfg, jobScenario(i)))
+		if !ok {
+			return repOut{}, false
+		}
+		return repOut{res: res}, true
+	}
 	// Streaming per-cell fold state: replications arrive consecutively
 	// and in order, so one accumulator suffices.
 	var pending []*Result
 	var pendingErr string
-	return sweep.Run(ctx, len(jobs), spec.Workers,
+	return sweep.RunCached(ctx, len(jobs), spec.Workers, lookup,
 		func(ctx context.Context, i int) (repOut, error) {
 			j := jobs[i]
 			cell := cells[j.cell]
@@ -529,6 +587,11 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 			if err != nil {
 				return repOut{errText: err.Error()}, nil
 			}
+			if cache != nil {
+				if cs, ok := f.(cacheSettable); ok {
+					cs.setCache(cache)
+				}
+			}
 			sc := cell.Scenario
 			replicated := sc.Replications > 1
 			if replicated {
@@ -544,6 +607,7 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 			}
 			return repOut{res: res}, nil
 		},
+		nil,
 		func(i int, out repOut, err error) error {
 			if err != nil {
 				return err

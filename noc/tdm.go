@@ -28,11 +28,16 @@ func (f *tdmFabric) String() string {
 // Validate implements Fabric.
 func (f *tdmFabric) Validate() error { return f.cfg.validate(KindTDM) }
 
+// setCache injects a resolved cache instance (sweep engine, tests).
+func (f *tdmFabric) setCache(c *Cache) { f.cfg.cache = c }
+
 // Run implements Fabric. Each stream is given a contention-free
 // guaranteed-throughput reservation in the slot table whose bandwidth
 // share matches one circuit-switched lane (the scenarios' "100% load of
 // a single lane"), then words are streamed through the reservations and
-// metered. Workload scenarios are not supported.
+// metered. Workload scenarios are not supported. With caching enabled
+// (WithCache), a single run is served from the content-addressed cache
+// when its key matches.
 func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
@@ -44,6 +49,17 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 	if sc.Replications > 1 {
 		return runReplicated(f, sc)
 	}
+	cache, err := f.cfg.resolveCache()
+	if err != nil {
+		return nil, err
+	}
+	return cache.runThrough(KindTDM, f.cfg, sc, func() (*Result, error) {
+		return f.run(sc)
+	})
+}
+
+// run executes one non-replicated, defaulted, validated scenario.
+func (f *tdmFabric) run(sc Scenario) (*Result, error) {
 	if sc.IsPattern() {
 		return runTDMPattern(f.cfg, sc)
 	}
