@@ -4,7 +4,7 @@ NOCVET := $(CURDIR)/bin/nocvet
 
 # BENCH_BASE is the tracked benchmark baseline the regression gate
 # compares against; bump the number when re-baselining on purpose.
-BENCH_BASE := BENCH_9.json
+BENCH_BASE := BENCH_10.json
 
 .PHONY: build test race vet nocvet bench bench-json benchdiff
 
@@ -33,14 +33,19 @@ bench:
 # bench-json runs the gating 1x pass plus the measured kernel, event,
 # pattern and sweep passes, then folds the combined text into the
 # canonical BENCH_ci.json (cmd/benchdiff -parse keeps the
-# best-measured line per benchmark). CI archives the file and gates it
-# against $(BENCH_BASE) via `make benchdiff`.
+# best-measured line per benchmark). Gated benchmarks whose single-shot
+# spread approaches their gate threshold run with -count so the
+# best-of-N line wins — the 2% tracer-nil pair gate in particular needs
+# the sub-30ms pair measured more than once. CI archives the file and
+# gates it against $(BENCH_BASE) via `make benchdiff`.
 bench-json:
 	go test -bench . -benchtime 1x -run '^$$' ./... | tee bench.txt
 	go test -bench '(Mesh|Scenario).*Kernel' -benchtime 20000x -run '^$$' . | tee -a bench.txt
+	go test -bench 'MeshSparse(Gated|TracerNil)Kernel' -benchtime 20000x -count 6 -run '^$$' . | tee -a bench.txt
 	go test -bench 'FiniteWorkload|BEBurst' -benchtime 50x -run '^$$' . | tee -a bench.txt
 	go test -bench 'Pattern16|PatternSource' -benchtime 5x -run '^$$' . | tee -a bench.txt
-	go test -bench 'Sweep(Single|Replicated)' -benchtime 20x -run '^$$' . | tee -a bench.txt
+	go test -bench 'PatternSource' -benchtime 5x -count 6 -run '^$$' . | tee -a bench.txt
+	go test -bench 'Sweep(Single|Replicated)' -benchtime 20x -count 4 -run '^$$' . | tee -a bench.txt
 	go test -bench 'SweepOverlap' -benchtime 5x -run '^$$' . | tee -a bench.txt
 	go test -bench 'Hotspot(16x16|64x64)' -benchtime 2x -run '^$$' . | tee -a bench.txt
 	go run ./cmd/benchdiff -parse bench.txt -out BENCH_ci.json
@@ -52,5 +57,10 @@ bench-json:
 # including the cache's warm/cold overlap pair — are named explicitly.
 # Experiment benchmarks measured only at 1x (table/figure regeneration)
 # are too noisy to gate and stay out.
+#
+# The second invocation gates the observability layer's disabled-tracer
+# overhead within the same bench run: the nil-tracer kernel twin must
+# stay within 2% of its untouched twin (host-speed drift cancels out).
 benchdiff:
 	go run ./cmd/benchdiff -base $(BENCH_BASE) -cur BENCH_ci.json -match 'Kernel$$|SweepSingleRun|SweepReplicated|SweepOverlap'
+	go run ./cmd/benchdiff -cur BENCH_ci.json -threshold 0.02 -pair 'BenchmarkMeshSparseTracerNilKernel=BenchmarkMeshSparseGatedKernel'

@@ -11,6 +11,7 @@
 //	benchdiff -parse bench.txt -out BENCH_ci.json
 //	benchdiff -base BENCH_7.json -cur BENCH_ci.json
 //	benchdiff -base BENCH_7.json -cur BENCH_ci.json -threshold 0.15 -match 'Kernel|Sweep|Pattern'
+//	benchdiff -cur BENCH_ci.json -pair BenchmarkA=BenchmarkB -threshold 0.02
 //
 // -parse reads bench text (or stdin with "-") and writes the canonical
 // file: benchmarks sorted, duplicates resolved to the best-measured
@@ -19,6 +20,13 @@
 // from the current file or its ns/op grew by more than -threshold
 // (default 0.15 = 15%). Benchmarks only in the current file are listed
 // as new and never gate, so adding benchmarks cannot break the build.
+//
+// -pair gates two benchmarks of the SAME file against each other:
+// -pair A=B (repeatable, comma-separable) fails when A's ns/op exceeds
+// B's by more than -threshold. Both runs come from the same process on
+// the same machine, so the comparison is immune to host-speed drift —
+// the form the observability layer's disabled-tracer overhead contract
+// uses (nil-tracer kernel within 2% of its untouched twin).
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"strings"
 
 	"repro/internal/benchfmt"
 )
@@ -51,19 +60,46 @@ func run(w io.Writer, args []string) error {
 	cur := fs.String("cur", "", "current canonical JSON to gate against the baseline")
 	threshold := fs.Float64("threshold", 0.15, "allowed ns/op growth fraction before a benchmark fails the gate")
 	match := fs.String("match", "", "regexp selecting which baseline benchmarks gate (default: all)")
+	var pairs pairList
+	fs.Var(&pairs, "pair", "gate benchmark A against B within -cur, as A=B (repeatable, comma-separable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch {
-	case *parse != "" && (*base != "" || *cur != ""):
-		return fmt.Errorf("-parse and -base/-cur are mutually exclusive")
+	case *parse != "" && (*base != "" || *cur != "" || len(pairs) > 0):
+		return fmt.Errorf("-parse and -base/-cur/-pair are mutually exclusive")
 	case *parse != "":
 		return runParse(w, *parse, *out)
+	case len(pairs) > 0 && *base != "":
+		return fmt.Errorf("-pair compares within one file; drop -base")
+	case len(pairs) > 0 && *cur != "":
+		return runPairs(w, *cur, pairs, *threshold)
+	case len(pairs) > 0:
+		return fmt.Errorf("-pair needs -cur")
 	case *base != "" && *cur != "":
 		return runCompare(w, *base, *cur, *threshold, *match)
 	default:
-		return fmt.Errorf("need either -parse, or both -base and -cur")
+		return fmt.Errorf("need either -parse, -base and -cur, or -cur and -pair")
 	}
+}
+
+// pairList collects repeated -pair A=B flags, splitting on commas.
+type pairList []string
+
+func (p *pairList) String() string { return strings.Join(*p, ",") }
+
+func (p *pairList) Set(v string) error {
+	for _, one := range strings.Split(v, ",") {
+		one = strings.TrimSpace(one)
+		if one == "" {
+			continue
+		}
+		if !strings.Contains(one, "=") {
+			return fmt.Errorf("pair %q is not of the form A=B", one)
+		}
+		*p = append(*p, one)
+	}
+	return nil
 }
 
 // runParse converts bench text to the canonical file.
@@ -133,6 +169,53 @@ func runCompare(w io.Writer, basePath, curPath string, threshold float64, match 
 			errGate, threshold*100)
 	}
 	fmt.Fprintf(w, "gate passed: %d benchmarks within %.0f%%\n", len(deltas), threshold*100)
+	return nil
+}
+
+// runPairs gates each A=B pair within one canonical file: A's ns/op
+// may exceed B's by at most the threshold fraction.
+func runPairs(w io.Writer, curPath string, pairs []string, threshold float64) error {
+	cur, err := decodeFile(curPath)
+	if err != nil {
+		return err
+	}
+	byName := map[string]benchfmt.Benchmark{}
+	for _, b := range cur.Benchmarks {
+		byName[b.Name] = b
+	}
+	ok := true
+	fmt.Fprintf(w, "%-45s %14s %14s %9s\n", "pair (A vs B)", "A ns/op", "B ns/op", "delta")
+	for _, p := range pairs {
+		name, refName, _ := strings.Cut(p, "=")
+		a, aOK := byName[name]
+		ref, refOK := byName[refName]
+		if !aOK {
+			fmt.Fprintf(w, "%-45s %14s %14s %9s  MISSING\n", name, "-", "-", "-")
+		}
+		if !refOK {
+			fmt.Fprintf(w, "%-45s %14s %14s %9s  MISSING\n", refName, "-", "-", "-")
+		}
+		if !aOK || !refOK {
+			ok = false
+			continue
+		}
+		if ref.NsPerOp <= 0 {
+			return fmt.Errorf("%s has non-positive ns/op", refName)
+		}
+		ratio := a.NsPerOp / ref.NsPerOp
+		status := ""
+		if ratio > 1+threshold {
+			status = "  REGRESSED"
+			ok = false
+		}
+		fmt.Fprintf(w, "%-45s %14.1f %14.1f %+8.1f%%%s\n",
+			name, a.NsPerOp, ref.NsPerOp, (ratio-1)*100, status)
+	}
+	if !ok {
+		return fmt.Errorf("%w: a pair exceeded %.1f%% (or a benchmark is missing); see table above",
+			errGate, threshold*100)
+	}
+	fmt.Fprintf(w, "gate passed: %d pairs within %.1f%%\n", len(pairs), threshold*100)
 	return nil
 }
 

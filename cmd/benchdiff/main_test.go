@@ -126,3 +126,69 @@ func TestFlagValidation(t *testing.T) {
 		t.Fatal("-base without -cur accepted")
 	}
 }
+
+// pairText is one bench run holding a twin pair: the nil-tracer twin
+// 1% slower than its reference (within a 2% gate) plus an unrelated
+// benchmark.
+const pairText = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkMeshSparseGatedKernel-8 	   20000	      1000 ns/op
+BenchmarkMeshSparseTracerNilKernel-8 	   20000	      1010 ns/op
+BenchmarkSweepReplicated-8 	      50	    400000 ns/op
+PASS
+ok  	repro	1.0s
+`
+
+// TestPairGatePasses: a within-file pair inside the threshold passes.
+func TestPairGatePasses(t *testing.T) {
+	cur := parseTo(t, pairText, "cur")
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-cur", cur, "-threshold", "0.02",
+		"-pair", "BenchmarkMeshSparseTracerNilKernel=BenchmarkMeshSparseGatedKernel"})
+	if err != nil {
+		t.Fatalf("pair gate failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "gate passed: 1 pairs") {
+		t.Fatalf("missing pass summary:\n%s", buf.String())
+	}
+}
+
+// TestPairGateFails: past the threshold the pair gate exits non-zero,
+// and a missing benchmark also fails rather than silently passing.
+func TestPairGateFails(t *testing.T) {
+	cur := parseTo(t, pairText, "cur")
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-cur", cur, "-threshold", "0.005",
+		"-pair", "BenchmarkMeshSparseTracerNilKernel=BenchmarkMeshSparseGatedKernel"})
+	if !errors.Is(err, errGate) {
+		t.Fatalf("gate error = %v, want errGate", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Fatalf("delta table missing REGRESSED marker:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	err = run(&buf, []string{"-cur", cur, "-threshold", "0.02",
+		"-pair", "BenchmarkNoSuch=BenchmarkMeshSparseGatedKernel"})
+	if !errors.Is(err, errGate) {
+		t.Fatalf("missing-benchmark error = %v, want errGate", err)
+	}
+	if !strings.Contains(buf.String(), "MISSING") {
+		t.Fatalf("delta table missing MISSING marker:\n%s", buf.String())
+	}
+}
+
+// TestPairFlagValidation: -pair composes only with -cur.
+func TestPairFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-pair", "A=B"}); err == nil {
+		t.Fatal("-pair without -cur must fail")
+	}
+	if err := run(&buf, []string{"-pair", "AB", "-cur", "x.json"}); err == nil {
+		t.Fatal("malformed pair must fail")
+	}
+	if err := run(&buf, []string{"-base", "x", "-cur", "y", "-pair", "A=B"}); err == nil {
+		t.Fatal("-pair with -base must fail")
+	}
+}

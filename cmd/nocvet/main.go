@@ -1,6 +1,6 @@
 // Command nocvet is the repo's custom vet tool: a go/analysis checker
-// bundling the four determinism/kernel-contract analyzers (nondeterm,
-// maporder, kernelcontract, evalpure). It speaks the go vet -vettool
+// bundling the five determinism/kernel-contract analyzers (nondeterm,
+// maporder, kernelcontract, evalpure, obspure). It speaks the go vet -vettool
 // protocol via the x/tools unitchecker driver, so it is invoked through
 // the go command, which supplies package facts and type information:
 //
@@ -24,6 +24,7 @@ import (
 	"repro/internal/analysis/kernelcontract"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nondeterm"
+	"repro/internal/analysis/obspure"
 )
 
 func main() {
@@ -32,5 +33,6 @@ func main() {
 		maporder.Analyzer,
 		kernelcontract.Analyzer,
 		evalpure.Analyzer,
+		obspure.Analyzer,
 	)
 }

@@ -51,6 +51,7 @@ var simPackages = map[string]bool{
 	"repro/internal/aethereal": true,
 	"repro/internal/power":     true,
 	"repro/internal/sweep":     true,
+	"repro/internal/obs":       true,
 	"repro/internal/benet":     true,
 	"repro/internal/bitvec":    true,
 	"repro/noc":                true,

@@ -1,0 +1,319 @@
+// Package obspure implements the nocvet analyzer that keeps the
+// observability layer honest about its two load-bearing promises:
+// enabling tracing or metrics never changes simulation results, and a
+// disabled tracer costs (almost) nothing on the hot path.
+//
+// Two rules, applied to the simulation packages:
+//
+//  1. Every tracer Emit call must be nil-guarded: the call must sit in
+//     the taken branch of an if whose condition nil-checks the very
+//     expression the method is called on (`if t != nil { t.Emit(...) }`,
+//     init-statement aliases included). Calling Emit on a nil interface
+//     panics, and the guard is also what keeps the disabled hot path
+//     free of obs.Event argument construction — the <2% overhead
+//     contract the benchmark gate enforces.
+//
+//  2. An observation block — an if whose condition nil-checks an
+//     observability value (a tracer interface, *obs.Registry,
+//     *obs.Collector) and whose body emits events or drives metric
+//     instruments — may only read component state. Any assignment or
+//     ++/-- targeting state declared outside the block is flagged:
+//     such a write executes only when observability is enabled, which
+//     is exactly how tracing would silently change results. Blocks
+//     that merely install hooks (no Emit/Add/Set/Observe inside) are
+//     configuration, not observation, and stay unrestricted.
+//
+// Metric instruments (obs.Counter/Gauge/Histogram) are nil-receiver
+// safe by design, so rule 1 deliberately covers only Emit; the
+// sanctioned hot-path pattern hoists instruments at construction time
+// and calls them unguarded.
+//
+// The obs package itself is exempt: it is the sink, not an observer.
+package obspure
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/nocvet"
+)
+
+// Analyzer enforces the observability purity contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "obspure",
+	Doc: "flag unguarded tracer Emit calls and state writes inside observability guard blocks\n\n" +
+		"Tracing and metrics must observe the simulation without steering it: Emit needs a " +
+		"nil guard (panic safety and the zero-overhead-when-disabled contract), and a " +
+		"nil-guarded observation block may only read component state. Suppress with " +
+		"//nocvet:allow obspure.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// obsPath is the import path of the observability package; the analyzer
+// matches its named types and exempts the package itself.
+const obsPath = "repro/internal/obs"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !nocvet.InScope(pass.Pkg.Path()) || pass.Pkg.Path() == obsPath {
+		return nil, nil
+	}
+	sup := nocvet.CollectSuppressions(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Rule 1: every Emit call nil-guards its receiver.
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		recv, ok := emitReceiver(pass, call)
+		if !ok {
+			return true
+		}
+		if !nilGuarded(pass, stack, recv) {
+			nocvet.Report(pass, sup, call.Pos(),
+				"tracer Emit call is not nil-guarded: wrap it in `if ... != nil { ... }` on the receiver so a disabled tracer neither panics nor constructs the event")
+		}
+		return true
+	})
+
+	// Rule 2: observation blocks only read state.
+	ins.Preorder([]ast.Node{(*ast.IfStmt)(nil)}, func(n ast.Node) {
+		ifs := n.(*ast.IfStmt)
+		if !condChecksObsNil(pass, ifs.Cond) {
+			return
+		}
+		if !containsObsCall(pass, ifs.Body) {
+			return
+		}
+		checkReadOnly(pass, sup, ifs.Body)
+	})
+	return nil, nil
+}
+
+// emitReceiver returns the receiver expression of call when it is a
+// tracer Emit method call — a method named Emit taking exactly one
+// parameter of a type named Event and returning nothing — else false.
+// The shape match is structural, so the obs.Tracer interface, concrete
+// sinks like *obs.Collector, and the golden-test stubs all count.
+func emitReceiver(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || fun.Sel.Name != "Emit" {
+		return nil, false
+	}
+	sel := pass.TypesInfo.Selections[fun]
+	if sel == nil || sel.Kind() != types.MethodVal {
+		return nil, false
+	}
+	sig, ok := sel.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return nil, false
+	}
+	if !typeNamed(sig.Params().At(0).Type(), "Event") {
+		return nil, false
+	}
+	return ast.Unparen(fun.X), true
+}
+
+// typeNamed reports whether t (possibly behind a pointer) is a named
+// type with the given name.
+func typeNamed(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == name
+}
+
+// nilGuarded reports whether the innermost-to-outermost stack contains
+// an if statement that nil-checks recv and whose taken branch contains
+// the call: `recv != nil` with the call in the body, or `recv == nil`
+// with the call in the else branch.
+func nilGuarded(pass *analysis.Pass, stack []ast.Node, recv ast.Expr) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		branch := stack[i+1] // the if child the call descends through
+		if condHasNilCheck(ifs.Cond, recv, token.NEQ) && branch == ast.Node(ifs.Body) {
+			return true
+		}
+		if condHasNilCheck(ifs.Cond, recv, token.EQL) && branch == ifs.Else {
+			return true
+		}
+	}
+	return false
+}
+
+// condHasNilCheck reports whether cond contains `recv <op> nil` (either
+// operand order), descending through && and || and parentheses.
+func condHasNilCheck(cond ast.Expr, recv ast.Expr, op token.Token) bool {
+	cond = ast.Unparen(cond)
+	b, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.LAND, token.LOR:
+		return condHasNilCheck(b.X, recv, op) || condHasNilCheck(b.Y, recv, op)
+	case op:
+		return (isNilIdent(b.Y) && exprEqual(b.X, recv)) ||
+			(isNilIdent(b.X) && exprEqual(b.Y, recv))
+	}
+	return false
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// exprEqual reports whether a and b are the same identifier/selector
+// chain — the structural equality a guard needs (x, s.tracer,
+// cfg.obs.Tracer, ...).
+func exprEqual(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && exprEqual(av.X, bv.X)
+	}
+	return false
+}
+
+// condChecksObsNil reports whether cond contains a `x != nil` check
+// whose operand is an observability value.
+func condChecksObsNil(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.NEQ {
+			return true
+		}
+		for _, side := range []ast.Expr{b.X, b.Y} {
+			other := b.Y
+			if side == b.Y {
+				other = b.X
+			}
+			if isNilIdent(other) && isObsValue(pass.TypesInfo.TypeOf(side)) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isObsValue reports whether t is an observability value: an interface
+// with a tracer-shaped Emit method, or a (pointer to a) named obs sink
+// type (Registry, Collector, Counter, Gauge, Histogram).
+func isObsValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		for i := 0; i < iface.NumMethods(); i++ {
+			m := iface.Method(i)
+			sig := m.Type().(*types.Signature)
+			if m.Name() == "Emit" && sig.Params().Len() == 1 && sig.Results().Len() == 0 &&
+				typeNamed(sig.Params().At(0).Type(), "Event") {
+				return true
+			}
+		}
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Registry", "Collector", "Counter", "Gauge", "Histogram":
+		return true
+	}
+	return false
+}
+
+// containsObsCall reports whether the block calls a tracer Emit or a
+// metric instrument mutator (Add/Set/Observe on an obs instrument, or
+// an instrument accessor on a Registry).
+func containsObsCall(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := emitReceiver(pass, call); ok {
+			found = true
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch fun.Sel.Name {
+		case "Add", "Set", "Observe", "Counter", "Gauge", "Histogram":
+			if isObsValue(pass.TypesInfo.TypeOf(fun.X)) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkReadOnly flags assignments and ++/-- inside an observation block
+// whose target is declared outside the block: observability enabled
+// must not execute writes that observability disabled would skip.
+func checkReadOnly(pass *analysis.Pass, sup *nocvet.Suppressions, body *ast.BlockStmt) {
+	localOK := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+	}
+	report := func(pos token.Pos) {
+		nocvet.Report(pass, sup, pos,
+			"observation block writes state that outlives it: a nil-guarded tracing/metrics block runs only when observability is enabled, so the write would make traced and untraced runs diverge; move it outside the guard")
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if !localOK(lhs) {
+					report(lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if !localOK(st.X) {
+				report(st.X.Pos())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package obspure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/obspure"
+)
+
+func TestObsPure(t *testing.T) {
+	analyzertest.Run(t, obspure.Analyzer, "a")
+}

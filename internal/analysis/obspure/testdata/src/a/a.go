@@ -1,0 +1,144 @@
+// Package a is the obspure golden corpus: local stand-ins for the obs
+// tracer/metrics shapes plus guarded and unguarded call sites.
+package a
+
+// Event mirrors obs.Event structurally (the analyzer matches the
+// parameter type by name).
+type Event struct {
+	Cycle uint64
+	Kind  string
+}
+
+// Tracer mirrors obs.Tracer.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Registry / Counter mirror the obs metric surface by name.
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return nil }
+
+type Counter struct{}
+
+func (c *Counter) Add(n uint64) {}
+
+// Collector is a concrete sink with a tracer-shaped Emit.
+type Collector struct{}
+
+func (c *Collector) Emit(e Event) {}
+
+type router struct {
+	tracer  Tracer
+	metrics *Registry
+	col     *Collector
+	count   int
+}
+
+// --- rule 1: Emit must be nil-guarded -------------------------------
+
+func (r *router) goodGuard() {
+	if r.tracer != nil {
+		r.tracer.Emit(Event{Kind: "ok"})
+	}
+}
+
+func (r *router) goodAlias() {
+	if t := r.tracer; t != nil {
+		t.Emit(Event{Kind: "ok"})
+	}
+}
+
+func (r *router) goodElseIf(busy bool) {
+	if busy {
+		_ = busy
+	} else if r.tracer != nil {
+		r.tracer.Emit(Event{Kind: "idle"})
+	}
+}
+
+func (r *router) goodInvertedGuard() {
+	if r.tracer == nil {
+		_ = r.count
+	} else {
+		r.tracer.Emit(Event{Kind: "ok"})
+	}
+}
+
+func (r *router) goodCompoundCond(hot bool) {
+	if hot && r.tracer != nil {
+		r.tracer.Emit(Event{Kind: "hot"})
+	}
+}
+
+func (r *router) goodConcreteSink() {
+	if r.col != nil {
+		r.col.Emit(Event{Kind: "ok"})
+	}
+}
+
+func (r *router) badUnguarded() {
+	r.tracer.Emit(Event{Kind: "boom"}) // want "tracer Emit call is not nil-guarded"
+}
+
+func (r *router) badWrongReceiverGuarded(other Tracer) {
+	if other != nil {
+		r.tracer.Emit(Event{Kind: "boom"}) // want "tracer Emit call is not nil-guarded"
+	}
+}
+
+func (r *router) badGuardedWrongBranch() {
+	if r.tracer != nil {
+		_ = r.count
+	} else {
+		r.tracer.Emit(Event{Kind: "boom"}) // want "tracer Emit call is not nil-guarded"
+	}
+}
+
+func (r *router) badConcreteSink() {
+	r.col.Emit(Event{Kind: "boom"}) // want "tracer Emit call is not nil-guarded"
+}
+
+// queue has an Emit of a different shape — not a tracer, never flagged.
+type queue struct{ n int }
+
+func (q *queue) Emit() bool { q.n++; return q.n < 4 }
+
+func (r *router) notATracer(q *queue) {
+	for q.Emit() {
+	}
+}
+
+// --- rule 2: observation blocks only read state ---------------------
+
+func (r *router) goodReadOnlyBlock() {
+	if r.tracer != nil {
+		kind := "miss"
+		if r.count > 0 {
+			kind = "hit" // local to the block: fine
+		}
+		r.tracer.Emit(Event{Kind: kind})
+	}
+}
+
+func (r *router) badWriteInTraceBlock() {
+	if r.tracer != nil {
+		r.count++ // want "observation block writes state that outlives it"
+		r.tracer.Emit(Event{Kind: "ok"})
+	}
+}
+
+func (r *router) badWriteInMetricsBlock(done *int) {
+	if r.metrics != nil {
+		r.metrics.Counter("x").Add(1)
+		*done = 1 // want "observation block writes state that outlives it"
+	}
+}
+
+// Installing hooks is configuration, not observation: no Emit/metrics
+// call in the body, so writes are unrestricted.
+func (r *router) goodConfigBlock(t Tracer) {
+	if t != nil {
+		r.tracer = t
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Key addresses one cached payload: the SHA-256 of the caller's canonical
@@ -139,6 +141,29 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// Len returns the number of payloads resident in memory.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// MetricsInto publishes the store's traffic counters and occupancy into
+// the registry as gauges (a nil registry is a no-op). Gauges, not
+// counters: the store is shared across runs, so each snapshot reports
+// the store's lifetime totals at that moment rather than accumulating
+// them again per run.
+func (s *Store) MetricsInto(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	st := s.Stats()
+	reg.Gauge("cellcache.hits").Set(int64(st.Hits))
+	reg.Gauge("cellcache.misses").Set(int64(st.Misses))
+	reg.Gauge("cellcache.puts").Set(int64(st.Puts))
+	reg.Gauge("cellcache.entries").Set(int64(s.Len()))
 }
 
 // insert adds a fresh entry and evicts past capacity. Callers hold mu.

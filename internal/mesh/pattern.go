@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -65,6 +66,12 @@ type PatternConfig struct {
 	// Observe, when non-nil, receives the world after the run — kernel
 	// diagnostics for tests and benchmarks. It must not mutate it.
 	Observe func(*sim.World)
+	// Obs carries the run's observability sinks: a structured event
+	// tracer (flow setup, admission blocks, injections, deliveries,
+	// kernel scheduling) and a metrics registry (lane-allocator probes
+	// and rejections). The zero value disables both; enabling them never
+	// changes the simulated result.
+	Obs obs.Hooks
 	// RetainLatency keeps the raw per-word latency observations on the
 	// result's Latency series (Samples), so replicated runs can pool
 	// them into one distribution. Off by default: a plain run only needs
@@ -178,10 +185,22 @@ type laneAlloc struct {
 	m      *Mesh
 	used   [][]bool // per node, per global output lane
 	tileIn [][]bool // per node, per tile input (transmit converter) lane
+
+	// Optional establishment metrics (nil when metrics are disabled):
+	// route probes attempted, flows rejected, hop counts of established
+	// routes.
+	probes  *obs.Counter
+	rejects *obs.Counter
+	hops    *obs.Histogram
 }
 
-func newLaneAlloc(m *Mesh) *laneAlloc {
-	a := &laneAlloc{m: m}
+func newLaneAlloc(m *Mesh, metrics *obs.Registry) *laneAlloc {
+	a := &laneAlloc{
+		m:       m,
+		probes:  metrics.Counter("mesh.alloc.probes"),
+		rejects: metrics.Counter("mesh.alloc.rejections"),
+		hops:    metrics.Histogram("mesh.alloc.hops"),
+	}
 	for i := 0; i < m.Nodes(); i++ {
 		a.used = append(a.used, make([]bool, m.P.TotalLanes()))
 		a.tileIn = append(a.tileIn, make([]bool, m.P.LanesPerPort))
@@ -204,19 +223,34 @@ func (a *laneAlloc) idx(c Coord) int { return c.Y*a.m.W + c.X }
 // failing at the same exhausted destination port every time).
 func (a *laneAlloc) establish(src, dst Coord) (*core.TxConverter, *core.RxConverter, int, error) {
 	if a.freeTileIn(src) < 0 {
+		if a.rejects != nil {
+			a.rejects.Add(1)
+		}
 		return nil, nil, 0, fmt.Errorf("mesh: no free tile input lane at %v", src)
 	}
 	if a.freeLane(dst, core.Tile) < 0 {
+		if a.rejects != nil {
+			a.rejects.Add(1)
+		}
 		return nil, nil, 0, fmt.Errorf("mesh: no free tile output lane at %v", dst)
 	}
 	routes := [][]Coord{XYPath(src, dst), yxPath(src, dst)}
 	var lastErr error
 	for _, route := range routes {
+		if a.probes != nil {
+			a.probes.Add(1)
+		}
 		tx, rx, err := a.tryRoute(route)
 		if err == nil {
+			if a.hops != nil {
+				a.hops.Observe(uint64(len(route) - 1))
+			}
 			return tx, rx, len(route) - 1, nil
 		}
 		lastErr = err
+	}
+	if a.rejects != nil {
+		a.rejects.Add(1)
 	}
 	return nil, nil, 0, lastErr
 }
@@ -405,6 +439,13 @@ type patternSink struct {
 
 	pendingLat float64
 	hasPending bool
+
+	// tracer, when non-nil, receives a domain-scope deliver event per
+	// drained word on the track name. Emission happens in Commit — the
+	// sequential phase — so the stream is identical under every kernel
+	// and shard count.
+	tracer obs.Tracer
+	track  string
 }
 
 // Eval implements sim.Clocked.
@@ -426,10 +467,17 @@ func (d *patternSink) Commit() {
 		} else {
 			d.lat.Add(d.pendingLat)
 		}
+		if d.tracer != nil {
+			d.tracer.Emit(obs.Event{Cycle: d.cycle, Track: d.track,
+				Kind: obs.KindDeliver, Value: int64(d.pendingLat)})
+		}
 		d.hasPending = false
 	}
 	d.cycle++
 }
+
+// TraceName implements sim.TraceNamer.
+func (d *patternSink) TraceName() string { return d.track }
 
 // Quiescent implements sim.Quiescer: nothing buffered, nothing to pop.
 func (d *patternSink) Quiescent() bool { return d.rx.Available() == 0 }
@@ -453,6 +501,9 @@ type patternSource struct {
 	stamps *flowStamps
 	sent   []uint64 // injection stamps, warm-up accounting only
 }
+
+// TraceName implements sim.TraceNamer.
+func (s *patternSource) TraceName() string { return s.Source.Track }
 
 // liveFlow is one established flow's simulation handles.
 type liveFlow struct {
@@ -493,13 +544,14 @@ func newPatternSim(cfg PatternConfig) (*patternSim, error) {
 	ps := &patternSim{
 		cfg: cfg,
 		m: New(cfg.W, cfg.H, p, core.DefaultAssemblyOptions(),
-			sim.WithKernel(cfg.Kernel), sim.WithParallelism(cfg.SimWorkers)),
+			sim.WithKernel(cfg.Kernel), sim.WithParallelism(cfg.SimWorkers),
+			sim.WithTracer(cfg.Obs.Tracer)),
 		res:    &PatternResult{},
 		warmup: cfg.WarmupCycles > 0 || cfg.WarmupAuto,
 	}
 	m, res := ps.m, ps.res
 	dom := m.BindMeters(cfg.Lib, cfg.FreqMHz, cfg.Gated)
-	alloc := newLaneAlloc(m)
+	alloc := newLaneAlloc(m, cfg.Obs.Metrics)
 	ps.dom, ps.alloc = dom, alloc
 
 	if cfg.RetainLatency {
@@ -523,18 +575,30 @@ func newPatternSim(cfg PatternConfig) (*patternSim, error) {
 	}
 	latRec := ps.latRec
 
+	tracer := cfg.Obs.Tracer
 	for _, f := range flows {
 		srcC := Coord{X: f.Src % cfg.W, Y: f.Src / cfg.W}
 		dstC := Coord{X: f.Dst % cfg.W, Y: f.Dst / cfg.W}
 		pf := PatternFlow{Src: srcC, Dst: dstC}
+		flowIdx := len(res.Flows)
 		tx, rx, hops, err := alloc.establish(srcC, dstC)
 		if err != nil {
+			if tracer != nil {
+				tracer.Emit(obs.Event{Track: "mesh.flows",
+					Kind: obs.KindAdmissionBlock, Value: int64(flowIdx),
+					Detail: fmt.Sprintf("%v->%v", srcC, dstC)})
+			}
 			res.Flows = append(res.Flows, pf)
 			continue
 		}
 		pf.Established = true
 		pf.Hops = hops
 		res.FlowsEstablished++
+		if tracer != nil {
+			tracer.Emit(obs.Event{Track: "mesh.flows",
+				Kind: obs.KindFlowSetup, Value: int64(flowIdx),
+				Detail: fmt.Sprintf("%v->%v hops=%d", srcC, dstC, hops)})
+		}
 
 		// Per-flow deterministic streams: data words and arrival times
 		// both derive from the run seed and the flow's source node.
@@ -558,7 +622,10 @@ func newPatternSim(cfg PatternConfig) (*patternSim, error) {
 			return true
 		}
 		ms.Source = src
-		sink := &patternSink{rx: rx, stamps: ms.stamps, lat: &res.Latency, rec: latRec}
+		src.Tracer = tracer
+		src.Track = fmt.Sprintf("flow%d.src", flowIdx)
+		sink := &patternSink{rx: rx, stamps: ms.stamps, lat: &res.Latency, rec: latRec,
+			tracer: tracer, track: fmt.Sprintf("flow%d.sink", flowIdx)}
 		m.World().Add(ms, sink)
 		// Parking contract: the source is self-scheduled (woken only by
 		// its own NextEvent), the sink's quiescence ends only when its

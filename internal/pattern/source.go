@@ -1,6 +1,9 @@
 package pattern
 
-import "repro/internal/sim"
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // Source is a traffic generator as a first-class quiescent component:
 // it offers one word to its Emit callback at every arrival of its
@@ -26,6 +29,16 @@ type Source struct {
 	// Emit offers one word downstream; it returns false when the sink
 	// cannot accept it this cycle, and the source retries next cycle.
 	Emit func() bool
+
+	// Tracer, when non-nil, receives a domain-scope inject event for
+	// every accepted word and a flow-teardown event when the word budget
+	// retires the source, on the Track name. Injection happens on the
+	// same cycles under every kernel, so the stream is kernel-invariant;
+	// Emit may run inside the active kernel's sharded Eval pass, so the
+	// tracer must accept concurrent calls.
+	Tracer obs.Tracer
+	// Track names this source's trace track (e.g. "flow3.src").
+	Track string
 
 	s       *Sampler
 	limit   uint64 // emitted-word budget; 0 = unlimited
@@ -64,6 +77,10 @@ func (s *Source) accrue() {
 		if s.limit > 0 && s.sent+s.credits >= s.limit {
 			// The final word is now pending; no further arrivals.
 			s.retired = true
+			if s.Tracer != nil {
+				s.Tracer.Emit(obs.Event{Cycle: s.cycle, Track: s.Track,
+					Kind: obs.KindFlowTeardown, Value: int64(s.limit)})
+			}
 			return
 		}
 		s.next += s.s.NextGap()
@@ -76,6 +93,10 @@ func (s *Source) Eval() {
 	if s.credits > 0 && s.Emit() {
 		s.credits--
 		s.sent++
+		if s.Tracer != nil {
+			s.Tracer.Emit(obs.Event{Cycle: s.cycle, Track: s.Track,
+				Kind: obs.KindInject, Value: int64(s.sent)})
+		}
 	}
 }
 

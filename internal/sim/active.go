@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // This file implements KernelActive: the O(active) kernel with optional
@@ -292,6 +294,10 @@ func (w *World) park(i int) {
 	w.parkedAt[i] = w.cycle + 1
 	w.parkedCount++
 	w.sumParkedAt += w.parkedAt[i]
+	if w.tracer != nil {
+		w.tracer.Emit(obs.Event{Cycle: w.cycle, Scope: obs.ScopeKernel,
+			Track: w.track(i), Kind: obs.KindPark})
+	}
 	if td := w.timed[i]; td != nil {
 		// Cache the component's self-scheduled horizon; its state is
 		// frozen while parked, so the value cannot drift (the parking
@@ -331,6 +337,10 @@ func (w *World) settleParked(i int) {
 // the parked set. The caller must re-insert i into the active list (or
 // the joined buffer when mid-cycle).
 func (w *World) unpark(i int) {
+	if w.tracer != nil {
+		w.tracer.Emit(obs.Event{Cycle: w.cycle, Scope: obs.ScopeKernel,
+			Track: w.track(i), Kind: obs.KindUnpark, Value: int64(w.cycle - w.parkedAt[i])})
+	}
 	w.settleParked(i)
 	w.parked[i] = false
 	w.parkedCount--
@@ -579,6 +589,10 @@ func (w *World) wakeActiveKernel(i int) {
 	if w.parked[i] {
 		w.unpark(i)
 		w.skipped[i] = false
+		if w.tracer != nil {
+			w.tracer.Emit(obs.Event{Cycle: w.cycle, Scope: obs.ScopeKernel,
+				Track: w.track(i), Kind: obs.KindWake})
+		}
 		w.components[i].Eval()
 		w.as.joined = append(w.as.joined, i)
 		return
@@ -587,6 +601,10 @@ func (w *World) wakeActiveKernel(i int) {
 		return
 	}
 	w.skipped[i] = false
+	if w.tracer != nil {
+		w.tracer.Emit(obs.Event{Cycle: w.cycle, Scope: obs.ScopeKernel,
+			Track: w.track(i), Kind: obs.KindWake})
+	}
 	if i <= w.evalPos {
 		w.components[i].Eval()
 	}
@@ -683,6 +701,10 @@ func (w *World) stepActive() {
 		all = false
 		w.evals++
 		w.evalsBy[i]++
+		if w.tracer != nil {
+			w.tracer.Emit(obs.Event{Cycle: w.cycle, Scope: obs.ScopeKernel,
+				Track: w.track(i), Kind: obs.KindEval})
+		}
 		w.components[i].Commit()
 		keep = append(keep, i)
 		// Unconditionally: a dependent later in this same sweep may not

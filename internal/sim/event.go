@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // timerWheel holds the pending WakeAt cycles of a world as a binary
 // min-heap. The wheel only bounds fast-forward windows, so duplicate
@@ -68,6 +72,10 @@ func (w *World) WakeAt(cycle uint64) error {
 		return fmt.Errorf("sim: WakeAt(%d) is in the past (cycle %d)", cycle, w.cycle)
 	}
 	w.timers.push(cycle)
+	if w.tracer != nil {
+		w.tracer.Emit(obs.Event{Cycle: w.cycle, Scope: obs.ScopeKernel,
+			Track: kernelTrack, Kind: obs.KindTimer, Value: int64(cycle)})
+	}
 	return nil
 }
 
@@ -123,6 +131,10 @@ func (w *World) horizon(end uint64) uint64 {
 // timer or self-scheduled event lies inside the window, so by the
 // fixed-point argument in the package comment the replay is exact.
 func (w *World) fastForward(n uint64) {
+	if w.tracer != nil {
+		w.tracer.Emit(obs.Event{Cycle: w.cycle, Scope: obs.ScopeKernel,
+			Track: kernelTrack, Kind: obs.KindFastForward, Value: int64(n)})
+	}
 	for i := range w.components {
 		if w.parked[i] {
 			// A parked component's deferred window simply grows; its

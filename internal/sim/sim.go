@@ -89,6 +89,12 @@
 // active.go.
 package sim
 
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
 // Clocked is a synchronous hardware component.
 type Clocked interface {
 	// Eval computes the component's next state from the currently visible
@@ -217,6 +223,28 @@ func WithKernel(k Kernel) WorldOption {
 	return func(w *World) { w.kernel = k }
 }
 
+// WithTracer attaches a structured event tracer to the world: the kernel
+// emits eval, wake, park/unpark, fast-forward and timer events into it,
+// timestamped in cycles. A nil tracer (the default) is the fast path —
+// every emission site is a single predictable branch — and tracing never
+// influences scheduling, so results are byte-identical with or without
+// it. The tracer must be safe for concurrent Emit calls when the active
+// kernel's sharded Eval pass is enabled.
+func WithTracer(t obs.Tracer) WorldOption {
+	return func(w *World) { w.tracer = t }
+}
+
+// TraceNamer is optionally implemented by components that want a
+// readable trace track name; components without it are tracked by
+// registration index.
+type TraceNamer interface {
+	TraceName() string
+}
+
+// kernelTrack is the track kernel-global events (fast-forward, timer)
+// are emitted on.
+const kernelTrack = "kernel"
+
 // World is an ordered collection of clocked components driven by a common
 // clock, with an attached cycle counter.
 type World struct {
@@ -260,6 +288,9 @@ type World struct {
 	parallelism  int    // WithParallelism bound; 0 = GOMAXPROCS
 	parallelEval bool   // inside the sharded Eval pass: wakes are queued
 	as           *activeState
+
+	tracer obs.Tracer // kernel event sink; nil (the default) is the fast path
+	tracks []string   // per-component track names, built lazily while tracing
 }
 
 // NewWorld returns an empty world. Without options it uses the
@@ -345,6 +376,10 @@ func (w *World) wakeFn(i int) func() {
 			}
 			if i <= w.evalPos && w.skipped[i] {
 				w.skipped[i] = false
+				if w.tracer != nil {
+					w.tracer.Emit(obs.Event{Cycle: w.cycle, Scope: obs.ScopeKernel,
+						Track: w.track(i), Kind: obs.KindWake})
+				}
 				w.components[i].Eval()
 			}
 			return
@@ -353,6 +388,23 @@ func (w *World) wakeFn(i int) func() {
 			w.as.pending = append(w.as.pending, i)
 		}
 	}
+}
+
+// track returns component i's trace track name, memoized on first use.
+// Only called while a tracer is attached, so untraced worlds never build
+// the table.
+func (w *World) track(i int) string {
+	for len(w.tracks) < len(w.components) {
+		w.tracks = append(w.tracks, "")
+	}
+	if w.tracks[i] == "" {
+		if n, ok := w.components[i].(TraceNamer); ok {
+			w.tracks[i] = n.TraceName()
+		} else {
+			w.tracks[i] = "comp" + strconv.Itoa(i)
+		}
+	}
+	return w.tracks[i]
 }
 
 // Components returns the number of registered components.
@@ -438,6 +490,10 @@ func (w *World) step() {
 		all = false
 		w.evals++
 		w.evalsBy[i]++
+		if w.tracer != nil {
+			w.tracer.Emit(obs.Event{Cycle: w.cycle, Scope: obs.ScopeKernel,
+				Track: w.track(i), Kind: obs.KindEval})
+		}
 		w.components[i].Commit()
 	}
 	if len(w.components) != n0 {

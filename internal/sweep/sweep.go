@@ -42,6 +42,21 @@ func Normalize(workers, n int) int {
 	return workers
 }
 
+// Monitor observes the pool's scheduling: JobStart fires on a worker
+// goroutine immediately before job i runs, JobDone immediately after.
+// Implementations must accept concurrent calls (every worker reports
+// through the one monitor) and must not block — the pool waits for
+// neither. The monitor sees scheduling, never results, so it cannot
+// perturb the deterministic in-order emission; wall-clock bookkeeping
+// (rates, ETAs, busy fractions) belongs in the monitor implementation,
+// outside the deterministic engine.
+type Monitor interface {
+	// JobStart reports worker w picking up job i.
+	JobStart(w, i int)
+	// JobDone reports worker w finishing job i.
+	JobDone(w, i int)
+}
+
 // Run executes jobs 0..n-1 on a bounded worker pool and hands each
 // result to emit in strict index order, regardless of completion order.
 // workers <= 0 selects DefaultWorkers. Job errors are not fatal to the
@@ -50,6 +65,14 @@ func Normalize(workers, n int) int {
 // cancelled Run returns ctx.Err(). emit is always called from the
 // Run goroutine, so it needs no locking.
 func Run[T any](ctx context.Context, n, workers int,
+	job func(ctx context.Context, i int) (T, error),
+	emit func(i int, v T, err error) error) error {
+	return RunMonitored(ctx, n, workers, nil, job, emit)
+}
+
+// RunMonitored is Run with a scheduling monitor attached to the worker
+// pool; a nil monitor is exactly Run.
+func RunMonitored[T any](ctx context.Context, n, workers int, m Monitor,
 	job func(ctx context.Context, i int) (T, error),
 	emit func(i int, v T, err error) error) error {
 	if n <= 0 {
@@ -70,17 +93,23 @@ func Run[T any](ctx context.Context, n, workers int,
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
+				if m != nil {
+					m.JobStart(worker, i)
+				}
 				v, err := job(ctx, i)
+				if m != nil {
+					m.JobDone(worker, i)
+				}
 				select {
 				case results <- item{i: i, v: v, err: err}:
 				case <-ctx.Done():
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		defer close(jobs)
@@ -140,6 +169,17 @@ func RunCached[T any](ctx context.Context, n, workers int,
 	job func(ctx context.Context, i int) (T, error),
 	store func(i int, v T),
 	emit func(i int, v T, err error) error) error {
+	return RunCachedMonitored(ctx, n, workers, nil, lookup, job, store, emit)
+}
+
+// RunCachedMonitored is RunCached with a scheduling monitor attached to
+// the worker pool; cache hits bypass the pool and are never reported to
+// the monitor. A nil monitor is exactly RunCached.
+func RunCachedMonitored[T any](ctx context.Context, n, workers int, m Monitor,
+	lookup func(i int) (T, bool),
+	job func(ctx context.Context, i int) (T, error),
+	store func(i int, v T),
+	emit func(i int, v T, err error) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -169,7 +209,13 @@ func RunCached[T any](ctx context.Context, n, workers int,
 		return nil
 	}
 
-	err := Run(ctx, len(misses), workers,
+	var mm Monitor
+	if m != nil {
+		// The inner pool runs over miss indices; report the global job
+		// indices the caller knows.
+		mm = remapMonitor{m: m, idx: misses}
+	}
+	err := RunMonitored(ctx, len(misses), workers, mm,
 		func(ctx context.Context, mi int) (T, error) {
 			return job(ctx, misses[mi])
 		},
@@ -192,6 +238,16 @@ func RunCached[T any](ctx context.Context, n, workers int,
 	}
 	return flushHits(n)
 }
+
+// remapMonitor translates an inner pool's job indices through an index
+// table before forwarding to the caller's monitor.
+type remapMonitor struct {
+	m   Monitor
+	idx []int
+}
+
+func (r remapMonitor) JobStart(w, i int) { r.m.JobStart(w, r.idx[i]) }
+func (r remapMonitor) JobDone(w, i int)  { r.m.JobDone(w, r.idx[i]) }
 
 // Map runs f over 0..n-1 in parallel and returns the results in index
 // order. The first job error aborts the map and is returned.

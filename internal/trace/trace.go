@@ -27,14 +27,18 @@ type Probe struct {
 
 // Recorder samples probes each cycle.
 type Recorder struct {
-	probes  []Probe
-	samples [][]uint64 // per probe, per cycle
-	cycles  int
-	limit   int
+	probes    []Probe
+	samples   [][]uint64 // per probe, per cycle
+	cycles    int
+	limit     int
+	truncated bool
 }
 
 // NewRecorder returns a recorder with a cycle-count safety limit (older
 // samples are never discarded; recording simply stops at the limit).
+// Hitting the limit sets Truncated and both renderers carry a visible
+// truncation marker, so a capture that stopped early can never be
+// mistaken for a complete one.
 func NewRecorder(limit int) *Recorder {
 	if limit < 1 {
 		panic("trace: non-positive cycle limit")
@@ -84,9 +88,11 @@ func U16(name string, src *uint16) Probe {
 // Eval implements sim.Clocked (sampling happens at Commit).
 func (r *Recorder) Eval() {}
 
-// Commit implements sim.Clocked: it samples every probe.
+// Commit implements sim.Clocked: it samples every probe. Once the cycle
+// limit is reached sampling stops and the recording is marked truncated.
 func (r *Recorder) Commit() {
 	if r.cycles >= r.limit {
+		r.truncated = true
 		return
 	}
 	for i, p := range r.probes {
@@ -97,6 +103,11 @@ func (r *Recorder) Commit() {
 
 // Cycles returns the number of recorded cycles.
 func (r *Recorder) Cycles() int { return r.cycles }
+
+// Truncated reports whether the simulation ran past the recorder's cycle
+// limit, i.e. whether cycles beyond Cycles() happened but were not
+// recorded.
+func (r *Recorder) Truncated() bool { return r.truncated }
 
 // Value returns probe name's sample at the given cycle.
 func (r *Recorder) Value(name string, cycle int) (uint64, error) {
@@ -175,6 +186,11 @@ func (r *Recorder) RenderASCII(w io.Writer, from, to int) error {
 			return err
 		}
 	}
+	if r.truncated && to == r.cycles {
+		if _, err := fmt.Fprintf(w, "(truncated at cycle %d; later cycles not recorded)\n", r.cycles); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -190,6 +206,9 @@ func (r *Recorder) WriteVCD(w io.Writer, module, timescale string) error {
 	var b strings.Builder
 	b.WriteString("$date\n  (generated)\n$end\n")
 	b.WriteString("$version\n  repro NoC simulator\n$end\n")
+	if r.truncated {
+		fmt.Fprintf(&b, "$comment\n  truncated at cycle %d; later cycles not recorded\n$end\n", r.cycles)
+	}
 	fmt.Fprintf(&b, "$timescale %s $end\n", timescale)
 	fmt.Fprintf(&b, "$scope module %s $end\n", module)
 	ids := make([]string, len(r.probes))

@@ -202,3 +202,52 @@ func TestTraceRealRouter(t *testing.T) {
 		t.Fatalf("MostActive = %v", names)
 	}
 }
+
+func TestRecorderTruncationMarked(t *testing.T) {
+	v := uint16(0)
+	r := NewRecorder(4)
+	r.Add(U16("data", &v))
+	w := sim.NewWorld()
+	w.Add(&sim.Func{OnCommit: func() { v++ }})
+	w.Add(r)
+	w.Run(10) // six cycles past the limit
+	if r.Cycles() != 4 {
+		t.Fatalf("Cycles() = %d, want 4", r.Cycles())
+	}
+	if !r.Truncated() {
+		t.Fatal("Truncated() = false after running past the limit")
+	}
+	var ascii bytes.Buffer
+	if err := r.RenderASCII(&ascii, 0, r.Cycles()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii.String(), "truncated at cycle 4") {
+		t.Fatalf("ASCII render lacks truncation marker:\n%s", ascii.String())
+	}
+	var vcd bytes.Buffer
+	if err := r.WriteVCD(&vcd, "t", "1ns"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vcd.String(), "truncated at cycle 4") {
+		t.Fatalf("VCD lacks truncation comment:\n%s", vcd.String())
+	}
+
+	// A capture that never hits the limit carries no marker.
+	r2 := NewRecorder(100)
+	v2 := uint16(0)
+	r2.Add(U16("data", &v2))
+	w2 := sim.NewWorld()
+	w2.Add(&sim.Func{OnCommit: func() { v2++ }})
+	w2.Add(r2)
+	w2.Run(10)
+	if r2.Truncated() {
+		t.Fatal("Truncated() = true without hitting the limit")
+	}
+	var ascii2 bytes.Buffer
+	if err := r2.RenderASCII(&ascii2, 0, r2.Cycles()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ascii2.String(), "truncated") {
+		t.Fatal("complete capture carries a truncation marker")
+	}
+}

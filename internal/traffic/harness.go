@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -64,6 +65,15 @@ type sourceDriver struct {
 	src   *Source
 	tx    *core.TxConverter
 	limit uint64 // emitted-word budget; 0 = unlimited
+
+	// tracer, when non-nil, receives a domain-scope inject event per
+	// pushed word on the track name. Words are pushed on the same cycles
+	// under every kernel, so the stream is kernel-invariant; Emit may run
+	// inside the active kernel's sharded Eval pass, so the tracer must
+	// accept concurrent calls.
+	tracer obs.Tracer
+	track  string
+	cycle  uint64
 }
 
 // Eval implements sim.Clocked.
@@ -74,12 +84,19 @@ func (d *sourceDriver) Eval() {
 	if d.tx.Ready() {
 		if w, ok := d.src.Offer(); ok {
 			d.tx.Push(w)
+			if d.tracer != nil {
+				d.tracer.Emit(obs.Event{Cycle: d.cycle, Track: d.track,
+					Kind: obs.KindInject, Value: int64(d.src.Sent())})
+			}
 		}
 	}
 }
 
 // Commit implements sim.Clocked.
-func (d *sourceDriver) Commit() {}
+func (d *sourceDriver) Commit() { d.cycle++ }
+
+// TraceName implements sim.TraceNamer.
+func (d *sourceDriver) TraceName() string { return d.track }
 
 func (d *sourceDriver) done() bool {
 	return d.limit > 0 && d.src.Sent() >= d.limit
@@ -89,14 +106,14 @@ func (d *sourceDriver) done() bool {
 // words has no further work.
 func (d *sourceDriver) Quiescent() bool { return d.done() }
 
-// IdleTick implements sim.IdleTicker: a retired source accrues no
-// per-cycle state, so idle replay is a no-op, declared explicitly to
-// satisfy the Quiescer contract checked by nocvet.
-func (d *sourceDriver) IdleTick() {}
+// IdleTick implements sim.IdleTicker: a retired source accrues only its
+// local clock, which exists to cycle-stamp trace events.
+func (d *sourceDriver) IdleTick() { d.cycle++ }
 
-// IdleWindow implements sim.IdleWindower: any idle window replays to the
-// same no-op, keeping event-kernel fast-forward O(1).
-func (d *sourceDriver) IdleWindow(n uint64) {}
+// IdleWindow implements sim.IdleWindower: integer bookkeeping only, so
+// one call is exactly n IdleTicks and event-kernel fast-forward stays
+// O(1).
+func (d *sourceDriver) IdleWindow(n uint64) { d.cycle += n }
 
 // sinkDriver drains a receive converter on behalf of the tile: one Pop
 // opportunity per cycle. A first-class component rather than a bare
@@ -107,25 +124,44 @@ func (d *sourceDriver) IdleWindow(n uint64) {}
 // run.
 type sinkDriver struct {
 	rx *core.RxConverter
+
+	// tracer, when non-nil, receives a domain-scope deliver event per
+	// popped word on the track name; deliveries happen on the same
+	// cycles under every kernel, so the stream is kernel-invariant.
+	tracer obs.Tracer
+	track  string
+	cycle  uint64
+	popped uint64
 }
 
 // Eval implements sim.Clocked.
-func (d *sinkDriver) Eval() { d.rx.Pop() }
+func (d *sinkDriver) Eval() {
+	if _, ok := d.rx.Pop(); ok {
+		d.popped++
+		if d.tracer != nil {
+			d.tracer.Emit(obs.Event{Cycle: d.cycle, Track: d.track,
+				Kind: obs.KindDeliver, Value: int64(d.popped)})
+		}
+	}
+}
 
 // Commit implements sim.Clocked.
-func (d *sinkDriver) Commit() {}
+func (d *sinkDriver) Commit() { d.cycle++ }
+
+// TraceName implements sim.TraceNamer.
+func (d *sinkDriver) TraceName() string { return d.track }
 
 // Quiescent implements sim.Quiescer: nothing buffered, nothing to pop.
 func (d *sinkDriver) Quiescent() bool { return d.rx.Available() == 0 }
 
-// IdleTick implements sim.IdleTicker: an empty sink accrues no per-cycle
-// state, so idle replay is a no-op, declared explicitly to satisfy the
-// Quiescer contract checked by nocvet.
-func (d *sinkDriver) IdleTick() {}
+// IdleTick implements sim.IdleTicker: an empty sink accrues only its
+// local clock, which exists to cycle-stamp trace events.
+func (d *sinkDriver) IdleTick() { d.cycle++ }
 
-// IdleWindow implements sim.IdleWindower: any idle window replays to the
-// same no-op, keeping event-kernel fast-forward O(1).
-func (d *sinkDriver) IdleWindow(n uint64) {}
+// IdleWindow implements sim.IdleWindower: integer bookkeeping only, so
+// one call is exactly n IdleTicks and event-kernel fast-forward stays
+// O(1).
+func (d *sinkDriver) IdleWindow(n uint64) { d.cycle += n }
 
 var _ sim.Quiescer = (*sourceDriver)(nil)
 var _ sim.Quiescer = (*sinkDriver)(nil)

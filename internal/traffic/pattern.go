@@ -6,6 +6,7 @@ import (
 	"repro/internal/aethereal"
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/packetsw"
 	"repro/internal/pattern"
 	"repro/internal/power"
@@ -335,6 +336,8 @@ func RunPacketPattern(flows []pattern.PortFlow, inj pattern.Injection, flipProb 
 		gen := bitvec.NewFlipGen(patternWordBits, flipProb, flowSeed(cfg.Seed, i)^0xDA7A)
 		out := f.Out
 		src := pattern.NewSource(flowInjection(inj, pktRate), flowSeed(cfg.Seed, i), perFlowPacketCap(cfg.WordsPerStream), nil)
+		src.Tracer = cfg.Obs.Tracer
+		src.Track = fmt.Sprintf("flow%d.src", i)
 		srcRef := src
 		src.Emit = func() bool {
 			if len(*queue) >= feederQueueCap*(PatternPacketWords+1) {
@@ -406,8 +409,17 @@ type TDMFlow struct {
 	toggles  int
 	meter    *power.Meter
 	wake     func() // the owning presenter's wake, set by AddFlow
+	tracer   obs.Tracer
+	track    string
 
 	delivered uint64
+}
+
+// Trace routes this flow's injection and delivery events to a tracer
+// under the given track name; a nil tracer leaves tracing disabled.
+func (f *TDMFlow) Trace(t obs.Tracer, track string) {
+	f.tracer = t
+	f.track = track
 }
 
 // RecordTimed routes this flow's latency observations into a
@@ -425,6 +437,10 @@ func (f *TDMFlow) RecordTimed(rec *stats.TimedSeries) { f.rec = rec }
 // taken this cycle so that Commit actually runs.
 func (f *TDMFlow) Enqueue(word uint32, stamp uint64) {
 	f.staged = append(f.staged, tdmPending{word: word, stamp: stamp})
+	if f.tracer != nil {
+		f.tracer.Emit(obs.Event{Cycle: stamp, Track: f.track,
+			Kind: obs.KindInject, Value: int64(f.out)})
+	}
 	if f.wake != nil {
 		f.wake()
 	}
@@ -515,6 +531,10 @@ func (p *TDMPresenter) Eval() {
 			f.meter.AddToggles(power.ToggleReg, f.toggles)
 			f.meter.AddToggles(power.ToggleGate, f.toggles)
 			f.meter.AddToggles(power.ToggleLink, f.toggles)
+			if f.tracer != nil {
+				f.tracer.Emit(obs.Event{Cycle: p.cycle, Track: f.track,
+					Kind: obs.KindDeliver, Value: int64(f.delivered)})
+			}
 		}
 	}
 	// The router's next Eval uses the slot after the current one;
@@ -655,9 +675,12 @@ func RunTDMPattern(ap aethereal.Params, flows []pattern.PortFlow, inj pattern.In
 		if latRec != nil {
 			fs.RecordTimed(latRec)
 		}
+		fs.Trace(cfg.Obs.Tracer, fmt.Sprintf("flow%d.tdm", i))
 
 		gen := bitvec.NewFlipGen(patternWordBits, flipProb, flowSeed(cfg.Seed, i)^0xDA7A)
 		src := pattern.NewSource(flowInjection(inj, rate), flowSeed(cfg.Seed, i), cfg.WordsPerStream, nil)
+		src.Tracer = cfg.Obs.Tracer
+		src.Track = fmt.Sprintf("flow%d.src", i)
 		srcRef := src
 		src.Emit = func() bool {
 			if fs.Backlog() >= feederQueueCap*PatternPacketWords {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/packetsw"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -65,6 +66,11 @@ type RunConfig struct {
 	// them into one distribution. Off by default: a plain run only needs
 	// the summary moments.
 	RetainLatency bool
+	// Obs carries the run's observability sinks: a structured event
+	// tracer (per-stream injections and deliveries plus kernel
+	// scheduling) and a metrics registry. The zero value disables both;
+	// enabling them never changes the simulated result.
+	Obs obs.Hooks
 }
 
 // DefaultRunConfig mirrors the paper's power-estimation setup: 5000 cycles
@@ -109,9 +115,11 @@ func (c RunConfig) coreParams() core.Params {
 }
 
 // worldOpts returns the simulation-world options the run configuration
-// selects: the kernel and, for the active kernel, the Eval parallelism.
+// selects: the kernel, for the active kernel the Eval parallelism, and
+// the structured-event tracer when one is attached.
 func (c RunConfig) worldOpts() []sim.WorldOption {
-	return []sim.WorldOption{sim.WithKernel(c.Kernel), sim.WithParallelism(c.SimWorkers)}
+	return []sim.WorldOption{sim.WithKernel(c.Kernel),
+		sim.WithParallelism(c.SimWorkers), sim.WithTracer(c.Obs.Tracer)}
 }
 
 // psParams returns the packet-switched configuration to simulate.
@@ -176,9 +184,11 @@ func RunCircuit(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 		}
 		src := NewSourceSeeded(pat, st.ID, cfg.Seed)
 		sources = append(sources, src)
-		cw.W.Add(&sourceDriver{src: src, tx: tx, limit: cfg.WordsPerStream})
+		cw.W.Add(&sourceDriver{src: src, tx: tx, limit: cfg.WordsPerStream,
+			tracer: cfg.Obs.Tracer, track: fmt.Sprintf("stream%d.src", st.ID)})
 		if st.Out == core.Tile {
-			cw.W.Add(&sinkDriver{rx: a.Rx[lane]})
+			cw.W.Add(&sinkDriver{rx: a.Rx[lane],
+				tracer: cfg.Obs.Tracer, track: fmt.Sprintf("stream%d.sink", st.ID)})
 		}
 	}
 
@@ -239,13 +249,18 @@ func RunPacket(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 			period: wordPeriod, limit: cfg.WordsPerStream,
 		}
 		if st.In == core.Tile {
+			tracer, track := cfg.Obs.Tracer, fmt.Sprintf("stream%d.src", st.ID)
+			var cycle uint64
 			w.Add(&sim.Func{OnEval: func() {
 				if f, ok := gen.next(); ok {
 					if !r.Inject(f) {
 						gen.retry(f)
+					} else if tracer != nil {
+						tracer.Emit(obs.Event{Cycle: cycle, Track: track,
+							Kind: obs.KindInject, Value: int64(f.Kind)})
 					}
 				}
-			}})
+			}, OnCommit: func() { cycle++ }})
 		} else {
 			// Feeder register standing in for the upstream router.
 			inPort := st.In
@@ -261,13 +276,19 @@ func RunPacket(sc Scenario, pat Pattern, cfg RunConfig) (Result, error) {
 	}
 	// The tile ejection sink drains continuously.
 	delivered := uint64(0)
+	drainTracer := cfg.Obs.Tracer
+	var drainCycle uint64
 	w.Add(&sim.Func{OnEval: func() {
 		for _, f := range r.Drain() {
 			if f.Kind == packetsw.Body || f.Kind == packetsw.Tail {
 				delivered++
+				if drainTracer != nil {
+					drainTracer.Emit(obs.Event{Cycle: drainCycle, Track: "tile.sink",
+						Kind: obs.KindDeliver, Value: int64(delivered)})
+				}
 			}
 		}
-	}})
+	}, OnCommit: func() { drainCycle++ }})
 
 	w.Run(cfg.Cycles)
 	if cfg.Observe != nil {

@@ -27,10 +27,11 @@ import (
 // port of column 0, crossing span routers, leaving at the tile port of
 // column span-1. All other routers stay unconfigured — the sparsity the
 // paper's clock gating (and the gated kernel) exploits.
-func buildStreamMesh(tb testing.TB, kernel sim.Kernel, w, h int, rows []int, span int) *mesh.Mesh {
+func buildStreamMesh(tb testing.TB, kernel sim.Kernel, w, h int, rows []int, span int, opts ...sim.WorldOption) *mesh.Mesh {
 	tb.Helper()
 	p := core.DefaultParams()
-	m := mesh.New(w, h, p, core.DefaultAssemblyOptions(), sim.WithKernel(kernel))
+	m := mesh.New(w, h, p, core.DefaultAssemblyOptions(),
+		append([]sim.WorldOption{sim.WithKernel(kernel)}, opts...)...)
 	world := m.World()
 	for _, y := range rows {
 		establish := func(x int, c core.Circuit) {
@@ -82,6 +83,19 @@ func BenchmarkMeshSparseGatedKernel(b *testing.B) {
 // BenchmarkMeshSparseNaiveKernel is the evaluate-everything baseline.
 func BenchmarkMeshSparseNaiveKernel(b *testing.B) {
 	benchMeshKernel(b, sim.KernelNaive, []int{0, 2}, 2)
+}
+
+// BenchmarkMeshSparseTracerNilKernel is the disabled-observability twin
+// of BenchmarkMeshSparseGatedKernel: the same mesh and streams with the
+// tracer hook explicitly threaded through the world as nil — the
+// configuration every untraced run uses. The benchdiff -pair gate holds
+// it within 2% of its untouched twin in the same bench run, pinning the
+// obs layer's zero-overhead-when-disabled contract against host-speed
+// drift.
+func BenchmarkMeshSparseTracerNilKernel(b *testing.B) {
+	m := buildStreamMesh(b, sim.KernelGated, 5, 5, []int{0, 2}, 2, sim.WithTracer(nil))
+	b.ResetTimer()
+	m.Run(b.N)
 }
 
 // BenchmarkMeshDenseGatedKernel: a stream across the full width of every

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cellcache"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 )
 
 // This file is the façade's content-addressed reuse layer. Level 1
@@ -310,7 +311,12 @@ func OpenCache(dir string) (*Cache, error) {
 // defaulted and validated) through the cache: a hit returns the stored
 // Result byte-identically; a miss runs and stores. A nil receiver means
 // caching is off. The test-only world observer bypasses the cache —
-// its contract is observing a real simulation.
+// its contract is observing a real simulation. Observability hooks do
+// NOT bypass: a traced hit emits a cache-hit event and returns the
+// stored bytes (the honest trace of what happened), a traced miss
+// simulates with the tracer attached — safe because the Result wire
+// bytes are identical either way, and tracer/metrics never enter the
+// cache key.
 func (c *Cache) runThrough(kind Kind, cfg config, sc Scenario, run func() (*Result, error)) (*Result, error) {
 	if c == nil || cfg.worldObserver != nil {
 		return run()
@@ -319,11 +325,13 @@ func (c *Cache) runThrough(kind Kind, cfg config, sc Scenario, run func() (*Resu
 	if data, ok := c.store.Get(key); ok {
 		if res, err := decodeResultEnvelope(data); err == nil {
 			res.CacheStats = &CacheStats{Hit: true, Key: key.String()}
+			c.observeOutcome(cfg, key, true)
 			return res, nil
 		}
 		// An undecodable entry is treated as a miss; the fresh result
 		// overwrites it below.
 	}
+	c.observeOutcome(cfg, key, false)
 	res, err := run()
 	if err != nil {
 		return nil, err
@@ -333,6 +341,28 @@ func (c *Cache) runThrough(kind Kind, cfg config, sc Scenario, run func() (*Resu
 	}
 	res.CacheStats = &CacheStats{Hit: false, Key: key.String()}
 	return res, nil
+}
+
+// observeOutcome reports one cache consultation to the run's
+// observability hooks: a domain-scope hit/miss event on the "cache"
+// track (cycle 0 — the consultation precedes simulation) and per-run
+// hit/miss counters, plus the shared store's lifetime gauges.
+func (c *Cache) observeOutcome(cfg config, key cellcache.Key, hit bool) {
+	if t := cfg.obs.Tracer; t != nil {
+		kind := obs.KindCacheMiss
+		if hit {
+			kind = obs.KindCacheHit
+		}
+		t.Emit(obs.Event{Track: "cache", Kind: kind, Detail: key.String()[:16]})
+	}
+	if m := cfg.obs.Metrics; m != nil {
+		if hit {
+			m.Counter("cache.hits").Add(1)
+		} else {
+			m.Counter("cache.misses").Add(1)
+		}
+		c.store.MetricsInto(m)
+	}
 }
 
 // lookupResult consults only the Level-1 store — the sweep engine's
@@ -360,6 +390,7 @@ func (c *Cache) patternWarmHook(kind Kind, cfg config, sc Scenario) *mesh.WarmHo
 		return nil
 	}
 	prefix := warmPrefixKey(kind, cfg, sc)
+	hooks := cfg.obs
 	return &mesh.WarmHook{
 		Lookup: func(maxCycle uint64) ([]byte, uint64, bool) {
 			c.mu.Lock()
@@ -368,12 +399,28 @@ func (c *Cache) patternWarmHook(kind Kind, cfg config, sc Scenario) *mesh.WarmHo
 			for i := len(cps) - 1; i >= 0; i-- {
 				if cps[i].cycle <= maxCycle {
 					c.warmHits++
+					// A warm fork skips the simulated prefix, so the
+					// event (and the traced run) starts at the
+					// checkpoint cycle.
+					if hooks.Tracer != nil {
+						hooks.Tracer.Emit(obs.Event{Cycle: cps[i].cycle, Track: "cache",
+							Kind: obs.KindWarmFork, Value: int64(cps[i].cycle)})
+					}
+					if hooks.Metrics != nil {
+						hooks.Metrics.Counter("cache.warm_hits").Add(1)
+					}
 					return cps[i].data, cps[i].cycle, true
 				}
+			}
+			if hooks.Metrics != nil {
+				hooks.Metrics.Counter("cache.warm_misses").Add(1)
 			}
 			return nil, 0, false
 		},
 		Store: func(cycle uint64, data []byte) {
+			if hooks.Metrics != nil {
+				hooks.Metrics.Counter("cache.warm_stores").Add(1)
+			}
 			c.mu.Lock()
 			defer c.mu.Unlock()
 			cps := c.warm[prefix]

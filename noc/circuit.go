@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -36,6 +37,11 @@ func (f *circuitFabric) Validate() error { return f.cfg.validate(KindCircuit) }
 // setCache injects a resolved cache instance (sweep engine, tests).
 func (f *circuitFabric) setCache(c *Cache) { f.cfg.cache = c }
 
+// setObs injects observability hooks (sweep engine): an injected
+// tracer/registry is owned by the injector, so Run leaves export and
+// snapshotting to it.
+func (f *circuitFabric) setObs(h obs.Hooks) { f.cfg.obs = h }
+
 // Run implements Fabric: single-router scenarios go through the traffic
 // runner of Figures 9/10; workload scenarios map applications onto a
 // mesh via the CCN. With caching enabled (WithCache), a single run is
@@ -48,37 +54,34 @@ func (f *circuitFabric) Run(sc Scenario) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	if sc.Replications > 1 {
-		return runReplicated(f, sc)
-	}
-	cache, err := f.cfg.resolveCache()
+	cfg := f.cfg
+	fin := cfg.beginObs()
+	res, err := runFabric(KindCircuit, cfg, sc, f.run)
 	if err != nil {
 		return nil, err
 	}
-	return cache.runThrough(KindCircuit, f.cfg, sc, func() (*Result, error) {
-		return f.run(cache, sc)
-	})
+	return res, fin(res)
 }
 
 // run executes one non-replicated, defaulted, validated scenario.
-func (f *circuitFabric) run(cache *Cache, sc Scenario) (*Result, error) {
+func (f *circuitFabric) run(cfg config, cache *Cache, sc Scenario) (*Result, error) {
 	if sc.IsPattern() {
-		cfg := f.cfg
 		cfg.cache = cache
 		return runCircuitPattern(cfg, sc)
 	}
 	if sc.IsWorkload() {
-		return runCircuitWorkload(f.cfg, sc)
+		return runCircuitWorkload(cfg, sc)
 	}
 	var ks *KernelStats
 	rc := traffic.RunConfig{
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
-		Lib: f.cfg.mustLib(), Gated: f.cfg.gated,
-		Params: f.cfg.coreParams(), Seed: sc.Seed,
-		Kernel:         f.cfg.simKernel(),
-		SimWorkers:     f.cfg.parallelism,
+		Lib: cfg.mustLib(), Gated: cfg.gated,
+		Params: cfg.coreParams(), Seed: sc.Seed,
+		Kernel:         cfg.simKernel(),
+		SimWorkers:     cfg.parallelism,
 		WordsPerStream: sc.WordsPerStream,
-		Observe:        f.cfg.observeKernel(&ks),
+		Observe:        cfg.observeKernel(&ks),
+		Obs:            cfg.obs,
 	}
 	pat := traffic.Pattern{FlipProb: sc.Data.FlipProb, Load: sc.Data.Load}
 	tr, err := traffic.RunCircuit(sc.trafficScenario(), pat, rc)
@@ -97,9 +100,9 @@ func (f *circuitFabric) run(cache *Cache, sc Scenario) (*Result, error) {
 		PerComponent:   attributionComponents(tr.Attribution, tr.Power.StaticUW),
 		Kernel:         ks,
 	}
-	if n := f.cfg.latencySamples(); n > 0 && len(sc.Streams) > 0 {
-		lr, err := traffic.MeasureCircuitLatency(f.cfg.resolvedCoreParams(), sc.Data.Load, n,
-			f.cfg.worldOpts()...)
+	if n := cfg.latencySamples(); n > 0 && len(sc.Streams) > 0 {
+		lr, err := traffic.MeasureCircuitLatency(cfg.resolvedCoreParams(), sc.Data.Load, n,
+			cfg.worldOpts()...)
 		if err != nil {
 			return nil, err
 		}

@@ -2,9 +2,11 @@ package noc
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/aethereal"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/packetsw"
 	"repro/internal/sim"
 	"repro/internal/stdcell"
@@ -93,6 +95,10 @@ type config struct {
 	cacheOn  bool   // content-addressed result cache enabled
 	cacheDir string // cache directory; "" = process-wide in-memory cache
 	cache    *Cache // resolved instance (sweep engine / tests inject it)
+
+	trace     io.Writer // Chrome trace-event JSON destination (WithTrace)
+	metricsOn bool      // collect Result.Metrics (WithMetrics)
+	obs       obs.Hooks // resolved per-run hooks (beginObs / sweep injection)
 }
 
 func makeConfig(opts []Option) config {
@@ -190,6 +196,27 @@ func (c config) resolveCache() (*Cache, error) {
 	}
 	return OpenCache(c.cacheDir)
 }
+
+// WithTrace streams a structured event trace of every run to w as
+// Chrome trace-event JSON, openable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing: one process per sweep cell or replication, one
+// thread per traced component or kernel track, one instant event per
+// injection, delivery, flow setup, admission block, cache hit or kernel
+// scheduling action. Events are timestamped in simulated cycles — never
+// wall clock — so the trace of a given configuration is deterministic
+// and diffable, and enabling tracing never changes the Result (the
+// byte-identity the CI trace-replay step enforces). With a nil writer
+// tracing stays disabled; the hot path then costs one nil check per
+// event site.
+func WithTrace(w io.Writer) Option { return func(c *config) { c.trace = w } }
+
+// WithMetrics attaches a typed metrics registry to every run and
+// publishes its deterministic sorted snapshot as Result.Metrics:
+// kernel scheduling gauges, the circuit mesh's lane-allocator
+// probe/rejection counters and hop histogram, and the result cache's
+// traffic. The field is excluded from the JSON wire format, so enabling
+// metrics never changes Result output bytes.
+func WithMetrics(on bool) Option { return func(c *config) { c.metricsOn = on } }
 
 // withWorldObserver installs a test-only hook that receives a run's
 // simulation world after it finishes — fast-forward and activity
@@ -335,22 +362,75 @@ func (c config) simKernel() sim.Kernel {
 }
 
 // worldOpts returns the simulation-world options the fabric's worlds
-// are built with: the kernel choice plus the active kernel's Eval
-// parallelism bound.
+// are built with: the kernel choice, the active kernel's Eval
+// parallelism bound, and the structured-event tracer when one is
+// attached.
 func (c config) worldOpts() []sim.WorldOption {
-	return []sim.WorldOption{sim.WithKernel(c.simKernel()), sim.WithParallelism(c.parallelism)}
+	return []sim.WorldOption{sim.WithKernel(c.simKernel()),
+		sim.WithParallelism(c.parallelism), sim.WithTracer(c.obs.Tracer)}
 }
 
 // observeKernel builds the Observe hook the runners install on their
 // simulation worlds: it captures the world's scheduling diagnostics
-// into *ks for Result.Kernel and chains the test-only world observer.
+// into *ks for Result.Kernel, mirrors them into the metrics registry
+// when one is attached, and chains the test-only world observer.
+// Gauges, not counters — a replicated run observes several worlds and
+// the snapshot reports the last.
 func (c config) observeKernel(ks **KernelStats) func(*sim.World) {
 	return func(w *sim.World) {
 		*ks = &KernelStats{Parked: w.Parked(), Activations: w.Activations(), Polls: w.Polls()}
+		if m := c.obs.Metrics; m != nil {
+			m.Gauge("kernel.parked").Set(int64(w.Parked()))
+			m.Gauge("kernel.activations").Set(int64(w.Activations()))
+			m.Gauge("kernel.polls").Set(int64(w.Polls()))
+		}
 		if c.worldObserver != nil {
 			c.worldObserver(w)
 		}
 	}
+}
+
+// beginObs resolves the per-run observability hooks on the receiver:
+// hooks already injected (the sweep engine's per-cell tracer and shared
+// registry) are kept as-is and export stays with the injector;
+// otherwise WithTrace and WithMetrics create a per-run collector and
+// registry. The returned finish function attaches the metrics snapshot
+// to the completed Result and writes the Chrome trace; it must run
+// after the run (including all replications) completes.
+func (c *config) beginObs() func(*Result) error {
+	if c.obs.Tracer != nil || c.obs.Metrics != nil {
+		return func(*Result) error { return nil }
+	}
+	var col *obs.Collector
+	if c.trace != nil {
+		col = obs.NewCollector()
+		c.obs.Tracer = col
+	}
+	if c.metricsOn {
+		c.obs.Metrics = obs.NewRegistry()
+	}
+	dst, reg := c.trace, c.obs.Metrics
+	return func(res *Result) error {
+		if reg != nil && res != nil {
+			res.Metrics = reg.Snapshot()
+		}
+		if col != nil {
+			if err := obs.WriteChrome(dst, col.Events()); err != nil {
+				return fmt.Errorf("noc: trace export: %w", err)
+			}
+		}
+		return nil
+	}
+}
+
+// withCell returns a copy of the config whose tracer stamps events with
+// the given cell (or replication) index, so one collector can carry a
+// whole sweep with every event attributable to its cell.
+func (c config) withCell(cell int) config {
+	if c.obs.Tracer != nil {
+		c.obs.Tracer = &obs.CellTracer{T: c.obs.Tracer, Cell: cell}
+	}
+	return c
 }
 
 // resolvedCoreParams returns the circuit-switched geometry the fabric

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -28,6 +29,11 @@ func (f *packetFabric) Validate() error { return f.cfg.validate(KindPacket) }
 // setCache injects a resolved cache instance (sweep engine, tests).
 func (f *packetFabric) setCache(c *Cache) { f.cfg.cache = c }
 
+// setObs injects observability hooks (sweep engine): an injected
+// tracer/registry is owned by the injector, so Run leaves export and
+// snapshotting to it.
+func (f *packetFabric) setObs(h obs.Hooks) { f.cfg.obs = h }
+
 // Run implements Fabric. Workload scenarios are not supported: the
 // paper's run-time mapped applications ride the circuit-switched NoC.
 // With caching enabled (WithCache), a single run is served from the
@@ -40,22 +46,19 @@ func (f *packetFabric) Run(sc Scenario) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	if sc.Replications > 1 {
-		return runReplicated(f, sc)
-	}
-	cache, err := f.cfg.resolveCache()
+	cfg := f.cfg
+	fin := cfg.beginObs()
+	res, err := runFabric(KindPacket, cfg, sc, f.run)
 	if err != nil {
 		return nil, err
 	}
-	return cache.runThrough(KindPacket, f.cfg, sc, func() (*Result, error) {
-		return f.run(sc)
-	})
+	return res, fin(res)
 }
 
 // run executes one non-replicated, defaulted, validated scenario.
-func (f *packetFabric) run(sc Scenario) (*Result, error) {
+func (f *packetFabric) run(cfg config, _ *Cache, sc Scenario) (*Result, error) {
 	if sc.IsPattern() {
-		return runPacketPattern(f.cfg, sc)
+		return runPacketPattern(cfg, sc)
 	}
 	if sc.IsWorkload() {
 		return nil, fmt.Errorf("noc: the packet-switched fabric does not support workload scenarios (use CircuitSwitched)")
@@ -63,10 +66,11 @@ func (f *packetFabric) run(sc Scenario) (*Result, error) {
 	var ks *KernelStats
 	rc := traffic.RunConfig{
 		Cycles: sc.Cycles, FreqMHz: sc.FreqMHz,
-		Lib: f.cfg.mustLib(), PSParams: f.cfg.psParams(),
-		Seed: sc.Seed, Kernel: f.cfg.simKernel(), SimWorkers: f.cfg.parallelism,
+		Lib: cfg.mustLib(), PSParams: cfg.psParams(),
+		Seed: sc.Seed, Kernel: cfg.simKernel(), SimWorkers: cfg.parallelism,
 		WordsPerStream: sc.WordsPerStream,
-		Observe:        f.cfg.observeKernel(&ks),
+		Observe:        cfg.observeKernel(&ks),
+		Obs:            cfg.obs,
 	}
 	pat := traffic.Pattern{FlipProb: sc.Data.FlipProb, Load: sc.Data.Load}
 	tr, err := traffic.RunPacket(sc.trafficScenario(), pat, rc)
@@ -85,7 +89,7 @@ func (f *packetFabric) run(sc Scenario) (*Result, error) {
 		PerComponent:   attributionComponents(tr.Attribution, tr.Power.StaticUW),
 		Kernel:         ks,
 	}
-	if n := f.cfg.latencySamples(); n > 0 && len(sc.Streams) > 0 {
+	if n := cfg.latencySamples(); n > 0 && len(sc.Streams) > 0 {
 		// With several streams converging on one output port the
 		// measured stream competes against background traffic, the
 		// packet-switched router's load-dependent case.
@@ -97,12 +101,12 @@ func (f *packetFabric) run(sc Scenario) (*Result, error) {
 				contended = true
 			}
 		}
-		pp := f.cfg.resolvedPSParams()
+		pp := cfg.resolvedPSParams()
 		// The contention harness needs three VCs; a narrower router
 		// still measures, just without background streams.
 		contended = contended && pp.VCs >= 3
 		lr, err := traffic.MeasurePacketLatency(pp, sc.Data.Load, n, contended,
-			f.cfg.worldOpts()...)
+			cfg.worldOpts()...)
 		if err != nil {
 			return nil, err
 		}

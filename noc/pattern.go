@@ -39,6 +39,7 @@ func runCircuitPattern(cfg config, sc Scenario) (*Result, error) {
 		WarmupAuto:    sc.WarmupAuto,
 		RetainLatency: sc.poolLatency,
 		Warm:          cfg.cache.patternWarmHook(KindCircuit, cfg, sc),
+		Obs:           cfg.obs,
 	})
 	if err != nil {
 		return nil, err
@@ -106,6 +107,7 @@ func runPacketPattern(cfg config, sc Scenario) (*Result, error) {
 		Observe:        cfg.observeKernel(&ks),
 		WarmupCycles:   sc.WarmupCycles, WarmupAuto: sc.WarmupAuto,
 		RetainLatency: sc.poolLatency,
+		Obs:           cfg.obs,
 	}
 	tr, err := traffic.RunPacketPattern(patternPortFlows(sc, sp), inj, sc.Data.FlipProb, rc)
 	if err != nil {
@@ -132,6 +134,7 @@ func runTDMPattern(cfg config, sc Scenario) (*Result, error) {
 		Observe:        cfg.observeKernel(&ks),
 		WarmupCycles:   sc.WarmupCycles, WarmupAuto: sc.WarmupAuto,
 		RetainLatency: sc.poolLatency,
+		Obs:           cfg.obs,
 	}
 	tr, err := traffic.RunTDMPattern(cfg.tdmParams(), patternPortFlows(sc, sp), inj, sc.Data.FlipProb, rc)
 	if err != nil {

@@ -225,17 +225,34 @@ func aggregateResults(results []*Result) (*Result, error) {
 	return &agg, nil
 }
 
-// runReplicated executes a replicated scenario on one fabric,
-// sequentially, and aggregates. Sweep parallelizes the same work by
-// fanning replications through its worker pool instead.
-func runReplicated(f Fabric, sc Scenario) (*Result, error) {
-	results := make([]*Result, sc.Replications)
-	for rep := range results {
-		r, err := f.Run(replicaScenario(sc, rep))
-		if err != nil {
-			return nil, fmt.Errorf("noc: replication %d: %w", rep, err)
-		}
-		results[rep] = r
+// runFabric executes one fabric kind's defaulted, validated scenario
+// with the config's observability hooks already resolved (beginObs): a
+// single run goes through the content-addressed cache; a replicated
+// scenario runs its replications sequentially — each replication's
+// trace events stamped with the replication index, so one collector
+// carries them all — and aggregates. Sweep parallelizes replications
+// through its worker pool instead of coming through here.
+func runFabric(kind Kind, cfg config, sc Scenario,
+	run func(cfg config, cache *Cache, sc Scenario) (*Result, error)) (*Result, error) {
+	cache, err := cfg.resolveCache()
+	if err != nil {
+		return nil, err
 	}
-	return aggregateResults(results)
+	one := func(cfg config, sc Scenario) (*Result, error) {
+		return cache.runThrough(kind, cfg, sc, func() (*Result, error) {
+			return run(cfg, cache, sc)
+		})
+	}
+	if sc.Replications > 1 {
+		results := make([]*Result, sc.Replications)
+		for rep := range results {
+			r, err := one(cfg.withCell(rep), replicaScenario(sc, rep).withDefaults())
+			if err != nil {
+				return nil, fmt.Errorf("noc: replication %d: %w", rep, err)
+			}
+			results[rep] = r
+		}
+		return aggregateResults(results)
+	}
+	return one(cfg, sc)
 }

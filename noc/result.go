@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/stats"
 )
@@ -234,6 +235,14 @@ type Result struct {
 	// address and whether it was served from the cache. Excluded from
 	// the wire format — cached and fresh results are byte-identical.
 	CacheStats *CacheStats `json:"-"`
+	// Metrics is the deterministic sorted snapshot of the run's metrics
+	// registry when WithMetrics was enabled: kernel scheduling gauges,
+	// lane-allocator counters, cache traffic. Excluded from the wire
+	// format so Result output bytes are identical with metrics on or
+	// off; nil when metrics were off. A run served from the cache
+	// simulates nothing, so its snapshot carries only the cache
+	// counters.
+	Metrics []obs.Sample `json:"-"`
 }
 
 // KernelStats is the scheduling diagnostic a run's simulation world

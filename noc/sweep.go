@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -350,13 +351,89 @@ type SweepSpec struct {
 	// CacheDir mirrors the cache to a directory so it survives the
 	// process (the `nocbench -cache` flag). Setting it implies Cache.
 	CacheDir string `json:"cache_dir,omitempty"`
+	// Obs configures the sweep's observability sinks — tracing, shared
+	// metrics, live progress. It is wired programmatically (nocbench
+	// flags, tests) and is not part of the JSON spec format; none of it
+	// changes a single Result byte.
+	Obs SweepObs `json:"-"`
 }
+
+// SweepObs bundles the observability sinks of one sweep execution. The
+// zero value disables everything. Enabling any sink leaves every cell's
+// Result — and therefore SweepJSON/SweepCSV output — byte-identical:
+// sinks observe the sweep, they never steer it.
+type SweepObs struct {
+	// Trace streams every cell's structured events as one Chrome
+	// trace-event JSON document (open in Perfetto): process id = cell
+	// index, one thread per event track. Events are cycle-timestamped;
+	// wall-clock never appears. Cells served from the cache contribute a
+	// cache-hit event instead of a simulation trace.
+	Trace io.Writer
+	// Metrics, when non-nil, is shared across every cell of the sweep:
+	// each run's counters accumulate into it (the registry is safe for
+	// concurrent use). Snapshot it after Sweep returns.
+	Metrics *obs.Registry
+	// Progress receives a snapshot after every completed job, from the
+	// emission goroutine in deterministic job order. A non-nil error
+	// aborts the sweep. Wall-clock derived figures (rate, ETA, busy
+	// fractions) are deliberately left to the caller: the engine reports
+	// only counts, so it stays deterministic.
+	Progress func(SweepProgress) error
+	// Monitor observes worker-pool scheduling (which worker picked up
+	// which job, and when it finished). Calls arrive concurrently from
+	// the worker goroutines and must not block; cache hits bypass the
+	// pool and are never reported. Scheduling is timing-dependent, so a
+	// monitor sees a different interleaving every run — results do not.
+	Monitor SweepMonitor
+}
+
+// SweepMonitor observes sweep worker-pool scheduling. JobStart and
+// JobDone are called from worker goroutines (concurrently) with the
+// worker index and the global job index.
+type SweepMonitor interface {
+	JobStart(worker, job int)
+	JobDone(worker, job int)
+}
+
+// SweepProgress is one live progress snapshot of a running sweep. Jobs
+// are the sweep's scheduling units (one per replication of every cell);
+// cells complete when their last job folds in.
+type SweepProgress struct {
+	// CellsDone and CellsTotal count completed and total sweep cells.
+	CellsDone, CellsTotal int
+	// JobsDone and JobsTotal count completed and total jobs.
+	JobsDone, JobsTotal int
+	// CacheHits counts jobs served from the result cache (pre-dispatch
+	// lookups and fabric-level hits alike).
+	CacheHits int
+	// Errors counts failed cells so far.
+	Errors int
+	// CyclesDone sums the simulated cycle counts of completed jobs — the
+	// work-proportional progress measure a caller divides by wall-clock
+	// for a cycle rate. Cache hits count too: a hit covers its job's
+	// cycles without simulating them.
+	CyclesDone uint64
+}
+
+// monitorAdapter bridges the exported SweepMonitor to the worker pool's
+// monitor interface.
+type monitorAdapter struct{ m SweepMonitor }
+
+func (a monitorAdapter) JobStart(worker, job int) { a.m.JobStart(worker, job) }
+func (a monitorAdapter) JobDone(worker, job int)  { a.m.JobDone(worker, job) }
 
 // cacheSettable lets the sweep engine hand its resolved cache instance
 // to the fabrics it builds, so per-run caching and the sweep's
 // pre-dispatch lookup share one store.
 type cacheSettable interface {
 	setCache(*Cache)
+}
+
+// obsSettable lets the sweep engine inject its observability hooks —
+// the shared trace collector (cell-stamped) and metrics registry — into
+// the fabrics it builds.
+type obsSettable interface {
+	setObs(obs.Hooks)
 }
 
 // resolveCache opens the spec's cache, if enabled.
@@ -533,6 +610,22 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 			jobs = append(jobs, job{cell: i, rep: rep})
 		}
 	}
+	// One trace collector spans the whole sweep; each job's events are
+	// stamped with its cell index, so Perfetto renders one process row
+	// per cell.
+	var col *obs.Collector
+	if spec.Obs.Trace != nil {
+		col = obs.NewCollector()
+	}
+	// cellHooks builds the observability hooks injected into cell i's
+	// fabric; the zero Hooks when no sink is configured.
+	cellHooks := func(i int) obs.Hooks {
+		h := obs.Hooks{Metrics: spec.Obs.Metrics}
+		if col != nil {
+			h.Tracer = &obs.CellTracer{T: col, Cell: cells[i].Index}
+		}
+		return h
+	}
 	// jobScenario resolves job i's single-run scenario exactly as the
 	// fabric will see it — replication substitution first, then defaults
 	// — so the pre-dispatch lookup and the fabric-side cache compute
@@ -555,17 +648,34 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 		j := jobs[i]
 		fs := cells[j.cell].Fabric
 		cfg := makeConfig(fs.options())
-		res, ok := cache.lookupResult(cellKey(fs.Kind, cfg, jobScenario(i)))
+		key := cellKey(fs.Kind, cfg, jobScenario(i))
+		res, ok := cache.lookupResult(key)
 		if !ok {
 			return repOut{}, false
+		}
+		// A pre-dispatch hit never reaches a fabric, so the engine
+		// reports it to the sinks itself — the honest trace of a run
+		// that was never simulated.
+		if col != nil {
+			col.Emit(obs.Event{Cell: cells[j.cell].Index, Track: "cache",
+				Kind: obs.KindCacheHit, Detail: key.String()[:16]})
+		}
+		if m := spec.Obs.Metrics; m != nil {
+			m.Counter("cache.hits").Add(1)
 		}
 		return repOut{res: res}, true
 	}
 	// Streaming per-cell fold state: replications arrive consecutively
-	// and in order, so one accumulator suffices.
+	// and in order, so one accumulator suffices. The progress counters
+	// live on the same single emission goroutine.
 	var pending []*Result
 	var pendingErr string
-	return sweep.RunCached(ctx, len(jobs), spec.Workers, lookup,
+	prog := SweepProgress{CellsTotal: len(cells), JobsTotal: len(jobs)}
+	var monitor sweep.Monitor
+	if spec.Obs.Monitor != nil {
+		monitor = monitorAdapter{m: spec.Obs.Monitor}
+	}
+	err = sweep.RunCachedMonitored(ctx, len(jobs), spec.Workers, monitor, lookup,
 		func(ctx context.Context, i int) (repOut, error) {
 			j := jobs[i]
 			cell := cells[j.cell]
@@ -592,6 +702,11 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 					cs.setCache(cache)
 				}
 			}
+			if h := cellHooks(j.cell); h.Tracer != nil || h.Metrics != nil {
+				if os, ok := f.(obsSettable); ok {
+					os.setObs(h)
+				}
+			}
 			sc := cell.Scenario
 			replicated := sc.Replications > 1
 			if replicated {
@@ -612,7 +727,18 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 			if err != nil {
 				return err
 			}
+			tick := func() error {
+				if spec.Obs.Progress == nil {
+					return nil
+				}
+				return spec.Obs.Progress(prog)
+			}
 			j := jobs[i]
+			prog.JobsDone++
+			prog.CyclesDone += uint64(jobScenario(i).Cycles)
+			if out.res != nil && out.res.CacheStats != nil && out.res.CacheStats.Hit {
+				prog.CacheHits++
+			}
 			if out.res != nil {
 				pending = append(pending, out.res)
 			}
@@ -620,7 +746,7 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 				pendingErr = out.errText
 			}
 			if j.rep < cellReps(cells[j.cell].Scenario)-1 {
-				return nil
+				return tick()
 			}
 			cell := cells[j.cell]
 			switch {
@@ -637,8 +763,24 @@ func Sweep(ctx context.Context, spec SweepSpec, fn func(SweepCell) error) error 
 				}
 			}
 			pending, pendingErr = pending[:0], ""
+			prog.CellsDone++
+			if cell.Error != "" {
+				prog.Errors++
+			}
+			if err := tick(); err != nil {
+				return err
+			}
 			return fn(cell)
 		})
+	if err != nil {
+		return err
+	}
+	if col != nil {
+		if err := obs.WriteChrome(spec.Obs.Trace, col.Events()); err != nil {
+			return fmt.Errorf("noc: sweep: trace export: %w", err)
+		}
+	}
+	return nil
 }
 
 // SweepAll executes the spec and returns every cell in Index order.

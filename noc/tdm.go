@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/aethereal"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -31,6 +32,11 @@ func (f *tdmFabric) Validate() error { return f.cfg.validate(KindTDM) }
 // setCache injects a resolved cache instance (sweep engine, tests).
 func (f *tdmFabric) setCache(c *Cache) { f.cfg.cache = c }
 
+// setObs injects observability hooks (sweep engine): an injected
+// tracer/registry is owned by the injector, so Run leaves export and
+// snapshotting to it.
+func (f *tdmFabric) setObs(h obs.Hooks) { f.cfg.obs = h }
+
 // Run implements Fabric. Each stream is given a contention-free
 // guaranteed-throughput reservation in the slot table whose bandwidth
 // share matches one circuit-switched lane (the scenarios' "100% load of
@@ -46,28 +52,25 @@ func (f *tdmFabric) Run(sc Scenario) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	if sc.Replications > 1 {
-		return runReplicated(f, sc)
-	}
-	cache, err := f.cfg.resolveCache()
+	cfg := f.cfg
+	fin := cfg.beginObs()
+	res, err := runFabric(KindTDM, cfg, sc, f.run)
 	if err != nil {
 		return nil, err
 	}
-	return cache.runThrough(KindTDM, f.cfg, sc, func() (*Result, error) {
-		return f.run(sc)
-	})
+	return res, fin(res)
 }
 
 // run executes one non-replicated, defaulted, validated scenario.
-func (f *tdmFabric) run(sc Scenario) (*Result, error) {
+func (f *tdmFabric) run(cfg config, _ *Cache, sc Scenario) (*Result, error) {
 	if sc.IsPattern() {
-		return runTDMPattern(f.cfg, sc)
+		return runTDMPattern(cfg, sc)
 	}
 	if sc.IsWorkload() {
 		return nil, fmt.Errorf("noc: the Aethereal TDM fabric does not support workload scenarios (use CircuitSwitched)")
 	}
-	p := f.cfg.tdmParams()
-	lib := f.cfg.mustLib()
+	p := cfg.tdmParams()
+	lib := cfg.mustLib()
 
 	// One stream per input port: the functional model registers one
 	// upstream word per port, like the real router's input stage.
@@ -135,7 +138,7 @@ func (f *tdmFabric) run(sc Scenario) (*Result, error) {
 	// pin every kernel to every cycle — with componentized stream
 	// drivers below, finite TDM scenarios now fast-forward.
 	r.BindMeter(meter)
-	w := sim.NewWorld(f.cfg.worldOpts()...)
+	w := sim.NewWorld(cfg.worldOpts()...)
 	w.Add(r)
 
 	// The average toggling bits per forwarded word under the pattern's
@@ -167,6 +170,7 @@ func (f *tdmFabric) run(sc Scenario) (*Result, error) {
 		// its own presenter.
 		pres := traffic.NewTDMPresenter(r, rv.in)
 		flow := pres.AddFlow(rv.out, reserved, &lat, toggleBits, meter)
+		flow.Trace(cfg.obs.Tracer, fmt.Sprintf("stream%d.tdm", st.ID))
 		flows = append(flows, flow)
 		w.Add(&tdmOffer{
 			src: src, flow: flow, limit: sc.WordsPerStream,
@@ -176,7 +180,7 @@ func (f *tdmFabric) run(sc Scenario) (*Result, error) {
 
 	w.Run(sc.Cycles)
 	var ks *KernelStats
-	f.cfg.observeKernel(&ks)(w)
+	cfg.observeKernel(&ks)(w)
 
 	var delivered uint64
 	for _, fl := range flows {
